@@ -1,0 +1,67 @@
+"""Ablation A1: buffer policy effect on measured disk accesses.
+
+The paper models two regimes (no buffer = NA; path buffer = DA) and
+defers LRU buffers to future work, noting "a more complex buffering
+scheme ... would surely achieve a lower value for DA_total".  This bench
+measures that claim: NA >= DA(path) >= DA(LRU k) with DA dropping as the
+LRU pool grows, and the path buffer already capturing a large share of
+the locality.
+"""
+
+import pytest
+
+from repro.experiments import format_table
+from repro.join import spatial_join
+from repro.storage import LRUBuffer, NoBuffer, PathBuffer
+
+LRU_SIZES = (8, 32, 128, 512)
+
+
+@pytest.fixture(scope="module")
+def joined_trees(scale, uniform_grid_2d, tree_cache):
+    m = scale.max_entries(2)
+    n1, n2 = scale.cardinalities[1], scale.cardinalities[2]
+    return (tree_cache.get(uniform_grid_2d["R1"][n1], m),
+            tree_cache.get(uniform_grid_2d["R2"][n2], m))
+
+
+def test_buffer_policy_sweep(joined_trees, emit, benchmark):
+    t1, t2 = joined_trees
+    rows = []
+    na = spatial_join(t1, t2, buffer=NoBuffer(),
+                      collect_pairs=False).da_total
+    rows.append(["none (NA)", na, "1.00"])
+    path = spatial_join(t1, t2, buffer=PathBuffer(),
+                        collect_pairs=False).da_total
+    rows.append(["path buffer", path, f"{path / na:.2f}"])
+    lru_results = {}
+    for k in LRU_SIZES:
+        da = spatial_join(t1, t2, buffer=LRUBuffer(k),
+                          collect_pairs=False).da_total
+        lru_results[k] = da
+        rows.append([f"LRU({k})", da, f"{da / na:.2f}"])
+
+    emit("\n== Ablation A1: buffer policies (measured disk accesses) ==")
+    emit(format_table(["policy", "disk accesses", "vs no buffer"], rows))
+
+    benchmark(lambda: spatial_join(t1, t2, buffer=PathBuffer(),
+                                   collect_pairs=False))
+
+    # Ordering claims.
+    assert path < na
+    sizes = sorted(LRU_SIZES)
+    for small, large in zip(sizes, sizes[1:]):
+        assert lru_results[large] <= lru_results[small]
+    assert lru_results[sizes[-1]] <= path
+
+
+def test_path_buffer_captures_most_locality(joined_trees, benchmark):
+    # The paper's simple path buffer is a good approximation of small
+    # realistic pools: a modest LRU must not beat it by an order of
+    # magnitude.
+    t1, t2 = joined_trees
+    path = benchmark(lambda: spatial_join(
+        t1, t2, buffer=PathBuffer(), collect_pairs=False)).da_total
+    small_lru = spatial_join(t1, t2, buffer=LRUBuffer(8),
+                             collect_pairs=False).da_total
+    assert small_lru > 0.3 * path

@@ -1,0 +1,110 @@
+"""Ablation A2: index construction method vs the cost model.
+
+The paper indexes with insertion-built R*-trees and models them through
+the average-capacity parameter ``c = 0.67``.  This ablation measures how
+the same join behaves over other members of the R-tree family — Guttman
+quadratic/linear splits and STR/Hilbert packing — and how far the single
+``c``-parameterised model stays useful:
+
+* R* and the packed trees (fill target 0.67) should track the model;
+* Guttman splits produce worse (more overlapping) nodes, so their
+  measured costs exceed the R* costs — the reason BKSS90/this paper
+  standardised on the R*-tree.
+"""
+
+import pytest
+
+from repro.costmodel import (AnalyticalTreeParams, join_da_total,
+                             join_na_total)
+from repro.experiments import format_table, relative_error
+from repro.join import spatial_join
+
+VARIANTS = ("rstar", "guttman-quadratic", "guttman-linear", "str",
+            "hilbert")
+
+
+@pytest.fixture(scope="module")
+def variant_results(scale, uniform_grid_2d, tree_cache):
+    m = scale.max_entries(2)
+    d1 = uniform_grid_2d["R1"][scale.cardinalities[1]]
+    d2 = uniform_grid_2d["R2"][scale.cardinalities[1]]
+    p1 = AnalyticalTreeParams.from_dataset(d1, m, scale.fill)
+    p2 = AnalyticalTreeParams.from_dataset(d2, m, scale.fill)
+    model_na = join_na_total(p1, p2)
+    model_da = join_da_total(p1, p2)
+
+    from repro.rtree import total_overlap
+    rows = {}
+    for variant in VARIANTS:
+        t1 = tree_cache.get(d1, m, variant)
+        t2 = tree_cache.get(d2, m, variant)
+        result = spatial_join(t1, t2, collect_pairs=False)
+        rows[variant] = {
+            "na": result.na_total,
+            "da": result.da_total,
+            "fill": (t1.average_fill() + t2.average_fill()) / 2,
+            "pairs": result.pair_count,
+            "overlap": total_overlap(t1) + total_overlap(t2),
+        }
+    return rows, model_na, model_da
+
+
+def test_variant_table(variant_results, emit, benchmark):
+    benchmark(lambda: None)
+    rows, model_na, model_da = variant_results
+    table = []
+    for variant, r in rows.items():
+        table.append([
+            variant, f"{r['fill']:.2f}", f"{r['overlap']:.3f}",
+            r["na"],
+            f"{relative_error(model_na, r['na']):+.1%}",
+            r["da"],
+            f"{relative_error(model_da, r['da']):+.1%}",
+        ])
+    emit("\n== Ablation A2: tree construction vs the c=0.67 model ==")
+    emit(format_table(
+        ["variant", "fill", "leaf ovlp", "exp(NA)", "model err",
+         "exp(DA)", "model err"], table))
+    emit(f"model: NA={model_na:.0f}, DA={model_da:.0f}")
+
+
+def test_all_variants_same_join_output(variant_results, benchmark):
+    benchmark(lambda: None)
+    rows, _na, _da = variant_results
+    counts = {r["pairs"] for r in rows.values()}
+    assert len(counts) == 1, "join output must not depend on the index"
+
+
+def test_rstar_beats_guttman(variant_results, benchmark):
+    benchmark(lambda: None)
+    rows, _na, _da = variant_results
+    assert rows["rstar"]["na"] < rows["guttman-linear"]["na"]
+    assert rows["rstar"]["na"] <= rows["guttman-quadratic"]["na"] * 1.1
+
+
+def test_overlap_explains_cost_ranking(variant_results, benchmark):
+    # More leaf overlap -> more qualifying node pairs -> more accesses:
+    # the join NA ordering should broadly follow the leaf overlap
+    # ordering across variants (the BKSS90 design argument).
+    benchmark(lambda: None)
+    rows, _na, _da = variant_results
+    by_overlap = sorted(rows, key=lambda v: rows[v]["overlap"])
+    by_na = sorted(rows, key=lambda v: rows[v]["na"])
+    # The best variant agrees exactly; the worst trail clusters together
+    # (leaf overlap is the dominant but not the only factor — Hilbert
+    # packing also degrades upper-level structure).
+    assert by_overlap[0] == by_na[0] == "rstar"
+    assert set(by_overlap[-3:]) == set(by_na[-3:])
+
+
+def test_model_tracks_rstar_and_packed(variant_results, benchmark):
+    benchmark(lambda: None)
+    rows, model_na, _da = variant_results
+    # The c = 0.67 model is calibrated for R*-quality nodes; STR's
+    # tiling stays close, while Hilbert packing produces noticeably
+    # more node overlap in 2-d (a classic finding) and drifts furthest.
+    bands = {"rstar": 0.20, "str": 0.40, "hilbert": 0.60}
+    for variant, band in bands.items():
+        err = abs(relative_error(model_na, rows[variant]["na"]))
+        assert err < band, f"{variant}: {err:.1%}"
+    assert rows["str"]["na"] < rows["hilbert"]["na"]

@@ -1,0 +1,67 @@
+"""Per-level error attribution for a representative Figure-5 point.
+
+Every formula in the paper is a per-level sum and the counters record
+accesses per level, so end-to-end error can be localised: the leaf level
+(where Eq. 6's pair estimate dominates) vs the sparse upper levels
+(where real-valued ``N_j`` misrepresents 2-4 actual nodes).  This bench
+prints that attribution for one 2-d join of the standard grid.
+"""
+
+import pytest
+
+from repro.experiments import format_table, level_comparison
+from repro.join import spatial_join
+
+
+@pytest.fixture(scope="module")
+def diagnostics(scale, uniform_grid_2d, tree_cache):
+    m = scale.max_entries(2)
+    d1 = uniform_grid_2d["R1"][scale.cardinalities[1]]
+    d2 = uniform_grid_2d["R2"][scale.cardinalities[1]]
+    result = spatial_join(tree_cache.get(d1, m), tree_cache.get(d2, m),
+                          collect_pairs=False)
+    return result, level_comparison(result, d1, d2, m, fill=scale.fill)
+
+
+def test_level_attribution_table(diagnostics, emit, benchmark):
+    benchmark(lambda: None)
+    result, rows = diagnostics
+    table = []
+    for r in rows:
+        err = "n/a" if r.na_measured == 0 else f"{r.na_error:+.1%}"
+        table.append([f"{r.tree} L{r.level}", r.na_measured,
+                      f"{r.na_model:.1f}", err,
+                      r.da_measured, f"{r.da_model:.1f}"])
+    emit("\n== Diagnostics: per-level error attribution (N1 = N2, "
+         "n = 2) ==")
+    emit(format_table(
+        ["tree/level", "exp(NA)", "anal(NA)", "errNA", "exp(DA)",
+         "anal(DA)"], table))
+
+
+def test_totals_reconcile(diagnostics, benchmark):
+    benchmark(lambda: None)
+    result, rows = diagnostics
+    assert sum(r.na_measured for r in rows) == result.na_total
+    assert sum(r.da_measured for r in rows) == result.da_total
+
+
+def test_leaf_level_dominates_cost(diagnostics, benchmark):
+    benchmark(lambda: None)
+    _result, rows = diagnostics
+    leaf = sum(r.na_measured for r in rows if r.level == 1)
+    upper = sum(r.na_measured for r in rows if r.level > 1)
+    assert leaf > upper
+
+
+def test_leaf_estimate_tighter_than_upper_levels(diagnostics, benchmark):
+    # The small-sample noise lives in the sparse upper levels; the leaf
+    # estimate (many nodes, law of large numbers) is the tight one.
+    benchmark(lambda: None)
+    _result, rows = diagnostics
+    leaf_errors = [abs(r.na_error) for r in rows
+                   if r.level == 1 and r.na_measured]
+    upper_errors = [abs(r.na_error) for r in rows
+                    if r.level > 1 and r.na_measured]
+    assert leaf_errors and upper_errors
+    assert max(leaf_errors) <= max(upper_errors)

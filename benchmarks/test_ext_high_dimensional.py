@@ -1,0 +1,73 @@
+"""Extension E4 (§5): model behaviour in higher-dimensional space.
+
+The paper's future work: "R-tree implementations originally designed for
+n = 2, such as the R*-tree, are not efficient in high-dimensional space
+... the behavior of the proposed cost model should also be studied for
+n >> 2".  This bench studies n = 3 and n = 4 at small scale:
+
+* the model stays *structurally* sound (DA <= NA, heights agree);
+* accuracy degrades with dimensionality — the quantified motivation for
+  the X-tree line of work [BKK96] the paper cites.
+"""
+
+import pytest
+
+from repro.datasets import uniform_rectangles
+from repro.experiments import format_table, observe_join
+from repro.storage import node_capacity
+
+N_OBJECTS = 1500
+PAGE = 512
+
+
+@pytest.fixture(scope="module")
+def dimensional_observations(tree_cache):
+    obs = {}
+    for ndim in (2, 3, 4):
+        m = node_capacity(PAGE, ndim)
+        d1 = uniform_rectangles(N_OBJECTS, 0.5, ndim, seed=500 + ndim)
+        d2 = uniform_rectangles(N_OBJECTS, 0.5, ndim, seed=600 + ndim)
+        obs[ndim] = observe_join(d1, d2, m, cache=tree_cache,
+                                 label=f"n={ndim}")
+    return obs
+
+
+def test_dimensionality_table(dimensional_observations, emit, benchmark):
+    benchmark(lambda: None)
+    rows = []
+    for ndim, ob in dimensional_observations.items():
+        rows.append([
+            f"n={ndim}", node_capacity(PAGE, ndim),
+            f"{ob.height1}/{ob.model_height1}",
+            ob.na_measured, round(ob.na_model), f"{ob.na_error:+.1%}",
+            ob.da_measured, round(ob.da_model), f"{ob.da_error:+.1%}",
+        ])
+    emit("\n== Extension E4 (§5): dimensionality sweep "
+         f"(N = {N_OBJECTS}, D = 0.5) ==")
+    emit(format_table(
+        ["dim", "M", "h meas/model", "exp(NA)", "anal(NA)", "errNA",
+         "exp(DA)", "anal(DA)", "errDA"], rows))
+
+
+def test_model_structurally_sound_in_high_dim(dimensional_observations,
+                                              benchmark):
+    benchmark(lambda: None)
+    for ndim, ob in dimensional_observations.items():
+        assert ob.da_measured <= ob.na_measured
+        assert ob.da_model <= ob.na_model + 1e-9
+        assert ob.na_model > 0
+
+    # Order-of-magnitude agreement even at n = 4.
+    for ob in dimensional_observations.values():
+        assert 0.4 < ob.na_model / ob.na_measured < 2.5
+
+
+def test_2d_remains_the_accurate_regime(dimensional_observations,
+                                        benchmark):
+    benchmark(lambda: None)
+    errors = {ndim: abs(ob.na_error)
+              for ndim, ob in dimensional_observations.items()}
+    assert errors[2] < 0.2
+    # Degradation with dimensionality: n=2 at least as accurate as the
+    # worst high-dimensional case.
+    assert errors[2] <= max(errors[3], errors[4]) + 1e-9

@@ -1,0 +1,83 @@
+"""Figure 5b: experimental vs analytical NA and DA, n = 2.
+
+Unlike the 1-d grid, the 2-d cardinality grid straddles a height
+transition (the paper: h = 3 at 20K-40K, h = 4 at 60K-80K; the scaled
+grid: h = 3 at 2K/4K, h = 4 at 7K/9K), so the series shows a visible
+break and the different-height formulas (Eqs. 11/12) are exercised.
+"""
+
+import pytest
+
+from repro.experiments import (error_summary, figure5_rows, format_table,
+                               observe_join)
+
+
+@pytest.fixture(scope="module")
+def observations(scale, uniform_grid_2d, tree_cache):
+    m = scale.max_entries(2)
+    obs = []
+    for n1 in scale.cardinalities:
+        for n2 in scale.cardinalities:
+            obs.append(observe_join(
+                uniform_grid_2d["R1"][n1], uniform_grid_2d["R2"][n2],
+                m, fill=scale.fill, cache=tree_cache,
+                label=f"{n1}/{n2}"))
+    return obs
+
+
+def test_fig5b_series(observations, emit, benchmark, scale,
+                       uniform_grid_2d, tree_cache):
+    from repro.join import spatial_join
+    m = scale.max_entries(2)
+    t1 = tree_cache.get(uniform_grid_2d["R1"][scale.cardinalities[0]], m)
+    t2 = tree_cache.get(uniform_grid_2d["R2"][scale.cardinalities[-1]], m)
+    benchmark(lambda: spatial_join(t1, t2, collect_pairs=False))
+    headers = ["N1/N2", "exper(NA)", "anal(NA)", "exper(DA)",
+               "anal(DA)", "errNA", "errDA"]
+    emit("\n== Figure 5b: uniform data, n = 2 (16 N1/N2 combos) ==")
+    emit(format_table(headers, figure5_rows(observations)))
+    summary = error_summary(observations)
+    emit(f"|err| NA mean={summary['na_mean']:.1%} "
+         f"max={summary['na_max']:.1%}; "
+         f"DA mean={summary['da_mean']:.1%} max={summary['da_max']:.1%}")
+    emit(f"|err| per tree: DA1 mean={summary['da1_mean']:.1%}, "
+         f"DA2 mean={summary['da2_mean']:.1%}")
+
+    for ob in observations:
+        assert ob.da_measured < ob.na_measured
+        assert ob.da_model < ob.na_model
+        assert abs(ob.na_error) < 0.35
+        if ob.height1 == ob.height2:
+            # DA accuracy claims are stated for equal heights; for
+            # h1 < h2 combos the published Eq. 12 overshoots our
+            # leaf-retaining path buffer (see EXPERIMENTS.md).
+            assert abs(ob.da_error) < 0.35
+
+    # Aggregate accuracy: mean |error| in the paper's reported band.
+    assert summary["na_mean"] < 0.20
+
+
+def test_fig5b_height_transition(observations, scale, benchmark):
+    benchmark(lambda: None)
+    # The defining feature of Figure 5b/6b: trees transition from height
+    # 3 to height 4 inside the grid, and the analytical Eq. 2 must agree
+    # with the real R*-trees at every grid point.
+    by_n = {}
+    for ob in observations:
+        by_n[ob.n1] = (ob.height1, ob.model_height1)
+    lows = scale.cardinalities[:2]
+    highs = scale.cardinalities[2:]
+    for n in lows:
+        assert by_n[n] == (3, 3), f"N={n}: {by_n[n]}"
+    for n in highs:
+        assert by_n[n] == (4, 4), f"N={n}: {by_n[n]}"
+
+
+def test_fig5b_mixed_height_combos_covered(observations, benchmark):
+    benchmark(lambda: None)
+    mixed = [ob for ob in observations if ob.height1 != ob.height2]
+    assert mixed, "grid must include different-height joins (Eqs. 11/12)"
+    for ob in mixed:
+        assert abs(ob.na_error) < 0.35
+
+

@@ -1,0 +1,73 @@
+"""Figure 6: NA/DA behaviour for equally populated trees.
+
+These are *analytical* curves, so they are reproduced at the paper's
+exact scale (N = 20K..80K, M = 84 / 50, c = 67%), no tree builds needed.
+
+Shape claims:
+
+* 6a (n = 1): every N in the sweep yields height-3 trees, so both curves
+  grow smoothly (near-linearly in the paper's plot);
+* 6b (n = 2): the height jumps from 3 to 4 between 40K and 60K, which
+  bends the curves — "the height of the two-dimensional indexes of
+  cardinality 20K <= N <= 40K (60K <= N <= 80K) is equal to h = 3 (h=4)".
+"""
+
+import pytest
+
+from repro.costmodel import (AnalyticalTreeParams, join_da_total,
+                             join_na_total)
+from repro.experiments import PAPER_SCALE, format_table
+
+SWEEP = range(20000, 80001, 10000)
+
+
+def series(ndim):
+    m = PAPER_SCALE.max_entries(ndim)
+    rows = []
+    for n in SWEEP:
+        p = AnalyticalTreeParams(n, PAPER_SCALE.density, m, ndim,
+                                 PAPER_SCALE.fill)
+        rows.append((n, p.height, join_na_total(p, p),
+                     join_da_total(p, p)))
+    return rows
+
+
+@pytest.mark.parametrize("ndim", [1, 2], ids=["fig6a_1d", "fig6b_2d"])
+def test_fig6_series(ndim, emit, benchmark):
+    rows = benchmark(series, ndim)
+    emit(f"\n== Figure 6{'a' if ndim == 1 else 'b'}: "
+         f"anal NA/DA, N1 = N2, n = {ndim} (paper scale) ==")
+    emit(format_table(
+        ["N1=N2", "h", "anal(NA)", "anal(DA)"],
+        [[f"{n // 1000}K", h, round(na), round(da)]
+         for n, h, na, da in rows]))
+
+    nas = [na for _n, _h, na, _da in rows]
+    das = [da for _n, _h, _na, da in rows]
+    assert nas == sorted(nas)
+    assert das == sorted(das)
+    for na, da in zip(nas, das):
+        assert da < na
+
+
+def test_fig6a_single_height_linearity(benchmark):
+    rows = benchmark(series, 1)
+    assert {h for _n, h, _na, _da in rows} == {3}
+    # Near-linear: relative curvature of the NA series stays small.
+    nas = [na for _n, _h, na, _da in rows]
+    diffs = [b - a for a, b in zip(nas, nas[1:])]
+    assert max(diffs) < 2.5 * min(diffs)
+
+
+def test_fig6b_height_transition_bends_curve(benchmark):
+    rows = benchmark(series, 2)
+    heights = [h for _n, h, _na, _da in rows]
+    assert heights[0] == 3
+    assert heights[-1] == 4
+    assert sorted(heights) == heights  # single upward jump
+
+    # The paper's observed transition: 20K trees are height 3 and
+    # 60K-80K trees are height 4 (40K is borderline under Eq. 2).
+    by_n = {n: h for n, h, _na, _da in rows}
+    assert by_n[20000] == 3
+    assert by_n[60000] == 4 and by_n[80000] == 4

@@ -1,0 +1,97 @@
+"""Micro-benchmarks of the core operations.
+
+Not a paper experiment — wall-clock timings of the substrate's hot paths
+(insert, range query, kNN, bulk load, SJ, model evaluation) so
+performance regressions in the pure-Python implementation are visible in
+the pytest-benchmark history.
+"""
+
+import itertools
+
+import pytest
+
+from repro.costmodel import (AnalyticalTreeParams, join_da_total,
+                             join_na_total)
+from repro.datasets import uniform_rectangles
+from repro.geometry import Rect
+from repro.join import spatial_join
+from repro.rtree import RStarTree, nearest_neighbors, str_pack
+
+N = 1500
+M = 16
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return uniform_rectangles(N, 0.5, 2, seed=901)
+
+
+@pytest.fixture(scope="module")
+def tree(dataset, tree_cache):
+    return tree_cache.get(dataset, M)
+
+
+def test_micro_insert_1000(benchmark, dataset):
+    items = dataset.items[:1000]
+
+    def build():
+        t = RStarTree(2, M)
+        for rect, oid in items:
+            t.insert(rect, oid)
+        return t
+    result = benchmark.pedantic(build, rounds=3, iterations=1)
+    assert len(result) == 1000
+
+
+def test_micro_str_pack(benchmark, dataset):
+    result = benchmark(lambda: str_pack(dataset.items, 2, M))
+    assert len(result) == N
+
+
+def test_micro_range_query(benchmark, tree):
+    windows = itertools.cycle(
+        Rect((x / 10, y / 10), (x / 10 + 0.1, y / 10 + 0.1))
+        for x in range(9) for y in range(9))
+
+    def query():
+        return tree.range_query(next(windows))
+    benchmark(query)
+
+
+def test_micro_knn(benchmark, tree):
+    points = itertools.cycle(
+        ((x / 7 + 0.05, y / 7 + 0.05) for x in range(7)
+         for y in range(7)))
+
+    def query():
+        return nearest_neighbors(tree, next(points), 10)
+    result = benchmark(query)
+    assert len(result) == 10
+
+
+def test_micro_spatial_join(benchmark, tree, tree_cache):
+    other = tree_cache.get(uniform_rectangles(N, 0.5, 2, seed=902), M)
+    benchmark(lambda: spatial_join(tree, other, collect_pairs=False))
+
+
+def test_micro_delete_insert_cycle(benchmark, dataset, tree_cache):
+    # Clone via fresh build so the shared cached tree stays untouched.
+    t = RStarTree(2, M)
+    for rect, oid in dataset.items:
+        t.insert(rect, oid)
+    cycle = itertools.cycle(dataset.items[:200])
+
+    def churn():
+        rect, oid = next(cycle)
+        t.delete(rect, oid)
+        t.insert(rect, oid)
+    benchmark(churn)
+
+
+def test_micro_model_evaluation(benchmark):
+    def evaluate():
+        p1 = AnalyticalTreeParams(20000, 0.5, 50, 2)
+        p2 = AnalyticalTreeParams(60000, 0.5, 50, 2)
+        return join_na_total(p1, p2), join_da_total(p1, p2)
+    na, da = benchmark(evaluate)
+    assert na > da > 0

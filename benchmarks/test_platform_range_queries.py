@@ -1,0 +1,81 @@
+"""TS96 platform validation: Eq. 1 against measured range queries.
+
+The join model stands on the range-query model, so its accuracy floor is
+Eq. 1's.  This bench sweeps window sizes on both dimensionalities and
+compares the analytical node accesses with the average over a grid of
+measured window queries — the experiment TS96 itself reports, rerun here
+as the foundation check for everything else.
+"""
+
+import pytest
+
+from repro.costmodel import AnalyticalTreeParams, range_query_na
+from repro.experiments import format_table, relative_error
+from repro.geometry import Rect
+from repro.storage import AccessStats, MeteredReader, NoBuffer
+
+WINDOW_SIDES = (0.02, 0.05, 0.1, 0.2, 0.4)
+PROBES = 36
+
+
+def _measured_average(tree, side):
+    """Mean NA over a grid of windows of the given side."""
+    total = 0
+    count = 0
+    steps = int(PROBES ** (1 / tree.ndim))
+    span = 1.0 - side
+    for i in range(steps ** tree.ndim):
+        coords = []
+        idx = i
+        for _ in range(tree.ndim):
+            coords.append((idx % steps) / max(1, steps - 1) * span)
+            idx //= steps
+        window = Rect(coords, [c + side for c in coords])
+        stats = AccessStats()
+        reader = MeteredReader(tree.pager, "T", stats, NoBuffer())
+        tree.range_query(window, reader=reader)
+        total += stats.na("T")
+        count += 1
+    return total / count
+
+
+@pytest.fixture(scope="module")
+def range_rows(scale, uniform_grid_1d, uniform_grid_2d, tree_cache):
+    rows = []
+    for ndim, grid in ((1, uniform_grid_1d), (2, uniform_grid_2d)):
+        m = scale.max_entries(ndim)
+        dataset = grid["R1"][scale.cardinalities[1]]
+        tree = tree_cache.get(dataset, m)
+        params = AnalyticalTreeParams.from_dataset(dataset, m,
+                                                   scale.fill)
+        for side in WINDOW_SIDES:
+            measured = _measured_average(tree, side)
+            predicted = range_query_na(params, (side,) * ndim)
+            rows.append((ndim, side, measured, predicted))
+    return rows
+
+
+def test_range_query_table(range_rows, emit, benchmark):
+    benchmark(lambda: None)
+    table = [[f"n={ndim} q={side:g}", f"{measured:.1f}",
+              f"{predicted:.1f}",
+              f"{relative_error(predicted, measured):+.1%}"]
+             for ndim, side, measured, predicted in range_rows]
+    emit("\n== TS96 platform: Eq. 1 vs measured range queries "
+         "(mean over a probe grid) ==")
+    emit(format_table(["window", "exp(NA)", "anal(NA)", "err"], table))
+
+
+def test_eq1_accuracy(range_rows, benchmark):
+    benchmark(lambda: None)
+    for ndim, side, measured, predicted in range_rows:
+        assert predicted == pytest.approx(measured, rel=0.30), \
+            (ndim, side)
+
+
+def test_cost_grows_with_window(range_rows, benchmark):
+    benchmark(lambda: None)
+    for ndim in (1, 2):
+        series = [measured for d, _s, measured, _p in range_rows
+                  if d == ndim]
+        assert series == sorted(series)

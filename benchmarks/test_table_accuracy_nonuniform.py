@@ -1,0 +1,88 @@
+"""§4.2 accuracy claims on non-uniform (skewed and real-like) data.
+
+The paper: after transforming the global density into local densities
+"the relative error was always shown to be around 10%-20%"; for the real
+TIGER data sets "a relative error below 15% appeared for all
+combinations".  This bench reproduces the comparison with the skewed
+generators and the TIGER-like road-network substitute (DESIGN.md §4),
+reporting the uncorrected uniform model next to the local-density grid
+model — the correction must close most of the gap.
+"""
+
+import pytest
+
+from repro.datasets import (clustered_rectangles, diagonal_rectangles,
+                            tiger_like_segments, zipf_rectangles)
+from repro.experiments import format_table, observe_join
+
+GRID_RESOLUTION = 6
+
+
+def _workloads(scale):
+    """Two independently drawn data sets per distribution (as in the
+    paper, a join combines two distinct sets — never a self-join)."""
+    n = scale.cardinalities[0]
+    d = scale.density
+
+    def pair(factory):
+        return factory(31), factory(77)
+
+    return [
+        ("clustered", *pair(lambda s: clustered_rectangles(
+            n, d, 2, clusters=6, spread=0.05, seed=s))),
+        ("zipf", *pair(lambda s: zipf_rectangles(
+            n, d, 2, alpha=1.5, seed=s))),
+        ("diagonal", *pair(lambda s: diagonal_rectangles(
+            n, d, 2, width=0.08, seed=s))),
+        ("tiger-like", *pair(lambda s: tiger_like_segments(n, seed=s))),
+    ]
+
+
+@pytest.fixture(scope="module")
+def observations(scale, tree_cache):
+    m = scale.max_entries(2)
+    out = []
+    for name, ds1, ds2 in _workloads(scale):
+        plain = observe_join(ds1, ds2, m, fill=scale.fill,
+                             cache=tree_cache, label=name)
+        corrected = observe_join(ds1, ds2, m, fill=scale.fill,
+                                 cache=tree_cache,
+                                 nonuniform_resolution=GRID_RESOLUTION,
+                                 label=name)
+        out.append((name, plain, corrected))
+    return out
+
+
+def test_nonuniform_accuracy_table(observations, emit, benchmark):
+    benchmark(lambda: len(observations))
+    rows = []
+    for name, plain, corrected in observations:
+        rows.append([
+            name, plain.na_measured,
+            round(plain.na_model), f"{plain.na_error:+.1%}",
+            round(corrected.na_model), f"{corrected.na_error:+.1%}",
+            f"{plain.da_error:+.1%}", f"{corrected.da_error:+.1%}",
+        ])
+    emit("\n== Table (§4.2): non-uniform data, uniform model vs "
+         f"local-density grid (res={GRID_RESOLUTION}) ==")
+    emit(format_table(
+        ["workload", "exp(NA)", "uniform(NA)", "err", "grid(NA)",
+         "err", "errDA(unif)", "errDA(grid)"], rows))
+
+
+def test_grid_correction_improves_na(observations, benchmark):
+    benchmark(lambda: None)
+    improved = 0
+    for name, plain, corrected in observations:
+        if abs(corrected.na_error) < abs(plain.na_error):
+            improved += 1
+    assert improved >= 3, "grid correction must help most skewed loads"
+
+
+def test_grid_correction_error_band(observations, benchmark):
+    # Paper: ~10-20% after the transformation (we allow 30% at the
+    # scaled-down size; EXPERIMENTS.md records the measured figures).
+    benchmark(lambda: None)
+    errors = [abs(corrected.na_error)
+              for _name, _plain, corrected in observations]
+    assert sum(errors) / len(errors) < 0.30

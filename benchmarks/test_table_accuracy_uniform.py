@@ -1,0 +1,76 @@
+"""§4.1 accuracy claims on uniform-like data.
+
+The paper's stated bands (at 20K-80K scale):
+
+* NA estimates: relative error "never exceeding 10%";
+* DA of R2 (query tree): "usually below 5%";
+* DA of R1 (data tree): "usually 10%-15% far from the experimental
+  result" (Eq. 9 is knowingly approximate);
+* the conclusions hold when varying density D as well as cardinality.
+
+At the scaled default (2K-9K trees) the structural estimates of Eqs. 2-5
+carry extra small-sample noise, so the asserted bands are widened; the
+printed table records the actual errors and EXPERIMENTS.md compares them
+with the paper's (plus a paper-scale spot check).
+"""
+
+import pytest
+
+from repro.datasets import uniform_rectangles
+from repro.experiments import error_summary, format_table, observe_join
+
+
+@pytest.fixture(scope="module")
+def density_observations(scale, tree_cache):
+    """Vary density D at fixed cardinality, both dimensionalities."""
+    obs = {1: [], 2: []}
+    n = scale.cardinalities[1]
+    for ndim in (1, 2):
+        m = scale.max_entries(ndim)
+        for d in scale.densities:
+            d1 = uniform_rectangles(n, d, ndim, seed=300 + int(d * 10))
+            d2 = uniform_rectangles(n, d, ndim, seed=400 + int(d * 10))
+            obs[ndim].append(observe_join(
+                d1, d2, m, fill=scale.fill, cache=tree_cache,
+                label=f"D={d:g}"))
+    return obs
+
+
+def test_accuracy_over_density_grid(density_observations, emit,
+                                    benchmark):
+    benchmark(lambda: error_summary(density_observations[1]))
+    rows = []
+    for ndim in (1, 2):
+        for ob in density_observations[ndim]:
+            rows.append([
+                f"n={ndim} {ob.label}",
+                ob.na_measured, round(ob.na_model), f"{ob.na_error:+.1%}",
+                ob.da_measured, round(ob.da_model), f"{ob.da_error:+.1%}",
+                f"{ob.da1_error:+.1%}", f"{ob.da2_error:+.1%}",
+            ])
+    emit("\n== Table (§4.1): model accuracy across density D, "
+         "uniform data ==")
+    emit(format_table(
+        ["workload", "exp(NA)", "anal(NA)", "errNA", "exp(DA)",
+         "anal(DA)", "errDA", "errDA1", "errDA2"], rows))
+
+    for ndim in (1, 2):
+        summary = error_summary(density_observations[ndim])
+        # Paper bands, widened for the scaled-down structural noise.
+        assert summary["na_mean"] < 0.20
+        assert summary["da2_mean"] < 0.20
+        assert summary["da_mean"] < 0.35
+
+
+def test_da2_accuracy_beats_da1_in_1d(density_observations, benchmark):
+    # §4.1(ii)'s asymmetric accuracy claim, over the 1-d density grid.
+    summary = benchmark(error_summary, density_observations[1])
+    assert summary["da2_mean"] < summary["da1_mean"]
+
+
+def test_na_underestimates_never_pathological(density_observations,
+                                              benchmark):
+    benchmark(lambda: None)
+    for ndim in (1, 2):
+        for ob in density_observations[ndim]:
+            assert abs(ob.na_error) < 0.35, ob.label

@@ -1,0 +1,86 @@
+"""GIS scenario: "find all countries that are crossed by rivers".
+
+The paper's introduction motivates spatial joins with exactly this
+query.  Here the substrate is synthetic but structurally faithful:
+
+* ``countries`` — a coarse grid of region polygons (their MBRs);
+* ``rivers``   — TIGER-like line-segment MBRs from the road/hydro
+  network generator (the substitution for the paper's real TIGER data).
+
+The script runs the join three ways — naive nested loop, index nested
+loop, SJ synchronized traversal — verifying they agree and showing the
+I/O gap the paper's Section 2 discusses, then prices the SJ run with the
+cost model.
+
+Run:  python examples/gis_rivers_countries.py
+"""
+
+import random
+
+from repro import (AnalyticalTreeParams, Rect, RStarTree,
+                   SpatialDataset, index_nested_loop_join, join_da_total,
+                   join_na_total, naive_join, spatial_join,
+                   tiger_like_segments)
+
+M = 24
+
+
+def make_countries(grid: int = 12, seed: int = 7) -> SpatialDataset:
+    """A jittered grid of 'country' MBRs covering the map."""
+    rng = random.Random(seed)
+    rects = []
+    step = 1.0 / grid
+    for i in range(grid):
+        for j in range(grid):
+            jitter = step * 0.25
+            lo = (max(0.0, i * step - rng.uniform(0, jitter)),
+                  max(0.0, j * step - rng.uniform(0, jitter)))
+            hi = (min(1.0, (i + 1) * step + rng.uniform(0, jitter)),
+                  min(1.0, (j + 1) * step + rng.uniform(0, jitter)))
+            rects.append(Rect(lo, hi))
+    return SpatialDataset.from_rects(rects, name="countries")
+
+
+def build_tree(dataset):
+    tree = RStarTree(2, M)
+    for rect, oid in dataset:
+        tree.insert(rect, oid)
+    return tree
+
+
+def main():
+    countries = make_countries()
+    rivers = tiger_like_segments(3000, seed=11, name="rivers")
+    print(f"{countries}\n{rivers}")
+
+    t_countries = build_tree(countries)
+    t_rivers = build_tree(rivers)
+
+    # The filter step of the filter-refinement pipeline: MBR overlap.
+    sj = spatial_join(t_rivers, t_countries)
+    inl = index_nested_loop_join(t_rivers, countries.items)
+    naive = naive_join(rivers.items, countries.items)
+
+    assert sorted(sj.pairs) == sorted(inl.pairs) == sorted(naive)
+    crossed = {country for _river, country in sj.pairs}
+    print(f"\n{len(sj.pairs)} candidate (river, country) pairs; "
+          f"{len(crossed)} of {len(countries)} countries are crossed "
+          f"by at least one river candidate")
+
+    print("\nI/O comparison (node accesses, both sides indexed vs "
+          "one-range-query-per-river):")
+    print(f"  SJ synchronized traversal : NA = {sj.na_total:6d}, "
+          f"DA = {sj.da_total}")
+    print(f"  index nested loop         : NA = {inl.na_total:6d}")
+    print(f"  -> SJ reads {inl.na_total / sj.na_total:.1f}x fewer pages")
+
+    # What a cost-based optimizer would have predicted, without trees.
+    p_rivers = AnalyticalTreeParams.from_dataset(rivers, M)
+    p_countries = AnalyticalTreeParams.from_dataset(countries, M)
+    print("\nAnalytical estimate from (N, D) only: "
+          f"NA = {join_na_total(p_rivers, p_countries):.0f}, "
+          f"DA = {join_da_total(p_rivers, p_countries):.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""repro — Cost Models for Join Queries in Spatial Databases (ICDE 1998).
+
+A from-scratch reproduction of Theodoridis, Stefanakis & Sellis's
+analytical cost models for R-tree spatial joins, together with every
+substrate they are validated against: an R*-tree/R-tree family over
+simulated paged storage, the SJ synchronized-traversal join, dataset
+generators, the TS96 range-query model, a non-uniform local-density
+correction, and a cost-based optimizer built on top.
+
+Typical use::
+
+    from repro import (uniform_rectangles, RStarTree, spatial_join,
+                       AnalyticalTreeParams, join_na_total, join_da_total)
+
+    data1 = uniform_rectangles(2000, density=0.5, ndim=2, seed=1)
+    data2 = uniform_rectangles(4000, density=0.5, ndim=2, seed=2)
+    t1, t2 = RStarTree(2, 24), RStarTree(2, 24)
+    for r, o in data1: t1.insert(r, o)
+    for r, o in data2: t2.insert(r, o)
+
+    measured = spatial_join(t1, t2)          # runs SJ, counts NA and DA
+    p1 = AnalyticalTreeParams.from_dataset(data1, 24)
+    p2 = AnalyticalTreeParams.from_dataset(data2, 24)
+    predicted_na = join_na_total(p1, p2)     # no trees needed
+    predicted_da = join_da_total(p1, p2)
+"""
+
+from .costmodel import (AnalyticalTreeParams, MeasuredTreeParams,
+                        NonUniformJoinModel, intsect, join_da_by_tree,
+                        join_da_total, join_na_total,
+                        join_selectivity_fraction, join_selectivity_pairs,
+                        range_query_na, range_query_selectivity,
+                        rtree_height)
+from .datasets import (LocalDensityGrid, SpatialDataset,
+                       clustered_rectangles, diagonal_rectangles,
+                       tiger_like_segments, uniform_rectangles,
+                       zipf_rectangles)
+from .geometry import Rect, Workspace
+from .io import load_dataset, load_tree, save_dataset, save_tree
+from .join import (OVERLAP, JoinResult, Overlap, ParallelJoinResult,
+                   SpatialJoin, WithinDistance, index_nested_loop_join,
+                   naive_join, parallel_spatial_join, spatial_join)
+from .optimizer import Catalog, best_plan, role_advice
+from .rtree import (GuttmanRTree, RStarTree, RTreeBase, hilbert_pack,
+                    nearest_neighbors, str_pack)
+from .storage import (AccessStats, LRUBuffer, NoBuffer, PathBuffer,
+                      node_capacity)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessStats",
+    "AnalyticalTreeParams",
+    "Catalog",
+    "GuttmanRTree",
+    "JoinResult",
+    "LRUBuffer",
+    "LocalDensityGrid",
+    "MeasuredTreeParams",
+    "NoBuffer",
+    "NonUniformJoinModel",
+    "OVERLAP",
+    "Overlap",
+    "ParallelJoinResult",
+    "PathBuffer",
+    "RStarTree",
+    "RTreeBase",
+    "Rect",
+    "SpatialDataset",
+    "SpatialJoin",
+    "WithinDistance",
+    "Workspace",
+    "best_plan",
+    "clustered_rectangles",
+    "diagonal_rectangles",
+    "hilbert_pack",
+    "index_nested_loop_join",
+    "intsect",
+    "join_da_by_tree",
+    "join_da_total",
+    "join_na_total",
+    "join_selectivity_fraction",
+    "join_selectivity_pairs",
+    "load_dataset",
+    "load_tree",
+    "naive_join",
+    "nearest_neighbors",
+    "node_capacity",
+    "parallel_spatial_join",
+    "range_query_na",
+    "range_query_selectivity",
+    "role_advice",
+    "save_dataset",
+    "save_tree",
+    "rtree_height",
+    "spatial_join",
+    "str_pack",
+    "tiger_like_segments",
+    "uniform_rectangles",
+    "zipf_rectangles",
+    "__version__",
+]

@@ -1,0 +1,283 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands cover the full generate → build → join → estimate pipeline so
+the library is usable without writing code:
+
+* ``generate`` — synthesize a data set (uniform/clustered/zipf/diagonal/
+  tiger) to the text format of :mod:`repro.io`;
+* ``inspect``  — report a data set's primitive properties (N, D, skew);
+* ``build``    — index a data set and save the tree as JSON;
+* ``join``     — run the measured SJ join over two saved trees and
+  compare with the analytical estimate;
+* ``query``    — range or k-nearest-neighbour query over a saved tree,
+  with counted accesses;
+* ``estimate`` — evaluate the cost model from raw (N, D) statistics,
+  both role assignments (what a query optimizer would do);
+* ``figures``  — print the paper's analytical figures (6a/6b/7a/7b) at
+  exact paper scale;
+* ``experiment`` — run any registered paper experiment by id
+  (``fig5a`` .. ``fig7b``) at a chosen scale profile.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .costmodel import (AnalyticalTreeParams, join_da_total,
+                        join_na_total, join_selectivity_pairs)
+from .datasets import (LocalDensityGrid, clustered_rectangles,
+                       diagonal_rectangles, tiger_like_segments,
+                       uniform_rectangles, zipf_rectangles)
+from .io import load_dataset, load_tree, save_dataset, save_tree
+from .join import spatial_join
+from .storage import LRUBuffer, NoBuffer, PathBuffer
+
+__all__ = ["main"]
+
+GENERATORS = ("uniform", "clustered", "zipf", "diagonal", "tiger")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (ValueError, OSError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Cost models for spatial joins (ICDE'98) toolbox")
+    sub = parser.add_subparsers(required=True)
+
+    gen = sub.add_parser("generate", help="synthesize a data set")
+    gen.add_argument("kind", choices=GENERATORS)
+    gen.add_argument("-n", type=int, required=True, help="cardinality")
+    gen.add_argument("-d", "--density", type=float, default=0.5)
+    gen.add_argument("--ndim", type=int, default=2)
+    gen.add_argument("--seed", type=int, default=None)
+    gen.add_argument("-o", "--output", required=True)
+    gen.set_defaults(handler=_cmd_generate)
+
+    ins = sub.add_parser("inspect", help="report data set statistics")
+    ins.add_argument("dataset")
+    ins.add_argument("--grid", type=int, default=5,
+                     help="local-density grid resolution")
+    ins.set_defaults(handler=_cmd_inspect)
+
+    build = sub.add_parser("build", help="index a data set")
+    build.add_argument("dataset")
+    build.add_argument("-M", "--max-entries", type=int, default=24)
+    build.add_argument("--variant", default="rstar",
+                       choices=("rstar", "guttman-linear",
+                                "guttman-quadratic", "str", "hilbert"))
+    build.add_argument("-o", "--output", required=True)
+    build.set_defaults(handler=_cmd_build)
+
+    join = sub.add_parser("join", help="measured join of two saved trees")
+    join.add_argument("tree1", help="R1 (data role)")
+    join.add_argument("tree2", help="R2 (query role)")
+    join.add_argument("--buffer", default="path",
+                      help="'none', 'path', or 'lru:<pages>'")
+    join.set_defaults(handler=_cmd_join)
+
+    query = sub.add_parser(
+        "query", help="range/kNN query over a saved tree")
+    query.add_argument("tree")
+    group = query.add_mutually_exclusive_group(required=True)
+    group.add_argument("--window", nargs="+", type=float, metavar="C",
+                       help="lo_1..lo_n hi_1..hi_n of the range window")
+    group.add_argument("--knn", nargs="+", type=float, metavar="C",
+                       help="query point coordinates")
+    query.add_argument("-k", type=int, default=10,
+                       help="neighbours for --knn")
+    query.set_defaults(handler=_cmd_query)
+
+    est = sub.add_parser("estimate",
+                         help="analytical costs from (N, D) statistics")
+    est.add_argument("--n1", type=int, required=True)
+    est.add_argument("--d1", type=float, required=True)
+    est.add_argument("--n2", type=int, required=True)
+    est.add_argument("--d2", type=float, required=True)
+    est.add_argument("--ndim", type=int, default=2)
+    est.add_argument("-M", "--max-entries", type=int, default=50)
+    est.add_argument("--fill", type=float, default=0.67)
+    est.set_defaults(handler=_cmd_estimate)
+
+    fig = sub.add_parser("figures",
+                         help="print the paper's analytical figures")
+    fig.set_defaults(handler=_cmd_figures)
+
+    exp = sub.add_parser(
+        "experiment",
+        help="run one paper experiment by id (DESIGN.md §3)")
+    exp.add_argument("id", help="e.g. fig5a, fig6b, fig7a")
+    exp.add_argument("--scale", default="bench",
+                     choices=("smoke", "bench", "paper"))
+    exp.set_defaults(handler=_cmd_experiment)
+    return parser
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    factories = {
+        "uniform": lambda: uniform_rectangles(
+            args.n, args.density, args.ndim, seed=args.seed),
+        "clustered": lambda: clustered_rectangles(
+            args.n, args.density, args.ndim, seed=args.seed),
+        "zipf": lambda: zipf_rectangles(
+            args.n, args.density, args.ndim, seed=args.seed),
+        "diagonal": lambda: diagonal_rectangles(
+            args.n, args.density, args.ndim, seed=args.seed),
+        "tiger": lambda: tiger_like_segments(args.n, seed=args.seed),
+    }
+    if args.kind == "tiger" and args.ndim != 2:
+        raise ValueError("tiger-like data is two-dimensional")
+    dataset = factories[args.kind]()
+    save_dataset(dataset, args.output)
+    print(f"wrote {dataset} to {args.output}")
+    return 0
+
+
+def _cmd_inspect(args: argparse.Namespace) -> int:
+    ds = load_dataset(args.dataset)
+    print(f"name:        {ds.name}")
+    print(f"cardinality: {ds.cardinality}")
+    if ds.cardinality == 0:
+        return 0
+    print(f"ndim:        {ds.ndim}")
+    print(f"density:     {ds.density():.6f}")
+    grid = LocalDensityGrid(ds, args.grid)
+    print(f"skew (cv of {args.grid}^n cell counts): "
+          f"{grid.skew_coefficient():.3f}")
+    print(f"occupied cells: {grid.occupied_cells()}/{len(grid)}")
+    return 0
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    from .experiments import build_tree
+    ds = load_dataset(args.dataset)
+    tree = build_tree(ds, args.max_entries, args.variant)
+    save_tree(tree, args.output)
+    print(f"built {args.variant} tree: height {tree.height}, "
+          f"{len(tree.pager)} nodes, fill {tree.average_fill():.2f}; "
+          f"wrote {args.output}")
+    return 0
+
+
+def _cmd_join(args: argparse.Namespace) -> int:
+    t1 = load_tree(args.tree1)
+    t2 = load_tree(args.tree2)
+    buffer = _parse_buffer(args.buffer)
+    result = spatial_join(t1, t2, buffer=buffer, collect_pairs=False)
+    print(f"R1: {args.tree1} (N={len(t1)}, h={t1.height})")
+    print(f"R2: {args.tree2} (N={len(t2)}, h={t2.height})")
+    print(f"result pairs: {result.pair_count}")
+    print(f"node accesses NA: {result.na_total} "
+          f"(R1 {result.na('R1')}, R2 {result.na('R2')})")
+    print(f"disk accesses DA: {result.da_total} "
+          f"(R1 {result.da('R1')}, R2 {result.da('R2')})")
+
+    # Analytical comparison from the trees' own primitive properties.
+    stats = []
+    for tree in (t1, t2):
+        n = len(tree)
+        density = sum(e.rect.area() for e in tree.leaf_entries())
+        stats.append((n, density))
+    p1 = AnalyticalTreeParams(stats[0][0], stats[0][1],
+                              t1.max_entries, t1.ndim)
+    p2 = AnalyticalTreeParams(stats[1][0], stats[1][1],
+                              t2.max_entries, t2.ndim)
+    print(f"analytical: NA = {join_na_total(p1, p2):.0f}, "
+          f"DA = {join_da_total(p1, p2):.0f}, "
+          f"pairs = {join_selectivity_pairs(p1, p2):.0f}")
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from .geometry import Rect
+    from .rtree import nearest_neighbors
+    from .storage import AccessStats, MeteredReader
+
+    tree = load_tree(args.tree)
+    stats = AccessStats()
+    reader = MeteredReader(tree.pager, "T", stats, PathBuffer())
+    if args.window is not None:
+        coords = args.window
+        if len(coords) != 2 * tree.ndim:
+            raise ValueError(
+                f"--window needs {2 * tree.ndim} coordinates for this "
+                f"{tree.ndim}-d tree, got {len(coords)}")
+        window = Rect(coords[:tree.ndim], coords[tree.ndim:])
+        oids = tree.range_query(window, reader=reader)
+        print(f"range query {window!r}: {len(oids)} objects")
+        preview = ", ".join(str(o) for o in sorted(oids)[:20])
+        if oids:
+            print(f"oids: {preview}{' ...' if len(oids) > 20 else ''}")
+    else:
+        if len(args.knn) != tree.ndim:
+            raise ValueError(
+                f"--knn needs {tree.ndim} coordinates for this "
+                f"{tree.ndim}-d tree, got {len(args.knn)}")
+        hits = nearest_neighbors(tree, args.knn, args.k, reader=reader)
+        print(f"{len(hits)} nearest neighbours of {tuple(args.knn)}:")
+        for oid, dist in hits:
+            print(f"  oid {oid}  distance {dist:.6f}")
+    print(f"node accesses: {stats.na('T')} "
+          f"(disk under a path buffer: {stats.da('T')})")
+    return 0
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    p1 = AnalyticalTreeParams(args.n1, args.d1, args.max_entries,
+                              args.ndim, args.fill)
+    p2 = AnalyticalTreeParams(args.n2, args.d2, args.max_entries,
+                              args.ndim, args.fill)
+    print(f"R1: N={args.n1}, D={args.d1} -> height {p1.height}")
+    print(f"R2: N={args.n2}, D={args.d2} -> height {p2.height}")
+    print(f"NA_total (Eq. 7/11, role-independent): "
+          f"{join_na_total(p1, p2):.1f}")
+    da_12 = join_da_total(p1, p2)
+    da_21 = join_da_total(p2, p1)
+    print(f"DA_total (Eq. 10/12): {da_12:.1f} with R2 as query tree, "
+          f"{da_21:.1f} with roles swapped")
+    better = "keep" if da_12 <= da_21 else "swap"
+    print(f"role advice: {better} "
+          f"(saves {abs(da_12 - da_21):.1f} disk accesses)")
+    print(f"expected result pairs (§5): "
+          f"{join_selectivity_pairs(p1, p2):.1f}")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from .experiments import run_experiment
+    for exp_id in ("fig6a", "fig6b", "fig7a", "fig7b"):
+        print()
+        print(run_experiment(exp_id))
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments import run_experiment
+    print(run_experiment(args.id, args.scale))
+    return 0
+
+
+def _parse_buffer(spec: str):
+    if spec == "none":
+        return NoBuffer()
+    if spec == "path":
+        return PathBuffer()
+    if spec.startswith("lru:"):
+        return LRUBuffer(int(spec.split(":", 1)[1]))
+    raise ValueError(
+        f"unknown buffer spec {spec!r} (use 'none', 'path', 'lru:<k>')")
+
+
+if __name__ == "__main__":   # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""The paper's contribution: analytical cost models for spatial joins.
+
+Quick tour (numbers refer to the paper's equations):
+
+* :class:`AnalyticalTreeParams` — Eqs. 2-5: R-tree structure predicted
+  from ``(N, D, M, c)`` alone;
+* :func:`range_query_na` — Eq. 1: range-query node accesses (TS96);
+* :func:`join_na_total` — Eqs. 6/7/11: join node accesses (no buffer);
+* :func:`join_da_total` — Eqs. 8/9/10/12: join disk accesses (path
+  buffer), asymmetric in the data/query roles;
+* :func:`join_selectivity_pairs` — §5 extension: expected result pairs;
+* :class:`NonUniformJoinModel` — §4.2: local-density grid correction;
+* :mod:`~repro.costmodel.operators` — §5 extension: non-overlap operators
+  via window transformation.
+"""
+
+from .fractal import FractalTreeParams, correlation_dimension
+from .join_da import (MIXED_HEIGHT_MODES, join_da_breakdown,
+                      join_da_by_tree, join_da_total)
+from .join_na import (StageCost, join_na_breakdown, join_na_total,
+                      stage_pairs)
+from .nonuniform import CellEstimate, NonUniformJoinModel
+from .operators import (OVERLAP_OP, SpatialOperator, contained_by,
+                        containment, direction, within_distance)
+from .params import (DEFAULT_FILL, AnalyticalTreeParams,
+                     MeasuredTreeParams, TreeParams, rtree_height)
+from .range_query import intsect, range_query_na, range_query_selectivity
+from .selectivity import (join_selectivity_fraction,
+                          join_selectivity_pairs,
+                          join_selectivity_pairs_grid)
+from .stages import Stage, traversal_stages
+
+__all__ = [
+    "AnalyticalTreeParams",
+    "CellEstimate",
+    "DEFAULT_FILL",
+    "FractalTreeParams",
+    "MIXED_HEIGHT_MODES",
+    "MeasuredTreeParams",
+    "NonUniformJoinModel",
+    "OVERLAP_OP",
+    "SpatialOperator",
+    "Stage",
+    "StageCost",
+    "TreeParams",
+    "contained_by",
+    "containment",
+    "correlation_dimension",
+    "direction",
+    "intsect",
+    "join_da_breakdown",
+    "join_da_by_tree",
+    "join_da_total",
+    "join_na_breakdown",
+    "join_na_total",
+    "join_selectivity_fraction",
+    "join_selectivity_pairs",
+    "join_selectivity_pairs_grid",
+    "range_query_na",
+    "range_query_selectivity",
+    "rtree_height",
+    "stage_pairs",
+    "traversal_stages",
+    "within_distance",
+]

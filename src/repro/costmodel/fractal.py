@@ -1,0 +1,174 @@
+"""The FK94 fractal-dimension cost model — the paper's cited alternative.
+
+Section 2.2: "Two models that predict the performance of R-trees on the
+execution of a range query without assuming uniform data distribution
+were proposed in [FK94, TS96], with the analytical cost formulae being
+based on two properties of the data set, fractal dimension and density
+surface, respectively."  The repository's primary model is TS96 (what
+the join formulas build on); this module implements the Faloutsos-Kamel
+alternative so the two platforms can be compared on the same data:
+
+* :func:`correlation_dimension` — estimates the correlation fractal
+  dimension ``D2`` by box counting: the sum of squared cell occupancies
+  scales as ``S2(r) ~ r^D2``, so ``D2`` is the log-log slope over a
+  range of grid scales.  ``D2 = n`` for uniform data, lower for
+  clustered/degenerate distributions (≈1 for points on a line).
+* :class:`FractalTreeParams` — the :class:`~.params.TreeParams`
+  interface with node extents derived from ``D2``: a level-``j`` node
+  holds ``(cM)^j`` objects, and a box holding ``m`` of ``N`` fractal
+  points has side ``(m / N)^(1/D2)``; the average object extent is added
+  so rectangle (not just point) data is covered.
+
+Because :class:`FractalTreeParams` satisfies the same protocol as the
+TS96 parameters, every downstream formula — Eq. 1 range queries and the
+full join model — runs unchanged on the fractal platform; the
+``test_ablation_cost_platforms`` bench compares them.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..datasets import SpatialDataset
+from .params import DEFAULT_FILL, rtree_height
+
+__all__ = ["correlation_dimension", "FractalTreeParams"]
+
+
+def correlation_dimension(dataset: SpatialDataset,
+                          min_exponent: int = 1,
+                          max_exponent: int | None = None) -> float:
+    """Estimate the correlation fractal dimension ``D2`` of a data set.
+
+    Box counting over grids of side ``2^-k`` for
+    ``k = min_exponent .. max_exponent``: with ``p_i`` the fraction of
+    object centers in cell ``i``, ``S2(r) = sum_i p_i^2`` obeys
+    ``S2(r) ~ r^D2`` in the scaling range.  The slope is fitted by least
+    squares on the log-log points.
+
+    ``max_exponent`` defaults to the finest grid whose cells still hold
+    a handful of points on average (``(2^k)^n <= N / 4``): finer grids
+    leave most cells with 0-1 points, where ``S2`` saturates at ``1/N``
+    and the slope flattens toward 0 regardless of the true dimension.
+
+    The result is clamped to ``(0, ndim]`` — finite samples can produce
+    slopes slightly outside the theoretical range.
+    """
+    if len(dataset) < 2:
+        raise ValueError("need at least 2 objects to estimate D2")
+    ndim = dataset.ndim
+    if max_exponent is None:
+        max_exponent = max(
+            min_exponent + 1,
+            int(math.log2(max(2.0, len(dataset) / 4)) / ndim))
+    if not 0 < min_exponent < max_exponent:
+        raise ValueError("need 0 < min_exponent < max_exponent")
+    centers = [r.center for r in dataset.rects]
+
+    xs = []
+    ys = []
+    for k in range(min_exponent, max_exponent + 1):
+        res = 1 << k
+        counts: dict[tuple[int, ...], int] = {}
+        for c in centers:
+            cell = tuple(min(int(x * res), res - 1) for x in c)
+            counts[cell] = counts.get(cell, 0) + 1
+        n = len(centers)
+        s2 = sum((v / n) ** 2 for v in counts.values())
+        xs.append(math.log(1.0 / res))
+        ys.append(math.log(s2))
+
+    slope = _least_squares_slope(xs, ys)
+    return max(1e-3, min(float(ndim), slope))
+
+
+def _least_squares_slope(xs: list[float], ys: list[float]) -> float:
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    num = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    den = sum((x - mean_x) ** 2 for x in xs)
+    return num / den
+
+
+class FractalTreeParams:
+    """FK94-style tree parameters from ``(N, D2)``.
+
+    Implements the :class:`~.params.TreeParams` protocol, so it drops
+    into :func:`~.range_query.range_query_na`,
+    :func:`~.join_na.join_na_total` and :func:`~.join_da.join_da_total`
+    unchanged.
+
+    Parameters
+    ----------
+    n_objects:
+        Cardinality ``N``.
+    fractal_dimension:
+        The correlation dimension ``D2`` (estimate it with
+        :func:`correlation_dimension`).
+    max_entries, ndim, fill:
+        As for the TS96 parameters.
+    object_extent:
+        Average data-rectangle side (``(D/N)^(1/n)`` for a set of
+        density ``D``); node extents are the fractal center-spread plus
+        this correction, so MBRs of extended objects are covered.  Use 0
+        for point data.
+    """
+
+    def __init__(self, n_objects: int, fractal_dimension: float,
+                 max_entries: int, ndim: int,
+                 fill: float = DEFAULT_FILL,
+                 object_extent: float = 0.0):
+        if n_objects < 0:
+            raise ValueError("n_objects must be >= 0")
+        if fractal_dimension <= 0:
+            raise ValueError("fractal_dimension must be > 0")
+        if object_extent < 0:
+            raise ValueError("object_extent must be >= 0")
+        self.n_objects = n_objects
+        self.fractal_dimension = fractal_dimension
+        self.max_entries = max_entries
+        self.ndim = ndim
+        self.fill = fill
+        self.object_extent = object_extent
+        self.height = rtree_height(n_objects, max_entries, fill)
+
+    @classmethod
+    def from_dataset(cls, dataset: SpatialDataset, max_entries: int,
+                     fill: float = DEFAULT_FILL) -> "FractalTreeParams":
+        """Estimate ``D2`` and the object extent from concrete data."""
+        d2 = correlation_dimension(dataset)
+        n = dataset.cardinality
+        density = dataset.density()
+        extent = (density / n) ** (1.0 / dataset.ndim) if n else 0.0
+        return cls(n, d2, max_entries, dataset.ndim, fill,
+                   object_extent=extent)
+
+    def nodes_at(self, level: int) -> float:
+        """Same Eq. 3 structure as TS96 (fan-out is fan-out)."""
+        if level < 1:
+            raise ValueError(f"level must be >= 1, got {level}")
+        if level >= self.height:
+            return 1.0
+        return self.n_objects / (self.fill * self.max_entries) ** level
+
+    def extents_at(self, level: int) -> tuple[float, ...]:
+        """FK94: a node holding ``m`` of ``N`` fractal points has side
+        ``(m / N)^(1/D2)``; plus the object-extent correction."""
+        if level < 1:
+            raise ValueError(f"level must be >= 1, got {level}")
+        if level >= self.height or self.n_objects == 0:
+            return (1.0,) * self.ndim
+        per_node = (self.fill * self.max_entries) ** level
+        fraction = min(1.0, per_node / self.n_objects)
+        side = fraction ** (1.0 / self.fractal_dimension)
+        return (min(1.0, side + self.object_extent),) * self.ndim
+
+    def average_object_extents(self) -> tuple[float, ...]:
+        """Average data extents (for the selectivity formulas)."""
+        return (self.object_extent,) * self.ndim
+
+    def __repr__(self) -> str:
+        return (f"FractalTreeParams(N={self.n_objects}, "
+                f"D2={self.fractal_dimension:.2f}, n={self.ndim}, "
+                f"h={self.height})")

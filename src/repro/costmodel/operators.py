@@ -1,0 +1,117 @@
+"""Query-window transformations for non-overlap operators (§5 / [PT97]).
+
+The cost formulas are stated for the ``overlap`` operator.  [PT97] shows
+that many other spatial operators reduce to an overlap test against a
+*transformed* window: e.g. "within distance e of q" is overlap with q
+inflated by e.  This module provides those transformations for both range
+queries (window extents) and joins (combined-extent adjustment), plus the
+selectivity correction factors for operators whose qualifying probability
+differs from their traversal cost (containment, direction).
+
+The traversal cost of a containment or directional query is still an
+overlap-style descent — internal nodes must be visited whenever they
+*intersect* the effective window — so cost transformations and
+selectivity factors are deliberately separate concepts here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..geometry import Rect
+
+__all__ = [
+    "SpatialOperator",
+    "OVERLAP_OP",
+    "within_distance",
+    "containment",
+    "contained_by",
+    "direction",
+]
+
+
+@dataclass(frozen=True)
+class SpatialOperator:
+    """One spatial operator in window-transformation form.
+
+    ``inflation`` — per-side inflation applied to a query window before
+    the overlap-style traversal (so the *cost* window extent grows by
+    ``2 * inflation`` per dimension).
+
+    ``selectivity_factor`` — multiplier mapping overlap selectivity to the
+    operator's qualifying probability (1 for overlap/distance; < 1 for
+    containment and directional operators).
+    """
+
+    name: str
+    inflation: float = 0.0
+    selectivity_factor: float = 1.0
+
+    def transform_window(self, window: Rect) -> Rect:
+        """The effective query window the traversal actually uses."""
+        if self.inflation == 0.0:
+            return window
+        return window.inflate(self.inflation)
+
+    def cost_extents(self, extents: Sequence[float]) -> tuple[float, ...]:
+        """Effective window extents for Eq. 1 / Eq. 6 style formulas."""
+        return tuple(q + 2.0 * self.inflation for q in extents)
+
+    def __repr__(self) -> str:
+        return (f"SpatialOperator({self.name!r}, "
+                f"inflation={self.inflation}, "
+                f"selectivity_factor={self.selectivity_factor})")
+
+
+#: The paper's default operator.
+OVERLAP_OP = SpatialOperator("overlap")
+
+
+def within_distance(distance: float) -> SpatialOperator:
+    """"Close to" joins: overlap after inflating by the distance bound."""
+    if distance < 0.0:
+        raise ValueError("distance must be >= 0")
+    return SpatialOperator("within_distance", inflation=distance)
+
+
+def containment(window_extents: Sequence[float],
+                object_extents: Sequence[float]) -> SpatialOperator:
+    """Window *contains* object.
+
+    Traversal cost is the overlap cost; the qualifying probability shrinks
+    from ``prod(q + s̄)`` to ``prod(max(0, q - s̄))`` — the object must fit
+    inside the window in every dimension.
+    """
+    overlap_p = 1.0
+    contain_p = 1.0
+    for q, s in zip(window_extents, object_extents):
+        overlap_p *= min(1.0, q + s)
+        contain_p *= min(1.0, max(0.0, q - s))
+    factor = contain_p / overlap_p if overlap_p > 0.0 else 0.0
+    return SpatialOperator("containment", selectivity_factor=factor)
+
+
+def contained_by(window_extents: Sequence[float],
+                 object_extents: Sequence[float]) -> SpatialOperator:
+    """Window *inside* object — the mirrored containment."""
+    return SpatialOperator(
+        "contained_by",
+        selectivity_factor=containment(
+            object_extents, window_extents).selectivity_factor,
+    )
+
+
+def direction(ndim: int, axis: int) -> SpatialOperator:
+    """Directional operators (north/south/east/west of the window).
+
+    Under the center-based semantics of [PT97] a uniformly placed object
+    lies on the qualifying side of the window along one axis with
+    probability 1/2 (any position along other axes qualifies); the
+    traversal still visits whatever the half-space-clipped window
+    intersects, which the harness prices as overlap cost on the clipped
+    window.  Only the selectivity factor is encoded here.
+    """
+    if not 0 <= axis < ndim:
+        raise ValueError(f"axis {axis} outside [0, {ndim})")
+    return SpatialOperator("direction", selectivity_factor=0.5)

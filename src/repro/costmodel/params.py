@@ -1,0 +1,222 @@
+"""Analytical R-tree parameters from primitive data properties (Eqs. 2-5).
+
+The heart of the TS96 model: given only the cardinality ``N`` and density
+``D`` of a data set (plus the structural constants ``M`` and ``c``), derive
+for every tree level ``j``:
+
+* the height ``h``                       (Eq. 2),
+* the number of nodes ``N_j``            (Eq. 3),
+* the node-rectangle density ``D_j``     (Eq. 5, propagated from ``D``),
+* the average node extent ``s_{j,k}``    (Eq. 4, square nodes assumed).
+
+Levels are numbered as in the paper: leaves at ``j = 1``, root at
+``j = h``.  The cost formulas only ever consume levels ``1 .. h-1`` (the
+root is pinned); :meth:`AnalyticalTreeParams.extents_at` additionally
+answers for the root level because the DA model needs a "parent of the top
+stage", which is the root — represented as one node covering the whole
+workspace.
+
+:class:`MeasuredTreeParams` exposes the same interface from a *built*
+tree's real structure, enabling the model-vs-measurement attribution
+experiments (how much error comes from Eqs. 2-5 vs from Eqs. 6-12).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Protocol, Sequence
+
+from ..datasets import SpatialDataset
+from ..rtree import RTreeBase
+
+__all__ = [
+    "TreeParams",
+    "AnalyticalTreeParams",
+    "MeasuredTreeParams",
+    "DEFAULT_FILL",
+    "rtree_height",
+]
+
+#: The paper's "typical" average node utilisation, c = 67%.
+DEFAULT_FILL = 0.67
+
+
+def rtree_height(n_objects: int, max_entries: int,
+                 fill: float = DEFAULT_FILL) -> int:
+    """Eq. 2: ``h = 1 + ceil(log_{cM}(N / (cM)))``.
+
+    Degenerate cases follow the R-tree's actual behaviour: anything that
+    fits an average root (``N <= cM``) has height 1.
+    """
+    if n_objects < 0:
+        raise ValueError("n_objects must be >= 0")
+    _check_structure(max_entries, fill)
+    cm = fill * max_entries
+    if n_objects <= cm:
+        return 1
+    return 1 + math.ceil(math.log(n_objects / cm, cm))
+
+
+class TreeParams(Protocol):
+    """What the cost formulas need to know about one indexed data set."""
+
+    ndim: int
+    height: int
+
+    def nodes_at(self, level: int) -> float:
+        """(Expected) number of nodes at ``level``."""
+        ...
+
+    def extents_at(self, level: int) -> tuple[float, ...]:
+        """(Expected) node MBR side length per dimension at ``level``."""
+        ...
+
+
+class AnalyticalTreeParams:
+    """Eqs. 2-5 evaluated from ``(N, D)`` — no tree required.
+
+    Parameters
+    ----------
+    n_objects, density:
+        The primitive data properties ``N`` and ``D``.
+    max_entries:
+        Node capacity ``M``.
+    ndim:
+        Dimensionality ``n``.
+    fill:
+        Average node utilisation ``c`` (default 67%).
+    """
+
+    def __init__(self, n_objects: int, density: float, max_entries: int,
+                 ndim: int, fill: float = DEFAULT_FILL,
+                 height: int | None = None):
+        if n_objects < 0:
+            raise ValueError("n_objects must be >= 0")
+        if density < 0.0:
+            raise ValueError("density must be >= 0")
+        if ndim < 1:
+            raise ValueError("ndim must be >= 1")
+        _check_structure(max_entries, fill)
+
+        self.n_objects = n_objects
+        self.density = density
+        self.max_entries = max_entries
+        self.ndim = ndim
+        self.fill = fill
+        if height is None:
+            self.height = rtree_height(n_objects, max_entries, fill)
+        else:
+            # Used by the non-uniform grid model: a cell's slice of a
+            # global index inherits the *global* traversal depth even when
+            # its own population would build a shorter tree.
+            if height < 1:
+                raise ValueError("height must be >= 1")
+            self.height = height
+        # Propagate node densities D_1 .. D_h once (Eq. 5).
+        self._level_density = [density]
+        for _ in range(self.height):
+            self._level_density.append(
+                self._propagate(self._level_density[-1]))
+
+    @classmethod
+    def from_dataset(cls, dataset: SpatialDataset, max_entries: int,
+                     fill: float = DEFAULT_FILL) -> "AnalyticalTreeParams":
+        """Read ``N`` and ``D`` off a concrete data set."""
+        return cls(dataset.cardinality, dataset.density(), max_entries,
+                   dataset.ndim, fill)
+
+    def _propagate(self, d_prev: float) -> float:
+        """Eq. 5: density of level-j node rects from level j-1."""
+        n = self.ndim
+        cm = self.fill * self.max_entries
+        return (1.0 + (d_prev ** (1.0 / n) - 1.0) / cm ** (1.0 / n)) ** n
+
+    def nodes_at(self, level: int) -> float:
+        """Eq. 3: ``N_j = N / (cM)^j`` (real-valued, as in the model)."""
+        self._check_level(level)
+        if level >= self.height:
+            return 1.0  # the root
+        return self.n_objects / (self.fill * self.max_entries) ** level
+
+    def density_at(self, level: int) -> float:
+        """Eq. 5 result; ``density_at(0)`` is the data density itself."""
+        if not 0 <= level <= self.height:
+            raise ValueError(f"level {level} outside [0, {self.height}]")
+        return self._level_density[level]
+
+    def extents_at(self, level: int) -> tuple[float, ...]:
+        """Eq. 4: ``s_{j,k} = (D_j / N_j)^(1/n)``, equal for every k.
+
+        The root level answers the whole workspace — a single node whose
+        rectangle effectively covers everything — which is what the DA
+        model's "parent of the top stage" needs.
+        """
+        self._check_level(level)
+        if level >= self.height:
+            return (1.0,) * self.ndim
+        nodes = self.nodes_at(level)
+        if nodes <= 0.0:
+            return (0.0,) * self.ndim
+        side = (self._level_density[level] / nodes) ** (1.0 / self.ndim)
+        return (min(side, 1.0),) * self.ndim
+
+    def average_object_extents(self) -> tuple[float, ...]:
+        """Average *data* rectangle side, ``(D/N)^(1/n)`` (level 0).
+
+        Used by the selectivity model (§5).
+        """
+        if self.n_objects == 0:
+            return (0.0,) * self.ndim
+        side = (self.density / self.n_objects) ** (1.0 / self.ndim)
+        return (min(side, 1.0),) * self.ndim
+
+    def _check_level(self, level: int) -> None:
+        if level < 1:
+            raise ValueError(f"level must be >= 1, got {level}")
+
+    def __repr__(self) -> str:
+        return (f"AnalyticalTreeParams(N={self.n_objects}, "
+                f"D={self.density:.3f}, M={self.max_entries}, "
+                f"n={self.ndim}, c={self.fill}, h={self.height})")
+
+
+class MeasuredTreeParams:
+    """The same interface, read from a built tree's actual structure.
+
+    Plugging this into the join formulas isolates the error contributed by
+    the structural estimates (Eqs. 2-5) from the error of the join-cost
+    reasoning itself (Eqs. 6-12).
+    """
+
+    def __init__(self, tree: RTreeBase):
+        self.ndim = tree.ndim
+        self.height = tree.height
+        stats = tree.level_stats()
+        self._nodes: dict[int, float] = {}
+        self._extents: dict[int, tuple[float, ...]] = {}
+        for level, s in stats.items():
+            self._nodes[level] = float(s.count)
+            self._extents[level] = s.avg_extents
+
+    def nodes_at(self, level: int) -> float:
+        if level >= self.height:
+            return 1.0
+        return self._nodes.get(level, 0.0)
+
+    def extents_at(self, level: int) -> tuple[float, ...]:
+        if level >= self.height:
+            return (1.0,) * self.ndim
+        return self._extents.get(level, (0.0,) * self.ndim)
+
+    def __repr__(self) -> str:
+        return (f"MeasuredTreeParams(h={self.height}, "
+                f"levels={sorted(self._nodes)})")
+
+
+def _check_structure(max_entries: int, fill: float) -> None:
+    if max_entries < 2:
+        raise ValueError("max_entries must be >= 2")
+    if not 0.0 < fill <= 1.0:
+        raise ValueError("fill must be in (0, 1]")
+    if fill * max_entries <= 1.0:
+        raise ValueError("average fan-out c*M must exceed 1")

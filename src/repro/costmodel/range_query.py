@@ -1,0 +1,70 @@
+"""Range-query cost and selectivity (Eq. 1 and the ``intsect`` helper).
+
+This is the TS96 platform the join model stands on: the expected number of
+node accesses of a window query is the summed coverage of node rectangles
+extended by the window (originally from [KF93, PSTW93]):
+
+    NA(q) = sum_{j=1}^{h-1}  N_j * prod_k min(1, s_{j,k} + q_k)     (Eq. 1)
+
+``intsect(N, s, q) = N * prod_k min(1, s_k + q_k)`` — the expected number
+of level-``j`` rectangles intersected by a window ``q`` — is reused
+verbatim by the join formulas (Section 3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .params import TreeParams
+
+__all__ = ["intsect", "range_query_na", "range_query_selectivity"]
+
+
+def intsect(n_rects: float, extents: Sequence[float],
+            window: Sequence[float]) -> float:
+    """Expected number of rectangles intersected by a query window.
+
+    ``n_rects`` rectangles of average per-dimension extents ``extents``,
+    uniformly spread in the unit workspace, probed with a window of
+    extents ``window``.  Each factor is clamped at 1 — a rectangle cannot
+    be intersected with probability above certainty.
+    """
+    if len(extents) != len(window):
+        raise ValueError("extents/window dimensionality mismatch")
+    out = float(n_rects)
+    for s, q in zip(extents, window):
+        if s < 0.0 or q < 0.0:
+            raise ValueError("extents must be non-negative")
+        out *= min(1.0, s + q)
+    return out
+
+
+def range_query_na(params: TreeParams,
+                   window: Sequence[float]) -> float:
+    """Eq. 1: expected node accesses of a range query.
+
+    ``window`` gives the query extents ``(q_1 .. q_n)``.  The root (level
+    ``h``) is memory-resident and not charged; a height-1 tree (root is
+    the only, leaf, node) therefore costs 0, matching the paper's
+    accounting.
+    """
+    if len(window) != params.ndim:
+        raise ValueError(
+            f"window has {len(window)} dims, tree has {params.ndim}")
+    total = 0.0
+    for level in range(1, params.height):
+        total += intsect(params.nodes_at(level),
+                         params.extents_at(level), window)
+    return total
+
+
+def range_query_selectivity(n_objects: int,
+                            object_extents: Sequence[float],
+                            window: Sequence[float]) -> float:
+    """Expected number of data rectangles overlapping a window [TS96].
+
+    Same form as :func:`intsect` applied at the data level: each object of
+    average extents ``s̄`` overlaps a window ``q`` with probability
+    ``prod_k min(1, s̄_k + q_k)`` under (local) uniformity.
+    """
+    return intsect(n_objects, object_extents, window)

@@ -1,0 +1,64 @@
+"""Level pairing of the synchronized traversal (Section 3.2).
+
+The SJ algorithm descends both trees together, one level per step, until
+each tree bottoms out; when the shorter tree reaches its leaves it stays
+there while the taller one keeps descending.  A *stage* is one such step:
+the pair of levels ``(j1, j2)`` being compared.  For equal heights the
+stages are ``(h-1, h-1) .. (1, 1)``; for different heights the clamped
+pairing reproduces the ``j'`` mapping of Eq. 11/12:
+
+    j' = j - (h_R1 - h_R2)   while both descend,
+    j' = 1                   once R2 is at leaf level (and vice versa).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .params import TreeParams
+
+__all__ = ["Stage", "traversal_stages"]
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One step of the synchronized descent.
+
+    ``level1``/``level2`` are the levels of R1/R2 nodes visited at this
+    stage; ``parent1``/``parent2`` the levels their parents were visited
+    at (the root for the top stage).  ``descends1``/``descends2`` say
+    whether that tree actually moved down into this stage — a tree pinned
+    at its leaf level stops descending, which is what exempts the
+    (outer-loop) R2 tree from re-reads in the DA model.
+    """
+
+    level1: int
+    level2: int
+    parent1: int
+    parent2: int
+    descends1: bool
+    descends2: bool
+
+
+def traversal_stages(params1: TreeParams,
+                     params2: TreeParams) -> list[Stage]:
+    """Stages of SJ over two trees, top stage first.
+
+    A tree of height 1 (a single root-leaf) never produces charged
+    accesses of its own — its root is pinned — but it still paces the
+    descent of the other tree, so it appears pinned at level 1 throughout.
+    """
+    h1, h2 = params1.height, params2.height
+    n_stages = max(h1, h2) - 1
+    stages: list[Stage] = []
+    prev1, prev2 = h1, h2
+    for t in range(n_stages):
+        j1 = max(1, h1 - 1 - t)
+        j2 = max(1, h2 - 1 - t)
+        stages.append(Stage(
+            level1=j1, level2=j2,
+            parent1=prev1, parent2=prev2,
+            descends1=j1 < prev1, descends2=j2 < prev2,
+        ))
+        prev1, prev2 = j1, j2
+    return stages

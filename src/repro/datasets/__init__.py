@@ -1,0 +1,19 @@
+"""Data-set generators and density sampling."""
+
+from .dataset import SpatialDataset
+from .density import LocalDensityGrid, global_density
+from .skewed import (clustered_rectangles, diagonal_rectangles,
+                     zipf_rectangles)
+from .tiger import tiger_like_segments
+from .uniform import uniform_rectangles
+
+__all__ = [
+    "LocalDensityGrid",
+    "SpatialDataset",
+    "clustered_rectangles",
+    "diagonal_rectangles",
+    "global_density",
+    "tiger_like_segments",
+    "uniform_rectangles",
+    "zipf_rectangles",
+]

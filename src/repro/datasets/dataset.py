@@ -1,0 +1,92 @@
+"""The SpatialDataset container.
+
+A dataset is a named list of ``(Rect, oid)`` items in the unit workspace
+plus the two primitive properties the paper's cost model consumes:
+cardinality ``N`` and density ``D``.  Generators in this package return
+instances of this class; the experiment harness indexes ``items`` and the
+cost model reads ``cardinality`` / ``density``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from ..geometry import Rect
+
+__all__ = ["SpatialDataset"]
+
+
+class SpatialDataset:
+    """An immutable collection of identified rectangles."""
+
+    def __init__(self, items: Sequence[tuple[Rect, int]],
+                 name: str = "dataset"):
+        items = list(items)
+        if items:
+            ndim = items[0][0].ndim
+            for rect, _oid in items:
+                if rect.ndim != ndim:
+                    raise ValueError("mixed dimensionalities in dataset")
+        self._items = items
+        self.name = name
+
+    @classmethod
+    def from_rects(cls, rects: Sequence[Rect],
+                   name: str = "dataset") -> "SpatialDataset":
+        """Wrap bare rectangles, assigning sequential object ids."""
+        return cls([(r, i) for i, r in enumerate(rects)], name)
+
+    @property
+    def items(self) -> list[tuple[Rect, int]]:
+        return list(self._items)
+
+    @property
+    def rects(self) -> list[Rect]:
+        return [r for r, _oid in self._items]
+
+    @property
+    def cardinality(self) -> int:
+        """The paper's ``N``."""
+        return len(self._items)
+
+    @property
+    def ndim(self) -> int:
+        if not self._items:
+            raise ValueError("empty dataset has no dimensionality")
+        return self._items[0][0].ndim
+
+    def density(self) -> float:
+        """The paper's ``D``: summed rectangle area over the unit space."""
+        return sum(r.area() for r, _oid in self._items)
+
+    def scaled_density(self, target: float) -> "SpatialDataset":
+        """A copy whose rectangles are shrunk/grown about their centers so
+        the global density becomes exactly ``target``.
+
+        Used by skewed/real-like generators whose raw output has organic
+        sizes: the experiment grids need exact density values.
+        """
+        current = self.density()
+        if current <= 0.0:
+            raise ValueError("cannot rescale a zero-density dataset")
+        factor = (target / current) ** (1.0 / self.ndim)
+        out = []
+        for rect, oid in self._items:
+            ext = tuple(e * factor for e in rect.extents)
+            out.append((Rect.from_center(rect.center, ext), oid))
+        return SpatialDataset(out, f"{self.name}@D={target:g}")
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[tuple[Rect, int]]:
+        return iter(self._items)
+
+    def __getitem__(self, i: int) -> tuple[Rect, int]:
+        return self._items[i]
+
+    def __repr__(self) -> str:
+        if not self._items:
+            return f"SpatialDataset({self.name!r}, empty)"
+        return (f"SpatialDataset({self.name!r}, N={self.cardinality}, "
+                f"n={self.ndim}, D={self.density():.3f})")

@@ -1,0 +1,133 @@
+"""Skewed synthetic data (the paper's non-uniform synthetic workloads).
+
+Three families, all returning :class:`SpatialDataset` with an exact target
+density (sizes are rescaled after placement):
+
+* :func:`clustered_rectangles` — a Gaussian mixture: most objects
+  concentrate around a few cluster centers, the classic GIS skew;
+* :func:`zipf_rectangles` — positions whose coordinates follow a power
+  law toward one corner (heavily skewed marginals);
+* :func:`diagonal_rectangles` — objects scattered around the main
+  diagonal, producing strong spatial correlation between dimensions.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..geometry import Rect
+from .dataset import SpatialDataset
+
+__all__ = [
+    "clustered_rectangles",
+    "zipf_rectangles",
+    "diagonal_rectangles",
+]
+
+
+def clustered_rectangles(n: int, density: float, ndim: int,
+                         clusters: int = 8, spread: float = 0.05,
+                         seed: int | None = None) -> SpatialDataset:
+    """Gaussian-mixture clusters with Zipf-weighted cluster populations."""
+    _check(n, density, ndim)
+    rng = random.Random(seed)
+    if n == 0:
+        return SpatialDataset([], "clustered-empty")
+    if clusters < 1:
+        raise ValueError("clusters must be >= 1")
+    if spread <= 0.0:
+        raise ValueError("spread must be > 0")
+
+    centers = [[rng.uniform(0.1, 0.9) for _ in range(ndim)]
+               for _ in range(clusters)]
+    # Zipf weights: cluster k gets weight 1/(k+1).
+    weights = [1.0 / (k + 1) for k in range(clusters)]
+
+    side = (density / n) ** (1.0 / ndim) if density > 0 else 0.0
+    items = []
+    for oid in range(n):
+        c = rng.choices(centers, weights=weights)[0]
+        center = [_clamp(rng.gauss(x, spread), side) for x in c]
+        lo = [x - side / 2.0 for x in center]
+        items.append((Rect(lo, [a + side for a in lo]), oid))
+    ds = SpatialDataset(
+        items,
+        f"clustered(N={n}, D={density:g}, n={ndim}, k={clusters}, "
+        f"spread={spread:g}, seed={seed})")
+    return _exact_density(ds, density)
+
+
+def zipf_rectangles(n: int, density: float, ndim: int,
+                    alpha: float = 1.5,
+                    seed: int | None = None) -> SpatialDataset:
+    """Coordinates drawn as ``u**alpha``: mass piles up near the origin."""
+    _check(n, density, ndim)
+    if alpha <= 0.0:
+        raise ValueError("alpha must be > 0")
+    rng = random.Random(seed)
+    if n == 0:
+        return SpatialDataset([], "zipf-empty")
+
+    side = (density / n) ** (1.0 / ndim) if density > 0 else 0.0
+    items = []
+    for oid in range(n):
+        center = [_clamp(rng.random() ** alpha, side) for _ in range(ndim)]
+        lo = [x - side / 2.0 for x in center]
+        items.append((Rect(lo, [a + side for a in lo]), oid))
+    ds = SpatialDataset(
+        items,
+        f"zipf(N={n}, D={density:g}, a={alpha}, n={ndim}, seed={seed})")
+    return _exact_density(ds, density)
+
+
+def diagonal_rectangles(n: int, density: float, ndim: int,
+                        width: float = 0.1,
+                        seed: int | None = None) -> SpatialDataset:
+    """Objects near the main diagonal (correlated dimensions)."""
+    _check(n, density, ndim)
+    if width < 0.0:
+        raise ValueError("width must be >= 0")
+    rng = random.Random(seed)
+    if n == 0:
+        return SpatialDataset([], "diagonal-empty")
+
+    side = (density / n) ** (1.0 / ndim) if density > 0 else 0.0
+    items = []
+    for oid in range(n):
+        t = rng.random()
+        center = [_clamp(t + rng.gauss(0.0, width), side)
+                  for _ in range(ndim)]
+        lo = [x - side / 2.0 for x in center]
+        items.append((Rect(lo, [a + side for a in lo]), oid))
+    ds = SpatialDataset(
+        items,
+        f"diagonal(N={n}, D={density:g}, n={ndim}, w={width:g}, "
+        f"seed={seed})")
+    return _exact_density(ds, density)
+
+
+def _check(n: int, density: float, ndim: int) -> None:
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    if density < 0.0:
+        raise ValueError("density must be >= 0")
+    if ndim < 1:
+        raise ValueError("ndim must be >= 1")
+    if n > 0 and density > 0:
+        side = (density / n) ** (1.0 / ndim)
+        if side > 1.0:
+            raise ValueError("objects would not fit the unit workspace")
+
+
+def _clamp(x: float, side: float) -> float:
+    """Keep a center so the rectangle stays inside the workspace."""
+    half = side / 2.0
+    return min(max(x, half), 1.0 - half) if side < 1.0 else 0.5
+
+
+def _exact_density(ds: SpatialDataset, density: float) -> SpatialDataset:
+    """Rescale to the exact target density (no-op for zero density)."""
+    if density <= 0.0 or math.isclose(ds.density(), density):
+        return ds
+    return ds.scaled_density(density)

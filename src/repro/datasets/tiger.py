@@ -1,0 +1,200 @@
+"""TIGER-like synthetic road-network data.
+
+The paper's real-data experiments use parts of the TIGER/LINE files of the
+U.S. Bureau of the Census [Bur91] — MBRs of road and hydrography line
+segments.  Those files are not redistributable here, so this module builds
+the closest synthetic equivalent (see DESIGN.md §4): what the cost model
+actually consumes is a set of *small, elongated, strongly clustered* MBRs,
+and a road network reproduces exactly those traits:
+
+* **hubs** (cities) with Zipf-distributed importance,
+* **highways** — jittered polylines along a minimum spanning tree over the
+  hubs, split into short segments,
+* **street grids** — dense short segments around each hub, with density
+  proportional to hub importance,
+* **rural roads** — sparse random-walk polylines filling the countryside.
+
+Every segment contributes the MBR of its two endpoints; a tiny bend keeps
+MBRs from degenerating to zero area (real TIGER segments are rarely
+axis-parallel either).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from ..geometry import Rect
+from .dataset import SpatialDataset
+
+__all__ = ["tiger_like_segments"]
+
+
+def tiger_like_segments(n: int, seed: int | None = None,
+                        hubs: int = 12, segment_length: float = 0.01,
+                        name: str | None = None) -> SpatialDataset:
+    """Generate ``n`` road-segment MBRs forming a synthetic road network.
+
+    Parameters
+    ----------
+    n:
+        Number of segments (exact).
+    seed:
+        RNG seed.
+    hubs:
+        Number of cities anchoring the network.
+    segment_length:
+        Typical segment length; streets are about half this long.
+    """
+    if n < 0:
+        raise ValueError("n must be >= 0")
+    if hubs < 2:
+        raise ValueError("hubs must be >= 2")
+    if not 0.0 < segment_length < 0.5:
+        raise ValueError("segment_length must be in (0, 0.5)")
+    rng = random.Random(seed)
+    if n == 0:
+        return SpatialDataset([], name or "tiger-like-empty")
+
+    hub_points = _scatter_hubs(hubs, rng)
+    weights = [1.0 / (k + 1) for k in range(hubs)]  # Zipf importance
+
+    segments: list[tuple[tuple[float, float], tuple[float, float]]] = []
+
+    # Highways along a minimum spanning tree over the hubs (~20% of data).
+    highway_budget = max(1, n // 5)
+    for a, b in _mst_edges(hub_points):
+        segments.extend(
+            _polyline_segments(hub_points[a], hub_points[b],
+                               segment_length, rng))
+        if len(segments) >= highway_budget:
+            break
+    segments = segments[:highway_budget]
+
+    # Street grids around hubs (~70% of data), then rural filler.
+    street_budget = max(0, int(n * 0.7))
+    total_w = sum(weights)
+    for k, (hub, w) in enumerate(zip(hub_points, weights)):
+        quota = round(street_budget * w / total_w)
+        radius = 0.02 + 0.10 * math.sqrt(w / weights[0])
+        segments.extend(
+            _street_segments(hub, radius, quota, segment_length / 2, rng))
+
+    while len(segments) < n:
+        segments.extend(
+            _random_walk_segments(rng, segment_length,
+                                  steps=min(20, n - len(segments))))
+    segments = segments[:n]
+
+    items = []
+    for oid, (p, q) in enumerate(segments):
+        lo = (min(p[0], q[0]), min(p[1], q[1]))
+        hi = (max(p[0], q[0]), max(p[1], q[1]))
+        items.append((Rect(lo, hi), oid))
+    return SpatialDataset(
+        items,
+        name or f"tiger-like(N={n}, seed={seed}, hubs={hubs}, "
+                f"seg={segment_length:g})")
+
+
+def _scatter_hubs(hubs: int,
+                  rng: random.Random) -> list[tuple[float, float]]:
+    """Hub positions with rejection-sampled minimum separation."""
+    points: list[tuple[float, float]] = []
+    min_sep = 0.35 / math.sqrt(hubs)
+    attempts = 0
+    while len(points) < hubs:
+        p = (rng.uniform(0.05, 0.95), rng.uniform(0.05, 0.95))
+        attempts += 1
+        if attempts > 200 * hubs:  # give up on separation, just fill
+            points.append(p)
+            continue
+        if all(math.dist(p, q) >= min_sep for q in points):
+            points.append(p)
+    return points
+
+
+def _mst_edges(points: list[tuple[float, float]],
+               ) -> list[tuple[int, int]]:
+    """Prim's minimum spanning tree over the hub set (O(h^2))."""
+    n = len(points)
+    in_tree = [False] * n
+    in_tree[0] = True
+    best = [math.dist(points[0], p) for p in points]
+    parent = [0] * n
+    edges: list[tuple[int, int]] = []
+    for _ in range(n - 1):
+        k = min((i for i in range(n) if not in_tree[i]),
+                key=lambda i: best[i])
+        in_tree[k] = True
+        edges.append((parent[k], k))
+        for i in range(n):
+            if not in_tree[i]:
+                d = math.dist(points[k], points[i])
+                if d < best[i]:
+                    best[i] = d
+                    parent[i] = k
+    return edges
+
+
+def _polyline_segments(a: tuple[float, float], b: tuple[float, float],
+                       seg_len: float, rng: random.Random):
+    """A jittered polyline from a to b, split into short segments."""
+    length = math.dist(a, b)
+    steps = max(1, round(length / seg_len))
+    prev = a
+    out = []
+    for i in range(1, steps + 1):
+        t = i / steps
+        jitter = seg_len * 0.4
+        point = (
+            _in_unit(a[0] + (b[0] - a[0]) * t + rng.gauss(0.0, jitter)),
+            _in_unit(a[1] + (b[1] - a[1]) * t + rng.gauss(0.0, jitter)),
+        )
+        if i == steps:
+            point = b
+        out.append((prev, point))
+        prev = point
+    return out
+
+
+def _street_segments(hub: tuple[float, float], radius: float, count: int,
+                     seg_len: float, rng: random.Random):
+    """Short, loosely grid-aligned street segments around a hub."""
+    out = []
+    for _ in range(count):
+        # Gaussian falloff from the hub center.
+        cx = _in_unit(rng.gauss(hub[0], radius / 2))
+        cy = _in_unit(rng.gauss(hub[1], radius / 2))
+        horizontal = rng.random() < 0.5
+        bend = seg_len * 0.15  # keeps MBRs from being zero-area
+        if horizontal:
+            p = (cx - seg_len / 2, cy - rng.uniform(0, bend))
+            q = (cx + seg_len / 2, cy + rng.uniform(0, bend))
+        else:
+            p = (cx - rng.uniform(0, bend), cy - seg_len / 2)
+            q = (cx + rng.uniform(0, bend), cy + seg_len / 2)
+        out.append((_unit_point(p), _unit_point(q)))
+    return out
+
+
+def _random_walk_segments(rng: random.Random, seg_len: float, steps: int):
+    """A meandering rural road starting at a random point."""
+    x, y = rng.random(), rng.random()
+    angle = rng.uniform(0.0, 2 * math.pi)
+    out = []
+    for _ in range(steps):
+        angle += rng.gauss(0.0, 0.5)
+        nx = _in_unit(x + seg_len * math.cos(angle))
+        ny = _in_unit(y + seg_len * math.sin(angle))
+        out.append(((x, y), (nx, ny)))
+        x, y = nx, ny
+    return out
+
+
+def _in_unit(x: float) -> float:
+    return min(max(x, 0.0), 1.0)
+
+
+def _unit_point(p: tuple[float, float]) -> tuple[float, float]:
+    return (_in_unit(p[0]), _in_unit(p[1]))

@@ -1,0 +1,29 @@
+"""Experiment harness: parameter grids, measurement pipeline, reporting."""
+
+from .configs import BENCH_SCALE, PAPER_SCALE, SMOKE_SCALE, ExperimentScale
+from .levels import LevelComparison, level_comparison
+from .harness import (JoinObservation, TreeCache, build_tree, observe_join,
+                      relative_error)
+from .registry import experiment_ids, run_experiment
+from .reporting import (error_summary, figure5_rows, format_table,
+                        print_figure)
+
+__all__ = [
+    "BENCH_SCALE",
+    "ExperimentScale",
+    "JoinObservation",
+    "LevelComparison",
+    "PAPER_SCALE",
+    "SMOKE_SCALE",
+    "TreeCache",
+    "build_tree",
+    "error_summary",
+    "experiment_ids",
+    "figure5_rows",
+    "format_table",
+    "level_comparison",
+    "observe_join",
+    "print_figure",
+    "relative_error",
+    "run_experiment",
+]

@@ -1,0 +1,65 @@
+"""Experiment parameter grids.
+
+Two profiles:
+
+* :data:`PAPER_SCALE` — the paper's exact setup: 1 Kbyte pages giving
+  ``M = 84`` (n=1) / ``M = 50`` (n=2), cardinalities 20K-80K, average
+  capacity 67%.  Building 80K-object R*-trees in pure Python takes tens
+  of minutes each, so this profile is for patient full-size runs.
+* :data:`BENCH_SCALE` — the default: 512-byte pages giving ``M = 41`` /
+  ``M = 24`` and cardinalities 2K-9K, chosen so the *structure* of the
+  paper's figures is preserved (DESIGN.md §3):
+
+  - n=1: every tree has height 3 across the whole grid — Figure 5a/6a's
+    linear plots;
+  - n=2: heights transition from 3 (2K, 4K) to 4 (8K, 10K) — Figure
+    5b/6b's kink — with the 4K-8K gap placed so the analytical Eq. 2 and
+    the real R*-tree agree on which side of the transition every grid
+    point lies (5K-7K is a borderline zone where they can differ).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..storage import node_capacity
+
+__all__ = ["ExperimentScale", "BENCH_SCALE", "PAPER_SCALE", "SMOKE_SCALE"]
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """One consistent set of experiment parameters."""
+
+    name: str
+    page_size: int
+    cardinalities: tuple[int, ...]
+    density: float = 0.5
+    densities: tuple[float, ...] = (0.2, 0.4, 0.6, 0.8)
+    fill: float = 0.67
+
+    def max_entries(self, ndim: int) -> int:
+        """Node capacity ``M`` for the profile's page size."""
+        return node_capacity(self.page_size, ndim)
+
+
+#: Default profile: scaled to laptop-feasible pure-Python tree builds.
+BENCH_SCALE = ExperimentScale(
+    name="bench",
+    page_size=512,                      # M = 41 (n=1), M = 24 (n=2)
+    cardinalities=(2000, 4000, 8000, 10000),
+)
+
+#: The paper's Section 4 setup (HP700-era full size).
+PAPER_SCALE = ExperimentScale(
+    name="paper",
+    page_size=1024,                     # M = 84 (n=1), M = 50 (n=2)
+    cardinalities=(20000, 40000, 60000, 80000),
+)
+
+#: Tiny profile for fast CI smoke runs of the harness itself.
+SMOKE_SCALE = ExperimentScale(
+    name="smoke",
+    page_size=512,
+    cardinalities=(500, 1000),
+)

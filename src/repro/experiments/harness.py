@@ -1,0 +1,170 @@
+"""Build-run-measure-compare pipeline behind every benchmark.
+
+The harness owns the expensive part — building R*-trees — behind a cache
+keyed by the data set, so the 16-combination grids of Figure 5 build each
+tree once.  ``observe_join`` produces a :class:`JoinObservation` holding
+the four numbers every paper plot reports (experimental/analytical NA/DA)
+plus per-tree splits and relative errors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..costmodel import (AnalyticalTreeParams, NonUniformJoinModel,
+                         join_da_by_tree, join_da_total, join_na_total)
+from ..datasets import SpatialDataset
+from ..join import R1, R2, spatial_join
+from ..rtree import GuttmanRTree, RStarTree, RTreeBase, hilbert_pack, str_pack
+
+__all__ = ["TreeCache", "JoinObservation", "observe_join",
+           "relative_error", "build_tree"]
+
+
+def relative_error(model: float, measured: float) -> float:
+    """Signed relative error of a model value against a measurement."""
+    if measured == 0:
+        return 0.0 if model == 0 else float("inf")
+    return (model - measured) / measured
+
+
+def build_tree(dataset: SpatialDataset, max_entries: int,
+               variant: str = "rstar") -> RTreeBase:
+    """Index a data set with the chosen tree variant."""
+    if variant == "rstar":
+        tree = RStarTree(dataset.ndim, max_entries)
+        for rect, oid in dataset:
+            tree.insert(rect, oid)
+        return tree
+    if variant == "guttman-linear":
+        tree = GuttmanRTree(dataset.ndim, max_entries, split="linear")
+        for rect, oid in dataset:
+            tree.insert(rect, oid)
+        return tree
+    if variant == "guttman-quadratic":
+        tree = GuttmanRTree(dataset.ndim, max_entries, split="quadratic")
+        for rect, oid in dataset:
+            tree.insert(rect, oid)
+        return tree
+    if variant == "str":
+        return str_pack(dataset.items, dataset.ndim, max_entries)
+    if variant == "hilbert":
+        return hilbert_pack(dataset.items, dataset.ndim, max_entries)
+    raise ValueError(f"unknown tree variant {variant!r}")
+
+
+class TreeCache:
+    """Memoised tree builds keyed by (dataset name, M, variant).
+
+    Dataset names produced by the generators encode every generation
+    parameter including the seed, so the name is a faithful cache key
+    within one experiment run.
+    """
+
+    def __init__(self) -> None:
+        self._trees: dict[tuple[str, int, str], RTreeBase] = {}
+
+    def get(self, dataset: SpatialDataset, max_entries: int,
+            variant: str = "rstar") -> RTreeBase:
+        """The (possibly cached) index of ``dataset`` for this config."""
+        key = (dataset.name, max_entries, variant)
+        if key not in self._trees:
+            self._trees[key] = build_tree(dataset, max_entries, variant)
+        return self._trees[key]
+
+    def __len__(self) -> int:
+        return len(self._trees)
+
+
+@dataclass
+class JoinObservation:
+    """Everything one Figure-5-style grid point reports."""
+
+    label: str
+    n1: int
+    n2: int
+    height1: int                 # actual tree heights
+    height2: int
+    model_height1: int           # Eq. 2 heights
+    model_height2: int
+    na_measured: int
+    na_model: float
+    da_measured: int
+    da_model: float
+    da1_measured: int            # per-tree DA split (the Eq. 8/9 claims)
+    da1_model: float
+    da2_measured: int
+    da2_model: float
+    pairs: int
+
+    @property
+    def na_error(self) -> float:
+        return relative_error(self.na_model, self.na_measured)
+
+    @property
+    def da_error(self) -> float:
+        return relative_error(self.da_model, self.da_measured)
+
+    @property
+    def da1_error(self) -> float:
+        return relative_error(self.da1_model, self.da1_measured)
+
+    @property
+    def da2_error(self) -> float:
+        return relative_error(self.da2_model, self.da2_measured)
+
+
+def observe_join(dataset1: SpatialDataset, dataset2: SpatialDataset,
+                 max_entries: int, fill: float = 0.67,
+                 cache: TreeCache | None = None,
+                 variant: str = "rstar",
+                 nonuniform_resolution: int | None = None,
+                 label: str | None = None) -> JoinObservation:
+    """Run one measured join and its analytical estimate side by side.
+
+    ``nonuniform_resolution`` switches the analytical side to the
+    local-density grid model of §4.2 (for skewed/real-like data).
+    """
+    cache = cache if cache is not None else TreeCache()
+    tree1 = cache.get(dataset1, max_entries, variant)
+    tree2 = cache.get(dataset2, max_entries, variant)
+
+    result = spatial_join(tree1, tree2, collect_pairs=False)
+
+    p1 = AnalyticalTreeParams.from_dataset(dataset1, max_entries, fill)
+    p2 = AnalyticalTreeParams.from_dataset(dataset2, max_entries, fill)
+    if nonuniform_resolution is None:
+        na_model = join_na_total(p1, p2)
+        da_model = join_da_total(p1, p2)
+        da1_model, da2_model = join_da_by_tree(p1, p2)
+    else:
+        model = NonUniformJoinModel(dataset1, dataset2, max_entries,
+                                    resolution=nonuniform_resolution,
+                                    fill=fill)
+        na_model = model.na_total()
+        da_model = model.da_total()
+        # The grid model prices cells jointly; split per tree by the
+        # uniform model's proportions for reporting purposes.
+        u1, u2 = join_da_by_tree(p1, p2)
+        total = u1 + u2
+        da1_model = da_model * (u1 / total) if total else 0.0
+        da2_model = da_model * (u2 / total) if total else 0.0
+
+    return JoinObservation(
+        label=label or f"{dataset1.name} JOIN {dataset2.name}",
+        n1=dataset1.cardinality,
+        n2=dataset2.cardinality,
+        height1=tree1.height,
+        height2=tree2.height,
+        model_height1=p1.height,
+        model_height2=p2.height,
+        na_measured=result.na_total,
+        na_model=na_model,
+        da_measured=result.da_total,
+        da_model=da_model,
+        da1_measured=result.da(R1),
+        da1_model=da1_model,
+        da2_measured=result.da(R2),
+        da2_model=da2_model,
+        pairs=result.pair_count,
+    )

@@ -1,0 +1,124 @@
+"""Experiment registry: run any paper experiment by its DESIGN.md id.
+
+``run_experiment("fig6b")`` returns (and optionally prints) the same
+table the corresponding benchmark emits, without going through pytest —
+the programmatic face of the reproduction, also exposed as
+``python -m repro experiment <id>``.
+
+Analytic experiments (fig6a/6b, fig7a/7b) always run at exact paper
+scale.  Measured experiments (fig5a/5b, the accuracy tables) build real
+trees and accept a scale profile; ``smoke`` keeps them fast.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..costmodel import (AnalyticalTreeParams, join_da_total,
+                         join_na_total)
+from ..datasets import uniform_rectangles
+from .configs import BENCH_SCALE, PAPER_SCALE, SMOKE_SCALE, ExperimentScale
+from .harness import TreeCache, observe_join
+from .reporting import error_summary, figure5_rows, format_table
+
+__all__ = ["run_experiment", "experiment_ids"]
+
+_SCALES = {"bench": BENCH_SCALE, "paper": PAPER_SCALE,
+           "smoke": SMOKE_SCALE}
+_SWEEP = range(20000, 80001, 10000)
+
+
+def experiment_ids() -> list[str]:
+    """All registered experiment identifiers."""
+    return sorted(_REGISTRY)
+
+
+def run_experiment(exp_id: str, scale: str | ExperimentScale = "bench",
+                   ) -> str:
+    """Run one experiment and return its formatted table."""
+    try:
+        runner = _REGISTRY[exp_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown experiment {exp_id!r}; "
+            f"choose from {experiment_ids()}") from None
+    if isinstance(scale, str):
+        try:
+            scale = _SCALES[scale]
+        except KeyError:
+            raise ValueError(
+                f"unknown scale {scale!r}; choose from "
+                f"{sorted(_SCALES)}") from None
+    return runner(scale)
+
+
+# -- analytic experiments (always paper scale) --------------------------------
+
+def _fig6(ndim: int) -> str:
+    m = PAPER_SCALE.max_entries(ndim)
+    rows = []
+    for n in _SWEEP:
+        p = AnalyticalTreeParams(n, PAPER_SCALE.density, m, ndim,
+                                 PAPER_SCALE.fill)
+        rows.append([f"{n // 1000}K", p.height,
+                     round(join_na_total(p, p)),
+                     round(join_da_total(p, p))])
+    label = "6a" if ndim == 1 else "6b"
+    return (f"Figure {label} (n={ndim}, M={m}, paper scale)\n"
+            + format_table(["N1=N2", "h", "anal(NA)", "anal(DA)"], rows))
+
+
+def _fig7(ndim: int) -> str:
+    m = PAPER_SCALE.max_entries(ndim)
+
+    def params(n):
+        return AnalyticalTreeParams(n, PAPER_SCALE.density, m, ndim,
+                                    PAPER_SCALE.fill)
+
+    rows = []
+    for n in _SWEEP:
+        rows.append([
+            f"{n // 1000}K",
+            round(join_da_total(params(n), params(20000))),
+            round(join_da_total(params(n), params(80000))),
+            round(join_da_total(params(20000), params(n))),
+            round(join_da_total(params(80000), params(n))),
+        ])
+    label = "7a" if ndim == 1 else "7b"
+    return (f"Figure {label} (n={ndim}, M={m}, paper scale)\n"
+            + format_table(
+                ["N", "NR2=20K", "NR2=80K", "NR1=20K", "NR1=80K"], rows))
+
+
+# -- measured experiments (scale-dependent) -------------------------------------
+
+def _fig5(ndim: int, scale: ExperimentScale) -> str:
+    m = scale.max_entries(ndim)
+    cache = TreeCache()
+    r1 = {n: uniform_rectangles(n, scale.density, ndim, seed=100 + n)
+          for n in scale.cardinalities}
+    r2 = {n: uniform_rectangles(n, scale.density, ndim, seed=150 + n)
+          for n in scale.cardinalities}
+    obs = []
+    for n1 in scale.cardinalities:
+        for n2 in scale.cardinalities:
+            obs.append(observe_join(r1[n1], r2[n2], m, fill=scale.fill,
+                                    cache=cache))
+    summary = error_summary(obs)
+    label = "5a" if ndim == 1 else "5b"
+    headers = ["N1/N2", "exper(NA)", "anal(NA)", "exper(DA)",
+               "anal(DA)", "errNA", "errDA"]
+    return (f"Figure {label} (n={ndim}, M={m}, {scale.name} scale)\n"
+            + format_table(headers, figure5_rows(obs))
+            + f"\n|err| NA mean={summary['na_mean']:.1%} "
+              f"DA mean={summary['da_mean']:.1%}")
+
+
+_REGISTRY: dict[str, Callable[[ExperimentScale], str]] = {
+    "fig5a": lambda scale: _fig5(1, scale),
+    "fig5b": lambda scale: _fig5(2, scale),
+    "fig6a": lambda _scale: _fig6(1),
+    "fig6b": lambda _scale: _fig6(2),
+    "fig7a": lambda _scale: _fig7(1),
+    "fig7b": lambda _scale: _fig7(2),
+}

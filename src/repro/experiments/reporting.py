@@ -1,0 +1,88 @@
+"""Plain-text tables and series for the benchmark harness.
+
+The paper reports its results as figure series (experimental vs analytical
+NA and DA per N1/N2 combination); these helpers print the same rows so a
+bench run's stdout *is* the reproduced table.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .harness import JoinObservation
+
+__all__ = ["format_table", "figure5_rows", "print_figure",
+           "error_summary"]
+
+
+def format_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    """Right-aligned fixed-width table (first column left-aligned)."""
+    rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [_line(headers, widths), _line(["-" * w for w in widths],
+                                           widths)]
+    lines.extend(_line(row, widths) for row in rows)
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.1f}"
+    return str(cell)
+
+
+def _line(cells: Sequence[str], widths: Sequence[int]) -> str:
+    out = [cells[0].ljust(widths[0])]
+    out.extend(c.rjust(w) for c, w in zip(cells[1:], widths[1:]))
+    return "  ".join(out)
+
+
+def figure5_rows(observations: Iterable[JoinObservation],
+                 ) -> list[list[object]]:
+    """The four series of Figure 5 per N1/N2 combination."""
+    rows = []
+    for ob in observations:
+        rows.append([
+            f"{ob.n1 // 1000}K/{ob.n2 // 1000}K",
+            ob.na_measured, round(ob.na_model),
+            ob.da_measured, round(ob.da_model),
+            f"{ob.na_error:+.1%}", f"{ob.da_error:+.1%}",
+        ])
+    return rows
+
+
+def print_figure(title: str,
+                 observations: Iterable[JoinObservation]) -> str:
+    """Format one Figure-5-style block, returning (and printing) it."""
+    headers = ["N1/N2", "exper(NA)", "anal(NA)", "exper(DA)",
+               "anal(DA)", "errNA", "errDA"]
+    text = f"\n== {title} ==\n" + format_table(
+        headers, figure5_rows(observations))
+    print(text)
+    return text
+
+
+def error_summary(observations: Sequence[JoinObservation],
+                  ) -> dict[str, float]:
+    """Aggregate |relative error| statistics over a grid of runs."""
+    if not observations:
+        raise ValueError("no observations to summarise")
+
+    def stats(errors: list[float]) -> tuple[float, float]:
+        magnitudes = [abs(e) for e in errors]
+        return (sum(magnitudes) / len(magnitudes), max(magnitudes))
+
+    na_mean, na_max = stats([ob.na_error for ob in observations])
+    da_mean, da_max = stats([ob.da_error for ob in observations])
+    da1_mean, da1_max = stats([ob.da1_error for ob in observations])
+    da2_mean, da2_max = stats([ob.da2_error for ob in observations])
+    return {
+        "na_mean": na_mean, "na_max": na_max,
+        "da_mean": da_mean, "da_max": da_max,
+        "da1_mean": da1_mean, "da1_max": da1_max,
+        "da2_mean": da2_mean, "da2_max": da2_max,
+    }

@@ -1,0 +1,6 @@
+"""Geometric primitives: n-dimensional rectangles and the unit workspace."""
+
+from .rect import Rect
+from .workspace import Workspace, clamp_to_unit, density
+
+__all__ = ["Rect", "Workspace", "density", "clamp_to_unit"]

@@ -1,0 +1,101 @@
+"""The unit workspace and data-set density measures.
+
+The paper's analysis is carried out in the n-dimensional unit workspace
+``WS = [0, 1)^n``.  The central data property is *density*:
+
+    The density ``D`` of a set of ``N`` rectangles is the expected number
+    of rectangles that contain a randomly chosen point of the workspace,
+    i.e. ``D = sum_i area(r_i) / area(WS) = N * avg_area`` for ``WS`` of
+    unit measure.  [TS96]
+
+``density()`` computes the global density; the *local* density grid used by
+the non-uniform correction lives in :mod:`repro.datasets.density` because it
+is a sampling procedure over concrete data, not a pure geometric measure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from .rect import Rect
+
+__all__ = ["Workspace", "density", "clamp_to_unit"]
+
+
+def density(rects: Iterable[Rect]) -> float:
+    """Global density of a rectangle set over the unit workspace.
+
+    Accepts any iterable; an empty set has density 0.  Rectangles are *not*
+    clipped to the workspace — generators in :mod:`repro.datasets` always
+    produce workspace-contained data, and node MBRs are never passed here.
+    """
+    return sum(r.area() for r in rects)
+
+
+def clamp_to_unit(rect: Rect) -> Rect:
+    """Clip a rectangle to the unit workspace ``[0, 1]^n``.
+
+    Raises :class:`ValueError` when the rectangle lies entirely outside.
+    """
+    lo = tuple(min(max(a, 0.0), 1.0) for a in rect.lo)
+    hi = tuple(min(max(b, 0.0), 1.0) for b in rect.hi)
+    if any(b < a for a, b in zip(lo, hi)):  # pragma: no cover - defensive
+        raise ValueError(f"{rect!r} lies outside the unit workspace")
+    return Rect(lo, hi)
+
+
+class Workspace:
+    """A (hyper-)rectangular work space, by default the unit cube.
+
+    The class exists so that examples can work in real-world coordinates
+    (e.g. lon/lat degrees) and normalise into the analysis space the cost
+    model assumes.  ``to_unit`` / ``from_unit`` map rectangles between the
+    two coordinate frames.
+    """
+
+    def __init__(self, bounds: Rect | None = None, ndim: int | None = None):
+        if bounds is None:
+            if ndim is None:
+                raise ValueError("provide either bounds or ndim")
+            bounds = Rect.unit(ndim)
+        if any(e <= 0.0 for e in bounds.extents):
+            raise ValueError("workspace must have positive extent "
+                             "in every dimension")
+        self.bounds = bounds
+
+    @property
+    def ndim(self) -> int:
+        return self.bounds.ndim
+
+    def to_unit(self, rect: Rect) -> Rect:
+        """Map a rectangle from workspace coordinates into ``[0, 1]^n``."""
+        self._check(rect)
+        lo = self.bounds.lo
+        ext = self.bounds.extents
+        return Rect(
+            tuple((a - o) / e for a, o, e in zip(rect.lo, lo, ext)),
+            tuple((b - o) / e for b, o, e in zip(rect.hi, lo, ext)),
+        )
+
+    def from_unit(self, rect: Rect) -> Rect:
+        """Map a rectangle from ``[0, 1]^n`` back to workspace coordinates."""
+        self._check(rect)
+        lo = self.bounds.lo
+        ext = self.bounds.extents
+        return Rect(
+            tuple(o + a * e for a, o, e in zip(rect.lo, lo, ext)),
+            tuple(o + b * e for b, o, e in zip(rect.hi, lo, ext)),
+        )
+
+    def normalize_all(self, rects: Sequence[Rect]) -> list[Rect]:
+        """Map a whole data set into the unit workspace."""
+        return [self.to_unit(r) for r in rects]
+
+    def _check(self, rect: Rect) -> None:
+        if rect.ndim != self.ndim:
+            raise ValueError(
+                f"rect has {rect.ndim} dims, workspace has {self.ndim}"
+            )
+
+    def __repr__(self) -> str:
+        return f"Workspace({self.bounds!r})"

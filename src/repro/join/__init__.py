@@ -1,0 +1,30 @@
+"""Spatial join algorithms: SJ synchronized traversal and baselines."""
+
+from .naive import naive_join
+from .parallel import (ASSIGNMENT_STRATEGIES, ParallelJoinResult,
+                       parallel_spatial_join)
+from .plane_sweep import nested_loop_pairs, sweep_pairs
+from .nested_loop import index_nested_loop_join
+from .predicates import OVERLAP, JoinPredicate, Overlap, WithinDistance
+from .result import R1, R2, JoinResult
+from .sync import PAIR_ENUMERATIONS, SpatialJoin, spatial_join
+
+__all__ = [
+    "ASSIGNMENT_STRATEGIES",
+    "JoinPredicate",
+    "JoinResult",
+    "OVERLAP",
+    "PAIR_ENUMERATIONS",
+    "ParallelJoinResult",
+    "Overlap",
+    "R1",
+    "R2",
+    "SpatialJoin",
+    "WithinDistance",
+    "index_nested_loop_join",
+    "nested_loop_pairs",
+    "parallel_spatial_join",
+    "naive_join",
+    "spatial_join",
+    "sweep_pairs",
+]

@@ -1,0 +1,28 @@
+"""Naive nested-loop join over raw rectangle lists.
+
+No index, no I/O model — just the Cartesian product filtered by the
+predicate.  This is the ground truth the test suite compares every other
+join algorithm against.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..geometry import Rect
+from .predicates import OVERLAP, JoinPredicate
+
+__all__ = ["naive_join"]
+
+
+def naive_join(set1: Sequence[tuple[Rect, int]],
+               set2: Sequence[tuple[Rect, int]],
+               predicate: JoinPredicate = OVERLAP,
+               ) -> list[tuple[int, int]]:
+    """All ``(oid1, oid2)`` pairs satisfying the predicate."""
+    out: list[tuple[int, int]] = []
+    for r1, o1 in set1:
+        for r2, o2 in set2:
+            if predicate.leaf_test(r1, r2):
+                out.append((o1, o2))
+    return out

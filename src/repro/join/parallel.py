@@ -1,0 +1,167 @@
+"""Simulated parallel spatial join (the paper's §5 / [BKS96] item).
+
+The paper lists "parallel processing of spatial join" as future work,
+citing Brinkhoff et al.'s approach: decompose the join into independent
+subtree-pair tasks and spread them over processors with their own disks.
+This module simulates exactly that:
+
+* **tasks** — the overlapping pairs of root entries (one subtree from
+  each tree); every SJ recursion below the roots belongs to exactly one
+  task, so tasks partition the work and the union of their outputs is
+  the sequential join's output;
+* **workers** — each worker owns a private path buffer ("its own disk"),
+  executes its tasks sequentially, and accumulates its own NA/DA;
+* **assignment** — round-robin, or greedy longest-processing-time using
+  the per-task cost estimate the paper's own formulas enable (the
+  overlap-area of the two subtree MBRs as the cost proxy);
+* **makespan** — the parallel cost is the maximum per-worker DA, the
+  quantity a shared-nothing parallel SDBMS waits for.
+"""
+
+from __future__ import annotations
+
+from ..rtree import RTreeBase
+from ..storage import AccessStats, MeteredReader, PathBuffer
+from .predicates import OVERLAP, JoinPredicate
+from .result import R1, R2
+from .sync import _TraversalState
+
+__all__ = ["parallel_spatial_join", "ParallelJoinResult",
+           "ASSIGNMENT_STRATEGIES"]
+
+ASSIGNMENT_STRATEGIES = ("round-robin", "greedy")
+
+
+class ParallelJoinResult:
+    """Outcome of a simulated parallel SJ execution."""
+
+    def __init__(self, pairs: list[tuple[int, int]],
+                 worker_stats: list[AccessStats], pair_count: int):
+        self.pairs = pairs
+        self.worker_stats = worker_stats
+        self.pair_count = pair_count
+
+    @property
+    def workers(self) -> int:
+        return len(self.worker_stats)
+
+    @property
+    def total_na(self) -> int:
+        """Summed node accesses over all workers (the resource cost)."""
+        return sum(s.na() for s in self.worker_stats)
+
+    @property
+    def total_da(self) -> int:
+        """Summed disk accesses over all workers."""
+        return sum(s.da() for s in self.worker_stats)
+
+    @property
+    def makespan_na(self) -> int:
+        """Node accesses of the busiest worker (the wall-clock cost)."""
+        return max((s.na() for s in self.worker_stats), default=0)
+
+    @property
+    def makespan_da(self) -> int:
+        """Disk accesses of the busiest worker."""
+        return max((s.da() for s in self.worker_stats), default=0)
+
+    def speedup_da(self, sequential_da: int) -> float:
+        """Wall-clock speedup over a given sequential DA measurement."""
+        if self.makespan_da == 0:
+            return float("inf") if sequential_da > 0 else 1.0
+        return sequential_da / self.makespan_da
+
+    def __repr__(self) -> str:
+        return (f"ParallelJoinResult(workers={self.workers}, "
+                f"pairs={self.pair_count}, "
+                f"makespan_da={self.makespan_da}, "
+                f"total_da={self.total_da})")
+
+
+def parallel_spatial_join(tree1: RTreeBase, tree2: RTreeBase,
+                          workers: int,
+                          predicate: JoinPredicate = OVERLAP,
+                          assignment: str = "greedy",
+                          collect_pairs: bool = True,
+                          ) -> ParallelJoinResult:
+    """Run the SJ join split into subtree-pair tasks over ``workers``.
+
+    The result set equals the sequential join's; only the access
+    accounting is partitioned.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    if assignment not in ASSIGNMENT_STRATEGIES:
+        raise ValueError(
+            f"assignment must be one of {ASSIGNMENT_STRATEGIES}")
+    if tree1.ndim != tree2.ndim:
+        raise ValueError(
+            f"dimensionality mismatch: {tree1.ndim} vs {tree2.ndim}")
+
+    root1 = tree1.root()
+    root2 = tree2.root()
+    # Task decomposition depends on which roots are internal:
+    #   * both internal  -> one task per overlapping root-entry pair;
+    #   * one is a leaf  -> one task per qualifying entry of the
+    #     internal root (the pinned leaf root joins each subtree);
+    #   * both leaves    -> a single trivial task.
+    tasks: list[tuple[float, object, object]] = []
+    if not root1.is_leaf and not root2.is_leaf:
+        for e2 in root2.entries:         # the paper's loop order
+            for e1 in root1.entries:
+                if predicate.node_test(e1.rect, e2.rect):
+                    cost_proxy = e1.rect.intersection_area(e2.rect)
+                    tasks.append((cost_proxy, e1, e2))
+    elif root1.is_leaf and not root2.is_leaf:
+        if root1.entries:
+            mbr1 = root1.mbr()
+            for e2 in root2.entries:
+                if predicate.node_test(mbr1, e2.rect):
+                    tasks.append(
+                        (mbr1.intersection_area(e2.rect), None, e2))
+    elif not root1.is_leaf and root2.is_leaf:
+        if root2.entries:
+            mbr2 = root2.mbr()
+            for e1 in root1.entries:
+                if predicate.node_test(e1.rect, mbr2):
+                    tasks.append(
+                        (e1.rect.intersection_area(mbr2), e1, None))
+    else:
+        if root1.entries and root2.entries:
+            tasks.append((1.0, None, None))
+
+    buckets: list[list[tuple]] = [[] for _ in range(workers)]
+    if assignment == "round-robin":
+        for i, task in enumerate(tasks):
+            buckets[i % workers].append(task)
+    else:
+        # Longest-processing-time greedy: biggest estimated task to the
+        # currently least loaded worker.
+        loads = [0.0] * workers
+        for task in sorted(tasks, key=lambda t: t[0], reverse=True):
+            w = loads.index(min(loads))
+            buckets[w].append(task)
+            loads[w] += task[0]
+
+    all_pairs: list[tuple[int, int]] = []
+    pair_count = 0
+    worker_stats: list[AccessStats] = []
+    for bucket in buckets:
+        stats = AccessStats()
+        buffer = PathBuffer()            # each worker owns its disk/buffer
+        reader1 = MeteredReader(tree1.pager, R1, stats, buffer)
+        reader2 = MeteredReader(tree2.pager, R2, stats, buffer)
+        state = _TraversalState(
+            reader1, reader2, predicate, collect_pairs,
+            pinned1=tree1.root_id, pinned2=tree2.root_id)
+        for _cost, e1, e2 in bucket:
+            c1 = (root1 if e1 is None
+                  else state._fetch1(e1.ref, root1.level - 1))
+            c2 = (root2 if e2 is None
+                  else state._fetch2(e2.ref, root2.level - 1))
+            state.join(c1, c2)
+        worker_stats.append(stats)
+        all_pairs.extend(state.pairs)
+        pair_count += state.pair_count
+
+    return ParallelJoinResult(all_pairs, worker_stats, pair_count)

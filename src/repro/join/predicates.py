@@ -1,0 +1,76 @@
+"""Join predicates.
+
+The paper's join condition is ``overlap`` (MBR intersection).  Section 5
+sketches supporting other spatial operators by transforming the query
+window [PT97]; the runtime counterpart of that idea is a predicate object
+with two faces:
+
+* ``node_test`` — a conservative test between *node/entry* rectangles that
+  must never prune a pair whose descendants could satisfy the join (it is
+  applied while descending);
+* ``leaf_test`` — the exact test between *data* rectangles.
+
+For ``Overlap`` the two coincide.  For ``WithinDistance(e)`` both are a
+minimum-distance test, which is simultaneously exact at leaf level and
+conservative above it (node MBRs contain their data, so node distance is a
+lower bound on data distance).
+"""
+
+from __future__ import annotations
+
+from ..geometry import Rect
+
+__all__ = ["JoinPredicate", "Overlap", "WithinDistance", "OVERLAP"]
+
+
+class JoinPredicate:
+    """Interface for join conditions usable by the SJ traversal."""
+
+    def node_test(self, r1: Rect, r2: Rect) -> bool:
+        """Conservative test for internal-level rectangle pairs."""
+        raise NotImplementedError
+
+    def leaf_test(self, r1: Rect, r2: Rect) -> bool:
+        """Exact test for data rectangle pairs."""
+        raise NotImplementedError
+
+
+class Overlap(JoinPredicate):
+    """The paper's join condition: MBR intersection."""
+
+    def node_test(self, r1: Rect, r2: Rect) -> bool:
+        return r1.intersects(r2)
+
+    def leaf_test(self, r1: Rect, r2: Rect) -> bool:
+        return r1.intersects(r2)
+
+    def __repr__(self) -> str:
+        return "Overlap()"
+
+
+class WithinDistance(JoinPredicate):
+    """Distance join: pairs whose MBRs lie within ``distance`` of each
+    other (Euclidean, between closest points).
+
+    Equivalent to the window-transformation view of §5: inflating one side
+    by ``distance`` and testing overlap.  ``distance = 0`` degenerates to
+    :class:`Overlap`.
+    """
+
+    def __init__(self, distance: float):
+        if distance < 0.0:
+            raise ValueError("distance must be >= 0")
+        self.distance = distance
+
+    def node_test(self, r1: Rect, r2: Rect) -> bool:
+        return r1.min_distance(r2) <= self.distance
+
+    def leaf_test(self, r1: Rect, r2: Rect) -> bool:
+        return r1.min_distance(r2) <= self.distance
+
+    def __repr__(self) -> str:
+        return f"WithinDistance({self.distance})"
+
+
+#: Shared default instance.
+OVERLAP = Overlap()

@@ -1,0 +1,62 @@
+"""Join results: output pairs plus the measured access accounting."""
+
+from __future__ import annotations
+
+from ..storage import AccessStats
+
+__all__ = ["JoinResult", "R1", "R2"]
+
+#: Tree labels used throughout the join layer and the cost-model
+#: comparisons.  R2 plays the "query tree" role (outer loop of SJ),
+#: R1 the "data tree" role (inner loop), matching the paper's Figure 2.
+R1 = "R1"
+R2 = "R2"
+
+
+class JoinResult:
+    """Output of one spatial-join execution.
+
+    ``pairs`` holds ``(oid1, oid2)`` tuples (object from R1 first);
+    ``stats`` the per-tree, per-level NA/DA counters gathered during the
+    traversal.  ``comparisons`` counts rectangle-pair predicate
+    evaluations — a CPU-cost indicator the paper excludes from its model
+    but that the ablation benches report.
+    """
+
+    def __init__(self, pairs: list[tuple[int, int]], stats: AccessStats,
+                 comparisons: int = 0, pair_count: int | None = None):
+        self.pairs = pairs
+        self.stats = stats
+        self.comparisons = comparisons
+        self.pair_count = pair_count if pair_count is not None else len(pairs)
+
+    @property
+    def na_total(self) -> int:
+        """Measured node accesses over both trees (paper's NA_total)."""
+        return self.stats.na()
+
+    @property
+    def da_total(self) -> int:
+        """Measured disk accesses over both trees (paper's DA_total)."""
+        return self.stats.da()
+
+    def na(self, tree: str) -> int:
+        """Node accesses charged to one tree (``"R1"`` or ``"R2"``)."""
+        return self.stats.na(tree)
+
+    def da(self, tree: str) -> int:
+        """Disk accesses charged to one tree."""
+        return self.stats.da(tree)
+
+    @property
+    def selectivity_count(self) -> int:
+        """Number of qualifying pairs (the quantity §5 wants to model).
+
+        Valid also for measurement-only runs where pairs were counted but
+        not materialised.
+        """
+        return self.pair_count
+
+    def __repr__(self) -> str:
+        return (f"JoinResult(pairs={len(self.pairs)}, "
+                f"NA={self.na_total}, DA={self.da_total})")

@@ -1,0 +1,185 @@
+"""The SJ spatial-join algorithm: synchronized R-tree traversal.
+
+This is the algorithm of the paper's Figure 2 (originally SpatialJoin1 of
+[BKS93]) with the exact structure the cost model assumes:
+
+* the *outer* loop runs over the entries of the R2 node, the *inner* loop
+  over the entries of the R1 node — this ordering is what makes the disk
+  accesses asymmetric between the two trees under a path buffer (Eqs. 8/9);
+* every recursive descent fetches both child pages through the buffer
+  manager (``ReadPage`` in the pseudo-code); the two roots are pinned in
+  main memory and never charged;
+* when the trees have different heights, both descend together until the
+  shorter one reaches its leaves; afterwards the taller tree keeps
+  descending while the leaf node of the shorter tree is re-fetched per
+  visited pair (Section 3.2).
+
+One traversal measures NA and DA simultaneously: each fetch counts one
+node access, and each *buffer miss* counts one disk access, so running
+with a :class:`~repro.storage.PathBuffer` reproduces both metrics of the
+paper in a single pass (``NoBuffer`` makes DA equal NA).
+"""
+
+from __future__ import annotations
+
+from ..rtree import Node, RTreeBase
+from ..storage import AccessStats, BufferManager, MeteredReader, PathBuffer
+from .plane_sweep import nested_loop_pairs, sweep_pairs
+from .predicates import OVERLAP, JoinPredicate
+from .result import R1, R2, JoinResult
+
+__all__ = ["spatial_join", "SpatialJoin", "PAIR_ENUMERATIONS"]
+
+#: Pair-matching strategies inside one node pair: the paper's nested
+#: loops (outer R2, inner R1 — what the DA model assumes) or the BKS93
+#: plane-sweep CPU optimisation.
+PAIR_ENUMERATIONS = ("nested-loop", "plane-sweep")
+
+
+def spatial_join(tree1: RTreeBase, tree2: RTreeBase,
+                 buffer: BufferManager | None = None,
+                 predicate: JoinPredicate = OVERLAP,
+                 collect_pairs: bool = True,
+                 pair_enumeration: str = "nested-loop") -> JoinResult:
+    """Join two R-trees; ``tree1`` is R1 (data role), ``tree2`` R2 (query).
+
+    Parameters
+    ----------
+    buffer:
+        Buffer manager shared by the traversal; defaults to a fresh
+        :class:`PathBuffer` (the paper's DA regime).
+    predicate:
+        Join condition; defaults to overlap.
+    collect_pairs:
+        Set ``False`` for measurement-only runs over large data (the
+        counters are unaffected, the pair list stays empty).
+    pair_enumeration:
+        ``"nested-loop"`` (the paper's Fig. 2 loops, default) or
+        ``"plane-sweep"`` (the BKS93 CPU optimisation: same output,
+        fewer comparisons, slightly different read order).
+    """
+    return SpatialJoin(tree1, tree2, buffer, predicate,
+                       pair_enumeration).run(collect_pairs)
+
+
+class SpatialJoin:
+    """One configured SJ execution (reusable via repeated :meth:`run`)."""
+
+    def __init__(self, tree1: RTreeBase, tree2: RTreeBase,
+                 buffer: BufferManager | None = None,
+                 predicate: JoinPredicate = OVERLAP,
+                 pair_enumeration: str = "nested-loop"):
+        if tree1.ndim != tree2.ndim:
+            raise ValueError(
+                f"dimensionality mismatch: {tree1.ndim} vs {tree2.ndim}")
+        if pair_enumeration not in PAIR_ENUMERATIONS:
+            raise ValueError(
+                f"pair_enumeration must be one of {PAIR_ENUMERATIONS}")
+        self.tree1 = tree1
+        self.tree2 = tree2
+        self.buffer = buffer if buffer is not None else PathBuffer()
+        self.predicate = predicate
+        self.pair_enumeration = pair_enumeration
+
+    def run(self, collect_pairs: bool = True) -> JoinResult:
+        """Execute the join, returning pairs and fresh access counters."""
+        self.buffer.reset()
+        stats = AccessStats()
+        reader1 = MeteredReader(self.tree1.pager, R1, stats, self.buffer)
+        reader2 = MeteredReader(self.tree2.pager, R2, stats, self.buffer)
+        state = _TraversalState(
+            reader1, reader2, self.predicate, collect_pairs,
+            pinned1=self.tree1.root_id, pinned2=self.tree2.root_id,
+            pair_enumeration=self.pair_enumeration)
+        root1 = self.tree1.root()
+        root2 = self.tree2.root()
+        if root1.entries and root2.entries:
+            state.join(root1, root2)
+        return JoinResult(state.pairs, stats, state.comparisons,
+                          pair_count=state.pair_count)
+
+
+class _TraversalState:
+    """Mutable state of one traversal (readers, output, counters)."""
+
+    def __init__(self, reader1: MeteredReader, reader2: MeteredReader,
+                 predicate: JoinPredicate, collect_pairs: bool,
+                 pinned1: int, pinned2: int,
+                 pair_enumeration: str = "nested-loop"):
+        if pair_enumeration == "plane-sweep":
+            self._pairs_of = sweep_pairs
+        else:
+            self._pairs_of = nested_loop_pairs
+        self.reader1 = reader1
+        self.reader2 = reader2
+        self.predicate = predicate
+        self.collect_pairs = collect_pairs
+        # Root pages are pinned in main memory (Section 3.1) and must not
+        # be charged even when a root doubles as a leaf (height-1 trees).
+        self.pinned1 = pinned1
+        self.pinned2 = pinned2
+        self.pairs: list[tuple[int, int]] = []
+        self.pair_count = 0
+        self.comparisons = 0
+
+    def _fetch1(self, page_id: int, level: int) -> Node:
+        if page_id == self.pinned1:
+            return self.reader1.pager.read(page_id)
+        return self.reader1.fetch(page_id, level)
+
+    def _fetch2(self, page_id: int, level: int) -> Node:
+        if page_id == self.pinned2:
+            return self.reader2.pager.read(page_id)
+        return self.reader2.fetch(page_id, level)
+
+    def join(self, n1: Node, n2: Node) -> None:
+        """SJ over a pair of resident nodes (the recursion of Fig. 2)."""
+        if n1.is_leaf and n2.is_leaf:
+            self._join_leaves(n1, n2)
+        elif not n1.is_leaf and not n2.is_leaf:
+            self._join_internal(n1, n2)
+        elif n1.is_leaf:
+            self._join_mixed_r1_leaf(n1, n2)
+        else:
+            self._join_mixed_r2_leaf(n1, n2)
+
+    def _join_leaves(self, n1: Node, n2: Node) -> None:
+        leaf_test = self.predicate.leaf_test
+        for e1, e2, cost in self._pairs_of(n1.entries, n2.entries):
+            self.comparisons += cost
+            if leaf_test(e1.rect, e2.rect):
+                self.pair_count += 1
+                if self.collect_pairs:
+                    self.pairs.append((e1.ref, e2.ref))
+
+    def _join_internal(self, n1: Node, n2: Node) -> None:
+        node_test = self.predicate.node_test
+        for e1, e2, cost in self._pairs_of(n1.entries, n2.entries):
+            self.comparisons += cost
+            if node_test(e1.rect, e2.rect):
+                # Line 14 of Fig. 2: ReadPage both children, recurse.
+                c1 = self._fetch1(e1.ref, n1.level - 1)
+                c2 = self._fetch2(e2.ref, n2.level - 1)
+                self.join(c1, c2)
+
+    def _join_mixed_r1_leaf(self, n1: Node, n2: Node) -> None:
+        """R1 bottomed out, R2 still internal (h_R1 < h_R2 regime)."""
+        node_test = self.predicate.node_test
+        n1_mbr = n1.mbr()
+        for e2 in n2.entries:
+            self.comparisons += 1
+            if node_test(n1_mbr, e2.rect):
+                c2 = self._fetch2(e2.ref, n2.level - 1)
+                c1 = self._fetch1(n1.page_id, n1.level)
+                self.join(c1, c2)
+
+    def _join_mixed_r2_leaf(self, n1: Node, n2: Node) -> None:
+        """R2 bottomed out, R1 still internal (h_R1 > h_R2 regime)."""
+        node_test = self.predicate.node_test
+        n2_mbr = n2.mbr()
+        for e1 in n1.entries:
+            self.comparisons += 1
+            if node_test(e1.rect, n2_mbr):
+                c1 = self._fetch1(e1.ref, n1.level - 1)
+                c2 = self._fetch2(n2.page_id, n2.level)
+                self.join(c1, c2)

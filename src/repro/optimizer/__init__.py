@@ -1,0 +1,25 @@
+"""Cost-based spatial query optimizer built on the paper's formulas."""
+
+from .catalog import Catalog, CatalogEntry
+from .costing import METRICS, make_index_nested_loop, make_spatial_join
+from .enumerate import best_plan, role_advice
+from .executor import ExecutionResult, ResultTuple, execute_plan
+from .plans import (IndexNestedLoopPlan, IndexScanPlan, Plan,
+                    SpatialJoinPlan)
+
+__all__ = [
+    "Catalog",
+    "CatalogEntry",
+    "ExecutionResult",
+    "IndexNestedLoopPlan",
+    "IndexScanPlan",
+    "METRICS",
+    "Plan",
+    "ResultTuple",
+    "SpatialJoinPlan",
+    "best_plan",
+    "execute_plan",
+    "make_index_nested_loop",
+    "make_spatial_join",
+    "role_advice",
+]

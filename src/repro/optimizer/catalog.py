@@ -1,0 +1,87 @@
+"""Statistics catalog for the cost-based spatial optimizer.
+
+The paper's selling point is that its formulas need *only* primitive data
+properties — so a catalog entry is just ``(N, D, n, M, c)`` per relation,
+exactly what a real SDBMS could keep in its statistics tables without ever
+touching the indexes.  Entries can be registered from a concrete
+:class:`~repro.datasets.SpatialDataset` (properties are measured once) or
+from raw numbers (simulating ANALYZE output).
+"""
+
+from __future__ import annotations
+
+from ..costmodel import DEFAULT_FILL, AnalyticalTreeParams
+from ..datasets import SpatialDataset
+
+__all__ = ["CatalogEntry", "Catalog"]
+
+
+class CatalogEntry:
+    """Optimizer-visible statistics of one spatial relation."""
+
+    def __init__(self, name: str, cardinality: int, density: float,
+                 ndim: int, max_entries: int,
+                 fill: float = DEFAULT_FILL):
+        self.name = name
+        self.cardinality = cardinality
+        self.density = density
+        self.ndim = ndim
+        self.max_entries = max_entries
+        self.fill = fill
+        self.params = AnalyticalTreeParams(
+            cardinality, density, max_entries, ndim, fill)
+
+    @property
+    def average_extents(self) -> tuple[float, ...]:
+        """Average object side lengths, ``(D/N)^(1/n)``."""
+        return self.params.average_object_extents()
+
+    def __repr__(self) -> str:
+        return (f"CatalogEntry({self.name!r}, N={self.cardinality}, "
+                f"D={self.density:.3f}, n={self.ndim})")
+
+
+class Catalog:
+    """Named collection of relation statistics."""
+
+    def __init__(self, max_entries: int, fill: float = DEFAULT_FILL):
+        self.max_entries = max_entries
+        self.fill = fill
+        self._entries: dict[str, CatalogEntry] = {}
+
+    def register_dataset(self, name: str,
+                         dataset: SpatialDataset) -> CatalogEntry:
+        """Measure and store a data set's primitive properties."""
+        entry = CatalogEntry(name, dataset.cardinality, dataset.density(),
+                             dataset.ndim, self.max_entries, self.fill)
+        self._entries[name] = entry
+        return entry
+
+    def register_stats(self, name: str, cardinality: int, density: float,
+                       ndim: int) -> CatalogEntry:
+        """Store externally known statistics (no data needed)."""
+        entry = CatalogEntry(name, cardinality, density, ndim,
+                             self.max_entries, self.fill)
+        self._entries[name] = entry
+        return entry
+
+    def get(self, name: str) -> CatalogEntry:
+        """The stored statistics of one relation (KeyError if absent)."""
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise KeyError(f"relation {name!r} is not in the catalog"
+                           ) from None
+
+    def names(self) -> list[str]:
+        """All registered relation names, sorted."""
+        return sorted(self._entries)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __repr__(self) -> str:
+        return f"Catalog({self.names()})"

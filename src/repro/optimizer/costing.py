@@ -1,0 +1,53 @@
+"""Pricing plan operators with the paper's formulas.
+
+* SJ between two indexed relations — Eq. 10/12 (``metric="da"``, the
+  realistic path-buffered cost) or Eq. 7/11 (``metric="na"``);
+* index-nested-loop — one Eq. 1 range query per streamed tuple, with the
+  average stream-tuple MBR as the window (probes are priced bufferless:
+  consecutive probe windows of an unclustered stream share little path).
+
+The join output cardinality comes from the §5 selectivity formula.
+"""
+
+from __future__ import annotations
+
+from ..costmodel import (join_da_total, join_na_total,
+                         join_selectivity_pairs, range_query_na)
+from .catalog import CatalogEntry
+from .plans import IndexNestedLoopPlan, IndexScanPlan, Plan, SpatialJoinPlan
+
+__all__ = ["make_spatial_join", "make_index_nested_loop", "METRICS"]
+
+METRICS = ("na", "da")
+
+
+def make_spatial_join(data: IndexScanPlan, query: IndexScanPlan,
+                      metric: str = "da") -> SpatialJoinPlan:
+    """Price an SJ plan with an explicit role assignment."""
+    _check_metric(metric)
+    p1 = data.entry.params
+    p2 = query.entry.params
+    if metric == "da":
+        cost = join_da_total(p1, p2)
+    else:
+        cost = join_na_total(p1, p2)
+    out = join_selectivity_pairs(p1, p2)
+    return SpatialJoinPlan(data, query, cost, out)
+
+
+def make_index_nested_loop(stream: Plan, indexed: IndexScanPlan,
+                           metric: str = "da") -> IndexNestedLoopPlan:
+    """Price probing ``indexed`` once per streamed result tuple.
+
+    The metric parameter is accepted for interface symmetry; probe cost
+    is Eq. 1 either way (see module docstring).
+    """
+    _check_metric(metric)
+    per_probe = range_query_na(indexed.entry.params, stream.out_extents)
+    cost = stream.cost + stream.out_cardinality * per_probe
+    return IndexNestedLoopPlan(stream, indexed, cost)
+
+
+def _check_metric(metric: str) -> None:
+    if metric not in METRICS:
+        raise ValueError(f"metric must be one of {METRICS}, got {metric!r}")

@@ -1,0 +1,88 @@
+"""Plan enumeration: cost-based join ordering for spatial queries.
+
+A dynamic program over relation subsets (the classic Selinger scheme,
+adapted to the two physical operators the cost model can price):
+
+* every unordered pair of relations seeds candidate
+  :class:`SpatialJoinPlan` plans — *both* role assignments are priced,
+  because the DA model is asymmetric (the paper's Figure 7 shows the
+  smaller tree usually, but not always, belongs in the query role);
+* every priced subset is extended one relation at a time through
+  :class:`IndexNestedLoopPlan` (intermediate results are unindexed).
+
+``best_plan`` returns the cheapest plan covering all requested relations;
+``role_advice`` answers the paper's narrower question — which of two
+relations should play the query tree — directly from the formulas.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from .catalog import Catalog
+from .costing import make_index_nested_loop, make_spatial_join
+from .plans import IndexScanPlan, Plan
+
+__all__ = ["best_plan", "role_advice"]
+
+
+def best_plan(catalog: Catalog, names: list[str],
+              metric: str = "da") -> Plan:
+    """Cheapest plan joining all ``names`` (at least two relations)."""
+    if len(names) < 2:
+        raise ValueError("a join needs at least two relations")
+    if len(set(names)) != len(names):
+        raise ValueError("duplicate relation names")
+    entries = {name: catalog.get(name) for name in names}
+    ndims = {e.ndim for e in entries.values()}
+    if len(ndims) != 1:
+        raise ValueError("all joined relations must share dimensionality")
+
+    scans = {name: IndexScanPlan(entry)
+             for name, entry in entries.items()}
+
+    best: dict[frozenset[str], Plan] = {}
+
+    # Seed: all 2-subsets via SJ, trying both role assignments.
+    for a, b in itertools.combinations(names, 2):
+        for data, query in ((a, b), (b, a)):
+            plan = make_spatial_join(scans[data], scans[query], metric)
+            _offer(best, plan)
+
+    # Grow: extend each priced subset by one relation via INL.
+    for size in range(2, len(names)):
+        for subset in itertools.combinations(names, size):
+            key = frozenset(subset)
+            if key not in best:
+                continue
+            for extra in names:
+                if extra in key:
+                    continue
+                plan = make_index_nested_loop(
+                    best[key], scans[extra], metric)
+                _offer(best, plan)
+
+    return best[frozenset(names)]
+
+
+def role_advice(catalog: Catalog, a: str, b: str,
+                metric: str = "da") -> tuple[str, str, float, float]:
+    """Which relation should be the query tree (R2) when joining a, b?
+
+    Returns ``(data_name, query_name, chosen_cost, alternative_cost)``.
+    For the NA metric both assignments cost the same (Eq. 7 is
+    symmetric); for DA they generally differ.
+    """
+    scan_a = IndexScanPlan(catalog.get(a))
+    scan_b = IndexScanPlan(catalog.get(b))
+    ab = make_spatial_join(scan_a, scan_b, metric)
+    ba = make_spatial_join(scan_b, scan_a, metric)
+    if ab.cost <= ba.cost:
+        return a, b, ab.cost, ba.cost
+    return b, a, ba.cost, ab.cost
+
+
+def _offer(best: dict[frozenset[str], Plan], plan: Plan) -> None:
+    key = plan.relations()
+    if key not in best or plan.cost < best[key].cost:
+        best[key] = plan

@@ -1,0 +1,34 @@
+"""R-tree family: Guttman R-tree, R*-tree, packed trees, validation."""
+
+from .analysis import LevelQuality, quality_report, total_overlap
+from .bulk import hilbert_pack, str_pack
+from .entry import Entry
+from .guttman import GuttmanRTree
+from .hilbert import hilbert_index, hilbert_index_float
+from .knn import brute_force_neighbors, nearest_neighbors
+from .node import LEAF_LEVEL, Node
+from .rstar import RStarTree
+from .tree import LevelStats, RTreeBase
+from .validate import InvalidTreeError, check, validate
+
+__all__ = [
+    "Entry",
+    "GuttmanRTree",
+    "InvalidTreeError",
+    "LEAF_LEVEL",
+    "LevelQuality",
+    "LevelStats",
+    "Node",
+    "RStarTree",
+    "RTreeBase",
+    "brute_force_neighbors",
+    "check",
+    "hilbert_index",
+    "hilbert_index_float",
+    "hilbert_pack",
+    "nearest_neighbors",
+    "quality_report",
+    "str_pack",
+    "total_overlap",
+    "validate",
+]

@@ -1,0 +1,84 @@
+"""Structural quality metrics for built R-trees.
+
+The classic predictors of R-tree query performance (BKSS90's design
+targets) per level:
+
+* **coverage** — summed node MBR area; the measured counterpart of the
+  model's ``D_j`` and the quantity Eq. 5 predicts;
+* **overlap** — summed pairwise intersection area among the level's
+  nodes; the R*-split explicitly minimises this, and it is what the
+  cost model's uniform-placement assumption silently averages over;
+* **perimeter** — summed node margins (the R*-split axis criterion);
+* **fill** — mean utilisation (the model's ``c``).
+
+``quality_report`` assembles all of it; the A2 ablation uses these
+numbers to explain *why* Guttman and Hilbert trees cost more than the
+model predicts (their overlap is higher for the same coverage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .tree import RTreeBase
+
+__all__ = ["LevelQuality", "quality_report", "total_overlap"]
+
+
+@dataclass(frozen=True)
+class LevelQuality:
+    """Quality metrics of one tree level."""
+
+    level: int
+    nodes: int
+    coverage: float          # sum of node areas (measured D_j)
+    overlap: float           # sum of pairwise intersection areas
+    perimeter: float         # sum of node margins
+    mean_fill: float         # mean entries / M
+
+    @property
+    def overlap_ratio(self) -> float:
+        """Overlap normalised by coverage (0 = perfectly disjoint)."""
+        return self.overlap / self.coverage if self.coverage else 0.0
+
+
+def quality_report(tree: RTreeBase) -> dict[int, LevelQuality]:
+    """Per-level quality metrics (root level included, trivially)."""
+    by_level: dict[int, list] = {}
+    fills: dict[int, list[int]] = {}
+    for node in tree.nodes():
+        if not node.entries:
+            continue
+        by_level.setdefault(node.level, []).append(node.mbr())
+        fills.setdefault(node.level, []).append(len(node.entries))
+
+    out: dict[int, LevelQuality] = {}
+    for level, rects in by_level.items():
+        coverage = sum(r.area() for r in rects)
+        perimeter = sum(r.margin() for r in rects)
+        overlap = 0.0
+        for i in range(len(rects)):
+            for j in range(i + 1, len(rects)):
+                overlap += rects[i].intersection_area(rects[j])
+        counts = fills[level]
+        out[level] = LevelQuality(
+            level=level,
+            nodes=len(rects),
+            coverage=coverage,
+            overlap=overlap,
+            perimeter=perimeter,
+            mean_fill=sum(counts) / (len(counts) * tree.max_entries),
+        )
+    return out
+
+
+def total_overlap(tree: RTreeBase, level: int = 1) -> float:
+    """Summed pairwise node overlap at one level (default: leaves).
+
+    O(#nodes^2) pairwise computation — fine at bench scale; use the full
+    :func:`quality_report` when several levels are needed anyway.
+    """
+    report = quality_report(tree)
+    if level not in report:
+        return 0.0
+    return report[level].overlap

@@ -1,0 +1,83 @@
+"""k-nearest-neighbour search over an R-tree.
+
+Best-first branch-and-bound (Hjaltason & Samet's incremental algorithm):
+a priority queue ordered by minimum distance to the query point holds
+node *references* and data entries; a node is fetched only when popped,
+so no page is read unless its subtree could still contribute a result.
+Popping a data entry before any closer node proves it is the next
+nearest neighbour.  Provided as library surface — distance joins
+(``WithinDistance``) cover the paper's §5 operators, and kNN rounds out
+the query API a downstream SDBMS needs.
+
+Node visits can be charged through a :class:`MeteredReader`, consistent
+with the range-query and join accounting (root pinned).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Sequence
+
+from ..geometry import Rect
+from ..storage import MeteredReader
+from .tree import RTreeBase
+
+__all__ = ["nearest_neighbors", "brute_force_neighbors"]
+
+_OBJECT = 0
+_NODE = 1
+
+
+def nearest_neighbors(tree: RTreeBase, point: Sequence[float], k: int,
+                      reader: MeteredReader | None = None,
+                      ) -> list[tuple[int, float]]:
+    """The ``k`` data entries nearest to ``point``.
+
+    Returns ``(oid, distance)`` pairs in non-decreasing distance order
+    (fewer than ``k`` when the tree is smaller).  Distance is Euclidean
+    from the point to the rectangle (zero inside it).
+    """
+    if k < 0:
+        raise ValueError("k must be >= 0")
+    if len(point) != tree.ndim:
+        raise ValueError(
+            f"point has {len(point)} dims, tree has {tree.ndim}")
+    if k == 0 or len(tree) == 0:
+        return []
+
+    probe = Rect.point(point)
+    counter = itertools.count()       # FIFO tie-breaker for the heap
+    # Heap items: (distance, tick, kind, payload, level).  For _NODE the
+    # payload is a page id (fetched lazily on pop); for _OBJECT an oid.
+    heap: list[tuple[float, int, int, int, int]] = []
+
+    def expand(node) -> None:
+        for entry in node.entries:
+            d = probe.min_distance(entry.rect)
+            kind = _OBJECT if node.is_leaf else _NODE
+            heapq.heappush(
+                heap, (d, next(counter), kind, entry.ref, node.level - 1))
+
+    expand(tree.root())               # the root is pinned, never charged
+
+    results: list[tuple[int, float]] = []
+    while heap and len(results) < k:
+        dist, _tick, kind, ref, level = heapq.heappop(heap)
+        if kind == _OBJECT:
+            results.append((ref, dist))
+            continue
+        if reader is not None:
+            node = reader.fetch(ref, level)
+        else:
+            node = tree.node(ref)
+        expand(node)
+    return results
+
+
+def brute_force_neighbors(items, point: Sequence[float], k: int,
+                          ) -> list[tuple[int, float]]:
+    """Reference implementation over raw ``(rect, oid)`` items (tests)."""
+    probe = Rect.point(point)
+    scored = sorted(((probe.min_distance(r), oid) for r, oid in items))
+    return [(oid, d) for d, oid in scored[:k]]

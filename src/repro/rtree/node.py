@@ -1,0 +1,66 @@
+"""R-tree nodes.
+
+A node is one page worth of entries plus its level in the tree.  Levels
+follow the paper's numbering: leaves are level 1 and the root is level
+``h`` (Section 2.2: "the root is assumed to be at level j=h, and the
+leaf-nodes at level j=1").
+"""
+
+from __future__ import annotations
+
+from ..geometry import Rect
+from .entry import Entry
+
+__all__ = ["Node", "LEAF_LEVEL"]
+
+#: Leaves sit at level 1 in the paper's numbering.
+LEAF_LEVEL = 1
+
+
+class Node:
+    """One R-tree node (page): a level and a list of entries."""
+
+    __slots__ = ("page_id", "level", "entries")
+
+    def __init__(self, page_id: int, level: int,
+                 entries: list[Entry] | None = None):
+        if level < LEAF_LEVEL:
+            raise ValueError(f"level must be >= {LEAF_LEVEL}")
+        self.page_id = page_id
+        self.level = level
+        self.entries: list[Entry] = list(entries) if entries else []
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.level == LEAF_LEVEL
+
+    def mbr(self) -> Rect:
+        """Minimum bounding rectangle of all entries.
+
+        Raises :class:`ValueError` for an empty node: only a freshly
+        created root may be empty, and callers never ask for its MBR.
+        """
+        if not self.entries:
+            raise ValueError(f"node {self.page_id} is empty")
+        return Rect.bounding(e.rect for e in self.entries)
+
+    def entry_for_child(self, child_id: int) -> int:
+        """Index of the entry referencing a given child page id."""
+        for i, entry in enumerate(self.entries):
+            if entry.ref == child_id:
+                return i
+        raise KeyError(
+            f"node {self.page_id} has no entry for child {child_id}"
+        )
+
+    def replace_entry(self, index: int, entry: Entry) -> None:
+        """Overwrite the entry at ``index`` (used for MBR adjustments)."""
+        self.entries[index] = entry
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __repr__(self) -> str:
+        kind = "leaf" if self.is_leaf else "internal"
+        return (f"Node(page={self.page_id}, level={self.level}, "
+                f"{kind}, entries={len(self.entries)})")

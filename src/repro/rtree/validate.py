@@ -1,0 +1,97 @@
+"""Structural invariant checking for R-trees.
+
+``validate`` returns a list of human-readable violations (empty when the
+tree is sound); ``check`` raises :class:`InvalidTreeError` instead.  Every
+tree-mutating test in the suite funnels through these checks, and the
+property-based tests assert that random workloads never break them.
+"""
+
+from __future__ import annotations
+
+from .node import LEAF_LEVEL
+from .tree import RTreeBase
+
+__all__ = ["validate", "check", "InvalidTreeError"]
+
+
+class InvalidTreeError(AssertionError):
+    """Raised by :func:`check` when a structural invariant is violated."""
+
+
+def validate(tree: RTreeBase) -> list[str]:
+    """All structural invariant violations of ``tree`` (empty = sound)."""
+    problems: list[str] = []
+    root = tree.root()
+
+    if root.level != tree.height:
+        problems.append(
+            f"root level {root.level} != recorded height {tree.height}")
+
+    seen_pages: set[int] = set()
+    leaf_entry_count = 0
+
+    def walk(node, is_root: bool) -> None:
+        nonlocal leaf_entry_count
+        if node.page_id in seen_pages:
+            problems.append(f"page {node.page_id} reachable twice")
+            return
+        seen_pages.add(node.page_id)
+
+        if len(node.entries) > tree.max_entries:
+            problems.append(
+                f"node {node.page_id} overflows: {len(node.entries)} "
+                f"> M={tree.max_entries}")
+        if not is_root and len(node.entries) < tree.min_entries:
+            problems.append(
+                f"node {node.page_id} underfull: {len(node.entries)} "
+                f"< m={tree.min_entries}")
+        if is_root and not node.is_leaf and len(node.entries) < 2:
+            problems.append("internal root has fewer than 2 entries")
+
+        for entry in node.entries:
+            if entry.rect.ndim != tree.ndim:
+                problems.append(
+                    f"entry in node {node.page_id} has wrong "
+                    f"dimensionality {entry.rect.ndim}")
+
+        if node.is_leaf:
+            leaf_entry_count += len(node.entries)
+            return
+
+        for entry in node.entries:
+            if entry.ref not in tree.pager:
+                problems.append(
+                    f"node {node.page_id} references missing page "
+                    f"{entry.ref}")
+                continue
+            child = tree.node(entry.ref)
+            if child.level != node.level - 1:
+                problems.append(
+                    f"child {child.page_id} at level {child.level} under "
+                    f"parent {node.page_id} at level {node.level}")
+            if child.entries and entry.rect != child.mbr():
+                problems.append(
+                    f"entry MBR for child {child.page_id} is stale: "
+                    f"{entry.rect!r} != {child.mbr()!r}")
+            walk(child, is_root=False)
+
+    walk(root, is_root=True)
+
+    if leaf_entry_count != tree.size:
+        problems.append(
+            f"size mismatch: {leaf_entry_count} leaf entries vs "
+            f"recorded size {tree.size}")
+    if tree.height < LEAF_LEVEL:
+        problems.append(f"impossible height {tree.height}")
+    if len(seen_pages) != len(tree.pager):
+        problems.append(
+            f"pager holds {len(tree.pager)} pages but only "
+            f"{len(seen_pages)} are reachable")
+    return problems
+
+
+def check(tree: RTreeBase) -> None:
+    """Raise :class:`InvalidTreeError` when any invariant is violated."""
+    problems = validate(tree)
+    if problems:
+        raise InvalidTreeError("; ".join(problems))

@@ -1,0 +1,118 @@
+"""Buffer managers for the simulated I/O layer.
+
+The paper analyses two regimes and defers a third to future work:
+
+* :class:`NoBuffer` — every ``ReadPage`` is a disk access (the NA metric);
+* :class:`PathBuffer` — each tree retains the most recently visited node
+  *per level* (i.e. the current root-to-node path); this is the regime the
+  DA formulas (Eqs. 8-10, 12) model;
+* :class:`LRUBuffer` — a size-``k`` least-recently-used page pool shared by
+  both trees; the paper's §5 lists this as future work, and the A1 ablation
+  bench measures it.
+
+All managers implement a single method, :meth:`BufferManager.access`, which
+registers a ``ReadPage`` of ``(tree, level, node_id)`` and reports whether
+it was a buffer hit.  Managers are deliberately ignorant of node contents:
+only identity matters for counting.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+__all__ = ["BufferManager", "NoBuffer", "PathBuffer", "LRUBuffer"]
+
+
+class BufferManager:
+    """Interface for page-buffer policies."""
+
+    def access(self, tree: object, level: int, node_id: int) -> bool:
+        """Register a page read; return ``True`` on a buffer hit."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget all cached pages."""
+        raise NotImplementedError
+
+
+class NoBuffer(BufferManager):
+    """Every read misses: models the bufferless NA metric."""
+
+    def access(self, tree: object, level: int, node_id: int) -> bool:
+        return False
+
+    def reset(self) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NoBuffer()"
+
+
+class PathBuffer(BufferManager):
+    """Most-recently-visited path per tree, one slot per level.
+
+    Reading a node at some level replaces the slot for that level of that
+    tree; deeper slots of the same tree are invalidated (the retained path
+    must stay a real root-to-node path, and descending into a different
+    subtree makes the old deeper nodes unreachable).  Slots of the *other*
+    tree are never touched — each tree owns its own path, exactly the
+    "simple path buffer" of the paper.
+    """
+
+    def __init__(self) -> None:
+        self._paths: dict[object, dict[int, int]] = {}
+
+    def access(self, tree: object, level: int, node_id: int) -> bool:
+        path = self._paths.setdefault(tree, {})
+        if path.get(level) == node_id:
+            return True
+        path[level] = node_id
+        # Invalidate the now-stale deeper part of the path.
+        for lv in [lv for lv in path if lv < level]:
+            del path[lv]
+        return False
+
+    def reset(self) -> None:
+        self._paths.clear()
+
+    def cached(self, tree: object) -> dict[int, int]:
+        """Current path of a tree (level -> node id), for inspection."""
+        return dict(self._paths.get(tree, {}))
+
+    def __repr__(self) -> str:
+        return f"PathBuffer(trees={list(self._paths)})"
+
+
+class LRUBuffer(BufferManager):
+    """A classic LRU page pool of fixed capacity, shared by all trees.
+
+    Capacity is in *pages* (nodes).  A capacity of zero degenerates to
+    :class:`NoBuffer`.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 0:
+            raise ValueError("capacity must be >= 0")
+        self.capacity = capacity
+        self._pool: OrderedDict[tuple[object, int], None] = OrderedDict()
+
+    def access(self, tree: object, level: int, node_id: int) -> bool:
+        if self.capacity == 0:
+            return False
+        key = (tree, node_id)
+        if key in self._pool:
+            self._pool.move_to_end(key)
+            return True
+        self._pool[key] = None
+        if len(self._pool) > self.capacity:
+            self._pool.popitem(last=False)
+        return False
+
+    def reset(self) -> None:
+        self._pool.clear()
+
+    def __len__(self) -> int:
+        return len(self._pool)
+
+    def __repr__(self) -> str:
+        return f"LRUBuffer(capacity={self.capacity}, used={len(self._pool)})"

@@ -1,0 +1,96 @@
+"""Access accounting for simulated I/O.
+
+The paper measures two quantities:
+
+* ``NA`` — *node accesses*: every ``ReadPage`` call, i.e. the cost when no
+  buffer exists;
+* ``DA`` — *disk accesses*: ``ReadPage`` calls that miss the buffer, i.e.
+  actual reads when a path buffer is kept per tree.
+
+``DA <= NA`` holds by construction.  Both are recorded per tree and per
+level so experiments can be compared against the per-level formulas
+(Eqs. 6-12) and not just the totals.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+__all__ = ["AccessStats"]
+
+
+@dataclass
+class AccessStats:
+    """Per-(tree, level) node- and disk-access counters.
+
+    Trees are identified by arbitrary hashable labels (the join code uses
+    ``"R1"`` and ``"R2"``); levels follow the paper's convention — leaves
+    at level 1, root at level ``h`` (the root is pinned and never counted).
+    """
+
+    node_accesses: dict[tuple[object, int], int] = field(
+        default_factory=lambda: defaultdict(int))
+    disk_accesses: dict[tuple[object, int], int] = field(
+        default_factory=lambda: defaultdict(int))
+
+    def record(self, tree: object, level: int, buffer_hit: bool) -> None:
+        """Record one ``ReadPage``; a buffer hit costs NA but not DA."""
+        key = (tree, level)
+        self.node_accesses[key] += 1
+        if not buffer_hit:
+            self.disk_accesses[key] += 1
+
+    # -- aggregations -------------------------------------------------------
+
+    def na(self, tree: object | None = None, level: int | None = None) -> int:
+        """Total node accesses, optionally filtered by tree and/or level."""
+        return self._total(self.node_accesses, tree, level)
+
+    def da(self, tree: object | None = None, level: int | None = None) -> int:
+        """Total disk accesses, optionally filtered by tree and/or level."""
+        return self._total(self.disk_accesses, tree, level)
+
+    @staticmethod
+    def _total(counts: dict[tuple[object, int], int],
+               tree: object | None, level: int | None) -> int:
+        out = 0
+        for (t, lv), n in counts.items():
+            if tree is not None and t != tree:
+                continue
+            if level is not None and lv != level:
+                continue
+            out += n
+        return out
+
+    def levels(self, tree: object) -> list[int]:
+        """Sorted list of levels with at least one access for ``tree``."""
+        return sorted({lv for (t, lv) in self.node_accesses if t == tree})
+
+    def merge(self, other: "AccessStats") -> None:
+        """Fold another stats object into this one (for batched runs)."""
+        for key, n in other.node_accesses.items():
+            self.node_accesses[key] += n
+        for key, n in other.disk_accesses.items():
+            self.disk_accesses[key] += n
+
+    def reset(self) -> None:
+        """Zero every counter."""
+        self.node_accesses.clear()
+        self.disk_accesses.clear()
+
+    def as_dict(self) -> dict[str, dict[str, int]]:
+        """A JSON-friendly summary keyed by ``"<tree>@<level>"``."""
+        return {
+            "node_accesses": {
+                f"{t}@{lv}": n for (t, lv), n in
+                sorted(self.node_accesses.items(), key=lambda kv: str(kv[0]))
+            },
+            "disk_accesses": {
+                f"{t}@{lv}": n for (t, lv), n in
+                sorted(self.disk_accesses.items(), key=lambda kv: str(kv[0]))
+            },
+        }
+
+    def __repr__(self) -> str:
+        return f"AccessStats(NA={self.na()}, DA={self.da()})"

@@ -1,0 +1,46 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.geometry import Rect
+from repro.rtree import GuttmanRTree, RStarTree
+
+
+def make_items(n: int, ndim: int = 2, seed: int = 0,
+               side: float = 0.02) -> list[tuple[Rect, int]]:
+    """Random square rectangles fully inside the unit workspace."""
+    rng = random.Random(seed)
+    items = []
+    for oid in range(n):
+        lo = [rng.uniform(0.0, 1.0 - side) for _ in range(ndim)]
+        items.append((Rect(lo, [a + side for a in lo]), oid))
+    return items
+
+
+def build_rstar(items, ndim: int = 2, max_entries: int = 8) -> RStarTree:
+    tree = RStarTree(ndim, max_entries)
+    for rect, oid in items:
+        tree.insert(rect, oid)
+    return tree
+
+
+def build_guttman(items, ndim: int = 2, max_entries: int = 8,
+                  split: str = "quadratic") -> GuttmanRTree:
+    tree = GuttmanRTree(ndim, max_entries, split=split)
+    for rect, oid in items:
+        tree.insert(rect, oid)
+    return tree
+
+
+@pytest.fixture
+def items_200():
+    return make_items(200, ndim=2, seed=7)
+
+
+@pytest.fixture
+def rstar_200(items_200):
+    return build_rstar(items_200)

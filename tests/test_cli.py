@@ -1,0 +1,159 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+class TestGenerateInspect:
+    def test_generate_uniform(self, tmp_path, capsys):
+        out_file = tmp_path / "u.txt"
+        code, out, _err = run(capsys, "generate", "uniform", "-n", "100",
+                              "-d", "0.3", "--seed", "1",
+                              "-o", str(out_file))
+        assert code == 0
+        assert out_file.exists()
+        assert "N=100" in out
+
+    @pytest.mark.parametrize("kind", ["clustered", "zipf", "diagonal",
+                                      "tiger"])
+    def test_generate_all_kinds(self, tmp_path, capsys, kind):
+        out_file = tmp_path / f"{kind}.txt"
+        code, _out, _err = run(capsys, "generate", kind, "-n", "60",
+                               "--seed", "2", "-o", str(out_file))
+        assert code == 0
+
+    def test_tiger_rejects_1d(self, tmp_path, capsys):
+        code, _out, err = run(capsys, "generate", "tiger", "-n", "10",
+                              "--ndim", "1",
+                              "-o", str(tmp_path / "x.txt"))
+        assert code == 2
+        assert "two-dimensional" in err
+
+    def test_inspect(self, tmp_path, capsys):
+        data = tmp_path / "d.txt"
+        run(capsys, "generate", "uniform", "-n", "150", "-d", "0.4",
+            "--seed", "3", "-o", str(data))
+        code, out, _err = run(capsys, "inspect", str(data))
+        assert code == 0
+        assert "cardinality: 150" in out
+        assert "density:     0.4" in out
+
+    def test_inspect_missing_file(self, capsys):
+        code, _out, err = run(capsys, "inspect", "/nonexistent/d.txt")
+        assert code == 2
+        assert "error:" in err
+
+
+class TestBuildJoinEstimate:
+    @pytest.fixture
+    def two_trees(self, tmp_path, capsys):
+        paths = []
+        for seed in (4, 5):
+            data = tmp_path / f"d{seed}.txt"
+            tree = tmp_path / f"t{seed}.json"
+            run(capsys, "generate", "uniform", "-n", "300", "-d", "0.5",
+                "--seed", str(seed), "-o", str(data))
+            run(capsys, "build", str(data), "-M", "16",
+                "-o", str(tree))
+            paths.append(tree)
+        return paths
+
+    def test_build_reports_structure(self, tmp_path, capsys):
+        data = tmp_path / "d.txt"
+        run(capsys, "generate", "uniform", "-n", "200", "--seed", "6",
+            "-o", str(data))
+        code, out, _err = run(capsys, "build", str(data), "-M", "16",
+                              "--variant", "str",
+                              "-o", str(tmp_path / "t.json"))
+        assert code == 0
+        assert "built str tree" in out and "height" in out
+
+    def test_join(self, two_trees, capsys):
+        code, out, _err = run(capsys, "join", str(two_trees[0]),
+                              str(two_trees[1]))
+        assert code == 0
+        assert "result pairs:" in out
+        assert "node accesses NA:" in out
+        assert "analytical:" in out
+
+    def test_join_buffer_specs(self, two_trees, capsys):
+        for spec in ("none", "path", "lru:16"):
+            code, _out, _err = run(capsys, "join", str(two_trees[0]),
+                                   str(two_trees[1]), "--buffer", spec)
+            assert code == 0
+
+    def test_join_bad_buffer(self, two_trees, capsys):
+        code, _out, err = run(capsys, "join", str(two_trees[0]),
+                              str(two_trees[1]), "--buffer", "magic")
+        assert code == 2
+        assert "buffer" in err
+
+    def test_estimate(self, capsys):
+        code, out, _err = run(capsys, "estimate", "--n1", "20000",
+                              "--d1", "0.5", "--n2", "60000",
+                              "--d2", "0.5", "-M", "50")
+        assert code == 0
+        assert "NA_total" in out
+        assert "role advice" in out
+
+    def test_figures(self, capsys):
+        code, out, _err = run(capsys, "figures")
+        assert code == 0
+        for label in ("Figure 6a", "Figure 6b", "Figure 7a",
+                      "Figure 7b"):
+            assert label in out
+
+
+class TestQueryCommand:
+    @pytest.fixture
+    def saved_tree(self, tmp_path, capsys):
+        data = tmp_path / "d.txt"
+        tree = tmp_path / "t.json"
+        run(capsys, "generate", "uniform", "-n", "200", "-d", "0.5",
+            "--seed", "11", "-o", str(data))
+        run(capsys, "build", str(data), "-M", "16", "-o", str(tree))
+        return tree
+
+    def test_range_query(self, saved_tree, capsys):
+        code, out, _err = run(capsys, "query", str(saved_tree),
+                              "--window", "0.2", "0.2", "0.5", "0.5")
+        assert code == 0
+        assert "range query" in out
+        assert "node accesses:" in out
+
+    def test_knn_query(self, saved_tree, capsys):
+        code, out, _err = run(capsys, "query", str(saved_tree),
+                              "--knn", "0.5", "0.5", "-k", "5")
+        assert code == 0
+        assert out.count("oid ") == 5
+
+    def test_window_arity_checked(self, saved_tree, capsys):
+        code, _out, err = run(capsys, "query", str(saved_tree),
+                              "--window", "0.2", "0.2", "0.5")
+        assert code == 2
+        assert "coordinates" in err
+
+    def test_knn_arity_checked(self, saved_tree, capsys):
+        code, _out, err = run(capsys, "query", str(saved_tree),
+                              "--knn", "0.5")
+        assert code == 2
+        assert "coordinates" in err
+
+
+class TestExperimentCommand:
+    def test_analytic_experiment(self, capsys):
+        code, out, _err = run(capsys, "experiment", "fig6a")
+        assert code == 0
+        assert "anal(NA)" in out
+
+    def test_unknown_id(self, capsys):
+        code, _out, err = run(capsys, "experiment", "fig42")
+        assert code == 2
+        assert "unknown experiment" in err

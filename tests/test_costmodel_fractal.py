@@ -1,0 +1,134 @@
+"""The FK94 fractal-dimension platform."""
+
+import pytest
+
+from repro.costmodel import (AnalyticalTreeParams, FractalTreeParams,
+                             correlation_dimension, join_da_total,
+                             join_na_total, range_query_na)
+from repro.datasets import (clustered_rectangles, diagonal_rectangles,
+                            uniform_rectangles)
+from repro.join import spatial_join
+
+from .conftest import build_rstar
+
+
+class TestCorrelationDimension:
+    def test_uniform_2d_close_to_two(self):
+        ds = uniform_rectangles(3000, 0.5, 2, seed=1)
+        assert correlation_dimension(ds) == pytest.approx(2.0, abs=0.15)
+
+    def test_uniform_1d_close_to_one(self):
+        ds = uniform_rectangles(3000, 0.5, 1, seed=2)
+        assert correlation_dimension(ds) == pytest.approx(1.0, abs=0.1)
+
+    def test_line_embedded_in_2d_close_to_one(self):
+        # Points on the diagonal of the unit square: a 1-dimensional
+        # set living in 2-d space — the canonical fractal-dimension
+        # demonstration.
+        ds = diagonal_rectangles(3000, 0.05, 2, width=0.002, seed=3)
+        assert correlation_dimension(ds) == pytest.approx(1.0, abs=0.25)
+
+    def test_clustered_below_uniform(self):
+        flat = uniform_rectangles(3000, 0.5, 2, seed=4)
+        skew = clustered_rectangles(3000, 0.5, 2, clusters=4,
+                                    spread=0.03, seed=4)
+        assert correlation_dimension(skew) < correlation_dimension(flat)
+
+    def test_clamped_to_embedding_dimension(self):
+        ds = uniform_rectangles(500, 0.5, 2, seed=5)
+        assert 0.0 < correlation_dimension(ds) <= 2.0
+
+    def test_invalid_args(self):
+        ds = uniform_rectangles(100, 0.5, 2, seed=6)
+        with pytest.raises(ValueError):
+            correlation_dimension(ds, min_exponent=3, max_exponent=3)
+        with pytest.raises(ValueError):
+            correlation_dimension(uniform_rectangles(1, 0.0, 2, seed=7))
+
+    def test_deterministic(self):
+        ds = uniform_rectangles(500, 0.5, 2, seed=8)
+        assert correlation_dimension(ds) == correlation_dimension(ds)
+
+
+class TestFractalTreeParams:
+    def _params(self, n=8000, d2=2.0, m=50, ndim=2):
+        return FractalTreeParams(n, d2, m, ndim)
+
+    def test_protocol_fields(self):
+        p = self._params()
+        assert p.height == 3
+        assert p.nodes_at(1) == pytest.approx(8000 / 33.5)
+        assert len(p.extents_at(1)) == 2
+
+    def test_extent_formula(self):
+        p = self._params(n=8000, d2=2.0)
+        per_node = 0.67 * 50
+        expected = (per_node / 8000) ** 0.5
+        assert p.extents_at(1)[0] == pytest.approx(expected)
+
+    def test_lower_dimension_means_smaller_nodes(self):
+        # A box capturing the fraction f of a D2-dimensional point set
+        # has side f^(1/D2); for f < 1 a LOWER D2 gives a SMALLER side —
+        # points concentrated on a lower-dimensional subset sit closer
+        # together, so the same count packs into less extent.
+        flat = self._params(d2=2.0)
+        line = self._params(d2=1.0)
+        assert line.extents_at(1)[0] < flat.extents_at(1)[0]
+
+    def test_object_extent_correction(self):
+        bare = FractalTreeParams(8000, 2.0, 50, 2)
+        fat = FractalTreeParams(8000, 2.0, 50, 2, object_extent=0.05)
+        assert fat.extents_at(1)[0] == pytest.approx(
+            bare.extents_at(1)[0] + 0.05)
+
+    def test_root_is_workspace(self):
+        p = self._params()
+        assert p.extents_at(p.height) == (1.0, 1.0)
+
+    def test_from_dataset(self):
+        ds = uniform_rectangles(1000, 0.5, 2, seed=9)
+        p = FractalTreeParams.from_dataset(ds, 24)
+        assert p.n_objects == 1000
+        assert 1.5 < p.fractal_dimension <= 2.0
+        assert p.object_extent == pytest.approx((0.5 / 1000) ** 0.5)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            FractalTreeParams(-1, 2.0, 50, 2)
+        with pytest.raises(ValueError):
+            FractalTreeParams(10, 0.0, 50, 2)
+        with pytest.raises(ValueError):
+            FractalTreeParams(10, 2.0, 50, 2, object_extent=-1.0)
+        p = self._params()
+        with pytest.raises(ValueError):
+            p.nodes_at(0)
+        with pytest.raises(ValueError):
+            p.extents_at(0)
+
+
+class TestFractalPlatformEndToEnd:
+    def test_drops_into_range_and_join_formulas(self):
+        p = FractalTreeParams(8000, 1.8, 50, 2, object_extent=0.01)
+        assert range_query_na(p, (0.1, 0.1)) > 0
+        assert join_na_total(p, p) > 0
+        assert join_da_total(p, p) <= join_na_total(p, p)
+
+    def test_tracks_measurement_on_uniform_data(self):
+        d1 = uniform_rectangles(1500, 0.5, 2, seed=10)
+        d2 = uniform_rectangles(1500, 0.5, 2, seed=11)
+        t1 = build_rstar(d1.items, max_entries=16)
+        t2 = build_rstar(d2.items, max_entries=16)
+        measured = spatial_join(t1, t2, collect_pairs=False)
+        f1 = FractalTreeParams.from_dataset(d1, 16)
+        f2 = FractalTreeParams.from_dataset(d2, 16)
+        predicted = join_na_total(f1, f2)
+        assert predicted == pytest.approx(measured.na_total, rel=0.5)
+
+    def test_agrees_with_ts96_on_uniform_data(self):
+        # On uniform data the two platforms describe the same tree; the
+        # predictions should land in the same ballpark.
+        ds = uniform_rectangles(2000, 0.5, 2, seed=12)
+        f = FractalTreeParams.from_dataset(ds, 24)
+        a = AnalyticalTreeParams.from_dataset(ds, 24)
+        ratio = join_na_total(f, f) / join_na_total(a, a)
+        assert 0.5 < ratio < 2.0

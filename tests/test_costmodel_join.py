@@ -1,0 +1,215 @@
+"""Eqs. 6-12: the join cost models (NA and DA)."""
+
+import pytest
+
+from repro.costmodel import (AnalyticalTreeParams, join_da_breakdown,
+                             join_da_by_tree, join_da_total,
+                             join_na_breakdown, join_na_total, stage_pairs,
+                             traversal_stages)
+
+
+def params(n, d=0.5, m=50, ndim=2, fill=0.67):
+    return AnalyticalTreeParams(n, d, m, ndim, fill)
+
+
+class TestStages:
+    def test_equal_heights(self):
+        p = params(8000)        # height 3 at M = 50
+        stages = traversal_stages(p, p)
+        assert [(s.level1, s.level2) for s in stages] == [(2, 2), (1, 1)]
+        assert stages[0].parent1 == p.height
+        assert all(s.descends1 and s.descends2 for s in stages)
+
+    def test_different_heights_pairing(self):
+        # Eq. 11's j' mapping: taller tree descends alone at the bottom.
+        tall = params(9000, m=24)      # height 4
+        short = params(2000, m=24)     # height 3
+        assert tall.height == short.height + 1
+        stages = traversal_stages(tall, short)
+        levels = [(s.level1, s.level2) for s in stages]
+        assert levels == [(3, 2), (2, 1), (1, 1)]
+        assert stages[-1].descends2 is False
+
+    def test_height_one_side(self):
+        tiny = params(10)
+        big = params(8000)
+        stages = traversal_stages(tiny, big)
+        assert [(s.level1, s.level2) for s in stages] == [(1, 2), (1, 1)]
+
+    def test_stage_count(self):
+        a, b = params(8000), params(9000, m=24)
+        assert len(traversal_stages(a, b)) == max(a.height, b.height) - 1
+
+
+class TestJoinNA:
+    def test_eq6_hand_computed(self):
+        p1, p2 = params(8000), params(4000)
+        stages = traversal_stages(p1, p2)
+        top = stages[0]
+        n1, s1 = p1.nodes_at(2), p1.extents_at(2)
+        n2, s2 = p2.nodes_at(2), p2.extents_at(2)
+        expected = n1 * n2 * min(1.0, s1[0] + s2[0]) ** 2
+        assert stage_pairs(p1, p2, top) == pytest.approx(expected)
+
+    def test_eq7_total_is_twice_pair_sum(self):
+        p1, p2 = params(8000), params(4000)
+        pair_sum = sum(stage_pairs(p1, p2, s)
+                       for s in traversal_stages(p1, p2))
+        assert join_na_total(p1, p2) == pytest.approx(2 * pair_sum)
+
+    def test_symmetric_in_roles(self):
+        # "Notice that Eq. 7 is symmetric with respect to R1 and R2."
+        p1, p2 = params(8000), params(3000, d=0.3)
+        assert join_na_total(p1, p2) == pytest.approx(
+            join_na_total(p2, p1))
+
+    def test_symmetric_across_heights(self):
+        p1, p2 = params(9000, m=24), params(2000, m=24)
+        assert p1.height != p2.height
+        assert join_na_total(p1, p2) == pytest.approx(
+            join_na_total(p2, p1))
+
+    def test_monotone_in_cardinality(self):
+        base = params(4000)
+        costs = [join_na_total(base, params(n))
+                 for n in (1000, 2000, 4000, 8000)]
+        assert costs == sorted(costs)
+
+    def test_monotone_in_density(self):
+        base = params(4000, d=0.5)
+        costs = [join_na_total(base, params(4000, d=d))
+                 for d in (0.2, 0.4, 0.6, 0.8)]
+        assert costs == sorted(costs)
+
+    def test_breakdown_sums_to_total(self):
+        p1, p2 = params(8000), params(4000)
+        breakdown = join_na_breakdown(p1, p2)
+        assert sum(c.total for c in breakdown) == pytest.approx(
+            join_na_total(p1, p2))
+
+    def test_height_one_side_charges_only_other(self):
+        tiny = params(10)
+        big = params(8000)
+        breakdown = join_na_breakdown(tiny, big)
+        assert all(c.cost1 == 0.0 for c in breakdown)
+        assert any(c.cost2 > 0.0 for c in breakdown)
+
+    def test_ndim_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            join_na_total(params(100, ndim=1, m=84), params(100, ndim=2))
+
+    def test_one_dimensional(self):
+        p1, p2 = params(8000, m=84, ndim=1), params(4000, m=84, ndim=1)
+        assert join_na_total(p1, p2) > 0
+
+
+class TestJoinDA:
+    def test_da_below_na(self):
+        p1, p2 = params(8000), params(4000)
+        assert join_da_total(p1, p2) < join_na_total(p1, p2)
+
+    def test_eq9_r1_cost_equals_na_share(self):
+        p1, p2 = params(8000), params(4000)
+        na_share = sum(c.cost1 for c in join_na_breakdown(p1, p2))
+        da1, _da2 = join_da_by_tree(p1, p2)
+        assert da1 == pytest.approx(na_share)
+
+    def test_eq8_r2_cost_uses_parent_level(self):
+        from repro.costmodel import intsect
+        p1, p2 = params(8000), params(4000)
+        stages = traversal_stages(p1, p2)
+        bottom = stages[-1]
+        expected = p2.nodes_at(1) * intsect(
+            p1.nodes_at(2), p1.extents_at(2), p2.extents_at(1))
+        costs = join_da_breakdown(p1, p2)
+        assert costs[-1].cost2 == pytest.approx(expected)
+
+    def test_asymmetric_in_roles(self):
+        # Eq. 10 "is sensitive to the two indexes, R1 and R2".
+        p_small, p_big = params(2000), params(9000)
+        ab = join_da_total(p_small, p_big)
+        ba = join_da_total(p_big, p_small)
+        assert ab != pytest.approx(ba)
+
+    def test_query_role_prefers_small_tree_equal_heights(self):
+        # Paper §4.1: for equal heights, the less populated index should
+        # play the query (R2) role.
+        p_small, p_big = params(2000), params(4000)
+        assert p_small.height == p_big.height
+        better = join_da_total(p_big, p_small)    # small as query
+        worse = join_da_total(p_small, p_big)     # big as query
+        assert better < worse
+
+    def test_breakdown_sums_to_total(self):
+        p1, p2 = params(9000), params(3000)
+        assert sum(c.total for c in join_da_breakdown(p1, p2)) == \
+            pytest.approx(join_da_total(p1, p2))
+
+    def test_pinned_r2_leaf_costs_nothing_lower_down(self):
+        # Eq. 12 (h1 > h2): once R2 reaches its leaves, only R1 pays.
+        tall = params(9000, m=24)
+        short = params(2000, m=24)
+        breakdown = join_da_breakdown(tall, short)
+        pinned = [c for c in breakdown if not c.stage.descends2]
+        assert pinned
+        assert all(c.cost2 == 0.0 for c in pinned)
+        assert all(c.cost1 > 0.0 for c in pinned)
+
+    def test_pinned_r1_leaf_still_pays(self):
+        # Eq. 12 (h1 < h2): the inner tree keeps being re-read while the
+        # query tree descends (the 2 * DA(R2, j) branch).
+        short = params(2000, m=24)
+        tall = params(9000, m=24)
+        breakdown = join_da_breakdown(short, tall)
+        pinned = [c for c in breakdown if not c.stage.descends1]
+        assert pinned
+        assert all(c.cost1 > 0.0 for c in pinned)
+        assert all(c.cost2 > 0.0 for c in pinned)
+
+    def test_equal_height_special_case_of_general(self):
+        # Eqs. 7/10 are "special cases" of Eqs. 11/12 for h1 = h2: the
+        # general stage machinery must reduce to the equal-height sums.
+        p1, p2 = params(8000), params(4000)
+        assert p1.height == p2.height
+        stages = traversal_stages(p1, p2)
+        assert all(s.level1 == s.level2 for s in stages)
+
+    def test_by_tree_sums_to_total(self):
+        p1, p2 = params(9000), params(3000)
+        da1, da2 = join_da_by_tree(p1, p2)
+        assert da1 + da2 == pytest.approx(join_da_total(p1, p2))
+
+    def test_ndim_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            join_da_total(params(100, ndim=1, m=84), params(100, ndim=2))
+
+
+class TestMixedHeightModes:
+    def test_modes_identical_for_equal_heights(self):
+        p1, p2 = params(8000), params(4000)
+        assert p1.height == p2.height
+        assert join_da_total(p1, p2, "traversal") == pytest.approx(
+            join_da_total(p1, p2, "paper"))
+
+    def test_modes_differ_when_r2_taller(self):
+        short = params(2000, m=24)
+        tall = params(9000, m=24)
+        assert short.height < tall.height
+        traversal = join_da_total(short, tall, "traversal")
+        paper = join_da_total(short, tall, "paper")
+        assert traversal != pytest.approx(paper)
+        # The literal reading charges the pinned R1 less (its Eq. 8 term
+        # uses sparser upper R1 levels), which is what creates the
+        # paper's Figure 7b AREA exceptions.
+        assert paper < traversal
+
+    def test_modes_identical_when_r1_taller(self):
+        # The readings only disagree on the h1 < h2 branch.
+        tall = params(9000, m=24)
+        short = params(2000, m=24)
+        assert join_da_total(tall, short, "traversal") == pytest.approx(
+            join_da_total(tall, short, "paper"))
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError, match="mixed_height_mode"):
+            join_da_total(params(100), params(100), "hybrid")

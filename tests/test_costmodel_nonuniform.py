@@ -1,0 +1,74 @@
+"""§4.2: the local-density grid correction for non-uniform data."""
+
+import pytest
+
+from repro.costmodel import (AnalyticalTreeParams, NonUniformJoinModel,
+                             join_da_total, join_na_total)
+from repro.datasets import clustered_rectangles, uniform_rectangles
+from repro.join import spatial_join
+
+from .conftest import build_rstar
+
+
+class TestGridModel:
+    def test_reduces_to_uniform_for_uniform_data(self):
+        # On uniform data the grid correction should land close to the
+        # global-uniformity formula.
+        ds = uniform_rectangles(3000, 0.5, 2, seed=1)
+        model = NonUniformJoinModel(ds, ds, max_entries=16, resolution=3)
+        p = AnalyticalTreeParams.from_dataset(ds, 16)
+        assert model.na_total() == pytest.approx(
+            join_na_total(p, p), rel=0.35)
+        assert model.da_total() == pytest.approx(
+            join_da_total(p, p), rel=0.35)
+
+    def test_resolution_one_is_nearly_global(self):
+        ds = uniform_rectangles(2000, 0.5, 2, seed=2)
+        model = NonUniformJoinModel(ds, ds, max_entries=16, resolution=1)
+        p = AnalyticalTreeParams.from_dataset(ds, 16)
+        assert model.na_total() == pytest.approx(
+            join_na_total(p, p), rel=0.05)
+
+    def test_beats_uniform_model_on_skewed_data(self):
+        skewed = clustered_rectangles(2500, 0.5, 2, clusters=4,
+                                      spread=0.04, seed=3)
+        tree = build_rstar(skewed.items, max_entries=16)
+        measured = spatial_join(tree, tree, collect_pairs=False)
+
+        p = AnalyticalTreeParams.from_dataset(skewed, 16)
+        uniform_err = abs(join_na_total(p, p) - measured.na_total)
+        grid = NonUniformJoinModel(skewed, skewed, max_entries=16,
+                                   resolution=6)
+        grid_err = abs(grid.na_total() - measured.na_total)
+        assert grid_err < uniform_err
+
+    def test_cells_skip_empty_regions(self):
+        ds = clustered_rectangles(1000, 0.3, 2, clusters=2,
+                                  spread=0.02, seed=4)
+        model = NonUniformJoinModel(ds, ds, max_entries=16, resolution=8)
+        estimates = model.cell_estimates()
+        assert len(estimates) < 64      # far fewer than 8x8 cells priced
+
+    def test_cell_estimates_cached(self):
+        ds = uniform_rectangles(500, 0.4, 2, seed=5)
+        model = NonUniformJoinModel(ds, ds, max_entries=16, resolution=2)
+        assert model.cell_estimates() is model.cell_estimates()
+
+    def test_da_le_na_per_cell(self):
+        ds = clustered_rectangles(1500, 0.5, 2, seed=6)
+        model = NonUniformJoinModel(ds, ds, max_entries=16, resolution=4)
+        for cell in model.cell_estimates():
+            assert cell.da <= cell.na + 1e-9
+
+    def test_dimensionality_mismatch_rejected(self):
+        a = uniform_rectangles(100, 0.2, 1, seed=7)
+        b = uniform_rectangles(100, 0.2, 2, seed=8)
+        with pytest.raises(ValueError):
+            NonUniformJoinModel(a, b, max_entries=16)
+
+    def test_heights_taken_from_global_trees(self):
+        ds = uniform_rectangles(3000, 0.5, 2, seed=9)
+        model = NonUniformJoinModel(ds, ds, max_entries=16, resolution=4)
+        p = AnalyticalTreeParams.from_dataset(ds, 16)
+        assert model.height1 == p.height
+        assert model.height2 == p.height

@@ -1,0 +1,82 @@
+"""§5 extension: operator window transformations."""
+
+import pytest
+
+from repro.costmodel import (OVERLAP_OP, contained_by, containment,
+                             direction, within_distance)
+from repro.geometry import Rect
+
+
+class TestOverlapOp:
+    def test_identity_transform(self):
+        w = Rect((0.2, 0.2), (0.4, 0.4))
+        assert OVERLAP_OP.transform_window(w) == w
+
+    def test_cost_extents_unchanged(self):
+        assert OVERLAP_OP.cost_extents((0.1, 0.2)) == (0.1, 0.2)
+
+    def test_selectivity_factor_one(self):
+        assert OVERLAP_OP.selectivity_factor == 1.0
+
+
+class TestWithinDistance:
+    def test_inflates_window(self):
+        op = within_distance(0.1)
+        w = op.transform_window(Rect((0.4, 0.4), (0.6, 0.6)))
+        assert w.lo == pytest.approx((0.3, 0.3))
+        assert w.hi == pytest.approx((0.7, 0.7))
+
+    def test_cost_extents_grow_by_twice_distance(self):
+        op = within_distance(0.05)
+        assert op.cost_extents((0.1, 0.1)) == \
+            pytest.approx((0.2, 0.2))
+
+    def test_zero_distance_is_overlap(self):
+        op = within_distance(0.0)
+        w = Rect((0.1,), (0.2,))
+        assert op.transform_window(w) == w
+        assert op.cost_extents((0.3,)) == (0.3,)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            within_distance(-0.1)
+
+    def test_selectivity_factor_one(self):
+        # Distance joins change the window, not the qualification rule.
+        assert within_distance(0.1).selectivity_factor == 1.0
+
+
+class TestContainment:
+    def test_factor_below_one(self):
+        op = containment((0.3, 0.3), (0.05, 0.05))
+        assert 0.0 < op.selectivity_factor < 1.0
+
+    def test_object_bigger_than_window_cannot_be_contained(self):
+        op = containment((0.1, 0.1), (0.2, 0.2))
+        assert op.selectivity_factor == 0.0
+
+    def test_point_objects_nearly_as_likely_as_overlap(self):
+        op = containment((0.3, 0.3), (0.0, 0.0))
+        assert op.selectivity_factor == pytest.approx(1.0)
+
+    def test_hand_computed(self):
+        # q = 0.4, s = 0.1: overlap p = 0.5^2, contain p = 0.3^2.
+        op = containment((0.4, 0.4), (0.1, 0.1))
+        assert op.selectivity_factor == pytest.approx(
+            (0.3 ** 2) / (0.5 ** 2))
+
+    def test_contained_by_mirrors(self):
+        a = containment((0.4, 0.4), (0.1, 0.1)).selectivity_factor
+        b = contained_by((0.1, 0.1), (0.4, 0.4)).selectivity_factor
+        assert a == pytest.approx(b)
+
+
+class TestDirection:
+    def test_half_probability(self):
+        assert direction(2, 0).selectivity_factor == 0.5
+
+    def test_axis_validated(self):
+        with pytest.raises(ValueError):
+            direction(2, 2)
+        with pytest.raises(ValueError):
+            direction(2, -1)

@@ -1,0 +1,198 @@
+"""Eqs. 2-5: analytical tree parameters."""
+
+import math
+
+import pytest
+
+from repro.costmodel import (AnalyticalTreeParams, MeasuredTreeParams,
+                             rtree_height)
+from repro.datasets import uniform_rectangles
+
+from .conftest import build_rstar, make_items
+
+
+class TestHeight:
+    def test_eq2_paper_regime_1d(self):
+        # Paper setup: M = 84, c = 0.67 -> cM = 56.28.  All of 20K-80K
+        # give height 3 (their Figure 5a is linear for this reason).
+        for n in (20000, 40000, 60000, 80000):
+            assert rtree_height(n, 84) == 3
+
+    def test_eq2_paper_regime_2d(self):
+        # M = 50 -> cM = 33.5: 20K/40K -> h = 3; 60K/80K -> h = 4
+        # (the paper's Figure 5b/6b height transition).
+        assert rtree_height(20000, 50) == 3
+        assert rtree_height(40000, 50) == 4   # borderline: (cM)^3 = 37595
+        assert rtree_height(60000, 50) == 4
+        assert rtree_height(80000, 50) == 4
+
+    def test_bench_scale_heights(self):
+        # The scaled default grid preserves the paper's structure
+        # (DESIGN.md): n=1 all h=3; n=2 transitions between 4K and 8K.
+        for n in (2000, 4000, 8000, 10000):
+            assert rtree_height(n, 41) == 3
+        assert rtree_height(2000, 24) == 3
+        assert rtree_height(4000, 24) == 3
+        assert rtree_height(8000, 24) == 4
+        assert rtree_height(10000, 24) == 4
+
+    def test_small_sets(self):
+        assert rtree_height(0, 50) == 1
+        assert rtree_height(1, 50) == 1
+        assert rtree_height(33, 50) == 1     # fits an average root
+        assert rtree_height(34, 50) == 2
+
+    def test_monotone_in_n(self):
+        heights = [rtree_height(n, 24) for n in range(1, 50000, 500)]
+        assert heights == sorted(heights)
+
+    def test_matches_formula(self):
+        n, m, c = 12345, 30, 0.67
+        cm = c * m
+        expected = 1 + math.ceil(math.log(n / cm, cm))
+        assert rtree_height(n, m, c) == expected
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            rtree_height(-1, 50)
+        with pytest.raises(ValueError):
+            rtree_height(10, 1)
+        with pytest.raises(ValueError):
+            rtree_height(10, 50, fill=0.0)
+        with pytest.raises(ValueError):
+            rtree_height(10, 2, fill=0.4)   # cM <= 1
+
+
+class TestAnalyticalParams:
+    def _params(self, n=8000, d=0.5, m=50, ndim=2):
+        return AnalyticalTreeParams(n, d, m, ndim)
+
+    def test_eq3_node_counts(self):
+        p = self._params()
+        cm = 0.67 * 50
+        assert p.nodes_at(1) == pytest.approx(8000 / cm)
+        assert p.nodes_at(2) == pytest.approx(8000 / cm ** 2)
+
+    def test_eq3_root_is_one(self):
+        p = self._params()
+        assert p.nodes_at(p.height) == 1.0
+
+    def test_eq5_density_propagation(self):
+        p = self._params(d=0.5, ndim=2)
+        cm = 0.67 * 50
+        expected_d1 = (1 + (math.sqrt(0.5) - 1) / math.sqrt(cm)) ** 2
+        assert p.density_at(1) == pytest.approx(expected_d1)
+
+    def test_density_level_zero_is_data_density(self):
+        p = self._params(d=0.37)
+        assert p.density_at(0) == 0.37
+
+    def test_density_approaches_one_with_levels(self):
+        # For D < 1 the node density climbs toward (but below) 1.
+        p = AnalyticalTreeParams(10 ** 6, 0.3, 50, 2)
+        densities = [p.density_at(j) for j in range(p.height)]
+        assert densities == sorted(densities)
+        assert densities[-1] < 1.0
+
+    def test_density_above_one_decreases(self):
+        p = AnalyticalTreeParams(10 ** 6, 3.0, 50, 2)
+        assert p.density_at(1) < 3.0
+        assert p.density_at(1) > 1.0
+
+    def test_eq4_extents(self):
+        p = self._params()
+        for j in (1, 2):
+            side = (p.density_at(j) / p.nodes_at(j)) ** 0.5
+            assert p.extents_at(j) == pytest.approx((side, side))
+
+    def test_extents_clamped_to_workspace(self):
+        p = AnalyticalTreeParams(10, 5.0, 50, 2)
+        assert max(p.extents_at(1)) <= 1.0
+
+    def test_root_extent_is_workspace(self):
+        p = self._params()
+        assert p.extents_at(p.height) == (1.0, 1.0)
+
+    def test_average_object_extents(self):
+        p = self._params(n=100, d=0.25, ndim=2)
+        assert p.average_object_extents() == pytest.approx((0.05, 0.05))
+
+    def test_average_object_extents_empty(self):
+        p = AnalyticalTreeParams(0, 0.0, 50, 2)
+        assert p.average_object_extents() == (0.0, 0.0)
+
+    def test_from_dataset(self):
+        ds = uniform_rectangles(500, 0.4, 2, seed=1)
+        p = AnalyticalTreeParams.from_dataset(ds, 50)
+        assert p.n_objects == 500
+        assert p.density == pytest.approx(0.4)
+
+    def test_height_override(self):
+        p = AnalyticalTreeParams(100, 0.5, 50, 2, height=4)
+        assert p.height == 4
+        assert p.extents_at(3)          # propagated far enough
+        with pytest.raises(ValueError):
+            AnalyticalTreeParams(100, 0.5, 50, 2, height=0)
+
+    def test_level_bounds_checked(self):
+        p = self._params()
+        with pytest.raises(ValueError):
+            p.nodes_at(0)
+        with pytest.raises(ValueError):
+            p.density_at(p.height + 1)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            AnalyticalTreeParams(-1, 0.5, 50, 2)
+        with pytest.raises(ValueError):
+            AnalyticalTreeParams(10, -0.5, 50, 2)
+        with pytest.raises(ValueError):
+            AnalyticalTreeParams(10, 0.5, 50, 0)
+
+
+class TestModelAgainstRealTrees:
+    def test_height_matches_real_rstar(self):
+        ds = uniform_rectangles(800, 0.5, 2, seed=2)
+        tree = build_rstar(ds.items, max_entries=16)
+        p = AnalyticalTreeParams.from_dataset(ds, 16)
+        assert p.height == tree.height
+
+    def test_leaf_count_within_20_percent(self):
+        ds = uniform_rectangles(1500, 0.5, 2, seed=3)
+        tree = build_rstar(ds.items, max_entries=16)
+        p = AnalyticalTreeParams.from_dataset(ds, 16)
+        actual = len(tree.nodes_at_level(1))
+        assert p.nodes_at(1) == pytest.approx(actual, rel=0.2)
+
+    def test_leaf_extent_within_25_percent(self):
+        ds = uniform_rectangles(1500, 0.5, 2, seed=4)
+        tree = build_rstar(ds.items, max_entries=16)
+        p = AnalyticalTreeParams.from_dataset(ds, 16)
+        measured = tree.level_stats()[1].avg_extents[0]
+        assert p.extents_at(1)[0] == pytest.approx(measured, rel=0.25)
+
+
+class TestMeasuredParams:
+    def test_mirrors_level_stats(self):
+        items = make_items(400, seed=5)
+        tree = build_rstar(items, max_entries=16)
+        p = MeasuredTreeParams(tree)
+        stats = tree.level_stats()
+        assert p.height == tree.height
+        assert p.nodes_at(1) == stats[1].count
+        assert p.extents_at(1) == stats[1].avg_extents
+
+    def test_root_level_convention(self):
+        items = make_items(400, seed=6)
+        tree = build_rstar(items, max_entries=16)
+        p = MeasuredTreeParams(tree)
+        assert p.nodes_at(tree.height) == 1.0
+        assert p.extents_at(tree.height) == (1.0, 1.0)
+
+    def test_height_one_tree_is_all_root(self):
+        items = make_items(5, seed=7)
+        tree = build_rstar(items, max_entries=16)   # height 1
+        p = MeasuredTreeParams(tree)
+        assert p.height == 1
+        assert p.nodes_at(1) == 1.0                 # the root-leaf
+        assert p.extents_at(1) == (1.0, 1.0)

@@ -1,0 +1,123 @@
+"""Eq. 1: range-query cost model, and the intsect helper."""
+
+import pytest
+
+from repro.costmodel import (AnalyticalTreeParams, MeasuredTreeParams,
+                             intsect, range_query_na,
+                             range_query_selectivity)
+from repro.datasets import uniform_rectangles
+from repro.geometry import Rect
+from repro.storage import AccessStats, MeteredReader, NoBuffer
+
+from .conftest import build_rstar
+
+
+class TestIntsect:
+    def test_hand_computed(self):
+        # 100 rects of extent 0.1 probed with a 0.2 window:
+        # 100 * (0.1 + 0.2) = 30 in 1-d.
+        assert intsect(100, (0.1,), (0.2,)) == pytest.approx(30.0)
+
+    def test_two_dims_multiply(self):
+        assert intsect(100, (0.1, 0.1), (0.2, 0.3)) == \
+            pytest.approx(100 * 0.3 * 0.4)
+
+    def test_clamped_at_certainty(self):
+        # s + q > 1 cannot make a rectangle more than certain to hit.
+        assert intsect(50, (0.9,), (0.9,)) == pytest.approx(50.0)
+
+    def test_point_query(self):
+        # A point query degenerates to coverage = density reasoning.
+        assert intsect(200, (0.05,), (0.0,)) == pytest.approx(10.0)
+
+    def test_dim_mismatch(self):
+        with pytest.raises(ValueError):
+            intsect(10, (0.1,), (0.1, 0.1))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            intsect(10, (-0.1,), (0.1,))
+
+
+class TestRangeQueryNA:
+    def test_sums_levels_below_root(self):
+        p = AnalyticalTreeParams(8000, 0.5, 50, 2)
+        q = (0.1, 0.1)
+        expected = sum(
+            intsect(p.nodes_at(j), p.extents_at(j), q)
+            for j in range(1, p.height))
+        assert range_query_na(p, q) == pytest.approx(expected)
+
+    def test_height_one_tree_costs_nothing(self):
+        p = AnalyticalTreeParams(10, 0.1, 50, 2)
+        assert p.height == 1
+        assert range_query_na(p, (0.5, 0.5)) == 0.0
+
+    def test_monotone_in_window(self):
+        p = AnalyticalTreeParams(8000, 0.5, 50, 2)
+        costs = [range_query_na(p, (q, q)) for q in (0.0, 0.1, 0.3, 0.7)]
+        assert costs == sorted(costs)
+
+    def test_monotone_in_cardinality(self):
+        costs = [range_query_na(
+            AnalyticalTreeParams(n, 0.5, 50, 2), (0.1, 0.1))
+            for n in (1000, 10000, 100000)]
+        assert costs == sorted(costs)
+
+    def test_window_dim_checked(self):
+        p = AnalyticalTreeParams(1000, 0.5, 50, 2)
+        with pytest.raises(ValueError):
+            range_query_na(p, (0.1,))
+
+    def test_against_measured_traversal(self):
+        # Average Eq. 1 error over many windows should be modest —
+        # this is TS96's validated claim, smoke-checked at small scale.
+        ds = uniform_rectangles(1500, 0.5, 2, seed=1)
+        tree = build_rstar(ds.items, max_entries=16)
+        p = AnalyticalTreeParams.from_dataset(ds, 16)
+        q = (0.2, 0.2)
+        measured = []
+        for i in range(25):
+            x = (i * 7 % 25) / 25 * 0.8
+            y = (i * 11 % 25) / 25 * 0.8
+            stats = AccessStats()
+            reader = MeteredReader(tree.pager, "T", stats, NoBuffer())
+            tree.range_query(Rect((x, y), (x + q[0], y + q[1])),
+                             reader=reader)
+            measured.append(stats.na("T"))
+        avg_measured = sum(measured) / len(measured)
+        predicted = range_query_na(p, q)
+        assert predicted == pytest.approx(avg_measured, rel=0.25)
+
+    def test_measured_params_tighten_prediction(self):
+        ds = uniform_rectangles(1500, 0.5, 2, seed=2)
+        tree = build_rstar(ds.items, max_entries=16)
+        pm = MeasuredTreeParams(tree)
+        pa = AnalyticalTreeParams.from_dataset(ds, 16)
+        # Both callable through the same interface.
+        q = (0.15, 0.15)
+        assert range_query_na(pm, q) > 0
+        assert range_query_na(pa, q) > 0
+
+
+class TestRangeSelectivity:
+    def test_formula(self):
+        assert range_query_selectivity(1000, (0.02, 0.02),
+                                       (0.1, 0.1)) == \
+            pytest.approx(1000 * 0.12 * 0.12)
+
+    def test_against_measured_counts(self):
+        ds = uniform_rectangles(2000, 0.5, 2, seed=3)
+        tree = build_rstar(ds.items, max_entries=16)
+        p = AnalyticalTreeParams.from_dataset(ds, 16)
+        q = (0.25, 0.25)
+        counts = []
+        for i in range(16):
+            x = (i % 4) / 4 * 0.75
+            y = (i // 4) / 4 * 0.75
+            counts.append(tree.count_range(
+                Rect((x, y), (x + q[0], y + q[1]))))
+        avg = sum(counts) / len(counts)
+        predicted = range_query_selectivity(
+            p.n_objects, p.average_object_extents(), q)
+        assert predicted == pytest.approx(avg, rel=0.2)

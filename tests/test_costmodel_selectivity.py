@@ -1,0 +1,140 @@
+"""§5 extension: join selectivity estimation."""
+
+import pytest
+
+from repro.costmodel import (AnalyticalTreeParams, join_selectivity_fraction,
+                             join_selectivity_pairs)
+from repro.datasets import uniform_rectangles
+from repro.join import spatial_join
+
+from .conftest import build_rstar
+
+
+def params(n, d=0.5, ndim=2, m=50):
+    return AnalyticalTreeParams(n, d, m, ndim)
+
+
+class TestSelectivityFormula:
+    def test_hand_computed(self):
+        # N1 = N2 = 100, D = 0.25 -> s̄ = 0.05 per side;
+        # pairs = 100 * 100 * (0.1)^2 = 100.
+        p = params(100, d=0.25)
+        assert join_selectivity_pairs(p, p) == pytest.approx(100.0)
+
+    def test_symmetric(self):
+        p1, p2 = params(300, d=0.2), params(700, d=0.6)
+        assert join_selectivity_pairs(p1, p2) == pytest.approx(
+            join_selectivity_pairs(p2, p1))
+
+    def test_fraction(self):
+        p1, p2 = params(100, d=0.25), params(100, d=0.25)
+        assert join_selectivity_fraction(p1, p2) == pytest.approx(0.01)
+
+    def test_fraction_of_empty_is_zero(self):
+        empty = params(0, d=0.0)
+        assert join_selectivity_fraction(empty, params(100)) == 0.0
+
+    def test_distance_increases_pairs(self):
+        p1, p2 = params(500), params(500)
+        base = join_selectivity_pairs(p1, p2)
+        wider = join_selectivity_pairs(p1, p2, distance=0.05)
+        assert wider > base
+
+    def test_distance_validated(self):
+        with pytest.raises(ValueError):
+            join_selectivity_pairs(params(10), params(10), distance=-1)
+
+    def test_ndim_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            join_selectivity_pairs(params(10, ndim=1, m=84),
+                                   params(10, ndim=2))
+
+    def test_clamped_at_cartesian_product(self):
+        # Certain overlap cannot exceed N1 * N2.
+        p1 = params(50, d=40.0)   # huge objects
+        p2 = params(60, d=40.0)
+        assert join_selectivity_pairs(p1, p2) <= 50 * 60 + 1e-9
+
+
+class TestGridSelectivity:
+    def test_reduces_to_uniform_on_uniform_data(self):
+        from repro.costmodel import join_selectivity_pairs_grid
+        d1 = uniform_rectangles(1500, 0.5, 2, seed=21)
+        d2 = uniform_rectangles(1500, 0.5, 2, seed=22)
+        p1 = AnalyticalTreeParams.from_dataset(d1, 16)
+        p2 = AnalyticalTreeParams.from_dataset(d2, 16)
+        grid = join_selectivity_pairs_grid(d1, d2, resolution=5)
+        assert grid == pytest.approx(
+            join_selectivity_pairs(p1, p2), rel=0.1)
+
+    def test_beats_uniform_on_clustered_data(self):
+        from repro.costmodel import join_selectivity_pairs_grid
+        from repro.datasets import clustered_rectangles
+        d1 = clustered_rectangles(1500, 0.5, 2, clusters=4,
+                                  spread=0.04, seed=23)
+        d2 = clustered_rectangles(1500, 0.5, 2, clusters=4,
+                                  spread=0.04, seed=24)
+        measured = spatial_join(build_rstar(d1.items, max_entries=16),
+                                build_rstar(d2.items, max_entries=16),
+                                collect_pairs=False).pair_count
+        p1 = AnalyticalTreeParams.from_dataset(d1, 16)
+        p2 = AnalyticalTreeParams.from_dataset(d2, 16)
+        uniform_err = abs(join_selectivity_pairs(p1, p2) - measured)
+        grid_err = abs(join_selectivity_pairs_grid(d1, d2,
+                                                   resolution=6)
+                       - measured)
+        assert grid_err < uniform_err
+
+    def test_distance_rescaled_into_cells(self):
+        from repro.costmodel import join_selectivity_pairs_grid
+        d1 = uniform_rectangles(800, 0.4, 2, seed=25)
+        d2 = uniform_rectangles(800, 0.4, 2, seed=26)
+        base = join_selectivity_pairs_grid(d1, d2, resolution=4)
+        wider = join_selectivity_pairs_grid(d1, d2, resolution=4,
+                                            distance=0.02)
+        assert wider > base
+
+    def test_validation(self):
+        from repro.costmodel import join_selectivity_pairs_grid
+        d1 = uniform_rectangles(100, 0.2, 1, seed=27)
+        d2 = uniform_rectangles(100, 0.2, 2, seed=28)
+        with pytest.raises(ValueError):
+            join_selectivity_pairs_grid(d1, d2)
+        d3 = uniform_rectangles(100, 0.2, 2, seed=29)
+        with pytest.raises(ValueError):
+            join_selectivity_pairs_grid(d2, d3, distance=-1.0)
+
+
+class TestSelectivityAgainstMeasurement:
+    def test_uniform_join_pair_count(self):
+        d1 = uniform_rectangles(1200, 0.5, 2, seed=1)
+        d2 = uniform_rectangles(1200, 0.5, 2, seed=2)
+        result = spatial_join(build_rstar(d1.items, max_entries=16),
+                              build_rstar(d2.items, max_entries=16),
+                              collect_pairs=False)
+        p1 = AnalyticalTreeParams.from_dataset(d1, 16)
+        p2 = AnalyticalTreeParams.from_dataset(d2, 16)
+        predicted = join_selectivity_pairs(p1, p2)
+        assert predicted == pytest.approx(result.pair_count, rel=0.15)
+
+    def test_asymmetric_cardinalities(self):
+        d1 = uniform_rectangles(500, 0.4, 2, seed=3)
+        d2 = uniform_rectangles(2000, 0.6, 2, seed=4)
+        result = spatial_join(build_rstar(d1.items, max_entries=16),
+                              build_rstar(d2.items, max_entries=16),
+                              collect_pairs=False)
+        p1 = AnalyticalTreeParams.from_dataset(d1, 16)
+        p2 = AnalyticalTreeParams.from_dataset(d2, 16)
+        assert join_selectivity_pairs(p1, p2) == pytest.approx(
+            result.pair_count, rel=0.15)
+
+    def test_one_dimensional(self):
+        d1 = uniform_rectangles(800, 0.5, 1, seed=5)
+        d2 = uniform_rectangles(800, 0.5, 1, seed=6)
+        result = spatial_join(build_rstar(d1.items, ndim=1, max_entries=16),
+                              build_rstar(d2.items, ndim=1, max_entries=16),
+                              collect_pairs=False)
+        p1 = AnalyticalTreeParams.from_dataset(d1, 16)
+        p2 = AnalyticalTreeParams.from_dataset(d2, 16)
+        assert join_selectivity_pairs(p1, p2) == pytest.approx(
+            result.pair_count, rel=0.15)

@@ -1,0 +1,93 @@
+"""Local density grids."""
+
+import pytest
+
+from repro.datasets import (LocalDensityGrid, SpatialDataset,
+                            global_density, uniform_rectangles)
+from repro.geometry import Rect
+
+
+class TestGlobalDensity:
+    def test_matches_dataset_density(self):
+        ds = uniform_rectangles(100, 0.4, 2, seed=1)
+        assert global_density(ds.items) == pytest.approx(ds.density())
+
+
+class TestLocalDensityGrid:
+    def test_counts_sum_to_total(self):
+        ds = uniform_rectangles(300, 0.5, 2, seed=2)
+        grid = LocalDensityGrid(ds, 4)
+        assert sum(grid.counts) == 300
+
+    def test_fractions_sum_to_one(self):
+        ds = uniform_rectangles(300, 0.5, 2, seed=3)
+        grid = LocalDensityGrid(ds, 4)
+        assert sum(f for f, _d in grid.cells()) == pytest.approx(1.0)
+
+    def test_cell_count(self):
+        ds = uniform_rectangles(50, 0.2, 2, seed=4)
+        assert len(LocalDensityGrid(ds, 5)) == 25
+        ds1 = uniform_rectangles(50, 0.2, 1, seed=4)
+        assert len(LocalDensityGrid(ds1, 5)) == 5
+
+    def test_local_density_of_uniform_close_to_global(self):
+        ds = uniform_rectangles(2000, 0.5, 2, seed=5)
+        grid = LocalDensityGrid(ds, 3)
+        for _f, d in grid.cells():
+            assert d == pytest.approx(0.5, abs=0.15)
+
+    def test_single_cell_equals_global(self):
+        ds = uniform_rectangles(500, 0.5, 2, seed=6)
+        grid = LocalDensityGrid(ds, 1)
+        (_f, d), = grid.cells()
+        assert d == pytest.approx(ds.density(), rel=1e-9)
+
+    def test_area_conservation(self):
+        # Summed (cell density * cell area) equals the global density:
+        # clipping partitions every rectangle exactly.
+        ds = uniform_rectangles(400, 0.6, 2, seed=7)
+        grid = LocalDensityGrid(ds, 4)
+        cell_area = (1 / 4) ** 2
+        total = sum(d * cell_area for _f, d in grid.cells())
+        assert total == pytest.approx(ds.density(), rel=1e-9)
+
+    def test_hotspot_detected(self):
+        rects = [Rect((0.05, 0.05), (0.15, 0.15))] * 50    # one hot cell
+        rects += [Rect((0.8, 0.8), (0.81, 0.81))]
+        ds = SpatialDataset.from_rects(rects)
+        grid = LocalDensityGrid(ds, 4)
+        densities = [d for _f, d in grid.cells()]
+        assert max(densities) > 5.0
+        assert densities.count(0.0) >= 10
+
+    def test_boundary_object_counted_once(self):
+        # A rectangle exactly on a cell border belongs to one center cell
+        # but contributes density to both cells it touches.
+        ds = SpatialDataset.from_rects(
+            [Rect((0.45, 0.2), (0.55, 0.3))])   # straddles x = 0.5 at res 2
+        grid = LocalDensityGrid(ds, 2)
+        assert sum(grid.counts) == 1
+        touched = sum(1 for d in grid.densities if d > 0)
+        assert touched == 2
+
+    def test_occupied_cells(self):
+        ds = uniform_rectangles(1000, 0.5, 2, seed=8)
+        grid = LocalDensityGrid(ds, 3)
+        assert grid.occupied_cells() == 9
+
+    def test_skew_zero_for_perfectly_even(self):
+        rects = [Rect((x / 4 + 0.01, y / 4 + 0.01),
+                      (x / 4 + 0.02, y / 4 + 0.02))
+                 for x in range(4) for y in range(4)]
+        ds = SpatialDataset.from_rects(rects)
+        assert LocalDensityGrid(ds, 4).skew_coefficient() == \
+            pytest.approx(0.0)
+
+    def test_rejects_empty_dataset(self):
+        with pytest.raises(ValueError):
+            LocalDensityGrid(SpatialDataset([]), 4)
+
+    def test_rejects_bad_resolution(self):
+        ds = uniform_rectangles(10, 0.2, 2, seed=9)
+        with pytest.raises(ValueError):
+            LocalDensityGrid(ds, 0)

@@ -1,0 +1,92 @@
+"""Skewed data generators."""
+
+import pytest
+
+from repro.datasets import (LocalDensityGrid, clustered_rectangles,
+                            diagonal_rectangles, uniform_rectangles,
+                            zipf_rectangles)
+from repro.geometry import Rect
+
+GENERATORS = [clustered_rectangles, zipf_rectangles, diagonal_rectangles]
+
+
+@pytest.mark.parametrize("gen", GENERATORS,
+                         ids=["clustered", "zipf", "diagonal"])
+class TestCommonContract:
+    def test_cardinality(self, gen):
+        assert gen(300, 0.4, 2, seed=1).cardinality == 300
+
+    def test_density_exact(self, gen):
+        ds = gen(300, 0.4, 2, seed=2)
+        assert ds.density() == pytest.approx(0.4, rel=1e-6)
+
+    def test_inside_workspace(self, gen):
+        ds = gen(200, 0.6, 2, seed=3)
+        unit = Rect.unit(2)
+        assert all(unit.contains(r) for r in ds.rects)
+
+    def test_reproducible(self, gen):
+        assert gen(50, 0.3, 2, seed=4).rects == gen(50, 0.3, 2,
+                                                    seed=4).rects
+
+    def test_one_dimensional(self, gen):
+        ds = gen(100, 0.3, 1, seed=5)
+        assert ds.ndim == 1
+        assert ds.density() == pytest.approx(0.3, rel=1e-6)
+
+    def test_empty(self, gen):
+        assert gen(0, 0.5, 2).cardinality == 0
+
+    def test_more_skewed_than_uniform(self, gen):
+        skewed = gen(1000, 0.3, 2, seed=6)
+        flat = uniform_rectangles(1000, 0.3, 2, seed=6)
+        cv_skewed = LocalDensityGrid(skewed, 5).skew_coefficient()
+        cv_flat = LocalDensityGrid(flat, 5).skew_coefficient()
+        assert cv_skewed > cv_flat
+
+    def test_invalid_args(self, gen):
+        with pytest.raises(ValueError):
+            gen(-1, 0.5, 2)
+        with pytest.raises(ValueError):
+            gen(10, -1.0, 2)
+        with pytest.raises(ValueError):
+            gen(10, 0.5, 0)
+
+
+class TestGeneratorSpecifics:
+    def test_clusters_parameter(self):
+        with pytest.raises(ValueError):
+            clustered_rectangles(10, 0.5, 2, clusters=0)
+        with pytest.raises(ValueError):
+            clustered_rectangles(10, 0.5, 2, spread=0.0)
+
+    def test_fewer_clusters_more_skew(self):
+        tight = clustered_rectangles(1000, 0.3, 2, clusters=2,
+                                     spread=0.03, seed=7)
+        loose = clustered_rectangles(1000, 0.3, 2, clusters=32,
+                                     spread=0.1, seed=7)
+        assert LocalDensityGrid(tight, 5).skew_coefficient() > \
+            LocalDensityGrid(loose, 5).skew_coefficient()
+
+    def test_zipf_alpha_validated(self):
+        with pytest.raises(ValueError):
+            zipf_rectangles(10, 0.5, 2, alpha=0.0)
+
+    def test_zipf_mass_near_origin(self):
+        ds = zipf_rectangles(1000, 0.1, 2, alpha=2.0, seed=8)
+        # With alpha = 2, P(center < 0.25) = P(u^2 < 0.25) = 0.5 per
+        # dimension, so ~250 of 1000 land in the origin quadrant; a
+        # uniform distribution would put only ~62 there.
+        near = sum(1 for r in ds.rects
+                   if r.center[0] < 0.25 and r.center[1] < 0.25)
+        assert near > 180
+
+    def test_diagonal_width_validated(self):
+        with pytest.raises(ValueError):
+            diagonal_rectangles(10, 0.5, 2, width=-0.1)
+
+    def test_diagonal_correlation(self):
+        ds = diagonal_rectangles(500, 0.1, 2, width=0.02, seed=9)
+        off_diagonal = sum(1 for r in ds.rects
+                           if abs(r.center[0] - r.center[1]) > 0.2)
+        assert off_diagonal < 25

@@ -1,0 +1,61 @@
+"""The TIGER-like road-network generator."""
+
+import pytest
+
+from repro.datasets import LocalDensityGrid, tiger_like_segments, \
+    uniform_rectangles
+from repro.geometry import Rect
+
+
+class TestTigerLike:
+    def test_cardinality_exact(self):
+        for n in (100, 1000, 3333):
+            assert tiger_like_segments(n, seed=1).cardinality == n
+
+    def test_two_dimensional(self):
+        assert tiger_like_segments(100, seed=2).ndim == 2
+
+    def test_inside_workspace(self):
+        ds = tiger_like_segments(2000, seed=3)
+        unit = Rect.unit(2)
+        assert all(unit.contains(r) for r in ds.rects)
+
+    def test_segments_are_small(self):
+        # Road segments have tiny MBRs: that is the trait the real TIGER
+        # data has and the cost model sees.
+        ds = tiger_like_segments(2000, seed=4, segment_length=0.01)
+        assert max(r.extents[0] for r in ds.rects) < 0.1
+        assert ds.density() < 0.2
+
+    def test_positive_density(self):
+        # Jittered segments yield non-degenerate MBRs overall.
+        assert tiger_like_segments(2000, seed=5).density() > 0.0
+
+    def test_strongly_non_uniform(self):
+        roads = tiger_like_segments(2000, seed=6)
+        flat = uniform_rectangles(2000, roads.density(), 2, seed=6)
+        assert LocalDensityGrid(roads, 6).skew_coefficient() > \
+            2 * LocalDensityGrid(flat, 6).skew_coefficient()
+
+    def test_reproducible(self):
+        assert tiger_like_segments(200, seed=7).rects == \
+            tiger_like_segments(200, seed=7).rects
+
+    def test_hub_count_respected(self):
+        ds = tiger_like_segments(1000, seed=8, hubs=4)
+        assert ds.cardinality == 1000
+
+    def test_empty(self):
+        assert tiger_like_segments(0).cardinality == 0
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            tiger_like_segments(-1)
+        with pytest.raises(ValueError):
+            tiger_like_segments(10, hubs=1)
+        with pytest.raises(ValueError):
+            tiger_like_segments(10, segment_length=0.0)
+
+    def test_custom_name(self):
+        assert tiger_like_segments(10, seed=1,
+                                   name="west-tiger").name == "west-tiger"

@@ -1,0 +1,118 @@
+"""Uniform data generation."""
+
+import pytest
+
+from repro.datasets import SpatialDataset, uniform_rectangles
+from repro.geometry import Rect
+
+
+class TestUniformRectangles:
+    def test_cardinality_exact(self):
+        ds = uniform_rectangles(500, 0.5, 2, seed=1)
+        assert ds.cardinality == 500
+
+    @pytest.mark.parametrize("ndim", [1, 2, 3])
+    @pytest.mark.parametrize("density", [0.2, 0.5, 0.8])
+    def test_density_exact(self, ndim, density):
+        ds = uniform_rectangles(400, density, ndim, seed=2)
+        assert ds.density() == pytest.approx(density, rel=1e-9)
+
+    def test_density_exact_with_jitter(self):
+        ds = uniform_rectangles(400, 0.5, 2, seed=3, size_jitter=0.5)
+        assert ds.density() == pytest.approx(0.5, rel=1e-9)
+
+    def test_jitter_varies_sizes(self):
+        ds = uniform_rectangles(100, 0.5, 2, seed=4, size_jitter=0.5)
+        sides = {round(r.extents[0], 9) for r in ds.rects}
+        assert len(sides) > 50
+
+    def test_no_jitter_equal_squares(self):
+        ds = uniform_rectangles(100, 0.5, 2, seed=5)
+        sides = {round(r.extents[0], 9) for r in ds.rects}
+        assert len(sides) == 1
+
+    def test_inside_workspace(self):
+        ds = uniform_rectangles(300, 0.8, 2, seed=6)
+        unit = Rect.unit(2)
+        assert all(unit.contains(r) for r in ds.rects)
+
+    def test_reproducible_by_seed(self):
+        a = uniform_rectangles(50, 0.3, 2, seed=7)
+        b = uniform_rectangles(50, 0.3, 2, seed=7)
+        assert a.rects == b.rects
+
+    def test_different_seeds_differ(self):
+        a = uniform_rectangles(50, 0.3, 2, seed=7)
+        b = uniform_rectangles(50, 0.3, 2, seed=8)
+        assert a.rects != b.rects
+
+    def test_zero_objects(self):
+        ds = uniform_rectangles(0, 0.5, 2)
+        assert ds.cardinality == 0
+        assert ds.density() == 0.0
+
+    def test_zero_density_gives_points(self):
+        ds = uniform_rectangles(10, 0.0, 2, seed=9)
+        assert all(r.area() == 0.0 for r in ds.rects)
+
+    def test_oversized_objects_rejected(self):
+        with pytest.raises(ValueError, match="would not fit"):
+            uniform_rectangles(1, 2.0, 2)
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            uniform_rectangles(-1, 0.5, 2)
+        with pytest.raises(ValueError):
+            uniform_rectangles(10, -0.5, 2)
+        with pytest.raises(ValueError):
+            uniform_rectangles(10, 0.5, 0)
+        with pytest.raises(ValueError):
+            uniform_rectangles(10, 0.5, 2, size_jitter=1.5)
+
+    def test_name_encodes_parameters(self):
+        ds = uniform_rectangles(10, 0.5, 2, seed=1)
+        assert "10" in ds.name and "0.5" in ds.name
+
+
+class TestSpatialDataset:
+    def test_from_rects(self):
+        rects = [Rect((0, 0), (0.1, 0.1)), Rect((0.5, 0.5), (0.6, 0.6))]
+        ds = SpatialDataset.from_rects(rects)
+        assert ds.items == [(rects[0], 0), (rects[1], 1)]
+
+    def test_iteration_and_indexing(self):
+        ds = uniform_rectangles(5, 0.1, 2, seed=1)
+        assert list(ds)[2] == ds[2]
+        assert len(ds) == 5
+
+    def test_ndim(self):
+        assert uniform_rectangles(5, 0.1, 3, seed=1).ndim == 3
+
+    def test_empty_dataset_has_no_ndim(self):
+        with pytest.raises(ValueError):
+            SpatialDataset([]).ndim
+
+    def test_mixed_dims_rejected(self):
+        with pytest.raises(ValueError):
+            SpatialDataset([(Rect((0,), (1,)), 0),
+                            (Rect((0, 0), (1, 1)), 1)])
+
+    def test_scaled_density(self):
+        ds = uniform_rectangles(100, 0.5, 2, seed=1)
+        scaled = ds.scaled_density(0.25)
+        assert scaled.density() == pytest.approx(0.25)
+        assert scaled.cardinality == 100
+        # Centers are preserved.
+        flat_scaled = [c for r in scaled.rects for c in r.center]
+        flat_orig = [c for r in ds.rects for c in r.center]
+        assert flat_scaled == pytest.approx(flat_orig)
+
+    def test_scaled_density_of_empty_rejected(self):
+        ds = uniform_rectangles(10, 0.0, 2, seed=1)
+        with pytest.raises(ValueError):
+            ds.scaled_density(0.5)
+
+    def test_items_returns_copy(self):
+        ds = uniform_rectangles(5, 0.1, 2, seed=1)
+        ds.items.append("junk")
+        assert len(ds) == 5

@@ -1,0 +1,134 @@
+"""The experiment harness and reporting."""
+
+import pytest
+
+from repro.datasets import uniform_rectangles
+from repro.experiments import (BENCH_SCALE, PAPER_SCALE, SMOKE_SCALE,
+                               TreeCache, error_summary, figure5_rows,
+                               format_table, observe_join, print_figure,
+                               relative_error)
+from repro.rtree import RStarTree
+
+
+class TestConfigs:
+    def test_paper_scale_matches_paper(self):
+        assert PAPER_SCALE.max_entries(1) == 84
+        assert PAPER_SCALE.max_entries(2) == 50
+        assert PAPER_SCALE.cardinalities == (20000, 40000, 60000, 80000)
+        assert PAPER_SCALE.fill == 0.67
+
+    def test_bench_scale_capacities(self):
+        assert BENCH_SCALE.max_entries(1) == 41
+        assert BENCH_SCALE.max_entries(2) == 24
+
+    def test_densities_grid(self):
+        assert BENCH_SCALE.densities == (0.2, 0.4, 0.6, 0.8)
+
+
+class TestRelativeError:
+    def test_signed(self):
+        assert relative_error(110, 100) == pytest.approx(0.1)
+        assert relative_error(90, 100) == pytest.approx(-0.1)
+
+    def test_zero_measured(self):
+        assert relative_error(0, 0) == 0.0
+        assert relative_error(5, 0) == float("inf")
+
+
+class TestTreeCache:
+    def test_builds_once_per_dataset(self):
+        ds = uniform_rectangles(300, 0.5, 2, seed=1)
+        cache = TreeCache()
+        t1 = cache.get(ds, 16)
+        t2 = cache.get(ds, 16)
+        assert t1 is t2
+        assert len(cache) == 1
+
+    def test_distinguishes_parameters(self):
+        ds = uniform_rectangles(300, 0.5, 2, seed=2)
+        cache = TreeCache()
+        assert cache.get(ds, 16) is not cache.get(ds, 8)
+        assert cache.get(ds, 16) is not cache.get(ds, 16, "str")
+        assert len(cache) == 3
+
+    def test_variants(self):
+        ds = uniform_rectangles(120, 0.5, 2, seed=3)
+        cache = TreeCache()
+        for variant in ("rstar", "guttman-linear", "guttman-quadratic",
+                        "str", "hilbert"):
+            tree = cache.get(ds, 8, variant)
+            assert isinstance(tree, RStarTree) or len(tree) == 120
+
+    def test_unknown_variant(self):
+        ds = uniform_rectangles(10, 0.1, 2, seed=4)
+        with pytest.raises(ValueError):
+            TreeCache().get(ds, 8, "btree")
+
+
+class TestObserveJoin:
+    def test_fields_consistent(self):
+        d1 = uniform_rectangles(600, 0.5, 2, seed=5)
+        d2 = uniform_rectangles(900, 0.5, 2, seed=6)
+        ob = observe_join(d1, d2, 16)
+        assert ob.n1 == 600 and ob.n2 == 900
+        assert ob.da_measured <= ob.na_measured
+        assert ob.da1_measured + ob.da2_measured == ob.da_measured
+        assert ob.na_model > 0 and ob.da_model > 0
+        assert ob.pairs > 0
+
+    def test_errors_derived(self):
+        d1 = uniform_rectangles(500, 0.5, 2, seed=7)
+        ob = observe_join(d1, d1, 16)
+        assert ob.na_error == pytest.approx(
+            (ob.na_model - ob.na_measured) / ob.na_measured)
+
+    def test_nonuniform_variant(self):
+        d1 = uniform_rectangles(500, 0.5, 2, seed=8)
+        ob = observe_join(d1, d1, 16, nonuniform_resolution=3)
+        assert ob.na_model > 0
+        assert ob.da1_model + ob.da2_model == pytest.approx(ob.da_model)
+
+    def test_label_default(self):
+        d1 = uniform_rectangles(200, 0.4, 2, seed=9)
+        ob = observe_join(d1, d1, 16)
+        assert d1.name in ob.label
+
+
+class TestReporting:
+    def _obs(self):
+        cache = TreeCache()
+        out = []
+        for seed in (10, 11):
+            d1 = uniform_rectangles(400, 0.5, 2, seed=seed)
+            d2 = uniform_rectangles(500, 0.5, 2, seed=seed + 5)
+            out.append(observe_join(d1, d2, 16, cache=cache))
+        return out
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["x", 1], ["longer", 22]])
+        lines = text.splitlines()
+        assert len({len(line) for line in lines}) == 1  # equal widths
+        assert "a" in lines[0] and "---" in lines[1]
+
+    def test_figure5_rows(self):
+        rows = figure5_rows(self._obs())
+        assert len(rows) == 2
+        assert rows[0][0] == "0K/0K"
+        assert all(len(r) == 7 for r in rows)
+
+    def test_print_figure_returns_text(self, capsys):
+        text = print_figure("test", self._obs())
+        captured = capsys.readouterr()
+        assert "exper(NA)" in text
+        assert text in captured.out + text  # was printed
+
+    def test_error_summary(self):
+        summary = error_summary(self._obs())
+        for key in ("na_mean", "na_max", "da_mean", "da_max",
+                    "da1_mean", "da2_mean"):
+            assert key in summary
+            assert summary[key] >= 0
+
+    def test_error_summary_empty_rejected(self):
+        with pytest.raises(ValueError):
+            error_summary([])

@@ -1,0 +1,72 @@
+"""Per-level diagnostics."""
+
+import pytest
+
+from repro.datasets import uniform_rectangles
+from repro.experiments import TreeCache, level_comparison
+from repro.join import R1, R2, spatial_join
+
+CACHE = TreeCache()
+M = 16
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    d1 = uniform_rectangles(1000, 0.5, 2, seed=81)
+    d2 = uniform_rectangles(1000, 0.5, 2, seed=82)
+    result = spatial_join(CACHE.get(d1, M), CACHE.get(d2, M),
+                          collect_pairs=False)
+    return result, level_comparison(result, d1, d2, M)
+
+
+class TestLevelComparison:
+    def test_totals_reconcile_with_result(self, comparison):
+        result, rows = comparison
+        assert sum(r.na_measured for r in rows) == result.na_total
+        assert sum(r.da_measured for r in rows) == result.da_total
+
+    def test_model_totals_reconcile_with_formulas(self, comparison):
+        from repro.costmodel import (AnalyticalTreeParams, join_da_total,
+                                     join_na_total)
+        _result, rows = comparison
+        d1 = uniform_rectangles(1000, 0.5, 2, seed=81)
+        d2 = uniform_rectangles(1000, 0.5, 2, seed=82)
+        p1 = AnalyticalTreeParams.from_dataset(d1, M)
+        p2 = AnalyticalTreeParams.from_dataset(d2, M)
+        assert sum(r.na_model for r in rows) == pytest.approx(
+            join_na_total(p1, p2))
+        assert sum(r.da_model for r in rows) == pytest.approx(
+            join_da_total(p1, p2))
+
+    def test_both_trees_present(self, comparison):
+        _result, rows = comparison
+        trees = {r.tree for r in rows}
+        assert trees == {R1, R2}
+
+    def test_leaf_level_dominates(self, comparison):
+        # Most accesses happen at the leaf level — the reason leaf-pair
+        # estimation accuracy dominates the end-to-end error.
+        _result, rows = comparison
+        for tree in (R1, R2):
+            per_level = {r.level: r.na_measured
+                         for r in rows if r.tree == tree}
+            assert per_level[1] == max(per_level.values())
+
+    def test_rows_sorted(self, comparison):
+        _result, rows = comparison
+        keys = [(r.tree, r.level) for r in rows]
+        assert keys == sorted(keys)
+
+    def test_error_property(self, comparison):
+        _result, rows = comparison
+        for r in rows:
+            if r.na_measured:
+                assert r.na_error == pytest.approx(
+                    (r.na_model - r.na_measured) / r.na_measured)
+
+    def test_zero_measured_nonzero_model_is_inf(self):
+        from repro.experiments.levels import LevelComparison
+        row = LevelComparison(R1, 3, 0, 1.5, 0, 1.5)
+        assert row.na_error == float("inf")
+        row2 = LevelComparison(R1, 3, 0, 0.0, 0, 0.0)
+        assert row2.na_error == 0.0

@@ -1,0 +1,48 @@
+"""The experiment registry."""
+
+import pytest
+
+from repro.experiments import SMOKE_SCALE, experiment_ids, run_experiment
+
+
+class TestRegistry:
+    def test_ids_cover_all_figures(self):
+        ids = experiment_ids()
+        for fig in ("fig5a", "fig5b", "fig6a", "fig6b", "fig7a",
+                    "fig7b"):
+            assert fig in ids
+
+    @pytest.mark.parametrize("exp_id", ["fig6a", "fig6b", "fig7a",
+                                        "fig7b"])
+    def test_analytic_experiments_run(self, exp_id):
+        table = run_experiment(exp_id)
+        assert "20K" in table and "80K" in table
+        assert "paper scale" in table
+
+    def test_measured_experiment_at_smoke_scale(self):
+        table = run_experiment("fig5a", scale="smoke")
+        assert "exper(NA)" in table
+        assert "smoke scale" in table
+
+    def test_scale_object_accepted(self):
+        table = run_experiment("fig5a", scale=SMOKE_SCALE)
+        assert "exper(NA)" in table
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ValueError, match="unknown experiment"):
+            run_experiment("fig99")
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError, match="unknown scale"):
+            run_experiment("fig5a", scale="galactic")
+
+    def test_fig6b_matches_golden_values(self):
+        table = run_experiment("fig6b")
+        # Values pinned against the golden-regression suite.
+        assert "4445" in table and "17789" in table
+
+    def test_cli_experiment_command(self, capsys):
+        from repro.cli import main
+        assert main(["experiment", "fig7a"]) == 0
+        out = capsys.readouterr().out
+        assert "NR2=20K" in out

@@ -1,0 +1,74 @@
+"""Unit tests for the workspace and density helpers."""
+
+import pytest
+
+from repro.geometry import Rect, Workspace, clamp_to_unit, density
+
+
+class TestDensity:
+    def test_empty_set(self):
+        assert density([]) == 0.0
+
+    def test_single(self):
+        assert density([Rect((0, 0), (0.5, 0.5))]) == pytest.approx(0.25)
+
+    def test_sum_of_areas(self):
+        rects = [Rect((0, 0), (0.5, 0.5)), Rect((0.5, 0.5), (1, 1))]
+        assert density(rects) == pytest.approx(0.5)
+
+    def test_density_above_one_possible(self):
+        rects = [Rect((0, 0), (1, 1))] * 3
+        assert density(rects) == pytest.approx(3.0)
+
+    def test_matches_n_times_average_area(self):
+        rects = [Rect((0.1 * i, 0.0), (0.1 * i + 0.05, 0.2))
+                 for i in range(5)]
+        avg = sum(r.area() for r in rects) / 5
+        assert density(rects) == pytest.approx(5 * avg)
+
+
+class TestClamp:
+    def test_inside_unchanged(self):
+        r = Rect((0.1, 0.1), (0.9, 0.9))
+        assert clamp_to_unit(r) == r
+
+    def test_clips_overhang(self):
+        r = Rect((-0.5, 0.5), (0.5, 1.5))
+        assert clamp_to_unit(r) == Rect((0.0, 0.5), (0.5, 1.0))
+
+
+class TestWorkspace:
+    def test_default_unit(self):
+        ws = Workspace(ndim=2)
+        assert ws.bounds == Rect.unit(2)
+        assert ws.ndim == 2
+
+    def test_requires_bounds_or_ndim(self):
+        with pytest.raises(ValueError):
+            Workspace()
+
+    def test_rejects_degenerate_bounds(self):
+        with pytest.raises(ValueError, match="positive extent"):
+            Workspace(Rect((0, 0), (1, 0)))
+
+    def test_to_unit(self):
+        ws = Workspace(Rect((10.0, 20.0), (20.0, 40.0)))
+        r = ws.to_unit(Rect((15.0, 30.0), (20.0, 40.0)))
+        assert r == Rect((0.5, 0.5), (1.0, 1.0))
+
+    def test_from_unit_inverts_to_unit(self):
+        ws = Workspace(Rect((-5.0,), (5.0,)))
+        original = Rect((-1.0,), (2.0,))
+        assert ws.from_unit(ws.to_unit(original)) == original
+
+    def test_normalize_all(self):
+        ws = Workspace(Rect((0.0, 0.0), (2.0, 2.0)))
+        out = ws.normalize_all([Rect((0, 0), (1, 1)),
+                                Rect((1, 1), (2, 2))])
+        assert out == [Rect((0, 0), (0.5, 0.5)),
+                       Rect((0.5, 0.5), (1, 1))]
+
+    def test_dim_mismatch(self):
+        ws = Workspace(ndim=2)
+        with pytest.raises(ValueError):
+            ws.to_unit(Rect((0,), (1,)))

@@ -1,0 +1,88 @@
+"""Golden regression pins.
+
+Every number here was produced by the current implementation on fixed
+seeds and is pinned exactly.  The suite's other tests check *properties*;
+these catch silent behavioural drift — a changed tie-break in a split
+heuristic, a different traversal order, an off-by-one in the counters —
+that property tests would happily accept.  If an intentional algorithm
+change breaks one of these, regenerate the constants and say so in the
+commit.
+"""
+
+import pytest
+
+from repro.costmodel import (AnalyticalTreeParams, join_da_total,
+                             join_na_total)
+from repro.datasets import (clustered_rectangles, tiger_like_segments,
+                            uniform_rectangles)
+from repro.join import spatial_join
+from repro.rtree import RStarTree, str_pack
+
+M = 16
+
+
+def build(dataset):
+    tree = RStarTree(dataset.ndim, M)
+    for rect, oid in dataset:
+        tree.insert(rect, oid)
+    return tree
+
+
+class TestMeasuredGolden:
+    def test_2d_rstar_join(self):
+        d1 = uniform_rectangles(1000, 0.5, 2, seed=101)
+        d2 = uniform_rectangles(1000, 0.5, 2, seed=102)
+        t1, t2 = build(d1), build(d2)
+        assert (t1.height, t2.height) == (3, 3)
+        assert (len(t1.pager), len(t2.pager)) == (96, 99)
+        result = spatial_join(t1, t2)
+        assert result.na_total == 654
+        assert result.da_total == 448
+        assert result.pair_count == 2068
+
+    def test_1d_rstar_join(self):
+        d1 = uniform_rectangles(1000, 0.5, 1, seed=103)
+        d2 = uniform_rectangles(1000, 0.5, 1, seed=104)
+        t1, t2 = build(d1), build(d2)
+        assert (t1.height, t2.height) == (3, 3)
+        result = spatial_join(t1, t2)
+        assert result.na_total == 308
+        assert result.da_total == 235
+        assert result.pair_count == 1005
+
+    def test_str_packed_join(self):
+        d1 = uniform_rectangles(1000, 0.5, 2, seed=101)
+        d2 = uniform_rectangles(1000, 0.5, 2, seed=102)
+        packed = str_pack(d1.items, 2, M)
+        t2 = build(d2)
+        assert packed.height == 3
+        assert len(packed.pager) == 113
+        result = spatial_join(packed, t2)
+        assert result.na_total == 806
+        assert result.da_total == 542
+        # Pair output is index-independent.
+        assert result.pair_count == 2068
+
+
+class TestGeneratorGolden:
+    def test_tiger_density(self):
+        tg = tiger_like_segments(1000, seed=105)
+        assert tg.density() == pytest.approx(0.0145196, abs=1e-7)
+
+    def test_clustered_first_center(self):
+        cl = clustered_rectangles(1000, 0.5, 2, seed=106)
+        assert cl.rects[0].center == pytest.approx(
+            (0.1394575997978767, 0.8841166655009782))
+
+
+class TestModelGolden:
+    def test_paper_scale_formulas(self):
+        p1 = AnalyticalTreeParams(20000, 0.5, 50, 2)
+        p2 = AnalyticalTreeParams(60000, 0.5, 50, 2)
+        assert (p1.height, p2.height) == (3, 4)
+        assert join_na_total(p1, p2) == pytest.approx(10032.2201,
+                                                      abs=1e-3)
+        assert join_da_total(p1, p2) == pytest.approx(9164.9986,
+                                                      abs=1e-3)
+        assert join_da_total(p2, p1) == pytest.approx(5689.1049,
+                                                      abs=1e-3)

@@ -1,0 +1,140 @@
+"""Cross-module integration: the paper's pipeline end to end.
+
+These tests exercise the full chain — generate data, build indexes, run
+the measured join, evaluate the analytical formulas — and assert the
+*claims* of the paper at laptop scale with appropriately loosened
+tolerances (EXPERIMENTS.md records the tight numbers).
+"""
+
+import pytest
+
+from repro.costmodel import (AnalyticalTreeParams, MeasuredTreeParams,
+                             join_da_total, join_na_total,
+                             join_selectivity_pairs)
+from repro.datasets import (clustered_rectangles, tiger_like_segments,
+                            uniform_rectangles)
+from repro.experiments import TreeCache, observe_join
+from repro.join import index_nested_loop_join, naive_join, spatial_join
+from repro.optimizer import Catalog, role_advice
+from repro.rtree import check
+
+CACHE = TreeCache()
+M = 16
+
+
+def uniform(n, seed, d=0.5):
+    return uniform_rectangles(n, d, 2, seed=seed)
+
+
+class TestModelTracksMeasurement:
+    """The headline claim: formulas from (N, D) track actual SJ I/O."""
+
+    def test_na_within_25_percent_uniform(self):
+        ob = observe_join(uniform(1500, 1), uniform(1500, 2), M,
+                          cache=CACHE)
+        assert abs(ob.na_error) < 0.25
+
+    def test_da_within_25_percent_uniform(self):
+        ob = observe_join(uniform(1500, 1), uniform(1500, 2), M,
+                          cache=CACHE)
+        assert abs(ob.da_error) < 0.25
+
+    def test_da2_estimate_tighter_than_da1(self):
+        # §4.1(ii): the query tree's DA estimate is the accurate one;
+        # Eq. 9 overestimates the data tree's.  The asymmetry is most
+        # pronounced in 1-d (as in the paper's Figure 5a regime); at
+        # small 2-d scale structural noise can mask it.
+        da1_errors = []
+        da2_errors = []
+        for n, seed in [(1500, 3), (2000, 4), (3000, 5)]:
+            d1 = uniform_rectangles(n, 0.5, 1, seed=seed)
+            d2 = uniform_rectangles(n, 0.5, 1, seed=seed + 10)
+            ob = observe_join(d1, d2, 32, cache=CACHE)
+            da1_errors.append(abs(ob.da1_error))
+            da2_errors.append(abs(ob.da2_error))
+        assert sum(da2_errors) < sum(da1_errors)
+
+    def test_eq9_overestimates_r1(self):
+        ob = observe_join(uniform(1800, 6), uniform(1800, 7), M,
+                          cache=CACHE)
+        assert ob.da1_model >= ob.da1_measured * 0.95
+
+    def test_measured_params_nearly_exact(self):
+        # Plugging the *real* tree structure into Eqs. 6/7 must predict
+        # the measured NA almost perfectly: the join reasoning is exact,
+        # the error budget lives in Eqs. 2-5.
+        d1, d2 = uniform(1500, 1), uniform(1500, 2)
+        t1 = CACHE.get(d1, M)
+        t2 = CACHE.get(d2, M)
+        measured = spatial_join(t1, t2, collect_pairs=False)
+        predicted = join_na_total(MeasuredTreeParams(t1),
+                                  MeasuredTreeParams(t2))
+        assert predicted == pytest.approx(measured.na_total, rel=0.10)
+
+    def test_different_height_joins_tracked(self):
+        small = uniform(400, 8)     # shorter tree at M = 16
+        large = uniform(4000, 9)
+        ob = observe_join(large, small, M, cache=CACHE)
+        assert ob.height1 != ob.height2
+        assert abs(ob.na_error) < 0.45
+
+
+class TestRoleAssignmentClaim:
+    def test_small_query_tree_wins_measured_and_modeled(self):
+        # Figure 7's rule at equal heights, verified both ways.
+        d_small, d_big = uniform(600, 10), uniform(1100, 11)
+        t_small = CACHE.get(d_small, M)
+        t_big = CACHE.get(d_big, M)
+        assert t_small.height == t_big.height
+        measured_good = spatial_join(t_big, t_small,
+                                     collect_pairs=False).da_total
+        measured_bad = spatial_join(t_small, t_big,
+                                    collect_pairs=False).da_total
+        assert measured_good < measured_bad
+
+        cat = Catalog(max_entries=M)
+        cat.register_dataset("small", d_small)
+        cat.register_dataset("big", d_big)
+        data, query, _c, _a = role_advice(cat, "small", "big")
+        assert (data, query) == ("big", "small")
+
+
+class TestAlgorithmsAgree:
+    def test_three_join_algorithms_one_result(self):
+        a = uniform(600, 12)
+        b = uniform(600, 13)
+        t1 = CACHE.get(a, M)
+        sj = spatial_join(t1, CACHE.get(b, M))
+        inl = index_nested_loop_join(t1, b.items)
+        naive = naive_join(a.items, b.items)
+        assert sorted(sj.pairs) == sorted(inl.pairs) == sorted(naive)
+
+    def test_selectivity_model_tracks_output(self):
+        a, b = uniform(1200, 14), uniform(1200, 15)
+        result = spatial_join(CACHE.get(a, M), CACHE.get(b, M),
+                              collect_pairs=False)
+        p1 = AnalyticalTreeParams.from_dataset(a, M)
+        p2 = AnalyticalTreeParams.from_dataset(b, M)
+        assert join_selectivity_pairs(p1, p2) == pytest.approx(
+            result.pair_count, rel=0.2)
+
+
+class TestNonUniformPipeline:
+    def test_grid_model_on_clustered_data(self):
+        ds = clustered_rectangles(2000, 0.5, 2, clusters=5, spread=0.05,
+                                  seed=16)
+        uniform_ob = observe_join(ds, ds, M, cache=CACHE)
+        grid_ob = observe_join(ds, ds, M, cache=CACHE,
+                               nonuniform_resolution=6)
+        assert abs(grid_ob.na_error) < abs(uniform_ob.na_error)
+
+    def test_tiger_like_join_pipeline(self):
+        roads = tiger_like_segments(1500, seed=17, name="roads-A")
+        hydro = tiger_like_segments(1500, seed=18, name="hydro-B")
+        t1 = CACHE.get(roads, M)
+        t2 = CACHE.get(hydro, M)
+        check(t1)
+        check(t2)
+        result = spatial_join(t1, t2)
+        assert sorted(result.pairs) == sorted(
+            naive_join(roads.items, hydro.items))

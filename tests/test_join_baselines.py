@@ -1,0 +1,87 @@
+"""Baseline join algorithms: index nested loop and naive."""
+
+from repro.geometry import Rect
+from repro.join import (WithinDistance, index_nested_loop_join, naive_join,
+                        spatial_join)
+from repro.storage import LRUBuffer, NoBuffer
+
+from .conftest import build_rstar, make_items
+
+
+def normalized(pairs):
+    return sorted(pairs)
+
+
+class TestNaiveJoin:
+    def test_small_example(self):
+        a = [(Rect((0, 0), (0.5, 0.5)), 1)]
+        b = [(Rect((0.4, 0.4), (1, 1)), 2),
+             (Rect((0.6, 0.6), (1, 1)), 3)]
+        assert naive_join(a, b) == [(1, 2)]
+
+    def test_empty_sides(self):
+        assert naive_join([], make_items(5)) == []
+        assert naive_join(make_items(5), []) == []
+
+    def test_pair_order_is_r1_first(self):
+        a = [(Rect((0, 0), (1, 1)), 7)]
+        b = [(Rect((0, 0), (1, 1)), 9)]
+        assert naive_join(a, b) == [(7, 9)]
+
+
+class TestIndexNestedLoop:
+    def test_matches_naive(self):
+        a = make_items(120, seed=1)
+        b = make_items(100, seed=2)
+        tree = build_rstar(a)
+        result = index_nested_loop_join(tree, b)
+        assert normalized(result.pairs) == normalized(naive_join(a, b))
+
+    def test_matches_sj(self):
+        a = make_items(100, seed=3)
+        b = make_items(100, seed=4)
+        t1, t2 = build_rstar(a), build_rstar(b)
+        sj = spatial_join(t1, t2)
+        inl = index_nested_loop_join(t1, b)
+        assert normalized(inl.pairs) == normalized(sj.pairs)
+
+    def test_distance_predicate(self):
+        a = make_items(60, seed=5)
+        b = make_items(60, seed=6)
+        pred = WithinDistance(0.07)
+        result = index_nested_loop_join(build_rstar(a), b, predicate=pred)
+        assert normalized(result.pairs) == \
+            normalized(naive_join(a, b, predicate=pred))
+
+    def test_costs_more_than_sj(self):
+        # The whole point of SJ: synchronized descent reads far fewer
+        # pages than one range query per outer object.
+        a = make_items(400, seed=7)
+        b = make_items(400, seed=8)
+        t1 = build_rstar(a)
+        t2 = build_rstar(b)
+        sj = spatial_join(t1, t2, buffer=NoBuffer())
+        inl = index_nested_loop_join(t1, b, buffer=NoBuffer())
+        assert inl.na_total > sj.na_total
+
+    def test_outer_scan_charged(self):
+        a = make_items(50, seed=9)
+        b = make_items(50, seed=10)
+        tree = build_rstar(a)
+        result = index_nested_loop_join(tree, b)
+        assert result.stats.na("R2") > 0   # the streamed side
+
+    def test_buffer_reduces_da(self):
+        a = make_items(300, seed=11)
+        b = make_items(300, seed=12)
+        tree = build_rstar(a)
+        no_buf = index_nested_loop_join(tree, b, buffer=NoBuffer())
+        lru = index_nested_loop_join(tree, b, buffer=LRUBuffer(64))
+        assert lru.da_total < no_buf.da_total
+        assert lru.na_total == no_buf.na_total
+
+    def test_empty_outer(self):
+        tree = build_rstar(make_items(50, seed=13))
+        result = index_nested_loop_join(tree, [])
+        assert result.pairs == []
+        assert result.na_total == 0

@@ -1,0 +1,106 @@
+"""The simulated parallel spatial join (§5 / BKS96)."""
+
+import pytest
+
+from repro.join import naive_join, parallel_spatial_join, spatial_join
+
+from .conftest import build_rstar, make_items
+
+
+@pytest.fixture(scope="module")
+def joined():
+    a = make_items(500, seed=1)
+    b = make_items(500, seed=2)
+    return a, b, build_rstar(a, max_entries=8), \
+        build_rstar(b, max_entries=8)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("workers", [1, 2, 3, 8])
+    @pytest.mark.parametrize("assignment", ["round-robin", "greedy"])
+    def test_same_output_as_sequential(self, joined, workers, assignment):
+        a, b, t1, t2 = joined
+        result = parallel_spatial_join(t1, t2, workers,
+                                       assignment=assignment)
+        assert sorted(result.pairs) == sorted(naive_join(a, b))
+        assert result.pair_count == len(result.pairs)
+
+    def test_mixed_heights(self):
+        small = make_items(30, seed=3)
+        large = make_items(500, seed=4)
+        ts = build_rstar(small)
+        tl = build_rstar(large)
+        assert ts.height != tl.height
+        for t1, t2, items1, items2 in ((ts, tl, small, large),
+                                       (tl, ts, large, small)):
+            result = parallel_spatial_join(t1, t2, 3)
+            assert sorted(result.pairs) == \
+                sorted(naive_join(items1, items2))
+
+    def test_empty_tree(self):
+        from repro.rtree import RStarTree
+        empty = RStarTree(2, 8)
+        other = build_rstar(make_items(50, seed=5))
+        result = parallel_spatial_join(empty, other, 4)
+        assert result.pairs == []
+        assert result.makespan_da == 0
+
+    def test_height_one_trees(self):
+        tiny1 = build_rstar(make_items(5, seed=6))
+        tiny2 = build_rstar(make_items(5, seed=7))
+        assert tiny1.height == tiny2.height == 1
+        result = parallel_spatial_join(tiny1, tiny2, 2)
+        assert sorted(result.pairs) == sorted(
+            naive_join(make_items(5, seed=6), make_items(5, seed=7)))
+
+    def test_invalid_args(self, joined):
+        _a, _b, t1, t2 = joined
+        with pytest.raises(ValueError):
+            parallel_spatial_join(t1, t2, 0)
+        with pytest.raises(ValueError):
+            parallel_spatial_join(t1, t2, 2, assignment="random")
+
+
+class TestAccounting:
+    def test_makespan_shrinks_with_workers(self, joined):
+        _a, _b, t1, t2 = joined
+        makespans = [parallel_spatial_join(t1, t2, w).makespan_da
+                     for w in (1, 2, 4, 8)]
+        assert makespans[0] >= makespans[1] >= makespans[3]
+        assert makespans[3] < makespans[0]
+
+    def test_speedup_over_sequential(self, joined):
+        _a, _b, t1, t2 = joined
+        sequential = spatial_join(t1, t2, collect_pairs=False).da_total
+        result = parallel_spatial_join(t1, t2, 4, collect_pairs=False)
+        assert result.speedup_da(sequential) > 1.5
+
+    def test_total_work_roughly_preserved(self, joined):
+        # Splitting loses some buffer locality but must not blow the
+        # aggregate cost up: total DA within 2x of sequential.
+        _a, _b, t1, t2 = joined
+        sequential = spatial_join(t1, t2, collect_pairs=False).da_total
+        result = parallel_spatial_join(t1, t2, 8, collect_pairs=False)
+        assert sequential <= result.total_da <= 2 * sequential
+
+    def test_greedy_balances_at_least_as_well_on_average(self, joined):
+        _a, _b, t1, t2 = joined
+        rr = parallel_spatial_join(t1, t2, 4, assignment="round-robin",
+                                   collect_pairs=False)
+        greedy = parallel_spatial_join(t1, t2, 4, assignment="greedy",
+                                       collect_pairs=False)
+        # Greedy LPT has a 4/3 worst-case bound; allow slack but expect
+        # no catastrophic imbalance relative to round-robin.
+        assert greedy.makespan_da <= rr.makespan_da * 1.34
+
+    def test_single_worker_matches_sequential_structure(self, joined):
+        _a, _b, t1, t2 = joined
+        one = parallel_spatial_join(t1, t2, 1, collect_pairs=False)
+        assert one.workers == 1
+        assert one.total_da == one.makespan_da
+
+    def test_worker_stats_per_tree(self, joined):
+        _a, _b, t1, t2 = joined
+        result = parallel_spatial_join(t1, t2, 3, collect_pairs=False)
+        for stats in result.worker_stats:
+            assert stats.da() <= stats.na()

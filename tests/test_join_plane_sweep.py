@@ -1,0 +1,98 @@
+"""The plane-sweep pair enumerator and its SJ integration."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.join import naive_join, spatial_join
+from repro.join.plane_sweep import nested_loop_pairs, sweep_pairs
+from repro.rtree import Entry
+
+from .conftest import build_rstar, make_items
+
+
+def entries(rects):
+    return [Entry(r, i) for i, r in enumerate(rects)]
+
+
+class TestSweepPairs:
+    def test_finds_all_axis_overlapping_pairs(self):
+        e1 = entries([Rect((0.0, 0.0), (0.3, 1.0)),
+                      Rect((0.5, 0.0), (0.8, 1.0))])
+        e2 = entries([Rect((0.2, 0.0), (0.6, 1.0))])
+        pairs = {(a.ref, b.ref) for a, b, _c in sweep_pairs(e1, e2)}
+        assert pairs == {(0, 0), (1, 0)}
+
+    def test_skips_axis_disjoint_pairs(self):
+        e1 = entries([Rect((0.0, 0.0), (0.1, 1.0))])
+        e2 = entries([Rect((0.5, 0.0), (0.6, 1.0))])
+        assert list(sweep_pairs(e1, e2)) == []
+
+    def test_superset_of_true_intersections(self):
+        items1 = make_items(60, seed=1)
+        items2 = make_items(60, seed=2)
+        e1 = entries([r for r, _o in items1])
+        e2 = entries([r for r, _o in items2])
+        swept = {(a.ref, b.ref) for a, b, _c in sweep_pairs(e1, e2)}
+        truly = {(i, j) for i, (r1, _a) in enumerate(items1)
+                 for j, (r2, _b) in enumerate(items2)
+                 if r1.intersects(r2)}
+        assert truly <= swept
+
+    def test_never_more_than_cross_product(self):
+        e1 = entries([r for r, _o in make_items(40, seed=3)])
+        e2 = entries([r for r, _o in make_items(40, seed=4)])
+        assert sum(1 for _p in sweep_pairs(e1, e2)) <= 1600
+
+    def test_empty_sides(self):
+        e = entries([Rect((0, 0), (1, 1))])
+        assert list(sweep_pairs([], e)) == []
+        assert list(sweep_pairs(e, [])) == []
+
+    def test_alternate_axis(self):
+        e1 = entries([Rect((0.0, 0.0), (1.0, 0.1))])
+        e2 = entries([Rect((0.0, 0.5), (1.0, 0.6))])
+        assert list(sweep_pairs(e1, e2, axis=1)) == []
+        assert len(list(sweep_pairs(e1, e2, axis=0))) == 1
+
+
+class TestNestedLoopPairs:
+    def test_full_cross_product_in_paper_order(self):
+        e1 = entries([Rect((0, 0), (1, 1)), Rect((0, 0), (1, 1))])
+        e2 = entries([Rect((0, 0), (1, 1))])
+        out = [(a.ref, b.ref) for a, b, _c in nested_loop_pairs(e1, e2)]
+        assert out == [(0, 0), (1, 0)]
+
+
+class TestSweepInSpatialJoin:
+    def test_same_pairs_as_nested_loop(self):
+        a = make_items(200, seed=5)
+        b = make_items(200, seed=6)
+        t1, t2 = build_rstar(a), build_rstar(b)
+        nl = spatial_join(t1, t2, pair_enumeration="nested-loop")
+        ps = spatial_join(t1, t2, pair_enumeration="plane-sweep")
+        assert sorted(nl.pairs) == sorted(ps.pairs) == \
+            sorted(naive_join(a, b))
+
+    def test_fewer_comparisons(self):
+        a = make_items(400, seed=7)
+        b = make_items(400, seed=8)
+        t1, t2 = build_rstar(a, max_entries=16), \
+            build_rstar(b, max_entries=16)
+        nl = spatial_join(t1, t2, pair_enumeration="nested-loop")
+        ps = spatial_join(t1, t2, pair_enumeration="plane-sweep")
+        assert ps.comparisons < nl.comparisons
+
+    def test_na_unchanged(self):
+        # The sweep changes the order pairs are found in, not which node
+        # pairs qualify — total ReadPage count is identical.
+        a = make_items(300, seed=9)
+        b = make_items(300, seed=10)
+        t1, t2 = build_rstar(a), build_rstar(b)
+        nl = spatial_join(t1, t2, pair_enumeration="nested-loop")
+        ps = spatial_join(t1, t2, pair_enumeration="plane-sweep")
+        assert ps.na_total == nl.na_total
+
+    def test_unknown_enumeration_rejected(self):
+        t = build_rstar(make_items(10, seed=11))
+        with pytest.raises(ValueError, match="pair_enumeration"):
+            spatial_join(t, t, pair_enumeration="quantum")

@@ -1,0 +1,62 @@
+"""Join predicates."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.join import OVERLAP, Overlap, WithinDistance
+
+
+class TestOverlap:
+    def test_node_and_leaf_agree(self):
+        a = Rect((0, 0), (0.5, 0.5))
+        b = Rect((0.4, 0.4), (1, 1))
+        assert OVERLAP.node_test(a, b)
+        assert OVERLAP.leaf_test(a, b)
+
+    def test_disjoint(self):
+        a = Rect((0, 0), (0.1, 0.1))
+        b = Rect((0.5, 0.5), (1, 1))
+        assert not OVERLAP.leaf_test(a, b)
+
+    def test_shared_instance_is_overlap(self):
+        assert isinstance(OVERLAP, Overlap)
+
+
+class TestWithinDistance:
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            WithinDistance(-0.1)
+
+    def test_zero_degenerates_to_overlap(self):
+        pred = WithinDistance(0.0)
+        a = Rect((0, 0), (0.5, 0.5))
+        touching = Rect((0.5, 0.0), (1, 1))
+        apart = Rect((0.6, 0.6), (1, 1))
+        assert pred.leaf_test(a, touching)
+        assert not pred.leaf_test(a, apart)
+
+    def test_within_distance(self):
+        pred = WithinDistance(0.2)
+        a = Rect((0, 0), (0.1, 1.0))
+        b = Rect((0.25, 0.0), (0.4, 1.0))   # gap of 0.15
+        c = Rect((0.5, 0.0), (0.6, 1.0))    # gap of 0.4
+        assert pred.leaf_test(a, b)
+        assert not pred.leaf_test(a, c)
+
+    def test_node_test_is_conservative(self):
+        # Node MBRs contain their data, so a node-level pass must occur
+        # whenever any contained pair could qualify: node distance is a
+        # lower bound on data distance.
+        pred = WithinDistance(0.1)
+        node1 = Rect((0, 0), (0.3, 0.3))
+        node2 = Rect((0.35, 0.35), (0.7, 0.7))
+        data1 = Rect((0.28, 0.28), (0.3, 0.3))     # inside node1
+        data2 = Rect((0.35, 0.35), (0.37, 0.37))   # inside node2
+        assert pred.leaf_test(data1, data2)
+        assert pred.node_test(node1, node2)
+
+    def test_symmetry(self):
+        pred = WithinDistance(0.3)
+        a = Rect((0, 0), (0.1, 0.1))
+        b = Rect((0.3, 0.3), (0.5, 0.5))
+        assert pred.node_test(a, b) == pred.node_test(b, a)

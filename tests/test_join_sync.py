@@ -1,0 +1,173 @@
+"""The SJ synchronized-traversal join: correctness and accounting."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.join import (R1, R2, SpatialJoin, WithinDistance, naive_join,
+                        spatial_join)
+from repro.rtree import RStarTree
+from repro.storage import LRUBuffer, NoBuffer, PathBuffer
+
+from .conftest import build_rstar, make_items
+
+
+def normalized(pairs):
+    return sorted(pairs)
+
+
+class TestCorrectness:
+    def test_matches_naive_join(self):
+        a = make_items(150, seed=1)
+        b = make_items(150, seed=2)
+        result = spatial_join(build_rstar(a), build_rstar(b))
+        assert normalized(result.pairs) == normalized(naive_join(a, b))
+
+    def test_matches_naive_in_1d(self):
+        a = make_items(120, ndim=1, seed=3)
+        b = make_items(100, ndim=1, seed=4)
+        t1 = build_rstar(a, ndim=1)
+        t2 = build_rstar(b, ndim=1)
+        result = spatial_join(t1, t2)
+        assert normalized(result.pairs) == normalized(naive_join(a, b))
+
+    def test_self_join(self):
+        a = make_items(80, seed=5)
+        tree = build_rstar(a)
+        result = spatial_join(tree, tree)
+        assert normalized(result.pairs) == normalized(naive_join(a, a))
+
+    def test_different_heights(self):
+        small = make_items(30, seed=6)        # height 2 at M = 8
+        large = make_items(400, seed=7)       # height 3+
+        t_small = build_rstar(small)
+        t_large = build_rstar(large)
+        assert t_small.height < t_large.height
+        r1 = spatial_join(t_small, t_large)
+        assert normalized(r1.pairs) == normalized(naive_join(small, large))
+        r2 = spatial_join(t_large, t_small)
+        assert normalized(r2.pairs) == normalized(naive_join(large, small))
+
+    def test_height_one_tree(self):
+        tiny = make_items(4, seed=8)
+        big = make_items(200, seed=9)
+        t_tiny = build_rstar(tiny)
+        assert t_tiny.height == 1
+        t_big = build_rstar(big)
+        result = spatial_join(t_tiny, t_big)
+        assert normalized(result.pairs) == normalized(naive_join(tiny, big))
+
+    def test_empty_tree(self):
+        empty = RStarTree(2, 8)
+        other = build_rstar(make_items(50, seed=10))
+        result = spatial_join(empty, other)
+        assert result.pairs == []
+        assert result.na_total == 0
+
+    def test_distance_join(self):
+        a = make_items(60, seed=11)
+        b = make_items(60, seed=12)
+        pred = WithinDistance(0.05)
+        result = spatial_join(build_rstar(a), build_rstar(b),
+                              predicate=pred)
+        assert normalized(result.pairs) == \
+            normalized(naive_join(a, b, predicate=pred))
+
+    def test_dimensionality_mismatch_rejected(self):
+        t1 = RStarTree(1, 8)
+        t2 = RStarTree(2, 8)
+        with pytest.raises(ValueError):
+            spatial_join(t1, t2)
+
+    def test_collect_pairs_false_counts_only(self):
+        a = make_items(80, seed=13)
+        b = make_items(80, seed=14)
+        t1, t2 = build_rstar(a), build_rstar(b)
+        full = spatial_join(t1, t2)
+        counted = spatial_join(t1, t2, collect_pairs=False)
+        assert counted.pairs == []
+        assert counted.pair_count == len(full.pairs)
+        assert counted.selectivity_count == full.selectivity_count
+        assert counted.na_total == full.na_total
+
+
+class TestAccounting:
+    def _trees(self):
+        a = make_items(250, seed=21)
+        b = make_items(250, seed=22)
+        return build_rstar(a), build_rstar(b)
+
+    def test_da_le_na(self):
+        t1, t2 = self._trees()
+        result = spatial_join(t1, t2)
+        assert result.da_total <= result.na_total
+        assert result.da(R1) <= result.na(R1)
+        assert result.da(R2) <= result.na(R2)
+
+    def test_no_buffer_makes_da_equal_na(self):
+        t1, t2 = self._trees()
+        result = spatial_join(t1, t2, buffer=NoBuffer())
+        assert result.da_total == result.na_total
+
+    def test_na_identical_across_buffers(self):
+        # NA counts ReadPage calls; the buffer policy must not change the
+        # traversal, only which reads hit the buffer.
+        t1, t2 = self._trees()
+        na = {spatial_join(t1, t2, buffer=buf).na_total
+              for buf in (NoBuffer(), PathBuffer(), LRUBuffer(16))}
+        assert len(na) == 1
+
+    def test_na_symmetric_in_roles(self):
+        # Eq. 7's symmetry claim, measured: swapping R1/R2 keeps NA.
+        t1, t2 = self._trees()
+        assert spatial_join(t1, t2).na_total == \
+            spatial_join(t2, t1).na_total
+
+    def test_da_asymmetric_in_roles(self):
+        # DA is role-sensitive (path buffer favours the outer tree);
+        # with different cardinalities the two assignments differ.
+        small = build_rstar(make_items(100, seed=23))
+        large = build_rstar(make_items(500, seed=24))
+        ab = spatial_join(small, large).da_total
+        ba = spatial_join(large, small).da_total
+        assert ab != ba
+
+    def test_na_counts_pairs_twice(self):
+        # Every recursion reads one node of each tree: per-tree NA match.
+        t1, t2 = self._trees()
+        result = spatial_join(t1, t2)
+        if t1.height == t2.height:
+            assert result.na(R1) == result.na(R2)
+
+    def test_roots_never_charged(self):
+        t1, t2 = self._trees()
+        result = spatial_join(t1, t2)
+        assert result.stats.na(R1, level=t1.height) == 0
+        assert result.stats.na(R2, level=t2.height) == 0
+
+    def test_levels_charged_match_tree_heights(self):
+        t1, t2 = self._trees()
+        result = spatial_join(t1, t2)
+        assert max(result.stats.levels(R1)) == t1.height - 1
+        assert min(result.stats.levels(R1)) == 1
+
+    def test_lru_buffer_beats_path_buffer(self):
+        # A large LRU pool dominates the one-path-per-tree policy.
+        t1, t2 = self._trees()
+        da_path = spatial_join(t1, t2, buffer=PathBuffer()).da_total
+        da_lru = spatial_join(t1, t2,
+                              buffer=LRUBuffer(10_000)).da_total
+        assert da_lru <= da_path
+
+    def test_rerun_is_deterministic(self):
+        t1, t2 = self._trees()
+        join = SpatialJoin(t1, t2)
+        first = join.run()
+        second = join.run()
+        assert first.na_total == second.na_total
+        assert first.da_total == second.da_total
+        assert normalized(first.pairs) == normalized(second.pairs)
+
+    def test_comparisons_counted(self):
+        t1, t2 = self._trees()
+        result = spatial_join(t1, t2)
+        assert result.comparisons >= result.pair_count

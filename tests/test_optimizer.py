@@ -1,0 +1,163 @@
+"""The cost-based optimizer."""
+
+import pytest
+
+from repro.costmodel import join_da_total, join_na_total
+from repro.optimizer import (Catalog, IndexNestedLoopPlan, IndexScanPlan,
+                             SpatialJoinPlan, best_plan,
+                             make_index_nested_loop, make_spatial_join,
+                             role_advice)
+from repro.datasets import uniform_rectangles
+
+
+def sample_catalog():
+    cat = Catalog(max_entries=24)
+    cat.register_stats("countries", 1000, 0.4, 2)
+    cat.register_stats("rivers", 4000, 0.2, 2)
+    cat.register_stats("roads", 9000, 0.1, 2)
+    return cat
+
+
+class TestCatalog:
+    def test_register_stats(self):
+        cat = sample_catalog()
+        entry = cat.get("rivers")
+        assert entry.cardinality == 4000
+        assert entry.density == 0.2
+
+    def test_register_dataset_measures(self):
+        cat = Catalog(max_entries=16)
+        ds = uniform_rectangles(500, 0.4, 2, seed=1)
+        entry = cat.register_dataset("lakes", ds)
+        assert entry.cardinality == 500
+        assert entry.density == pytest.approx(0.4)
+
+    def test_missing_relation(self):
+        with pytest.raises(KeyError, match="not in the catalog"):
+            sample_catalog().get("oceans")
+
+    def test_names_and_contains(self):
+        cat = sample_catalog()
+        assert cat.names() == ["countries", "rivers", "roads"]
+        assert "rivers" in cat and "oceans" not in cat
+        assert len(cat) == 3
+
+    def test_average_extents(self):
+        cat = sample_catalog()
+        e = cat.get("countries")
+        assert e.average_extents == pytest.approx(((0.4 / 1000) ** 0.5,) * 2)
+
+
+class TestPlanCosting:
+    def test_sj_cost_matches_formula(self):
+        cat = sample_catalog()
+        a, b = cat.get("countries"), cat.get("rivers")
+        plan = make_spatial_join(IndexScanPlan(a), IndexScanPlan(b), "da")
+        assert plan.cost == pytest.approx(join_da_total(a.params, b.params))
+
+    def test_sj_na_metric(self):
+        cat = sample_catalog()
+        a, b = cat.get("countries"), cat.get("rivers")
+        plan = make_spatial_join(IndexScanPlan(a), IndexScanPlan(b), "na")
+        assert plan.cost == pytest.approx(join_na_total(a.params, b.params))
+
+    def test_bad_metric_rejected(self):
+        cat = sample_catalog()
+        with pytest.raises(ValueError):
+            make_spatial_join(IndexScanPlan(cat.get("countries")),
+                              IndexScanPlan(cat.get("rivers")), "wallclock")
+
+    def test_inl_cost_includes_stream(self):
+        cat = sample_catalog()
+        sj = make_spatial_join(IndexScanPlan(cat.get("roads")),
+                               IndexScanPlan(cat.get("rivers")))
+        inl = make_index_nested_loop(sj, IndexScanPlan(cat.get("countries")))
+        assert inl.cost > sj.cost
+
+    def test_plan_relations(self):
+        cat = sample_catalog()
+        sj = make_spatial_join(IndexScanPlan(cat.get("roads")),
+                               IndexScanPlan(cat.get("rivers")))
+        assert sj.relations() == frozenset({"roads", "rivers"})
+
+    def test_out_cardinality_positive(self):
+        cat = sample_catalog()
+        sj = make_spatial_join(IndexScanPlan(cat.get("roads")),
+                               IndexScanPlan(cat.get("rivers")))
+        assert sj.out_cardinality > 0
+
+    def test_describe_renders_tree(self):
+        cat = sample_catalog()
+        sj = make_spatial_join(IndexScanPlan(cat.get("roads")),
+                               IndexScanPlan(cat.get("rivers")))
+        text = sj.describe()
+        assert "SpatialJoin" in text and "roads" in text and "rivers" in text
+
+
+class TestRoleAdvice:
+    def test_prefers_small_query_tree_for_equal_heights(self):
+        cat = Catalog(max_entries=24)
+        cat.register_stats("small", 2000, 0.5, 2)
+        cat.register_stats("big", 4000, 0.5, 2)
+        data, query, cost, alt = role_advice(cat, "small", "big")
+        assert (data, query) == ("big", "small")
+        assert cost <= alt
+
+    def test_na_metric_indifferent(self):
+        cat = sample_catalog()
+        _d, _q, cost, alt = role_advice(cat, "countries", "rivers",
+                                        metric="na")
+        assert cost == pytest.approx(alt)
+
+    def test_returns_costs_for_both_assignments(self):
+        cat = sample_catalog()
+        _d, _q, cost, alt = role_advice(cat, "countries", "roads")
+        assert cost <= alt
+
+
+class TestBestPlan:
+    def test_two_way_chooses_cheaper_role(self):
+        cat = sample_catalog()
+        plan = best_plan(cat, ["countries", "rivers"])
+        assert isinstance(plan, SpatialJoinPlan)
+        data, query, cost, _alt = role_advice(cat, "countries", "rivers")
+        assert plan.cost == pytest.approx(cost)
+        assert plan.data.entry.name == data
+        assert plan.query.entry.name == query
+
+    def test_three_way_covers_all_relations(self):
+        cat = sample_catalog()
+        plan = best_plan(cat, ["countries", "rivers", "roads"])
+        assert plan.relations() == frozenset(
+            {"countries", "rivers", "roads"})
+        assert isinstance(plan, IndexNestedLoopPlan)
+
+    def test_three_way_beats_naive_order(self):
+        # The DP must be at least as good as any fixed pipeline.
+        cat = sample_catalog()
+        best = best_plan(cat, ["countries", "rivers", "roads"])
+        scans = {n: IndexScanPlan(cat.get(n)) for n in cat.names()}
+        fixed = make_index_nested_loop(
+            make_spatial_join(scans["countries"], scans["rivers"]),
+            scans["roads"])
+        assert best.cost <= fixed.cost + 1e-9
+
+    def test_requires_two_relations(self):
+        with pytest.raises(ValueError):
+            best_plan(sample_catalog(), ["countries"])
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            best_plan(sample_catalog(), ["rivers", "rivers"])
+
+    def test_rejects_mixed_dimensionality(self):
+        cat = Catalog(max_entries=24)
+        cat.register_stats("a", 100, 0.2, 1)
+        cat.register_stats("b", 100, 0.2, 2)
+        with pytest.raises(ValueError):
+            best_plan(cat, ["a", "b"])
+
+    def test_na_metric_supported(self):
+        plan = best_plan(sample_catalog(),
+                         ["countries", "rivers", "roads"], metric="na")
+        assert plan.cost > 0

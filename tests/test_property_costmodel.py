@@ -1,0 +1,95 @@
+"""Property-based tests: cost-model invariants over the parameter space."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.costmodel import (AnalyticalTreeParams, intsect,
+                             join_da_by_tree, join_da_total,
+                             join_na_total, join_selectivity_pairs,
+                             range_query_na, rtree_height)
+
+cardinalities = st.integers(min_value=1, max_value=200_000)
+densities = st.floats(min_value=0.0, max_value=2.0, allow_nan=False)
+capacities = st.sampled_from([8, 24, 41, 50, 84])
+dims = st.integers(min_value=1, max_value=3)
+
+
+def param_pairs():
+    return st.tuples(cardinalities, densities, cardinalities, densities,
+                     capacities, dims)
+
+
+@given(cardinalities, capacities)
+def test_height_at_least_one(n, m):
+    assert rtree_height(n, m) >= 1
+
+
+@given(param_pairs())
+def test_na_symmetry(args):
+    n1, d1, n2, d2, m, ndim = args
+    p1 = AnalyticalTreeParams(n1, d1, m, ndim)
+    p2 = AnalyticalTreeParams(n2, d2, m, ndim)
+    a = join_na_total(p1, p2)
+    b = join_na_total(p2, p1)
+    assert abs(a - b) <= 1e-9 * max(a, b, 1.0)
+
+
+@given(param_pairs())
+def test_da_never_exceeds_na(args):
+    n1, d1, n2, d2, m, ndim = args
+    p1 = AnalyticalTreeParams(n1, d1, m, ndim)
+    p2 = AnalyticalTreeParams(n2, d2, m, ndim)
+    assert join_da_total(p1, p2) <= join_na_total(p1, p2) + 1e-9
+
+
+@given(param_pairs())
+def test_costs_non_negative(args):
+    n1, d1, n2, d2, m, ndim = args
+    p1 = AnalyticalTreeParams(n1, d1, m, ndim)
+    p2 = AnalyticalTreeParams(n2, d2, m, ndim)
+    assert join_na_total(p1, p2) >= 0.0
+    da1, da2 = join_da_by_tree(p1, p2)
+    assert da1 >= 0.0 and da2 >= 0.0
+
+
+@given(param_pairs())
+def test_selectivity_bounded_by_cartesian_product(args):
+    n1, d1, n2, d2, m, ndim = args
+    p1 = AnalyticalTreeParams(n1, d1, m, ndim)
+    p2 = AnalyticalTreeParams(n2, d2, m, ndim)
+    pairs = join_selectivity_pairs(p1, p2)
+    assert 0.0 <= pairs <= n1 * n2 + 1e-9
+
+
+@given(cardinalities, densities, capacities, dims,
+       st.floats(min_value=0.0, max_value=1.0))
+def test_range_na_monotone_in_window(n, d, m, ndim, q):
+    p = AnalyticalTreeParams(n, d, m, ndim)
+    small = range_query_na(p, (q * 0.5,) * ndim)
+    large = range_query_na(p, (q,) * ndim)
+    assert small <= large + 1e-9
+
+
+@given(st.floats(min_value=0, max_value=1e6),
+       st.lists(st.floats(min_value=0, max_value=2), min_size=1,
+                max_size=4))
+def test_intsect_bounded_by_n(n, extents):
+    window = [0.1] * len(extents)
+    assert intsect(n, extents, window) <= n + 1e-9
+
+
+@given(cardinalities, densities, capacities, dims)
+def test_density_propagation_stays_finite_and_positive(n, d, m, ndim):
+    p = AnalyticalTreeParams(n, d, m, ndim)
+    for level in range(p.height + 1):
+        dj = p.density_at(level)
+        assert dj >= 0.0
+        assert dj < max(d, 1.0) + 1.0
+
+
+@given(cardinalities, densities, capacities, dims)
+def test_extents_within_workspace(n, d, m, ndim):
+    p = AnalyticalTreeParams(n, d, m, ndim)
+    for level in range(1, p.height + 1):
+        for s in p.extents_at(level):
+            assert 0.0 <= s <= 1.0

@@ -1,0 +1,99 @@
+"""Property-based tests: R-tree invariants under random workloads."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.geometry import Rect
+from repro.join import naive_join, spatial_join
+from repro.rtree import GuttmanRTree, RStarTree, hilbert_pack, str_pack, \
+    validate
+
+SLOW = settings(max_examples=25,
+                suppress_health_check=[HealthCheck.too_slow],
+                deadline=None)
+
+
+def rect_strategy():
+    coord = st.floats(min_value=0.0, max_value=0.95, allow_nan=False)
+    size = st.floats(min_value=0.0, max_value=0.05, allow_nan=False)
+
+    def build(args):
+        (x, y), (w, h) = args
+        return Rect((x, y), (min(x + w, 1.0), min(y + h, 1.0)))
+    return st.tuples(st.tuples(coord, coord),
+                     st.tuples(size, size)).map(build)
+
+
+items_strategy = st.lists(rect_strategy(), min_size=0, max_size=120).map(
+    lambda rs: [(r, i) for i, r in enumerate(rs)])
+
+
+@SLOW
+@given(items_strategy, st.sampled_from([4, 8, 16]))
+def test_rstar_insert_keeps_invariants(items, m):
+    tree = RStarTree(2, m)
+    for rect, oid in items:
+        tree.insert(rect, oid)
+    assert validate(tree) == []
+
+
+@SLOW
+@given(items_strategy)
+def test_guttman_insert_keeps_invariants(items):
+    tree = GuttmanRTree(2, 6)
+    for rect, oid in items:
+        tree.insert(rect, oid)
+    assert validate(tree) == []
+
+
+@SLOW
+@given(items_strategy, rect_strategy())
+def test_range_query_equals_brute_force(items, window):
+    tree = RStarTree(2, 8)
+    for rect, oid in items:
+        tree.insert(rect, oid)
+    got = sorted(tree.range_query(window))
+    want = sorted(oid for rect, oid in items if rect.intersects(window))
+    assert got == want
+
+
+@SLOW
+@given(items_strategy, st.data())
+def test_delete_subset_preserves_rest(items, data):
+    tree = RStarTree(2, 6)
+    for rect, oid in items:
+        tree.insert(rect, oid)
+    if items:
+        count = data.draw(st.integers(0, len(items)))
+        victims = items[:count]
+    else:
+        victims = []
+    for rect, oid in victims:
+        assert tree.delete(rect, oid)
+    assert validate(tree) == []
+    survivors = sorted(oid for _r, oid in items[len(victims):])
+    assert sorted(tree.range_query(Rect((0, 0), (1, 1)))) == survivors
+
+
+@SLOW
+@given(items_strategy)
+def test_packed_trees_valid_and_complete(items):
+    for pack in (str_pack, hilbert_pack):
+        tree = pack(items, 2, 8)
+        assert validate(tree) == []
+        assert sorted(tree.range_query(Rect((0, 0), (1, 1)))) == \
+            sorted(oid for _r, oid in items)
+
+
+@SLOW
+@given(items_strategy, items_strategy)
+def test_spatial_join_equals_naive(items1, items2):
+    t1 = RStarTree(2, 8)
+    for rect, oid in items1:
+        t1.insert(rect, oid)
+    t2 = RStarTree(2, 8)
+    for rect, oid in items2:
+        t2.insert(rect, oid)
+    result = spatial_join(t1, t2)
+    assert sorted(result.pairs) == sorted(naive_join(items1, items2))
+    assert result.da_total <= result.na_total

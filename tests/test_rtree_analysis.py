@@ -1,0 +1,72 @@
+"""Structural quality metrics."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.rtree import (GuttmanRTree, RStarTree, quality_report,
+                         str_pack, total_overlap)
+
+from .conftest import build_guttman, build_rstar, make_items
+
+
+class TestQualityReport:
+    def test_levels_covered(self):
+        tree = build_rstar(make_items(300, seed=1))
+        report = quality_report(tree)
+        assert set(report) == set(range(1, tree.height + 1))
+
+    def test_node_counts_match_tree(self):
+        tree = build_rstar(make_items(300, seed=2))
+        report = quality_report(tree)
+        for level, q in report.items():
+            assert q.nodes == len(tree.nodes_at_level(level))
+
+    def test_coverage_matches_level_stats(self):
+        tree = build_rstar(make_items(300, seed=3))
+        report = quality_report(tree)
+        stats = tree.level_stats()
+        for level in report:
+            assert report[level].coverage == pytest.approx(
+                stats[level].density)
+
+    def test_overlap_non_negative(self):
+        tree = build_rstar(make_items(400, seed=4))
+        for q in quality_report(tree).values():
+            assert q.overlap >= 0.0
+            assert q.overlap_ratio >= 0.0
+
+    def test_disjoint_leaves_have_zero_overlap(self):
+        # Four tiny rects in far corners, one leaf each at M = 2... use
+        # a packed tree over a perfect grid instead: STR leaves tile.
+        items = [(Rect((x / 10 + 0.001, y / 10 + 0.001),
+                       (x / 10 + 0.002, y / 10 + 0.002)), x * 10 + y)
+                 for x in range(10) for y in range(10)]
+        tree = str_pack(items, 2, 4, fill=1.0)
+        leaf_q = quality_report(tree)[1]
+        assert leaf_q.overlap == pytest.approx(0.0, abs=1e-12)
+
+    def test_mean_fill_in_range(self):
+        tree = build_rstar(make_items(500, seed=5))
+        q = quality_report(tree)[1]
+        assert 0.3 <= q.mean_fill <= 1.0
+
+    def test_empty_tree(self):
+        tree = RStarTree(2, 8)
+        assert quality_report(tree) == {}
+
+
+class TestQualityComparisons:
+    def test_rstar_overlap_not_worse_than_guttman_linear(self):
+        items = make_items(600, seed=6)
+        rstar = build_rstar(items, max_entries=8)
+        linear = build_guttman(items, max_entries=8, split="linear")
+        assert total_overlap(rstar) <= total_overlap(linear) * 1.1
+
+    def test_total_overlap_missing_level_is_zero(self):
+        tree = build_rstar(make_items(20, seed=7))
+        assert total_overlap(tree, level=99) == 0.0
+
+    def test_overlap_ratio_of_empty_coverage(self):
+        from repro.rtree.analysis import LevelQuality
+        q = LevelQuality(1, 0, 0.0, 0.0, 0.0, 0.0)
+        assert q.overlap_ratio == 0.0

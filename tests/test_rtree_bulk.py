@@ -1,0 +1,99 @@
+"""Bulk loading (STR and Hilbert packing)."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.rtree import check, hilbert_pack, str_pack, validate
+
+from .conftest import make_items
+
+
+@pytest.mark.parametrize("pack", [str_pack, hilbert_pack],
+                         ids=["str", "hilbert"])
+class TestPacking:
+    def test_invariants(self, pack):
+        tree = pack(make_items(500, seed=1), 2, 16)
+        assert validate(tree) == []
+
+    def test_contents_complete(self, pack):
+        items = make_items(300, seed=2)
+        tree = pack(items, 2, 16)
+        found = sorted(tree.range_query(Rect((0, 0), (1, 1))))
+        assert found == sorted(oid for _r, oid in items)
+
+    def test_queries_match_brute_force(self, pack):
+        items = make_items(300, seed=3)
+        tree = pack(items, 2, 16)
+        window = Rect((0.3, 0.1), (0.55, 0.7))
+        want = sorted(o for r, o in items if r.intersects(window))
+        assert sorted(tree.range_query(window)) == want
+
+    def test_empty_input(self, pack):
+        tree = pack([], 2, 16)
+        assert len(tree) == 0
+        assert tree.height == 1
+
+    def test_single_item(self, pack):
+        items = make_items(1, seed=4)
+        tree = pack(items, 2, 16)
+        assert tree.height == 1
+        assert tree.range_query(Rect((0, 0), (1, 1))) == [0]
+        check(tree)
+
+    def test_fill_close_to_target(self, pack):
+        tree = pack(make_items(1000, seed=5), 2, 16, fill=0.67)
+        assert 0.6 <= tree.average_fill() <= 0.75
+
+    def test_full_fill(self, pack):
+        tree = pack(make_items(640, seed=6), 2, 16, fill=1.0)
+        assert tree.average_fill() >= 0.9
+        check(tree)
+
+    def test_dynamic_insert_after_pack(self, pack):
+        items = make_items(200, seed=7)
+        tree = pack(items, 2, 8)
+        extra = make_items(100, seed=8)
+        for rect, oid in extra:
+            tree.insert(rect, oid + 1000)
+        check(tree)
+        assert len(tree) == 300
+
+    def test_delete_after_pack(self, pack):
+        items = make_items(200, seed=9)
+        tree = pack(items, 2, 8)
+        for rect, oid in items[:50]:
+            assert tree.delete(rect, oid)
+        check(tree)
+        assert len(tree) == 150
+
+    def test_one_dimensional(self, pack):
+        items = make_items(200, ndim=1, seed=10)
+        tree = pack(items, 1, 16)
+        check(tree)
+        assert sorted(tree.range_query(Rect((0.0,), (1.0,)))) == \
+            sorted(o for _r, o in items)
+
+    def test_dimensionality_mismatch_rejected(self, pack):
+        with pytest.raises(ValueError):
+            pack(make_items(10, ndim=1), 2, 16)
+
+    def test_bad_fill_rejected(self, pack):
+        with pytest.raises(ValueError):
+            pack(make_items(10), 2, 16, fill=0.0)
+
+
+class TestStrStructure:
+    def test_str_leaves_tile_spatially(self):
+        # STR leaves should have low overlap: the summed leaf area should
+        # barely exceed the union area for point-like data.
+        items = make_items(512, seed=11, side=0.001)
+        tree = str_pack(items, 2, 16, fill=1.0)
+        leaves = tree.nodes_at_level(1)
+        total = sum(n.mbr().area() for n in leaves)
+        assert total < 1.5  # near-tiling, not rampant overlap
+
+    def test_height_matches_packing_arithmetic(self):
+        # 640 items at fill 1.0 with M = 16 -> 40 leaves -> 3 level-2
+        # nodes -> root: height 3.
+        tree = str_pack(make_items(640, seed=12), 2, 16, fill=1.0)
+        assert tree.height == 3

@@ -1,0 +1,97 @@
+"""Deletion and tree condensation."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.rtree import RStarTree, check, validate
+
+from .conftest import build_rstar, make_items
+
+
+class TestDelete:
+    def test_delete_existing(self):
+        items = make_items(50, seed=1)
+        tree = build_rstar(items)
+        rect, oid = items[10]
+        assert tree.delete(rect, oid) is True
+        assert len(tree) == 49
+        assert oid not in tree.range_query(rect)
+        check(tree)
+
+    def test_delete_missing_oid(self):
+        items = make_items(20, seed=2)
+        tree = build_rstar(items)
+        assert tree.delete(items[0][0], 9999) is False
+        assert len(tree) == 20
+
+    def test_delete_wrong_rect(self):
+        items = make_items(20, seed=3)
+        tree = build_rstar(items)
+        assert tree.delete(Rect((0.0, 0.0), (0.001, 0.001)), 0) is False
+
+    def test_delete_everything(self):
+        items = make_items(80, seed=4)
+        tree = build_rstar(items)
+        for rect, oid in items:
+            assert tree.delete(rect, oid) is True
+        assert len(tree) == 0
+        assert tree.height == 1
+        assert tree.range_query(Rect((0, 0), (1, 1))) == []
+        check(tree)
+
+    def test_delete_maintains_invariants_incrementally(self):
+        items = make_items(120, seed=5)
+        tree = build_rstar(items)
+        for rect, oid in items[::3]:
+            tree.delete(rect, oid)
+            assert validate(tree) == []
+
+    def test_delete_shrinks_height(self):
+        items = make_items(200, seed=6)
+        tree = build_rstar(items, max_entries=4)
+        initial_height = tree.height
+        for rect, oid in items[:195]:
+            tree.delete(rect, oid)
+        assert tree.height < initial_height
+        check(tree)
+
+    def test_remaining_objects_still_found(self):
+        items = make_items(100, seed=7)
+        tree = build_rstar(items)
+        removed = set()
+        for rect, oid in items[:40]:
+            tree.delete(rect, oid)
+            removed.add(oid)
+        window = Rect((0, 0), (1, 1))
+        assert sorted(tree.range_query(window)) == sorted(
+            oid for _r, oid in items if oid not in removed)
+
+    def test_delete_then_reinsert(self):
+        items = make_items(60, seed=8)
+        tree = build_rstar(items)
+        for rect, oid in items[:30]:
+            tree.delete(rect, oid)
+        for rect, oid in items[:30]:
+            tree.insert(rect, oid)
+        check(tree)
+        assert sorted(tree.range_query(Rect((0, 0), (1, 1)))) == sorted(
+            oid for _r, oid in items)
+
+    def test_delete_one_of_duplicates(self):
+        rect = Rect((0.3, 0.3), (0.4, 0.4))
+        tree = RStarTree(2, 6)
+        for i in range(10):
+            tree.insert(rect, i)
+        assert tree.delete(rect, 5) is True
+        remaining = sorted(tree.range_query(rect))
+        assert remaining == [0, 1, 2, 3, 4, 6, 7, 8, 9]
+        check(tree)
+
+    def test_delete_from_empty_tree(self):
+        tree = RStarTree(2, 6)
+        assert tree.delete(Rect((0, 0), (1, 1)), 0) is False
+
+    def test_delete_checks_ndim(self):
+        tree = RStarTree(2, 6)
+        with pytest.raises(ValueError):
+            tree.delete(Rect((0,), (1,)), 0)

@@ -1,0 +1,73 @@
+"""k-nearest-neighbour search."""
+
+import pytest
+
+from repro.rtree import brute_force_neighbors, nearest_neighbors
+from repro.storage import AccessStats, MeteredReader, NoBuffer
+
+from .conftest import build_rstar, make_items
+
+
+class TestNearestNeighbors:
+    def test_matches_brute_force(self, items_200, rstar_200):
+        for point in ((0.5, 0.5), (0.0, 0.0), (0.99, 0.2)):
+            got = nearest_neighbors(rstar_200, point, 10)
+            want = brute_force_neighbors(items_200, point, 10)
+            assert [d for _o, d in got] == pytest.approx(
+                [d for _o, d in want])
+            # Oids may differ only among exact distance ties.
+            for (o1, d1), (o2, d2) in zip(got, want):
+                if d1 != d2:
+                    assert o1 == o2
+
+    def test_distances_sorted(self, rstar_200):
+        got = nearest_neighbors(rstar_200, (0.3, 0.7), 25)
+        dists = [d for _o, d in got]
+        assert dists == sorted(dists)
+
+    def test_k_larger_than_tree(self, items_200, rstar_200):
+        got = nearest_neighbors(rstar_200, (0.5, 0.5), 500)
+        assert len(got) == len(items_200)
+
+    def test_k_zero(self, rstar_200):
+        assert nearest_neighbors(rstar_200, (0.5, 0.5), 0) == []
+
+    def test_empty_tree(self):
+        from repro.rtree import RStarTree
+        tree = RStarTree(2, 8)
+        assert nearest_neighbors(tree, (0.5, 0.5), 3) == []
+
+    def test_point_inside_rect_distance_zero(self):
+        items = make_items(50, seed=1, side=0.2)
+        tree = build_rstar(items)
+        rect, oid = items[0]
+        got = nearest_neighbors(tree, rect.center, 1)
+        assert got[0][1] == 0.0
+
+    def test_invalid_args(self, rstar_200):
+        with pytest.raises(ValueError):
+            nearest_neighbors(rstar_200, (0.5, 0.5), -1)
+        with pytest.raises(ValueError):
+            nearest_neighbors(rstar_200, (0.5,), 3)
+
+    def test_one_dimensional(self):
+        items = make_items(100, ndim=1, seed=2)
+        tree = build_rstar(items, ndim=1)
+        got = nearest_neighbors(tree, (0.4,), 5)
+        want = brute_force_neighbors(items, (0.4,), 5)
+        assert [d for _o, d in got] == pytest.approx(
+            [d for _o, d in want])
+
+    def test_reads_fewer_nodes_than_full_scan(self, rstar_200):
+        stats = AccessStats()
+        reader = MeteredReader(rstar_200.pager, "T", stats, NoBuffer())
+        nearest_neighbors(rstar_200, (0.5, 0.5), 3, reader=reader)
+        non_root = sum(1 for n in rstar_200.nodes()
+                       if n.page_id != rstar_200.root_id)
+        assert 0 < stats.na("T") < non_root
+
+    def test_root_not_charged(self, rstar_200):
+        stats = AccessStats()
+        reader = MeteredReader(rstar_200.pager, "T", stats, NoBuffer())
+        nearest_neighbors(rstar_200, (0.1, 0.1), 1, reader=reader)
+        assert stats.na("T", level=rstar_200.height) == 0

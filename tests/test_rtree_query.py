@@ -1,0 +1,118 @@
+"""Range queries, metered counting, and tree introspection."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.storage import AccessStats, MeteredReader, NoBuffer, PathBuffer
+
+from .conftest import build_rstar, make_items
+
+
+def brute_force(items, window):
+    return sorted(oid for rect, oid in items if rect.intersects(window))
+
+
+class TestRangeQuery:
+    @pytest.mark.parametrize("window", [
+        Rect((0.0, 0.0), (1.0, 1.0)),
+        Rect((0.25, 0.25), (0.5, 0.5)),
+        Rect((0.9, 0.9), (1.0, 1.0)),
+        Rect.point((0.5, 0.5)),
+    ])
+    def test_matches_brute_force(self, items_200, rstar_200, window):
+        assert sorted(rstar_200.range_query(window)) == \
+            brute_force(items_200, window)
+
+    def test_empty_window_region(self, rstar_200):
+        # A window outside all data (data sides are 0.02, placed in
+        # [0, 0.98]) can still be empty only if nothing overlaps; use a
+        # degenerate corner point with nothing there.
+        result = rstar_200.range_query(Rect.point((0.999999, 0.999999)))
+        assert isinstance(result, list)
+
+    def test_count_range(self, items_200, rstar_200):
+        window = Rect((0.1, 0.1), (0.4, 0.4))
+        assert rstar_200.count_range(window) == \
+            len(brute_force(items_200, window))
+
+    def test_window_ndim_checked(self, rstar_200):
+        with pytest.raises(ValueError):
+            rstar_200.range_query(Rect((0.0,), (1.0,)))
+
+    def test_query_on_empty_tree(self):
+        from repro.rtree import RStarTree
+        tree = RStarTree(2, 8)
+        assert tree.range_query(Rect((0, 0), (1, 1))) == []
+
+
+class TestMeteredRangeQuery:
+    def test_root_never_charged(self, rstar_200):
+        stats = AccessStats()
+        reader = MeteredReader(rstar_200.pager, "T", stats, NoBuffer())
+        rstar_200.range_query(Rect((0.4, 0.4), (0.6, 0.6)), reader=reader)
+        assert stats.na("T", level=rstar_200.height) == 0
+
+    def test_full_window_visits_everything_below_root(self, rstar_200):
+        stats = AccessStats()
+        reader = MeteredReader(rstar_200.pager, "T", stats, NoBuffer())
+        rstar_200.range_query(Rect((0, 0), (1, 1)), reader=reader)
+        non_root = sum(1 for n in rstar_200.nodes()
+                       if n.page_id != rstar_200.root_id)
+        assert stats.na("T") == non_root
+
+    def test_small_window_visits_few_nodes(self, rstar_200):
+        stats = AccessStats()
+        reader = MeteredReader(rstar_200.pager, "T", stats, NoBuffer())
+        rstar_200.range_query(Rect.point((0.5, 0.5)), reader=reader)
+        non_root = sum(1 for n in rstar_200.nodes()
+                       if n.page_id != rstar_200.root_id)
+        assert 0 < stats.na("T") < non_root
+
+    def test_path_buffer_cannot_help_single_query(self, rstar_200):
+        # Within one depth-first range query every visited node is new,
+        # so DA == NA even with a path buffer.
+        stats = AccessStats()
+        reader = MeteredReader(rstar_200.pager, "T", stats, PathBuffer())
+        rstar_200.range_query(Rect((0.2, 0.2), (0.3, 0.3)), reader=reader)
+        assert stats.da("T") == stats.na("T")
+
+    def test_repeated_query_hits_path_buffer(self, rstar_200):
+        stats = AccessStats()
+        reader = MeteredReader(rstar_200.pager, "T", stats, PathBuffer())
+        window = Rect.point((0.5, 0.5))
+        rstar_200.range_query(window, reader=reader)
+        first_na, first_da = stats.na("T"), stats.da("T")
+        rstar_200.range_query(window, reader=reader)
+        assert stats.na("T") == 2 * first_na
+        assert stats.da("T") < 2 * first_da
+
+
+class TestIntrospection:
+    def test_nodes_iteration_covers_pager(self, rstar_200):
+        assert sum(1 for _ in rstar_200.nodes()) == len(rstar_200.pager)
+
+    def test_nodes_at_level(self, rstar_200):
+        leaves = rstar_200.nodes_at_level(1)
+        assert all(n.is_leaf for n in leaves)
+        assert sum(len(n.entries) for n in leaves) == 200
+
+    def test_level_stats_counts(self, rstar_200):
+        stats = rstar_200.level_stats()
+        assert stats[1].count == len(rstar_200.nodes_at_level(1))
+        assert stats[rstar_200.height].count == 1
+
+    def test_level_stats_density_positive(self, rstar_200):
+        stats = rstar_200.level_stats()
+        assert stats[1].density > 0
+
+    def test_leaf_entries(self, items_200, rstar_200):
+        got = sorted(e.ref for e in rstar_200.leaf_entries())
+        assert got == sorted(oid for _r, oid in items_200)
+
+    def test_average_fill_bounds(self, rstar_200):
+        assert 0.0 < rstar_200.average_fill() <= 1.0
+
+    def test_apply_to_leaves(self, rstar_200):
+        seen = []
+        rstar_200.apply_to_leaves(lambda n: seen.append(n.page_id))
+        assert len(seen) == len(rstar_200.nodes_at_level(1))

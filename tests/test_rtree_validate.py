@@ -1,0 +1,71 @@
+"""The invariant validator must catch each class of corruption."""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.rtree import Entry, InvalidTreeError, check, validate
+
+from .conftest import build_rstar, make_items
+
+
+def corruptible_tree():
+    return build_rstar(make_items(120, seed=42), max_entries=6)
+
+
+class TestValidator:
+    def test_clean_tree_passes(self):
+        tree = corruptible_tree()
+        assert validate(tree) == []
+        check(tree)  # must not raise
+
+    def test_detects_stale_parent_mbr(self):
+        tree = corruptible_tree()
+        root = tree.root()
+        child = tree.node(root.entries[0].ref)
+        # Shrink a grandchild rect without propagating upward.
+        grand = tree.node(child.entries[0].ref)
+        grand.entries[0] = Entry(
+            Rect((0.0, 0.0), (1e-9, 1e-9)), grand.entries[0].ref)
+        problems = validate(tree)
+        assert any("stale" in p for p in problems)
+
+    def test_detects_overflow(self):
+        tree = corruptible_tree()
+        leaf = tree.nodes_at_level(1)[0]
+        filler = Rect((0.4, 0.4), (0.41, 0.41))
+        while len(leaf.entries) <= tree.max_entries:
+            leaf.entries.append(Entry(filler, 777))
+        assert any("overflows" in p for p in validate(tree))
+
+    def test_detects_underfull(self):
+        tree = corruptible_tree()
+        leaf = tree.nodes_at_level(1)[0]
+        del leaf.entries[1:]
+        assert any("underfull" in p for p in validate(tree))
+
+    def test_detects_size_mismatch(self):
+        tree = corruptible_tree()
+        tree.size += 5
+        assert any("size mismatch" in p for p in validate(tree))
+
+    def test_detects_height_mismatch(self):
+        tree = corruptible_tree()
+        tree.height += 1
+        assert any("height" in p for p in validate(tree))
+
+    def test_detects_missing_page(self):
+        tree = corruptible_tree()
+        victim = tree.root().entries[0].ref
+        tree.pager.free(victim)
+        assert any("missing page" in p for p in validate(tree))
+
+    def test_detects_orphan_pages(self):
+        tree = corruptible_tree()
+        tree.pager.allocate("orphan")
+        assert any("reachable" in p for p in validate(tree))
+
+    def test_check_raises(self):
+        tree = corruptible_tree()
+        tree.size += 1
+        with pytest.raises(InvalidTreeError):
+            check(tree)

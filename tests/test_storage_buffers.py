@@ -1,0 +1,131 @@
+"""Unit tests for the buffer managers."""
+
+from repro.storage import LRUBuffer, NoBuffer, PathBuffer
+
+import pytest
+
+
+class TestNoBuffer:
+    def test_always_misses(self):
+        buf = NoBuffer()
+        assert buf.access("T", 1, 42) is False
+        assert buf.access("T", 1, 42) is False
+
+    def test_reset_is_noop(self):
+        buf = NoBuffer()
+        buf.reset()
+        assert buf.access("T", 1, 1) is False
+
+
+class TestPathBuffer:
+    def test_first_access_misses(self):
+        buf = PathBuffer()
+        assert buf.access("T", 2, 10) is False
+
+    def test_repeat_access_hits(self):
+        buf = PathBuffer()
+        buf.access("T", 2, 10)
+        assert buf.access("T", 2, 10) is True
+
+    def test_same_level_replacement_evicts(self):
+        buf = PathBuffer()
+        buf.access("T", 2, 10)
+        buf.access("T", 2, 11)       # replaces the level-2 slot
+        assert buf.access("T", 2, 10) is False
+
+    def test_one_slot_per_level(self):
+        buf = PathBuffer()
+        buf.access("T", 3, 1)
+        buf.access("T", 2, 2)
+        buf.access("T", 1, 3)
+        assert buf.access("T", 3, 1) is True
+        assert buf.access("T", 2, 2) is True
+        assert buf.access("T", 1, 3) is True
+
+    def test_reading_higher_level_invalidates_deeper_path(self):
+        # The retained path must stay a real root-to-node path: once the
+        # traversal moves to a different level-2 node, the old level-1
+        # node is no longer on the current path.
+        buf = PathBuffer()
+        buf.access("T", 2, 10)
+        buf.access("T", 1, 20)
+        buf.access("T", 2, 11)       # descend into a different subtree
+        assert buf.access("T", 1, 20) is False
+
+    def test_trees_are_independent(self):
+        buf = PathBuffer()
+        buf.access("A", 1, 5)
+        assert buf.access("B", 1, 5) is False
+        assert buf.access("A", 1, 5) is True
+
+    def test_reset_forgets_everything(self):
+        buf = PathBuffer()
+        buf.access("T", 1, 5)
+        buf.reset()
+        assert buf.access("T", 1, 5) is False
+
+    def test_cached_inspection(self):
+        buf = PathBuffer()
+        buf.access("T", 3, 7)
+        buf.access("T", 2, 8)
+        assert buf.cached("T") == {3: 7, 2: 8}
+        assert buf.cached("other") == {}
+
+
+class TestLRUBuffer:
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            LRUBuffer(-1)
+
+    def test_zero_capacity_never_hits(self):
+        buf = LRUBuffer(0)
+        buf.access("T", 1, 1)
+        assert buf.access("T", 1, 1) is False
+
+    def test_hit_within_capacity(self):
+        buf = LRUBuffer(2)
+        buf.access("T", 1, 1)
+        buf.access("T", 1, 2)
+        assert buf.access("T", 1, 1) is True
+
+    def test_eviction_of_least_recent(self):
+        buf = LRUBuffer(2)
+        buf.access("T", 1, 1)
+        buf.access("T", 1, 2)
+        buf.access("T", 1, 3)        # evicts page 1
+        assert buf.access("T", 1, 1) is False
+        assert buf.access("T", 1, 3) is True
+
+    def test_hit_refreshes_recency(self):
+        buf = LRUBuffer(2)
+        buf.access("T", 1, 1)
+        buf.access("T", 1, 2)
+        buf.access("T", 1, 1)        # 1 becomes most recent
+        buf.access("T", 1, 3)        # evicts 2, not 1
+        assert buf.access("T", 1, 1) is True
+        assert buf.access("T", 1, 2) is False
+
+    def test_shared_across_trees_but_keyed_by_tree(self):
+        buf = LRUBuffer(4)
+        buf.access("A", 1, 7)
+        assert buf.access("B", 1, 7) is False  # same id, other tree
+        assert buf.access("A", 1, 7) is True
+
+    def test_level_is_irrelevant_for_identity(self):
+        buf = LRUBuffer(4)
+        buf.access("T", 1, 7)
+        assert buf.access("T", 2, 7) is True   # same page, any level
+
+    def test_len_tracks_pool(self):
+        buf = LRUBuffer(2)
+        buf.access("T", 1, 1)
+        buf.access("T", 1, 2)
+        buf.access("T", 1, 3)
+        assert len(buf) == 2
+
+    def test_reset(self):
+        buf = LRUBuffer(2)
+        buf.access("T", 1, 1)
+        buf.reset()
+        assert len(buf) == 0
+        assert buf.access("T", 1, 1) is False

@@ -1,0 +1,88 @@
+"""Unit tests for access statistics."""
+
+from repro.storage import AccessStats
+
+
+class TestRecording:
+    def test_miss_counts_both(self):
+        stats = AccessStats()
+        stats.record("T", 1, buffer_hit=False)
+        assert stats.na() == 1
+        assert stats.da() == 1
+
+    def test_hit_counts_na_only(self):
+        stats = AccessStats()
+        stats.record("T", 1, buffer_hit=True)
+        assert stats.na() == 1
+        assert stats.da() == 0
+
+    def test_da_never_exceeds_na(self):
+        stats = AccessStats()
+        for i in range(50):
+            stats.record("T", 1 + i % 3, buffer_hit=(i % 2 == 0))
+        assert stats.da() <= stats.na()
+
+
+class TestFiltering:
+    def _sample(self):
+        stats = AccessStats()
+        stats.record("R1", 1, False)
+        stats.record("R1", 2, False)
+        stats.record("R2", 1, True)
+        stats.record("R2", 1, False)
+        return stats
+
+    def test_filter_by_tree(self):
+        stats = self._sample()
+        assert stats.na("R1") == 2
+        assert stats.na("R2") == 2
+        assert stats.da("R2") == 1
+
+    def test_filter_by_level(self):
+        stats = self._sample()
+        assert stats.na(level=1) == 3
+        assert stats.na(level=2) == 1
+
+    def test_filter_by_both(self):
+        stats = self._sample()
+        assert stats.na("R1", level=2) == 1
+        assert stats.da("R2", level=1) == 1
+
+    def test_unknown_tree_is_zero(self):
+        assert self._sample().na("nope") == 0
+
+    def test_levels_listing(self):
+        stats = self._sample()
+        assert stats.levels("R1") == [1, 2]
+        assert stats.levels("R2") == [1]
+
+
+class TestLifecycle:
+    def test_merge(self):
+        a = AccessStats()
+        a.record("T", 1, False)
+        b = AccessStats()
+        b.record("T", 1, True)
+        b.record("T", 2, False)
+        a.merge(b)
+        assert a.na() == 3
+        assert a.da() == 2
+
+    def test_reset(self):
+        stats = AccessStats()
+        stats.record("T", 1, False)
+        stats.reset()
+        assert stats.na() == 0
+        assert stats.da() == 0
+
+    def test_as_dict_is_json_friendly(self):
+        stats = AccessStats()
+        stats.record("R1", 2, False)
+        d = stats.as_dict()
+        assert d["node_accesses"] == {"R1@2": 1}
+        assert d["disk_accesses"] == {"R1@2": 1}
+
+    def test_repr_shows_totals(self):
+        stats = AccessStats()
+        stats.record("T", 1, True)
+        assert "NA=1" in repr(stats) and "DA=0" in repr(stats)

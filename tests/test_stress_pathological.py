@@ -1,0 +1,153 @@
+"""Pathological inputs: the cases that break naive R-tree code.
+
+Minimum fan-out, massively duplicated keys, zero-area geometry, collinear
+and extremely elongated rectangles — each has historically broken some
+split heuristic (division by zero margins, infinite reinsertion loops,
+unsplittable seed picks).  The suite drives every variant through them
+and insists on structural validity plus correct query answers.
+"""
+
+import pytest
+
+from repro.geometry import Rect
+from repro.join import naive_join, spatial_join
+from repro.rtree import (GuttmanRTree, RStarTree, check, hilbert_pack,
+                         str_pack, validate)
+
+VARIANT_BUILDERS = [
+    ("rstar", lambda items: _dynamic(RStarTree(2, 4), items)),
+    ("guttman-quad",
+     lambda items: _dynamic(GuttmanRTree(2, 4, split="quadratic"),
+                            items)),
+    ("guttman-lin",
+     lambda items: _dynamic(GuttmanRTree(2, 4, split="linear"), items)),
+    ("str", lambda items: str_pack(items, 2, 4)),
+    ("hilbert", lambda items: hilbert_pack(items, 2, 4)),
+]
+
+
+def _dynamic(tree, items):
+    for rect, oid in items:
+        tree.insert(rect, oid)
+    return tree
+
+
+def _all_oids(tree):
+    return sorted(tree.range_query(Rect((0, 0), (1, 1))))
+
+
+@pytest.mark.parametrize("name,builder", VARIANT_BUILDERS,
+                         ids=[n for n, _b in VARIANT_BUILDERS])
+class TestPathologicalInputs:
+    def test_all_identical_rectangles(self, name, builder):
+        rect = Rect((0.5, 0.5), (0.6, 0.6))
+        items = [(rect, i) for i in range(100)]
+        tree = builder(items)
+        assert validate(tree) == []
+        assert _all_oids(tree) == list(range(100))
+
+    def test_all_identical_points(self, name, builder):
+        point = Rect.point((0.3, 0.7))
+        items = [(point, i) for i in range(60)]
+        tree = builder(items)
+        assert validate(tree) == []
+        assert sorted(tree.range_query(point)) == list(range(60))
+
+    def test_collinear_points(self, name, builder):
+        items = [(Rect.point((i / 99, 0.5)), i) for i in range(100)]
+        tree = builder(items)
+        assert validate(tree) == []
+        window = Rect((0.25, 0.0), (0.75, 1.0))
+        want = sorted(i for i in range(100)
+                      if 0.25 <= i / 99 <= 0.75)
+        assert sorted(tree.range_query(window)) == want
+
+    def test_extremely_elongated_rectangles(self, name, builder):
+        # Full-width slivers force heavy overlap at every level.
+        items = [(Rect((0.0, i / 200), (1.0, i / 200 + 0.004)), i)
+                 for i in range(100)]
+        tree = builder(items)
+        assert validate(tree) == []
+        probe = Rect.point((0.5, 0.25))
+        want = sorted(i for i in range(100)
+                      if i / 200 <= 0.25 <= i / 200 + 0.004)
+        assert sorted(tree.range_query(probe)) == want
+
+    def test_nested_rectangles(self, name, builder):
+        # Russian dolls: every rectangle contains all smaller ones.
+        items = []
+        for i in range(80):
+            half = 0.5 * (1.0 - i / 80)
+            items.append((Rect((0.5 - half, 0.5 - half),
+                               (0.5 + half, 0.5 + half)), i))
+        tree = builder(items)
+        assert validate(tree) == []
+        assert sorted(tree.range_query(Rect.point((0.5, 0.5)))) == \
+            list(range(80))
+
+    def test_two_distant_clumps(self, name, builder):
+        items = [(Rect.point((0.01 + i * 1e-5, 0.01)), i)
+                 for i in range(40)]
+        items += [(Rect.point((0.99 - i * 1e-5, 0.99)), 40 + i)
+                  for i in range(40)]
+        tree = builder(items)
+        assert validate(tree) == []
+        low = tree.range_query(Rect((0.0, 0.0), (0.1, 0.1)))
+        assert sorted(low) == list(range(40))
+
+
+class TestMinimumFanout:
+    def test_m_equals_two(self):
+        # The legal minimum node capacity.
+        tree = RStarTree(2, 2)
+        items = [(Rect.point((i / 30, (i * 7 % 30) / 30)), i)
+                 for i in range(30)]
+        for rect, oid in items:
+            tree.insert(rect, oid)
+        check(tree)
+        assert _all_oids(tree) == list(range(30))
+
+    def test_m_equals_two_delete_everything(self):
+        tree = RStarTree(2, 2)
+        items = [(Rect.point((i / 20, i / 20)), i) for i in range(20)]
+        for rect, oid in items:
+            tree.insert(rect, oid)
+        for rect, oid in items:
+            assert tree.delete(rect, oid)
+        check(tree)
+        assert len(tree) == 0
+
+
+class TestDegenerateJoins:
+    def test_join_of_identical_stacks(self):
+        rect = Rect((0.4, 0.4), (0.5, 0.5))
+        items1 = [(rect, i) for i in range(30)]
+        items2 = [(rect, i) for i in range(30)]
+        t1 = _dynamic(RStarTree(2, 4), items1)
+        t2 = _dynamic(RStarTree(2, 4), items2)
+        result = spatial_join(t1, t2)
+        assert len(result.pairs) == 900          # full cross product
+        assert result.da_total <= result.na_total
+
+    def test_join_of_point_data(self):
+        items1 = [(Rect.point((i / 50, i / 50)), i) for i in range(50)]
+        items2 = [(Rect.point((i / 50, i / 50)), i) for i in range(50)]
+        t1 = _dynamic(RStarTree(2, 4), items1)
+        t2 = _dynamic(RStarTree(2, 4), items2)
+        result = spatial_join(t1, t2)
+        assert sorted(result.pairs) == sorted(
+            naive_join(items1, items2))
+        # Touching points qualify (closed-box semantics).
+        assert len(result.pairs) >= 50
+
+    def test_join_disjoint_halves_costs_little(self):
+        left = [(Rect.point((i / 200 * 0.4, 0.5)), i)
+                for i in range(100)]
+        right = [(Rect.point((0.6 + i / 200 * 0.4, 0.5)), i)
+                 for i in range(100)]
+        t1 = _dynamic(RStarTree(2, 8), left)
+        t2 = _dynamic(RStarTree(2, 8), right)
+        result = spatial_join(t1, t2)
+        assert result.pairs == []
+        # Disjoint data prunes at the top: barely any pages touched.
+        assert result.na_total <= 4
