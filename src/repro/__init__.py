@@ -41,6 +41,10 @@ from .join import (OVERLAP, JoinResult, Overlap, ParallelJoinResult,
                    SpatialJoin, WithinDistance, index_nested_loop_join,
                    naive_join, parallel_spatial_join, spatial_join)
 from .optimizer import Catalog, best_plan, role_advice
+from .reliability import (CorruptionReport, CorruptPageError, FaultInjector,
+                          FaultyPager, MalformedFileError, ModelDomainError,
+                          ReproError, ResilientReader, RetryExhaustedError,
+                          RetryPolicy, TransientPageError)
 from .rtree import (GuttmanRTree, RStarTree, RTreeBase, hilbert_pack,
                     nearest_neighbors, str_pack)
 from .storage import (AccessStats, LRUBuffer, NoBuffer, PathBuffer,
@@ -52,11 +56,17 @@ __all__ = [
     "AccessStats",
     "AnalyticalTreeParams",
     "Catalog",
+    "CorruptPageError",
+    "CorruptionReport",
+    "FaultInjector",
+    "FaultyPager",
     "GuttmanRTree",
     "JoinResult",
     "LRUBuffer",
     "LocalDensityGrid",
+    "MalformedFileError",
     "MeasuredTreeParams",
+    "ModelDomainError",
     "NoBuffer",
     "NonUniformJoinModel",
     "OVERLAP",
@@ -66,8 +76,13 @@ __all__ = [
     "RStarTree",
     "RTreeBase",
     "Rect",
+    "ReproError",
+    "ResilientReader",
+    "RetryExhaustedError",
+    "RetryPolicy",
     "SpatialDataset",
     "SpatialJoin",
+    "TransientPageError",
     "WithinDistance",
     "Workspace",
     "best_plan",

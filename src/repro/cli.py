@@ -16,7 +16,17 @@ the library is usable without writing code:
 * ``figures``  — print the paper's analytical figures (6a/6b/7a/7b) at
   exact paper scale;
 * ``experiment`` — run any registered paper experiment by id
-  (``fig5a`` .. ``fig7b``) at a chosen scale profile.
+  (``fig5a`` .. ``fig7b``) at a chosen scale profile;
+* ``verify``   — check a saved tree file's checksums and report what (if
+  anything) is corrupt.
+
+Exit codes are structured so scripts can react precisely:
+
+* ``0`` — success;
+* ``2`` — usage or data errors (bad arguments, malformed files,
+  cost-model domain violations);
+* ``3`` — corruption detected (a checksum failed);
+* ``4`` — transient read failures exhausted the retry budget.
 """
 
 from __future__ import annotations
@@ -30,13 +40,20 @@ from .costmodel import (AnalyticalTreeParams, join_da_total,
 from .datasets import (LocalDensityGrid, clustered_rectangles,
                        diagonal_rectangles, tiger_like_segments,
                        uniform_rectangles, zipf_rectangles)
-from .io import load_dataset, load_tree, save_dataset, save_tree
+from .io import load_dataset, load_tree, save_dataset, save_tree, \
+    verify_tree_file
 from .join import spatial_join
+from .reliability import (CorruptPageError, FaultInjector, FaultyPager,
+                          ReproError, RetryPolicy, TransientPageError)
 from .storage import LRUBuffer, NoBuffer, PathBuffer
 
-__all__ = ["main"]
+__all__ = ["main", "EXIT_USAGE", "EXIT_CORRUPT", "EXIT_TRANSIENT"]
 
 GENERATORS = ("uniform", "clustered", "zipf", "diagonal", "tiger")
+
+EXIT_USAGE = 2      #: bad arguments, malformed files, domain errors
+EXIT_CORRUPT = 3    #: an integrity check failed
+EXIT_TRANSIENT = 4  #: transient read failures exhausted the retry budget
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -45,9 +62,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
-    except (ValueError, OSError, KeyError) as exc:
+    except CorruptPageError as exc:
+        print(f"error: corrupt data: {exc}", file=sys.stderr)
+        return EXIT_CORRUPT
+    except TransientPageError as exc:
+        print(f"error: transient failures exhausted retries: {exc}",
+              file=sys.stderr)
+        return EXIT_TRANSIENT
+    except (ReproError, ValueError, OSError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -85,6 +109,20 @@ def _build_parser() -> argparse.ArgumentParser:
     join.add_argument("tree2", help="R2 (query role)")
     join.add_argument("--buffer", default="path",
                       help="'none', 'path', or 'lru:<pages>'")
+    join.add_argument("--lenient", action="store_true",
+                      help="quarantine corrupt subtrees instead of "
+                           "failing on checksum mismatches")
+    join.add_argument("--inject-transient", type=float, default=0.0,
+                      metavar="RATE",
+                      help="per-read transient-failure probability "
+                           "(chaos mode)")
+    join.add_argument("--inject-latency", type=float, default=0.0,
+                      metavar="RATE",
+                      help="per-read accounted-latency probability")
+    join.add_argument("--fault-seed", type=int, default=0,
+                      help="fault injector RNG seed")
+    join.add_argument("--max-attempts", type=int, default=5,
+                      help="retry budget per page read under faults")
     join.set_defaults(handler=_cmd_join)
 
     query = sub.add_parser(
@@ -97,7 +135,15 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="query point coordinates")
     query.add_argument("-k", type=int, default=10,
                        help="neighbours for --knn")
+    query.add_argument("--lenient", action="store_true",
+                       help="quarantine corrupt subtrees instead of "
+                            "failing on checksum mismatches")
     query.set_defaults(handler=_cmd_query)
+
+    ver = sub.add_parser(
+        "verify", help="check a saved tree file's checksums")
+    ver.add_argument("tree")
+    ver.set_defaults(handler=_cmd_verify)
 
     est = sub.add_parser("estimate",
                          help="analytical costs from (N, D) statistics")
@@ -171,10 +217,29 @@ def _cmd_build(args: argparse.Namespace) -> int:
 
 
 def _cmd_join(args: argparse.Namespace) -> int:
-    t1 = load_tree(args.tree1)
-    t2 = load_tree(args.tree2)
+    strict = not args.lenient
+    t1 = load_tree(args.tree1, strict=strict)
+    t2 = load_tree(args.tree2, strict=strict)
+    for tree in (t1, t2):
+        report = getattr(tree, "corruption_report", None)
+        if report is not None and not report.clean:
+            print(f"warning: degraded load: {report.summary()}",
+                  file=sys.stderr)
     buffer = _parse_buffer(args.buffer)
-    result = spatial_join(t1, t2, buffer=buffer, collect_pairs=False)
+    # Primitive properties (N, D) for the analytical comparison, read
+    # before any fault injection wraps the pagers.
+    stats = [(len(tree), sum(e.rect.area() for e in tree.leaf_entries()))
+             for tree in (t1, t2)]
+    retry_policy = None
+    if args.inject_transient or args.inject_latency:
+        injector = FaultInjector(seed=args.fault_seed,
+                                 transient_rate=args.inject_transient,
+                                 latency_rate=args.inject_latency)
+        t1.pager = FaultyPager(t1.pager, injector)
+        t2.pager = FaultyPager(t2.pager, injector)
+        retry_policy = RetryPolicy(max_attempts=args.max_attempts)
+    result = spatial_join(t1, t2, buffer=buffer, collect_pairs=False,
+                          retry_policy=retry_policy)
     print(f"R1: {args.tree1} (N={len(t1)}, h={t1.height})")
     print(f"R2: {args.tree2} (N={len(t2)}, h={t2.height})")
     print(f"result pairs: {result.pair_count}")
@@ -182,13 +247,12 @@ def _cmd_join(args: argparse.Namespace) -> int:
           f"(R1 {result.na('R1')}, R2 {result.na('R2')})")
     print(f"disk accesses DA: {result.da_total} "
           f"(R1 {result.da('R1')}, R2 {result.da('R2')})")
+    if retry_policy is not None:
+        print(f"retried reads: {result.stats.retry_count()} "
+              f"(accounted backoff "
+              f"{result.stats.accounted_backoff * 1e3:.1f} ms)")
 
     # Analytical comparison from the trees' own primitive properties.
-    stats = []
-    for tree in (t1, t2):
-        n = len(tree)
-        density = sum(e.rect.area() for e in tree.leaf_entries())
-        stats.append((n, density))
     p1 = AnalyticalTreeParams(stats[0][0], stats[0][1],
                               t1.max_entries, t1.ndim)
     p2 = AnalyticalTreeParams(stats[1][0], stats[1][1],
@@ -204,7 +268,11 @@ def _cmd_query(args: argparse.Namespace) -> int:
     from .rtree import nearest_neighbors
     from .storage import AccessStats, MeteredReader
 
-    tree = load_tree(args.tree)
+    tree = load_tree(args.tree, strict=not args.lenient)
+    report = getattr(tree, "corruption_report", None)
+    if report is not None and not report.clean:
+        print(f"warning: degraded load: {report.summary()}",
+              file=sys.stderr)
     stats = AccessStats()
     reader = MeteredReader(tree.pager, "T", stats, PathBuffer())
     if args.window is not None:
@@ -251,6 +319,22 @@ def _cmd_estimate(args: argparse.Namespace) -> int:
           f"(saves {abs(da_12 - da_21):.1f} disk accesses)")
     print(f"expected result pairs (§5): "
           f"{join_selectivity_pairs(p1, p2):.1f}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    report = verify_tree_file(args.tree)
+    print(report.summary())
+    if not report.clean:
+        if report.corrupt_pages:
+            print(f"corrupt pages: "
+                  f"{', '.join(map(str, report.corrupt_pages))}")
+        if report.orphaned_pages:
+            print(f"orphaned pages: "
+                  f"{', '.join(map(str, report.orphaned_pages))}")
+        print(f"dropped entries: {report.dropped_entries}, "
+              f"objects lost: {report.lost_objects}")
+        return EXIT_CORRUPT
     return 0
 
 

@@ -23,7 +23,8 @@ from .nonuniform import CellEstimate, NonUniformJoinModel
 from .operators import (OVERLAP_OP, SpatialOperator, contained_by,
                         containment, direction, within_distance)
 from .params import (DEFAULT_FILL, AnalyticalTreeParams,
-                     MeasuredTreeParams, TreeParams, rtree_height)
+                     MeasuredTreeParams, TreeParams, check_model_params,
+                     rtree_height)
 from .range_query import intsect, range_query_na, range_query_selectivity
 from .selectivity import (join_selectivity_fraction,
                           join_selectivity_pairs,
@@ -43,6 +44,7 @@ __all__ = [
     "Stage",
     "StageCost",
     "TreeParams",
+    "check_model_params",
     "contained_by",
     "containment",
     "correlation_dimension",

@@ -51,7 +51,7 @@ cross-height combos — the two readings coincide exactly.
 from __future__ import annotations
 
 from .join_na import StageCost, stage_pairs
-from .params import TreeParams
+from .params import TreeParams, check_model_params
 from .range_query import intsect
 from .stages import Stage, traversal_stages
 
@@ -116,6 +116,7 @@ def join_da_total(params1: TreeParams, params2: TreeParams,
     """Eqs. 10/12: expected total disk accesses of the spatial join."""
     if params1.ndim != params2.ndim:
         raise ValueError("dimensionality mismatch between the data sets")
+    check_model_params(params1, params2)
     return sum(c.total for c in
                join_da_breakdown(params1, params2, mixed_height_mode))
 

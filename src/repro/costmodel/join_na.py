@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .params import TreeParams
+from .params import TreeParams, check_model_params
 from .range_query import intsect
 from .stages import Stage, traversal_stages
 
@@ -73,4 +73,5 @@ def join_na_total(params1: TreeParams, params2: TreeParams) -> float:
     """
     if params1.ndim != params2.ndim:
         raise ValueError("dimensionality mismatch between the data sets")
+    check_model_params(params1, params2)
     return sum(c.total for c in join_na_breakdown(params1, params2))

@@ -27,6 +27,7 @@ import math
 from typing import Protocol, Sequence
 
 from ..datasets import SpatialDataset
+from ..reliability import ModelDomainError
 from ..rtree import RTreeBase
 
 __all__ = [
@@ -35,6 +36,7 @@ __all__ = [
     "MeasuredTreeParams",
     "DEFAULT_FILL",
     "rtree_height",
+    "check_model_params",
 ]
 
 #: The paper's "typical" average node utilisation, c = 67%.
@@ -48,8 +50,11 @@ def rtree_height(n_objects: int, max_entries: int,
     Degenerate cases follow the R-tree's actual behaviour: anything that
     fits an average root (``N <= cM``) has height 1.
     """
+    if not isinstance(n_objects, int) or isinstance(n_objects, bool):
+        raise ModelDomainError(
+            f"n_objects must be an integer, got {n_objects!r}")
     if n_objects < 0:
-        raise ValueError("n_objects must be >= 0")
+        raise ModelDomainError("n_objects must be >= 0")
     _check_structure(max_entries, fill)
     cm = fill * max_entries
     if n_objects <= cm:
@@ -90,12 +95,18 @@ class AnalyticalTreeParams:
     def __init__(self, n_objects: int, density: float, max_entries: int,
                  ndim: int, fill: float = DEFAULT_FILL,
                  height: int | None = None):
+        if not isinstance(n_objects, int) or isinstance(n_objects, bool):
+            raise ModelDomainError(
+                f"n_objects must be an integer, got {n_objects!r}")
         if n_objects < 0:
-            raise ValueError("n_objects must be >= 0")
+            raise ModelDomainError("n_objects must be >= 0")
+        if not math.isfinite(density):
+            raise ModelDomainError(
+                f"density must be finite, got {density!r}")
         if density < 0.0:
-            raise ValueError("density must be >= 0")
+            raise ModelDomainError("density must be >= 0")
         if ndim < 1:
-            raise ValueError("ndim must be >= 1")
+            raise ModelDomainError("ndim must be >= 1")
         _check_structure(max_entries, fill)
 
         self.n_objects = n_objects
@@ -213,10 +224,39 @@ class MeasuredTreeParams:
                 f"levels={sorted(self._nodes)})")
 
 
+def check_model_params(*params: TreeParams) -> None:
+    """Domain guard shared by the Eq. 1/6/7 (and DA) entry points.
+
+    Rejects parameter objects the closed-form formulas cannot price:
+    empty data sets (``N < 1``), non-positive heights, and structures
+    whose per-level node counts or extents come out non-finite (the
+    visible symptom of NaN/inf creeping into ``N`` or ``D``).  Raising
+    :class:`~repro.reliability.ModelDomainError` here replaces the old
+    behaviour of silently returning NaN estimates.
+    """
+    for p in params:
+        n_objects = getattr(p, "n_objects", None)
+        if n_objects is not None and n_objects < 1:
+            raise ModelDomainError(
+                f"cost formulas need N >= 1, got N={n_objects} ({p!r})")
+        if not isinstance(p.height, int) or p.height < 1:
+            raise ModelDomainError(
+                f"height must be a positive integer, got {p.height!r}")
+        for level in range(1, p.height + 1):
+            if not math.isfinite(p.nodes_at(level)):
+                raise ModelDomainError(
+                    f"non-finite node count at level {level} of {p!r}")
+            if not all(math.isfinite(s) for s in p.extents_at(level)):
+                raise ModelDomainError(
+                    f"non-finite node extent at level {level} of {p!r}")
+
+
 def _check_structure(max_entries: int, fill: float) -> None:
     if max_entries < 2:
-        raise ValueError("max_entries must be >= 2")
+        raise ModelDomainError("max_entries must be >= 2")
+    if not isinstance(fill, (int, float)) or not math.isfinite(fill):
+        raise ModelDomainError(f"fill must be finite, got {fill!r}")
     if not 0.0 < fill <= 1.0:
-        raise ValueError("fill must be in (0, 1]")
+        raise ModelDomainError("fill must be in (0, 1]")
     if fill * max_entries <= 1.0:
-        raise ValueError("average fan-out c*M must exceed 1")
+        raise ModelDomainError("average fan-out c*M must exceed 1")

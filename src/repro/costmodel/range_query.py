@@ -13,9 +13,11 @@ verbatim by the join formulas (Section 3.1).
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
-from .params import TreeParams
+from ..reliability import ModelDomainError
+from .params import TreeParams, check_model_params
 
 __all__ = ["intsect", "range_query_na", "range_query_selectivity"]
 
@@ -31,8 +33,14 @@ def intsect(n_rects: float, extents: Sequence[float],
     """
     if len(extents) != len(window):
         raise ValueError("extents/window dimensionality mismatch")
+    if not math.isfinite(n_rects) or n_rects < 0.0:
+        raise ModelDomainError(
+            f"rectangle count must be finite and >= 0, got {n_rects!r}")
     out = float(n_rects)
     for s, q in zip(extents, window):
+        if not (math.isfinite(s) and math.isfinite(q)):
+            raise ModelDomainError(
+                f"extents must be finite, got {s!r} and {q!r}")
         if s < 0.0 or q < 0.0:
             raise ValueError("extents must be non-negative")
         out *= min(1.0, s + q)
@@ -51,6 +59,7 @@ def range_query_na(params: TreeParams,
     if len(window) != params.ndim:
         raise ValueError(
             f"window has {len(window)} dims, tree has {params.ndim}")
+    check_model_params(params)
     total = 0.0
     for level in range(1, params.height):
         total += intsect(params.nodes_at(level),

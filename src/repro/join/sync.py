@@ -22,6 +22,7 @@ paper in a single pass (``NoBuffer`` makes DA equal NA).
 
 from __future__ import annotations
 
+from ..reliability import ResilientReader, RetryPolicy
 from ..rtree import Node, RTreeBase
 from ..storage import AccessStats, BufferManager, MeteredReader, PathBuffer
 from .plane_sweep import nested_loop_pairs, sweep_pairs
@@ -40,7 +41,8 @@ def spatial_join(tree1: RTreeBase, tree2: RTreeBase,
                  buffer: BufferManager | None = None,
                  predicate: JoinPredicate = OVERLAP,
                  collect_pairs: bool = True,
-                 pair_enumeration: str = "nested-loop") -> JoinResult:
+                 pair_enumeration: str = "nested-loop",
+                 retry_policy: RetryPolicy | None = None) -> JoinResult:
     """Join two R-trees; ``tree1`` is R1 (data role), ``tree2`` R2 (query).
 
     Parameters
@@ -57,9 +59,15 @@ def spatial_join(tree1: RTreeBase, tree2: RTreeBase,
         ``"nested-loop"`` (the paper's Fig. 2 loops, default) or
         ``"plane-sweep"`` (the BKS93 CPU optimisation: same output,
         fewer comparisons, slightly different read order).
+    retry_policy:
+        When given, page reads go through a
+        :class:`~repro.reliability.ResilientReader` that retries
+        transient failures under this policy (use with a fault-injecting
+        pager); NA/DA stay identical to a fault-free run, retries are
+        recorded separately in the result's :class:`AccessStats`.
     """
     return SpatialJoin(tree1, tree2, buffer, predicate,
-                       pair_enumeration).run(collect_pairs)
+                       pair_enumeration, retry_policy).run(collect_pairs)
 
 
 class SpatialJoin:
@@ -68,7 +76,8 @@ class SpatialJoin:
     def __init__(self, tree1: RTreeBase, tree2: RTreeBase,
                  buffer: BufferManager | None = None,
                  predicate: JoinPredicate = OVERLAP,
-                 pair_enumeration: str = "nested-loop"):
+                 pair_enumeration: str = "nested-loop",
+                 retry_policy: RetryPolicy | None = None):
         if tree1.ndim != tree2.ndim:
             raise ValueError(
                 f"dimensionality mismatch: {tree1.ndim} vs {tree2.ndim}")
@@ -80,19 +89,29 @@ class SpatialJoin:
         self.buffer = buffer if buffer is not None else PathBuffer()
         self.predicate = predicate
         self.pair_enumeration = pair_enumeration
+        self.retry_policy = retry_policy
+
+    def _reader(self, pager, label: object, stats: AccessStats
+                ) -> MeteredReader:
+        if self.retry_policy is not None:
+            return ResilientReader(pager, label, stats, self.buffer,
+                                   self.retry_policy)
+        return MeteredReader(pager, label, stats, self.buffer)
 
     def run(self, collect_pairs: bool = True) -> JoinResult:
         """Execute the join, returning pairs and fresh access counters."""
         self.buffer.reset()
         stats = AccessStats()
-        reader1 = MeteredReader(self.tree1.pager, R1, stats, self.buffer)
-        reader2 = MeteredReader(self.tree2.pager, R2, stats, self.buffer)
+        reader1 = self._reader(self.tree1.pager, R1, stats)
+        reader2 = self._reader(self.tree2.pager, R2, stats)
         state = _TraversalState(
             reader1, reader2, self.predicate, collect_pairs,
             pinned1=self.tree1.root_id, pinned2=self.tree2.root_id,
             pair_enumeration=self.pair_enumeration)
-        root1 = self.tree1.root()
-        root2 = self.tree2.root()
+        # Pinned-root reads go through the readers (uncharged) so the
+        # retry loop also protects them under fault injection.
+        root1 = reader1.read_pinned(self.tree1.root_id, self.tree1.height)
+        root2 = reader2.read_pinned(self.tree2.root_id, self.tree2.height)
         if root1.entries and root2.entries:
             state.join(root1, root2)
         return JoinResult(state.pairs, stats, state.comparisons,
@@ -124,12 +143,12 @@ class _TraversalState:
 
     def _fetch1(self, page_id: int, level: int) -> Node:
         if page_id == self.pinned1:
-            return self.reader1.pager.read(page_id)
+            return self.reader1.read_pinned(page_id, level)
         return self.reader1.fetch(page_id, level)
 
     def _fetch2(self, page_id: int, level: int) -> Node:
         if page_id == self.pinned2:
-            return self.reader2.pager.read(page_id)
+            return self.reader2.read_pinned(page_id, level)
         return self.reader2.fetch(page_id, level)
 
     def join(self, n1: Node, n2: Node) -> None:

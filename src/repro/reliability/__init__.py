@@ -1,0 +1,38 @@
+"""Reliability engineering for the simulated storage path.
+
+The paper's model prices every ``ReadPage`` but assumes reads never
+fail; this subsystem makes the reproduction behave like a system that
+must keep answering joins when pages are slow, transiently unreadable,
+or corrupt on disk — without disturbing the NA/DA accounting the paper
+is about:
+
+* :mod:`~repro.reliability.errors` — the structured exception hierarchy;
+* :mod:`~repro.reliability.faults` — seeded, deterministic fault
+  injection (:class:`FaultInjector` / :class:`FaultyPager`);
+* :mod:`~repro.reliability.retry` — :class:`ResilientReader`, a metered
+  reader with bounded, *accounted* (never slept) exponential backoff;
+* :mod:`~repro.reliability.report` — :class:`CorruptionReport` from
+  lenient checksummed tree loads.
+"""
+
+from .errors import (CorruptPageError, MalformedFileError, ModelDomainError,
+                     ReproError, RetryExhaustedError, TransientPageError)
+from .faults import FaultInjector, FaultyPager, InjectionCounts
+from .report import CorruptionReport
+from .retry import DEFAULT_RETRY_POLICY, ResilientReader, RetryPolicy
+
+__all__ = [
+    "CorruptPageError",
+    "CorruptionReport",
+    "DEFAULT_RETRY_POLICY",
+    "FaultInjector",
+    "FaultyPager",
+    "InjectionCounts",
+    "MalformedFileError",
+    "ModelDomainError",
+    "ReproError",
+    "ResilientReader",
+    "RetryExhaustedError",
+    "RetryPolicy",
+    "TransientPageError",
+]

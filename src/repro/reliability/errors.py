@@ -1,0 +1,91 @@
+"""Structured exception hierarchy for the whole library.
+
+Every failure mode the system can *recover from or report precisely* gets
+its own type rooted at :class:`ReproError`, so callers (and the CLI) can
+map outcomes to behaviour without string-matching messages:
+
+* :class:`TransientPageError` — a simulated read failed but retrying may
+  succeed (injected by :class:`~repro.reliability.faults.FaultyPager`);
+  :class:`RetryExhaustedError` is the terminal form raised once a
+  :class:`~repro.reliability.retry.RetryPolicy` gives up.
+* :class:`CorruptPageError` — data failed an integrity check (a page
+  payload, a node checksum in a saved tree, or a whole-document
+  checksum); retrying cannot help.
+* :class:`MalformedFileError` — a persisted file is structurally invalid
+  (bad JSON, missing fields, inconsistent geometry).  Subclasses
+  :class:`ValueError` so pre-existing ``except ValueError`` call sites
+  keep working.
+* :class:`ModelDomainError` — cost-model inputs outside the formulas'
+  domain (negative density, NaN, ``N < 1`` at a join entry point).
+  Also a :class:`ValueError` subclass for the same compatibility reason.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "TransientPageError",
+    "RetryExhaustedError",
+    "CorruptPageError",
+    "MalformedFileError",
+    "ModelDomainError",
+]
+
+
+class ReproError(Exception):
+    """Base class of every structured error raised by this library."""
+
+
+class TransientPageError(ReproError):
+    """A page read failed in a way that a retry may fix.
+
+    Parameters
+    ----------
+    page_id:
+        The page whose read failed.
+    attempt:
+        1-based read attempt that observed the failure.
+    """
+
+    def __init__(self, page_id: int, attempt: int = 1,
+                 message: str | None = None):
+        self.page_id = page_id
+        self.attempt = attempt
+        super().__init__(
+            message or f"transient read failure on page {page_id} "
+                       f"(attempt {attempt})")
+
+
+class RetryExhaustedError(TransientPageError):
+    """A transient failure persisted past the retry policy's budget."""
+
+    def __init__(self, page_id: int, attempts: int):
+        super().__init__(
+            page_id, attempts,
+            f"page {page_id} still unreadable after {attempts} attempts")
+        self.attempts = attempts
+
+
+class CorruptPageError(ReproError):
+    """An integrity check failed; the data is corrupt, not just slow.
+
+    ``page_id`` is ``None`` for document-level (whole-file) corruption.
+    """
+
+    def __init__(self, message: str, page_id: int | None = None):
+        super().__init__(message)
+        self.page_id = page_id
+
+
+class MalformedFileError(ReproError, ValueError):
+    """A persisted dataset or tree file is structurally invalid."""
+
+    def __init__(self, message: str, path: object = None,
+                 field: str | None = None):
+        super().__init__(message)
+        self.path = path
+        self.field = field
+
+
+class ModelDomainError(ReproError, ValueError):
+    """Cost-model input outside the domain of Eqs. 1-12."""

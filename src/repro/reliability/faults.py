@@ -1,0 +1,150 @@
+"""Deterministic fault injection for the simulated storage path.
+
+:class:`FaultInjector` draws faults from a seeded RNG at configurable
+per-read rates, so a chaos run is exactly reproducible: the same seed,
+rates, and read sequence produce the same faults.  :class:`FaultyPager`
+wraps a :class:`~repro.storage.pager.Pager` and consults the injector on
+every read; writes and allocation pass through untouched (the paper's
+workloads are read-only once the trees are built).
+
+Three fault types, mirroring what a real disk/page-cache path exhibits:
+
+* **transient** — the read raises
+  :class:`~repro.reliability.errors.TransientPageError`; an immediate
+  retry re-draws, so retries eventually succeed (no sticky state);
+* **corrupt** — the read raises
+  :class:`~repro.reliability.errors.CorruptPageError`, modelling a page
+  whose checksum does not verify — retrying is pointless;
+* **latency** — the read succeeds but a simulated delay is *accounted*
+  (never slept) on the injector, so tests stay fast while the cost is
+  still observable.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..storage.pager import Pager
+from .errors import CorruptPageError, TransientPageError
+
+__all__ = ["FaultInjector", "FaultyPager", "InjectionCounts"]
+
+
+@dataclass
+class InjectionCounts:
+    """What an injector actually did, for assertions and reports."""
+
+    reads: int = 0
+    transients: int = 0
+    corruptions: int = 0
+    latency_events: int = 0
+    accounted_latency: float = 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "reads": self.reads,
+            "transients": self.transients,
+            "corruptions": self.corruptions,
+            "latency_events": self.latency_events,
+            "accounted_latency": self.accounted_latency,
+        }
+
+
+@dataclass
+class FaultInjector:
+    """Seeded, per-read fault source.
+
+    Parameters
+    ----------
+    seed:
+        RNG seed; two injectors with equal seed and rates make identical
+        decisions for identical read sequences.
+    transient_rate, corrupt_rate, latency_rate:
+        Independent per-read probabilities in ``[0, 1]``.
+    latency:
+        Simulated delay accounted per latency event (seconds).
+    """
+
+    seed: int = 0
+    transient_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    latency_rate: float = 0.0
+    latency: float = 0.005
+    counts: InjectionCounts = field(default_factory=InjectionCounts)
+
+    def __post_init__(self) -> None:
+        for name in ("transient_rate", "corrupt_rate", "latency_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.latency < 0.0:
+            raise ValueError("latency must be >= 0")
+        self._rng = random.Random(self.seed)
+
+    def on_read(self, page_id: int) -> None:
+        """Draw faults for one read; raises if the read should fail.
+
+        The draw order (corrupt, transient, latency) is fixed so runs
+        with equal configuration are bitwise-reproducible.
+        """
+        self.counts.reads += 1
+        if self.corrupt_rate and self._rng.random() < self.corrupt_rate:
+            self.counts.corruptions += 1
+            raise CorruptPageError(
+                f"injected corruption on page {page_id}", page_id)
+        if self.transient_rate and self._rng.random() < self.transient_rate:
+            self.counts.transients += 1
+            raise TransientPageError(page_id)
+        if self.latency_rate and self._rng.random() < self.latency_rate:
+            self.counts.latency_events += 1
+            self.counts.accounted_latency += self.latency
+
+    def reset(self) -> None:
+        """Re-seed the RNG and zero the counters (fresh identical run)."""
+        self._rng = random.Random(self.seed)
+        self.counts = InjectionCounts()
+
+
+class FaultyPager:
+    """A :class:`Pager` wrapper that injects faults on reads.
+
+    Structurally a drop-in replacement: everything except :meth:`read`
+    delegates to the wrapped pager, and the wrapped pager's pages are
+    shared (a tree whose ``pager`` attribute is swapped for a
+    ``FaultyPager`` keeps serving the same nodes).
+    """
+
+    def __init__(self, pager: Pager, injector: FaultInjector):
+        self.inner = pager
+        self.injector = injector
+
+    @property
+    def page_size(self) -> int:
+        return self.inner.page_size
+
+    def allocate(self, payload: Any = None) -> int:
+        return self.inner.allocate(payload)
+
+    def write(self, page_id: int, payload: Any) -> None:
+        self.inner.write(page_id, payload)
+
+    def put(self, page_id: int, payload: Any) -> None:
+        self.inner.put(page_id, payload)
+
+    def read(self, page_id: int) -> Any:
+        self.injector.on_read(page_id)
+        return self.inner.read(page_id)
+
+    def free(self, page_id: int) -> None:
+        self.inner.free(page_id)
+
+    def __len__(self) -> int:
+        return len(self.inner)
+
+    def __contains__(self, page_id: int) -> bool:
+        return page_id in self.inner
+
+    def __repr__(self) -> str:
+        return f"FaultyPager({self.inner!r}, injector={self.injector!r})"

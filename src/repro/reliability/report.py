@@ -1,0 +1,66 @@
+"""Corruption reports produced by lenient (degraded) tree loading.
+
+:func:`repro.io.load_tree` with ``strict=False`` quarantines corrupt
+subtrees instead of failing; the :class:`CorruptionReport` it attaches to
+the returned tree says exactly what was lost, so callers can decide
+whether a degraded index is still fit for their query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CorruptionReport"]
+
+
+@dataclass
+class CorruptionReport:
+    """What a lenient tree load detected and quarantined.
+
+    Attributes
+    ----------
+    path:
+        The file that was loaded.
+    checksummed:
+        Whether the file carried checksums at all (format >= 2); a clean
+        report over an un-checksummed v1 file is *weaker* evidence than
+        one over a v2 file.
+    document_checksum_ok:
+        Whole-document checksum verdict (vacuously true for v1).
+    corrupt_pages:
+        Pages whose stored CRC failed verification or whose payload was
+        structurally unreadable; their nodes were dropped.
+    orphaned_pages:
+        Pages that verified fine but became unreachable because an
+        ancestor was quarantined.
+    dropped_entries:
+        Parent entries removed because they pointed into quarantine.
+    lost_objects:
+        Indexed objects no longer reachable in the degraded tree.
+    """
+
+    path: str
+    checksummed: bool = True
+    document_checksum_ok: bool = True
+    corrupt_pages: list[int] = field(default_factory=list)
+    orphaned_pages: list[int] = field(default_factory=list)
+    dropped_entries: int = 0
+    lost_objects: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """True when nothing was quarantined and every checksum passed."""
+        return (self.document_checksum_ok and not self.corrupt_pages
+                and not self.orphaned_pages and self.dropped_entries == 0)
+
+    def summary(self) -> str:
+        """One-line human summary (the CLI's ``verify`` output)."""
+        if self.clean:
+            kind = "checksummed" if self.checksummed else "v1, no checksums"
+            return f"{self.path}: clean ({kind})"
+        return (f"{self.path}: CORRUPT — "
+                f"{len(self.corrupt_pages)} corrupt page(s), "
+                f"{len(self.orphaned_pages)} orphaned, "
+                f"{self.lost_objects} object(s) lost"
+                + ("" if self.document_checksum_ok
+                   else ", document checksum mismatch"))

@@ -1,0 +1,104 @@
+"""Resilient page reads: bounded retries with accounted backoff.
+
+:class:`ResilientReader` extends the storage layer's
+:class:`~repro.storage.pager.MeteredReader` so traversals keep working
+when the pager raises :class:`~repro.reliability.errors.TransientPageError`
+(e.g. from a :class:`~repro.reliability.faults.FaultyPager`).  Two
+invariants keep the paper's accounting exact:
+
+* NA/DA are recorded **once per successful fetch**, exactly as in the
+  fault-free path — a failed attempt never touches the NA/DA counters,
+  so counts *excluding retries* always match a fault-free run;
+* every failed attempt is recorded as a *retry* in
+  :class:`~repro.storage.stats.AccessStats` together with its backoff
+  delay, which is **accounted, never slept** — chaos tests run at full
+  speed while the would-be wall-clock cost stays auditable.
+
+Corruption (:class:`~repro.reliability.errors.CorruptPageError`) is not
+retried: re-reading corrupt data cannot fix it, so it propagates to the
+caller immediately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from ..storage.buffers import BufferManager
+from ..storage.pager import MeteredReader, Pager
+from ..storage.stats import AccessStats
+from .errors import RetryExhaustedError, TransientPageError
+
+__all__ = ["RetryPolicy", "ResilientReader", "DEFAULT_RETRY_POLICY"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with capped exponential backoff.
+
+    ``max_attempts`` counts total read attempts (first try included);
+    the delay before re-attempt ``i + 1`` after failed attempt ``i`` is
+    ``min(max_backoff, base_backoff * multiplier ** (i - 1))`` seconds.
+    """
+
+    max_attempts: int = 5
+    base_backoff: float = 0.001
+    multiplier: float = 2.0
+    max_backoff: float = 0.050
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.base_backoff < 0.0:
+            raise ValueError("base_backoff must be >= 0")
+        if self.multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1")
+        if self.max_backoff < self.base_backoff:
+            raise ValueError("max_backoff must be >= base_backoff")
+
+    def backoff(self, attempt: int) -> float:
+        """Delay (seconds) charged after failed attempt ``attempt``."""
+        if attempt < 1:
+            raise ValueError("attempt numbers start at 1")
+        return min(self.max_backoff,
+                   self.base_backoff * self.multiplier ** (attempt - 1))
+
+
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+class ResilientReader(MeteredReader):
+    """A :class:`MeteredReader` that survives transient read failures."""
+
+    def __init__(self, pager: Pager, label: object, stats: AccessStats,
+                 buffer: BufferManager,
+                 policy: RetryPolicy = DEFAULT_RETRY_POLICY):
+        super().__init__(pager, label, stats, buffer)
+        self.policy = policy
+
+    def fetch(self, page_id: int, level: int) -> Any:
+        """Read with retries; NA/DA recorded once, on success only."""
+        payload = self._read_with_retry(page_id, level)
+        hit = self.buffer.access(self.label, level, page_id)
+        self.stats.record(self.label, level, hit)
+        return payload
+
+    def read_pinned(self, page_id: int, level: int = 0) -> Any:
+        """Uncharged (root) read, still protected by the retry loop."""
+        return self._read_with_retry(page_id, level)
+
+    def _read_with_retry(self, page_id: int, level: int) -> Any:
+        attempt = 1
+        while True:
+            try:
+                return self.pager.read(page_id)
+            except TransientPageError as exc:
+                if attempt >= self.policy.max_attempts:
+                    raise RetryExhaustedError(page_id, attempt) from exc
+                self.stats.record_retry(self.label, level,
+                                        self.policy.backoff(attempt))
+                attempt += 1
+
+    def __repr__(self) -> str:
+        return (f"ResilientReader(label={self.label!r}, "
+                f"policy={self.policy!r})")

@@ -113,10 +113,12 @@ class MeteredReader:
     """Counted access path to one tree's pages.
 
     Every :meth:`fetch` consults the buffer manager and records the access
-    in the shared :class:`AccessStats` under this reader's tree label; the
-    payload always comes back (the simulation never *fails* a read, it only
-    prices it).  Roots are pinned in main memory in the paper's setup, so
-    tree-traversal code simply does not fetch the root through the meter.
+    in the shared :class:`AccessStats` under this reader's tree label; a
+    plain :class:`Pager` never *fails* a read, it only prices it (under
+    fault injection, use :class:`~repro.reliability.retry.ResilientReader`
+    instead).  Roots are pinned in main memory in the paper's setup, so
+    tree-traversal code fetches them via :meth:`read_pinned`, which is
+    never charged.
     """
 
     def __init__(self, pager: Pager, label: object,
@@ -130,6 +132,14 @@ class MeteredReader:
         """Read a page at a given tree level, recording NA/DA."""
         hit = self.buffer.access(self.label, level, page_id)
         self.stats.record(self.label, level, hit)
+        return self.pager.read(page_id)
+
+    def read_pinned(self, page_id: int, level: int = 0) -> Any:
+        """Read a memory-pinned page (a root): no NA/DA is charged.
+
+        :class:`~repro.reliability.retry.ResilientReader` overrides this
+        to keep pinned reads inside the retry loop under fault injection.
+        """
         return self.pager.read(page_id)
 
     def __repr__(self) -> str:

@@ -10,6 +10,14 @@ The paper measures two quantities:
 ``DA <= NA`` holds by construction.  Both are recorded per tree and per
 level so experiments can be compared against the per-level formulas
 (Eqs. 6-12) and not just the totals.
+
+A third counter family, ``retries``, records re-attempted reads under
+fault injection (see :mod:`repro.reliability`).  Retries are kept apart
+from NA/DA on purpose: a retried ``ReadPage`` still records exactly one
+NA (and at most one DA) on success, so NA/DA of a faulty run match the
+fault-free run bit-for-bit and the retry overhead stays separately
+auditable.  ``accounted_backoff`` sums the backoff delay a retry policy
+*would* have slept — the simulation accounts time, it never sleeps.
 """
 
 from __future__ import annotations
@@ -33,6 +41,9 @@ class AccessStats:
         default_factory=lambda: defaultdict(int))
     disk_accesses: dict[tuple[object, int], int] = field(
         default_factory=lambda: defaultdict(int))
+    retries: dict[tuple[object, int], int] = field(
+        default_factory=lambda: defaultdict(int))
+    accounted_backoff: float = 0.0
 
     def record(self, tree: object, level: int, buffer_hit: bool) -> None:
         """Record one ``ReadPage``; a buffer hit costs NA but not DA."""
@@ -40,6 +51,12 @@ class AccessStats:
         self.node_accesses[key] += 1
         if not buffer_hit:
             self.disk_accesses[key] += 1
+
+    def record_retry(self, tree: object, level: int,
+                     backoff: float = 0.0) -> None:
+        """Record one failed read attempt and its accounted backoff."""
+        self.retries[(tree, level)] += 1
+        self.accounted_backoff += backoff
 
     # -- aggregations -------------------------------------------------------
 
@@ -50,6 +67,11 @@ class AccessStats:
     def da(self, tree: object | None = None, level: int | None = None) -> int:
         """Total disk accesses, optionally filtered by tree and/or level."""
         return self._total(self.disk_accesses, tree, level)
+
+    def retry_count(self, tree: object | None = None,
+                    level: int | None = None) -> int:
+        """Total retried reads, optionally filtered by tree and/or level."""
+        return self._total(self.retries, tree, level)
 
     @staticmethod
     def _total(counts: dict[tuple[object, int], int],
@@ -73,11 +95,16 @@ class AccessStats:
             self.node_accesses[key] += n
         for key, n in other.disk_accesses.items():
             self.disk_accesses[key] += n
+        for key, n in other.retries.items():
+            self.retries[key] += n
+        self.accounted_backoff += other.accounted_backoff
 
     def reset(self) -> None:
         """Zero every counter."""
         self.node_accesses.clear()
         self.disk_accesses.clear()
+        self.retries.clear()
+        self.accounted_backoff = 0.0
 
     def as_dict(self) -> dict[str, dict[str, int]]:
         """A JSON-friendly summary keyed by ``"<tree>@<level>"``."""
@@ -90,7 +117,14 @@ class AccessStats:
                 f"{t}@{lv}": n for (t, lv), n in
                 sorted(self.disk_accesses.items(), key=lambda kv: str(kv[0]))
             },
+            "retries": {
+                f"{t}@{lv}": n for (t, lv), n in
+                sorted(self.retries.items(), key=lambda kv: str(kv[0]))
+            },
+            "accounted_backoff": self.accounted_backoff,
         }
 
     def __repr__(self) -> str:
-        return f"AccessStats(NA={self.na()}, DA={self.da()})"
+        extra = (f", retries={self.retry_count()}"
+                 if self.retries else "")
+        return f"AccessStats(NA={self.na()}, DA={self.da()}{extra})"

@@ -157,3 +157,101 @@ class TestExperimentCommand:
         code, _out, err = run(capsys, "experiment", "fig42")
         assert code == 2
         assert "unknown experiment" in err
+
+
+class TestReliabilityCli:
+    """Structured exit codes, degraded loads, verify, chaos joins."""
+
+    @pytest.fixture
+    def saved_tree(self, tmp_path, capsys):
+        data = tmp_path / "d.txt"
+        tree = tmp_path / "t.json"
+        run(capsys, "generate", "uniform", "-n", "250", "-d", "0.5",
+            "--seed", "13", "-o", str(data))
+        run(capsys, "build", str(data), "-M", "8", "-o", str(tree))
+        return tree
+
+    @pytest.fixture
+    def two_trees(self, tmp_path, capsys):
+        paths = []
+        for seed in (14, 15):
+            data = tmp_path / f"d{seed}.txt"
+            tree = tmp_path / f"t{seed}.json"
+            run(capsys, "generate", "uniform", "-n", "250", "-d", "0.5",
+                "--seed", str(seed), "-o", str(data))
+            run(capsys, "build", str(data), "-M", "8", "-o", str(tree))
+            paths.append(tree)
+        return paths
+
+    @staticmethod
+    def corrupt_leaf(path):
+        import json
+        doc = json.loads(path.read_text())
+        victim = min(int(p) for p, n in doc["nodes"].items()
+                     if n["level"] == 1 and int(p) != doc["root_id"])
+        payload = doc["nodes"][str(victim)]
+        payload["entries"][0][0][0] += 0.125   # CRC left stale
+        path.write_text(json.dumps(doc))
+
+    def test_truncated_json_is_usage_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"format": 2, "ndim"')
+        code, _out, err = run(capsys, "query", str(bad),
+                              "--window", "0", "0", "1", "1")
+        assert code == 2
+        assert "invalid JSON" in err
+
+    def test_missing_field_is_usage_error(self, saved_tree, capsys):
+        import json
+        doc = json.loads(saved_tree.read_text())
+        del doc["root_id"]
+        saved_tree.write_text(json.dumps(doc))
+        code, _out, err = run(capsys, "query", str(saved_tree),
+                              "--window", "0", "0", "1", "1")
+        assert code == 2
+        assert "root_id" in err
+
+    def test_corruption_is_exit_3(self, two_trees, capsys):
+        self.corrupt_leaf(two_trees[0])
+        code, _out, err = run(capsys, "join", str(two_trees[0]),
+                              str(two_trees[1]))
+        assert code == 3
+        assert "corrupt" in err
+
+    def test_lenient_join_degrades_with_warning(self, two_trees, capsys):
+        self.corrupt_leaf(two_trees[0])
+        code, out, err = run(capsys, "join", "--lenient",
+                             str(two_trees[0]), str(two_trees[1]))
+        assert code == 0
+        assert "degraded load" in err
+        assert "result pairs:" in out
+
+    def test_verify_clean(self, saved_tree, capsys):
+        code, out, _err = run(capsys, "verify", str(saved_tree))
+        assert code == 0
+        assert "clean" in out
+
+    def test_verify_corrupt(self, saved_tree, capsys):
+        self.corrupt_leaf(saved_tree)
+        code, out, _err = run(capsys, "verify", str(saved_tree))
+        assert code == 3
+        assert "CORRUPT" in out
+        assert "corrupt pages:" in out
+
+    def test_chaos_join_succeeds_and_reports_retries(self, two_trees,
+                                                     capsys):
+        code, out, _err = run(capsys, "join",
+                              "--inject-transient", "0.05",
+                              "--fault-seed", "3",
+                              "--max-attempts", "10",
+                              str(two_trees[0]), str(two_trees[1]))
+        assert code == 0
+        assert "retried reads:" in out
+
+    def test_retry_exhaustion_is_exit_4(self, two_trees, capsys):
+        code, _out, err = run(capsys, "join",
+                              "--inject-transient", "1.0",
+                              "--max-attempts", "2",
+                              str(two_trees[0]), str(two_trees[1]))
+        assert code == 4
+        assert "retries" in err

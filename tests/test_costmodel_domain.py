@@ -1,0 +1,120 @@
+"""Domain guards: Eqs. 1-12 reject inputs they cannot price.
+
+Regression tests for every guard added to the model entry points —
+before them, NaN/inf primitives silently produced NaN cost estimates.
+"""
+
+import math
+
+import pytest
+
+from repro.costmodel import (AnalyticalTreeParams, check_model_params,
+                             intsect, join_da_total, join_na_total,
+                             range_query_na, rtree_height)
+from repro.reliability import ModelDomainError
+
+NAN = float("nan")
+INF = float("inf")
+
+
+def params(n=1000, d=0.5, m=50, ndim=2, **kw):
+    return AnalyticalTreeParams(n, d, m, ndim, **kw)
+
+
+class TestConstructorGuards:
+    def test_negative_n_rejected(self):
+        with pytest.raises(ModelDomainError):
+            params(n=-1)
+
+    def test_non_integer_n_rejected(self):
+        with pytest.raises(ModelDomainError):
+            params(n=1000.5)
+        with pytest.raises(ModelDomainError):
+            params(n=NAN)
+
+    def test_nan_density_rejected(self):
+        with pytest.raises(ModelDomainError, match="finite"):
+            params(d=NAN)
+
+    def test_inf_density_rejected(self):
+        with pytest.raises(ModelDomainError, match="finite"):
+            params(d=INF)
+
+    def test_negative_density_rejected(self):
+        with pytest.raises(ModelDomainError):
+            params(d=-0.1)
+
+    def test_bad_ndim_rejected(self):
+        with pytest.raises(ModelDomainError, match="ndim"):
+            params(ndim=0)
+
+    def test_nan_fill_rejected(self):
+        with pytest.raises(ModelDomainError, match="fill"):
+            params(fill=NAN)
+
+    def test_guards_are_value_errors(self):
+        # Backward compatible: callers catching ValueError still work.
+        with pytest.raises(ValueError):
+            params(d=-1.0)
+
+    def test_empty_set_still_constructible(self):
+        # N = 0 stays legal at construction (degenerate empty data set);
+        # only the cost entry points refuse it.
+        p = AnalyticalTreeParams(0, 0.0, 50, 2)
+        assert p.height == 1
+
+    def test_rtree_height_guards(self):
+        with pytest.raises(ModelDomainError):
+            rtree_height(-5, 50)
+        with pytest.raises(ModelDomainError):
+            rtree_height(NAN, 50)
+        with pytest.raises(ModelDomainError):
+            rtree_height(1000, 50, fill=NAN)
+
+
+class TestEntryPointGuards:
+    def test_join_na_rejects_empty_tree(self):
+        p0 = AnalyticalTreeParams(0, 0.0, 50, 2)
+        with pytest.raises(ModelDomainError, match="N >= 1"):
+            join_na_total(p0, params())
+        with pytest.raises(ModelDomainError, match="N >= 1"):
+            join_na_total(params(), p0)
+
+    def test_join_da_rejects_empty_tree(self):
+        p0 = AnalyticalTreeParams(0, 0.0, 50, 2)
+        with pytest.raises(ModelDomainError, match="N >= 1"):
+            join_da_total(params(), p0)
+
+    def test_range_query_rejects_empty_tree(self):
+        p0 = AnalyticalTreeParams(0, 0.0, 50, 2)
+        with pytest.raises(ModelDomainError, match="N >= 1"):
+            range_query_na(p0, (0.1, 0.1))
+
+    def test_range_query_rejects_nan_window(self):
+        with pytest.raises(ModelDomainError, match="finite"):
+            range_query_na(params(), (NAN, 0.1))
+
+    def test_range_query_rejects_inf_window(self):
+        with pytest.raises(ModelDomainError, match="finite"):
+            range_query_na(params(), (0.1, INF))
+
+    def test_intsect_rejects_nan(self):
+        with pytest.raises(ModelDomainError):
+            intsect(NAN, (0.1, 0.1), (0.1, 0.1))
+        with pytest.raises(ModelDomainError):
+            intsect(100, (NAN, 0.1), (0.1, 0.1))
+        with pytest.raises(ModelDomainError):
+            intsect(100, (0.1, 0.1), (0.1, NAN))
+
+    def test_valid_inputs_stay_finite(self):
+        na = join_na_total(params(), params(n=2000, d=0.3))
+        da = join_da_total(params(), params(n=2000, d=0.3))
+        assert math.isfinite(na) and na >= 0
+        assert math.isfinite(da) and da >= 0
+
+    def test_check_model_params_direct(self):
+        check_model_params(params())    # no raise
+        bad = params()
+        bad.height = 0
+        with pytest.raises(ModelDomainError, match="height"):
+            check_model_params(bad)

@@ -1,0 +1,147 @@
+"""Retry policy semantics and the resilient metered reader."""
+
+import pytest
+
+from repro.reliability import (FaultInjector, FaultyPager, ResilientReader,
+                               RetryExhaustedError, RetryPolicy,
+                               TransientPageError)
+from repro.storage import AccessStats, NoBuffer, Pager, PathBuffer
+
+
+class FailNTimesPager:
+    """Deterministic stub: the first ``n`` reads of a page fail."""
+
+    def __init__(self, fail_first: int, payload: str = "payload"):
+        self.fail_first = fail_first
+        self.payload = payload
+        self.attempts = 0
+
+    def read(self, page_id: int):
+        self.attempts += 1
+        if self.attempts <= self.fail_first:
+            raise TransientPageError(page_id, self.attempts)
+        return self.payload
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="max_attempts"):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError, match="multiplier"):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(ValueError, match="max_backoff"):
+            RetryPolicy(base_backoff=1.0, max_backoff=0.5)
+
+    def test_exponential_growth(self):
+        policy = RetryPolicy(base_backoff=0.001, multiplier=2.0,
+                             max_backoff=1.0)
+        assert policy.backoff(1) == pytest.approx(0.001)
+        assert policy.backoff(2) == pytest.approx(0.002)
+        assert policy.backoff(5) == pytest.approx(0.016)
+
+    def test_backoff_capped(self):
+        policy = RetryPolicy(base_backoff=0.01, multiplier=10.0,
+                             max_backoff=0.05)
+        assert policy.backoff(1) == pytest.approx(0.01)
+        assert policy.backoff(2) == pytest.approx(0.05)   # capped
+        assert policy.backoff(9) == pytest.approx(0.05)
+
+    def test_attempt_numbering(self):
+        with pytest.raises(ValueError):
+            RetryPolicy().backoff(0)
+
+
+class TestResilientReader:
+    def test_succeeds_after_retries_and_accounts_them(self):
+        pager = FailNTimesPager(fail_first=3)
+        stats = AccessStats()
+        policy = RetryPolicy(max_attempts=5, base_backoff=0.001,
+                             multiplier=2.0, max_backoff=1.0)
+        reader = ResilientReader(pager, "T", stats, NoBuffer(), policy)
+        assert reader.fetch(7, level=1) == "payload"
+        # One NA/DA for the successful fetch, three recorded retries.
+        assert stats.na("T") == 1
+        assert stats.da("T") == 1
+        assert stats.retry_count("T") == 3
+        assert stats.retries[("T", 1)] == 3
+        # Backoff 0.001 + 0.002 + 0.004, accounted but never slept.
+        assert stats.accounted_backoff == pytest.approx(0.007)
+
+    def test_exhaustion_raises_with_attempt_count(self):
+        pager = FailNTimesPager(fail_first=100)
+        stats = AccessStats()
+        reader = ResilientReader(pager, "T", stats, NoBuffer(),
+                                 RetryPolicy(max_attempts=4))
+        with pytest.raises(RetryExhaustedError) as excinfo:
+            reader.fetch(5, level=2)
+        assert excinfo.value.attempts == 4
+        assert pager.attempts == 4
+        # The failed fetch never lands in NA/DA; the 3 re-attempts do
+        # land in the retry counters.
+        assert stats.na("T") == 0
+        assert stats.da("T") == 0
+        assert stats.retry_count("T") == 3
+
+    def test_exhaustion_is_a_transient_error(self):
+        reader = ResilientReader(FailNTimesPager(10), "T", AccessStats(),
+                                 NoBuffer(), RetryPolicy(max_attempts=1))
+        with pytest.raises(TransientPageError):
+            reader.fetch(0, level=1)
+
+    def test_no_faults_behaves_like_metered_reader(self):
+        pager = Pager()
+        pid = pager.allocate("node")
+        stats = AccessStats()
+        reader = ResilientReader(pager, "T", stats, PathBuffer())
+        assert reader.fetch(pid, level=1) == "node"
+        assert reader.fetch(pid, level=1) == "node"
+        assert stats.na("T") == 2
+        assert stats.da("T") == 1          # second read hits the buffer
+        assert stats.retry_count() == 0
+        assert stats.accounted_backoff == 0.0
+
+    def test_read_pinned_retries_without_charging(self):
+        pager = FailNTimesPager(fail_first=2, payload="root")
+        stats = AccessStats()
+        reader = ResilientReader(pager, "T", stats, NoBuffer(),
+                                 RetryPolicy(max_attempts=5))
+        assert reader.read_pinned(0, level=3) == "root"
+        assert stats.na() == 0 and stats.da() == 0
+        assert stats.retry_count("T") == 2
+
+    def test_with_faulty_pager_eventually_reads_everything(self):
+        inner = Pager()
+        ids = [inner.allocate(f"n{i}") for i in range(50)]
+        pager = FaultyPager(inner, FaultInjector(seed=11,
+                                                 transient_rate=0.3))
+        stats = AccessStats()
+        reader = ResilientReader(pager, "T", stats, NoBuffer(),
+                                 RetryPolicy(max_attempts=30))
+        for pid in ids:
+            assert reader.fetch(pid, level=1) == f"n{pid}"
+        assert stats.na("T") == 50
+        assert stats.retry_count("T") > 0
+
+
+class TestAccessStatsRetryBookkeeping:
+    def test_merge_and_reset_cover_retries(self):
+        a, b = AccessStats(), AccessStats()
+        a.record_retry("T", 1, backoff=0.01)
+        b.record_retry("T", 1, backoff=0.02)
+        b.record_retry("U", 2, backoff=0.03)
+        a.merge(b)
+        assert a.retries[("T", 1)] == 2
+        assert a.retry_count() == 3
+        assert a.retry_count("U") == 1
+        assert a.accounted_backoff == pytest.approx(0.06)
+        a.reset()
+        assert a.retry_count() == 0
+        assert a.accounted_backoff == 0.0
+
+    def test_as_dict_includes_retries(self):
+        stats = AccessStats()
+        stats.record("T", 1, buffer_hit=False)
+        stats.record_retry("T", 1, backoff=0.005)
+        d = stats.as_dict()
+        assert d["retries"] == {"T@1": 1}
+        assert d["accounted_backoff"] == pytest.approx(0.005)
