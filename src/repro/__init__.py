@@ -35,11 +35,15 @@ from .datasets import (LocalDensityGrid, SpatialDataset,
                        clustered_rectangles, diagonal_rectangles,
                        tiger_like_segments, uniform_rectangles,
                        zipf_rectangles)
+from .exec import (AdmissionRejected, Budget, BudgetExceeded, Cancelled,
+                   CancellationToken, CheckpointMismatch,
+                   ExecutionGovernor, JoinCheckpoint)
 from .geometry import Rect, Workspace
 from .io import load_dataset, load_tree, save_dataset, save_tree
 from .join import (OVERLAP, JoinResult, Overlap, ParallelJoinResult,
-                   SpatialJoin, WithinDistance, index_nested_loop_join,
-                   naive_join, parallel_spatial_join, spatial_join)
+                   PartialJoinResult, SpatialJoin, WithinDistance,
+                   index_nested_loop_join, naive_join,
+                   parallel_spatial_join, spatial_join)
 from .optimizer import Catalog, best_plan, role_advice
 from .reliability import (CorruptionReport, CorruptPageError, FaultInjector,
                           FaultyPager, MalformedFileError, ModelDomainError,
@@ -54,13 +58,21 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AccessStats",
+    "AdmissionRejected",
     "AnalyticalTreeParams",
+    "Budget",
+    "BudgetExceeded",
+    "Cancelled",
+    "CancellationToken",
     "Catalog",
+    "CheckpointMismatch",
     "CorruptPageError",
     "CorruptionReport",
+    "ExecutionGovernor",
     "FaultInjector",
     "FaultyPager",
     "GuttmanRTree",
+    "JoinCheckpoint",
     "JoinResult",
     "LRUBuffer",
     "LocalDensityGrid",
@@ -72,6 +84,7 @@ __all__ = [
     "OVERLAP",
     "Overlap",
     "ParallelJoinResult",
+    "PartialJoinResult",
     "PathBuffer",
     "RStarTree",
     "RTreeBase",

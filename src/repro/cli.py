@@ -24,14 +24,19 @@ Exit codes are structured so scripts can react precisely:
 
 * ``0`` — success;
 * ``2`` — usage or data errors (bad arguments, malformed files,
-  cost-model domain violations);
+  cost-model domain violations, mismatched checkpoints);
 * ``3`` — corruption detected (a checksum failed);
-* ``4`` — transient read failures exhausted the retry budget.
+* ``4`` — transient read failures exhausted the retry budget;
+* ``5`` — execution stopped by governance: a resource budget or
+  deadline was exhausted, admission control rejected the query, or it
+  was cancelled.  A machine-readable JSON reason is printed on stdout
+  (see ``docs/operations.md``).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Sequence
 
@@ -40,20 +45,25 @@ from .costmodel import (AnalyticalTreeParams, join_da_total,
 from .datasets import (LocalDensityGrid, clustered_rectangles,
                        diagonal_rectangles, tiger_like_segments,
                        uniform_rectangles, zipf_rectangles)
+from .exec import (ADMISSION_MODES, AdmissionRejected, Budget,
+                   BudgetExceeded, Cancelled, ExecutionGovernor,
+                   JoinCheckpoint, evaluate_admission, predict_join_cost)
 from .io import load_dataset, load_tree, save_dataset, save_tree, \
     verify_tree_file
-from .join import spatial_join
+from .join import PartialJoinResult, SpatialJoin
 from .reliability import (CorruptPageError, FaultInjector, FaultyPager,
                           ReproError, RetryPolicy, TransientPageError)
 from .storage import LRUBuffer, NoBuffer, PathBuffer
 
-__all__ = ["main", "EXIT_USAGE", "EXIT_CORRUPT", "EXIT_TRANSIENT"]
+__all__ = ["main", "EXIT_USAGE", "EXIT_CORRUPT", "EXIT_TRANSIENT",
+           "EXIT_BUDGET"]
 
 GENERATORS = ("uniform", "clustered", "zipf", "diagonal", "tiger")
 
 EXIT_USAGE = 2      #: bad arguments, malformed files, domain errors
 EXIT_CORRUPT = 3    #: an integrity check failed
 EXIT_TRANSIENT = 4  #: transient read failures exhausted the retry budget
+EXIT_BUDGET = 5     #: budget/deadline exhausted, rejected, or cancelled
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -62,6 +72,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.handler(args)
+    except (BudgetExceeded, Cancelled) as exc:
+        # Machine-readable reason on stdout, prose on stderr.
+        print(json.dumps(exc.as_dict()))
+        print(f"error: execution stopped: {exc}", file=sys.stderr)
+        return EXIT_BUDGET
     except CorruptPageError as exc:
         print(f"error: corrupt data: {exc}", file=sys.stderr)
         return EXIT_CORRUPT
@@ -123,6 +138,29 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="fault injector RNG seed")
     join.add_argument("--max-attempts", type=int, default=5,
                       help="retry budget per page read under faults")
+    join.add_argument("--deadline", type=float, default=None,
+                      metavar="SECONDS",
+                      help="wall-clock budget for the traversal")
+    join.add_argument("--max-na", type=int, default=None, metavar="N",
+                      help="node-access budget")
+    join.add_argument("--max-da", type=int, default=None, metavar="N",
+                      help="disk-access budget")
+    join.add_argument("--max-results", type=int, default=None,
+                      metavar="N", help="result-pair budget")
+    join.add_argument("--partial", action="store_true",
+                      help="on budget exhaustion, report the partial "
+                           "counters and a resumable checkpoint instead "
+                           "of failing (still exits 5)")
+    join.add_argument("--checkpoint", metavar="PATH", default=None,
+                      help="where to save the checkpoint of a partial "
+                           "run (with --partial)")
+    join.add_argument("--resume", metavar="PATH", default=None,
+                      help="resume a previously checkpointed join")
+    join.add_argument("--admission", choices=ADMISSION_MODES,
+                      default="warn",
+                      help="compare the Eq. 7/10 predicted cost against "
+                           "the budget before reading any page: warn "
+                           "(default), reject (exit 5), or off")
     join.set_defaults(handler=_cmd_join)
 
     query = sub.add_parser(
@@ -166,6 +204,13 @@ def _build_parser() -> argparse.ArgumentParser:
     exp.add_argument("id", help="e.g. fig5a, fig6b, fig7a")
     exp.add_argument("--scale", default="bench",
                      choices=("smoke", "bench", "paper"))
+    exp.add_argument("--deadline", type=float, default=None,
+                     metavar="SECONDS",
+                     help="wall-clock budget for the whole experiment")
+    exp.add_argument("--max-na", type=int, default=None, metavar="N",
+                     help="node-access budget per measured grid point")
+    exp.add_argument("--max-da", type=int, default=None, metavar="N",
+                     help="disk-access budget per measured grid point")
     exp.set_defaults(handler=_cmd_experiment)
     return parser
 
@@ -226,6 +271,31 @@ def _cmd_join(args: argparse.Namespace) -> int:
             print(f"warning: degraded load: {report.summary()}",
                   file=sys.stderr)
     buffer = _parse_buffer(args.buffer)
+    budget = Budget(deadline=args.deadline, max_na=args.max_na,
+                    max_da=args.max_da, max_results=args.max_results)
+
+    # Admission control: compare the predicted cost (Eq. 7/10, computed
+    # from catalog-style statistics only) against the budget before a
+    # single metered page read.  A rejection leaves all access counters
+    # at zero.
+    if args.admission != "off" and (budget.max_na is not None
+                                    or budget.max_da is not None):
+        predicted = predict_join_cost(t1, t2)
+        if predicted is not None:
+            decision = evaluate_admission(budget, *predicted)
+            if not decision.allowed:
+                over = (decision.predicted_na
+                        if decision.resource == "na"
+                        else decision.predicted_da)
+                if args.admission == "reject":
+                    raise AdmissionRejected(decision.resource,
+                                            decision.limit, over)
+                print(f"warning: admission: predicted "
+                      f"{decision.resource.upper()} {over:.0f} exceeds "
+                      f"the budget of {decision.limit:.0f}; proceeding "
+                      f"(--admission reject would refuse)",
+                      file=sys.stderr)
+
     # Primitive properties (N, D) for the analytical comparison, read
     # before any fault injection wraps the pagers.
     stats = [(len(tree), sum(e.rect.area() for e in tree.leaf_entries()))
@@ -238,11 +308,21 @@ def _cmd_join(args: argparse.Namespace) -> int:
         t1.pager = FaultyPager(t1.pager, injector)
         t2.pager = FaultyPager(t2.pager, injector)
         retry_policy = RetryPolicy(max_attempts=args.max_attempts)
-    result = spatial_join(t1, t2, buffer=buffer, collect_pairs=False,
-                          retry_policy=retry_policy)
+
+    governor = None
+    if not budget.unlimited or args.partial:
+        governor = ExecutionGovernor(budget, partial=args.partial)
+    sj = SpatialJoin(t1, t2, buffer=buffer, retry_policy=retry_policy,
+                     governor=governor)
+    if args.resume is not None:
+        result = sj.resume(JoinCheckpoint.load(args.resume))
+    else:
+        result = sj.run(collect_pairs=False)
+
     print(f"R1: {args.tree1} (N={len(t1)}, h={t1.height})")
     print(f"R2: {args.tree2} (N={len(t2)}, h={t2.height})")
-    print(f"result pairs: {result.pair_count}")
+    if result.complete:
+        print(f"result pairs: {result.pair_count}")
     print(f"node accesses NA: {result.na_total} "
           f"(R1 {result.na('R1')}, R2 {result.na('R2')})")
     print(f"disk accesses DA: {result.da_total} "
@@ -251,6 +331,22 @@ def _cmd_join(args: argparse.Namespace) -> int:
         print(f"retried reads: {result.stats.retry_count()} "
               f"(accounted backoff "
               f"{result.stats.accounted_backoff * 1e3:.1f} ms)")
+
+    if isinstance(result, PartialJoinResult):
+        print(f"partial pairs so far: {result.pair_count}")
+        if result.remaining_na_estimate is not None:
+            print(f"estimated remaining (Eq. 7/10): "
+                  f"NA {result.remaining_na_estimate:.0f}, "
+                  f"DA {result.remaining_da_estimate:.0f}")
+        if args.checkpoint is not None:
+            result.checkpoint.save(args.checkpoint)
+            print(f"checkpoint saved to {args.checkpoint} "
+                  f"(resume with --resume {args.checkpoint})")
+        else:
+            print("no --checkpoint path given; partial progress is "
+                  "not resumable", file=sys.stderr)
+        print(json.dumps(result.reason.as_dict()))
+        return EXIT_BUDGET
 
     # Analytical comparison from the trees' own primitive properties.
     p1 = AnalyticalTreeParams(stats[0][0], stats[0][1],
@@ -348,7 +444,12 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from .experiments import run_experiment
-    print(run_experiment(args.id, args.scale))
+    governor = None
+    budget = Budget(deadline=args.deadline, max_na=args.max_na,
+                    max_da=args.max_da)
+    if not budget.unlimited:
+        governor = ExecutionGovernor(budget)
+    print(run_experiment(args.id, args.scale, governor=governor))
     return 0
 
 

@@ -1,0 +1,49 @@
+"""Execution governance: budgets, deadlines, cancellation, checkpoints.
+
+The paper's cost model prices a join before running it; a production
+SDBMS must also *bound* the run.  This subsystem supplies the pieces:
+
+* :mod:`~repro.exec.budget` — :class:`Budget` (deadline / max NA / max
+  DA / max results) and the typed stop errors
+  (:class:`BudgetExceeded`, :class:`Cancelled`,
+  :class:`AdmissionRejected`), rooted at
+  :class:`~repro.reliability.ReproError`;
+* :mod:`~repro.exec.cancellation` — thread-safe, linkable
+  :class:`CancellationToken` for cooperative stops;
+* :mod:`~repro.exec.governor` — :class:`ExecutionGovernor`, checked at
+  every node-pair visit, plus Eq. 6/7-based admission control that can
+  refuse a query before a single page read;
+* :mod:`~repro.exec.checkpoint` — CRC-guarded, versioned
+  :class:`JoinCheckpoint` files so an interrupted join resumes with
+  NA/DA bit-identical to an uninterrupted run.
+
+See ``docs/operations.md`` for the operational runbook.
+"""
+
+from .budget import (UNLIMITED, AdmissionRejected, Budget, BudgetExceeded,
+                     Cancelled)
+from .cancellation import CancellationToken
+from .checkpoint import (CHECKPOINT_FORMAT_VERSION, CheckpointMismatch,
+                         JoinCheckpoint, tree_fingerprint)
+from .governor import (ADMISSION_MODES, AdmissionDecision,
+                       ExecutionGovernor, evaluate_admission,
+                       predict_join_cost, tree_params)
+
+__all__ = [
+    "ADMISSION_MODES",
+    "AdmissionDecision",
+    "AdmissionRejected",
+    "Budget",
+    "BudgetExceeded",
+    "CHECKPOINT_FORMAT_VERSION",
+    "Cancelled",
+    "CancellationToken",
+    "CheckpointMismatch",
+    "ExecutionGovernor",
+    "JoinCheckpoint",
+    "UNLIMITED",
+    "evaluate_admission",
+    "predict_join_cost",
+    "tree_fingerprint",
+    "tree_params",
+]

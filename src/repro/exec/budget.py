@@ -1,0 +1,134 @@
+"""Per-query resource budgets and the typed errors of enforcing them.
+
+A :class:`Budget` bounds one query execution along four axes the
+governor can observe without instrumenting anything new:
+
+* ``deadline``    — wall-clock seconds from the start of execution;
+* ``max_na``      — node accesses (the paper's NA, every ``ReadPage``);
+* ``max_da``      — disk accesses (NA that miss the buffer);
+* ``max_results`` — qualifying result pairs produced.
+
+Exhausting any axis raises :class:`BudgetExceeded`; a cooperative
+cancellation raises :class:`Cancelled`.  Both extend
+:class:`~repro.reliability.ReproError` so the CLI and callers can map
+them to behaviour (exit code 5) without string matching, exactly like
+the corruption/retry errors of the reliability layer.
+:class:`AdmissionRejected` is the *predictive* form: the Eq. 6/7 cost
+model says the query cannot fit the budget, so it is refused before a
+single page is read.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..reliability import ReproError
+
+__all__ = ["Budget", "UNLIMITED", "BudgetExceeded", "Cancelled",
+           "AdmissionRejected"]
+
+
+@dataclass(frozen=True)
+class Budget:
+    """Resource limits for one query execution; ``None`` = unlimited."""
+
+    deadline: float | None = None
+    max_na: int | None = None
+    max_da: int | None = None
+    max_results: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.deadline is not None:
+            if (not isinstance(self.deadline, (int, float))
+                    or isinstance(self.deadline, bool)
+                    or not math.isfinite(self.deadline)
+                    or self.deadline <= 0.0):
+                raise ValueError(
+                    f"deadline must be a positive number of seconds, "
+                    f"got {self.deadline!r}")
+        for name in ("max_na", "max_da", "max_results"):
+            value = getattr(self, name)
+            if value is None:
+                continue
+            if (not isinstance(value, int) or isinstance(value, bool)
+                    or value < 1):
+                raise ValueError(
+                    f"{name} must be a positive integer, got {value!r}")
+
+    @property
+    def unlimited(self) -> bool:
+        """True when no axis is bounded (the governor never trips)."""
+        return (self.deadline is None and self.max_na is None
+                and self.max_da is None and self.max_results is None)
+
+    def as_dict(self) -> dict[str, float | int | None]:
+        return {"deadline": self.deadline, "max_na": self.max_na,
+                "max_da": self.max_da, "max_results": self.max_results}
+
+
+#: The do-nothing budget (every axis unbounded).
+UNLIMITED = Budget()
+
+
+class Cancelled(ReproError):
+    """Execution stopped because its cancellation token was cancelled."""
+
+    def __init__(self, message: str = "execution cancelled"):
+        super().__init__(message)
+
+    def as_dict(self) -> dict[str, object]:
+        """Machine-readable reason (the CLI prints this as JSON)."""
+        return {"error": "cancelled"}
+
+
+class BudgetExceeded(ReproError):
+    """A budget axis ran out during (or, predicted, before) execution.
+
+    Parameters
+    ----------
+    resource:
+        Which axis tripped: ``"deadline"``, ``"na"``, ``"da"`` or
+        ``"results"``.
+    limit:
+        The budgeted value for that axis.
+    observed:
+        The measured (or, with ``predicted=True``, the analytically
+        estimated) value that met or exceeded the limit.
+    """
+
+    def __init__(self, resource: str, limit: float, observed: float,
+                 predicted: bool = False, message: str | None = None):
+        self.resource = resource
+        self.limit = limit
+        self.observed = observed
+        self.predicted = predicted
+        verb = "predicted to exceed" if predicted else "exhausted:"
+        super().__init__(
+            message or f"{resource} budget {verb} "
+                       f"{observed} >= {limit}")
+
+    def as_dict(self) -> dict[str, object]:
+        """Machine-readable reason (the CLI prints this as JSON)."""
+        return {"error": "budget-exceeded", "resource": self.resource,
+                "limit": self.limit, "observed": self.observed,
+                "predicted": self.predicted}
+
+
+class AdmissionRejected(BudgetExceeded):
+    """Refused before execution: the Eq. 6/7 prediction exceeds the budget.
+
+    Raised without a single page read — ``observed`` is the *analytical*
+    estimate, and ``predicted`` is always ``True``.
+    """
+
+    def __init__(self, resource: str, limit: float, predicted_cost: float):
+        super().__init__(
+            resource, limit, predicted_cost, predicted=True,
+            message=f"admission rejected: predicted {resource} "
+                    f"{predicted_cost:.0f} exceeds budget {limit}")
+
+    def as_dict(self) -> dict[str, object]:
+        out = super().as_dict()
+        out["error"] = "admission-rejected"
+        return out

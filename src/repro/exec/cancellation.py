@@ -1,0 +1,52 @@
+"""Cooperative cancellation.
+
+A :class:`CancellationToken` is a thread-safe flag shared between the
+party that wants a query stopped (a timeout handler, a user pressing
+Ctrl-C, a failing sibling worker) and the traversal doing the work.  The
+traversal polls the token at every node-pair visit through
+:meth:`~repro.exec.governor.ExecutionGovernor.check`, so cancellation is
+*cooperative*: nothing is killed mid-page-read, counters stay
+consistent, and a partial-mode join can still checkpoint its frontier.
+
+Tokens can be *linked*: a token constructed over parent tokens reports
+cancelled as soon as any parent does.  The parallel join uses this to
+give every worker a token that observes both the caller's token and an
+internal abort flag raised when a sibling worker fails, so all workers
+drain cleanly.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .budget import Cancelled
+
+__all__ = ["CancellationToken"]
+
+
+class CancellationToken:
+    """Thread-safe cooperative cancellation flag, optionally linked."""
+
+    def __init__(self, *parents: "CancellationToken"):
+        self._event = threading.Event()
+        self._parents = parents
+
+    def cancel(self) -> None:
+        """Request cancellation (idempotent, safe from any thread)."""
+        self._event.set()
+
+    @property
+    def cancelled(self) -> bool:
+        """True once this token or any linked parent was cancelled."""
+        return self._event.is_set() or any(p.cancelled
+                                           for p in self._parents)
+
+    def raise_if_cancelled(self) -> None:
+        """Raise :class:`~repro.exec.budget.Cancelled` when cancelled."""
+        if self.cancelled:
+            raise Cancelled()
+
+    def __repr__(self) -> str:
+        state = "cancelled" if self.cancelled else "live"
+        linked = f", linked={len(self._parents)}" if self._parents else ""
+        return f"CancellationToken({state}{linked})"

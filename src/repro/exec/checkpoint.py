@@ -1,0 +1,157 @@
+"""Resumable join checkpoints: the frontier of an interrupted traversal.
+
+A :class:`JoinCheckpoint` captures everything a synchronized-traversal
+join needs to continue exactly where it stopped:
+
+* the **frontier** — the traversal stack as ``(page1, level1, page2,
+  level2, cursor)`` frames, bottom to top, where ``cursor`` counts the
+  entry pairs of that node pair already consumed;
+* the **counters** — the exact :class:`~repro.storage.AccessStats`
+  (NA/DA per tree and level), pair count, comparisons, and the
+  collected pairs so far;
+* the **buffer state** — the page buffer's content at the cut, so
+  post-resume buffer hits and misses are the same as in an
+  uninterrupted run;
+* a **fingerprint** of both trees plus the join configuration, so a
+  checkpoint cannot silently resume against the wrong data.
+
+The file format follows the tree-format-v2 conventions of
+:mod:`repro.io`: a versioned JSON document guarded by a CRC32 over its
+canonical serialization.  Loading a tampered file raises
+:class:`~repro.reliability.CorruptPageError`; a structurally invalid one
+raises :class:`~repro.reliability.MalformedFileError`; resuming with
+mismatched trees or configuration raises :class:`CheckpointMismatch`.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+from ..reliability import (CorruptPageError, MalformedFileError,
+                           ReproError)
+
+__all__ = ["JoinCheckpoint", "CheckpointMismatch",
+           "CHECKPOINT_FORMAT_VERSION", "tree_fingerprint"]
+
+CHECKPOINT_FORMAT_VERSION = 1
+_SUPPORTED_FORMATS = (1,)
+
+_REQUIRED_FIELDS = ("format", "pair_enumeration", "predicate",
+                    "collect_pairs", "tree1", "tree2", "buffer_kind",
+                    "buffer_state", "stack", "stats", "pair_count",
+                    "comparisons")
+
+
+class CheckpointMismatch(ReproError, ValueError):
+    """A checkpoint does not match the trees/configuration given to resume.
+
+    Subclasses :class:`ValueError` so it maps to the CLI's usage/data
+    exit code (2), like other wrong-input errors.
+    """
+
+
+def tree_fingerprint(tree: Any) -> dict[str, int]:
+    """Identity of a built tree, for checkpoint/resume validation."""
+    return {"root_id": tree.root_id, "height": tree.height,
+            "size": len(tree), "ndim": tree.ndim,
+            "max_entries": tree.max_entries}
+
+
+def _canonical(obj: Any) -> bytes:
+    """Deterministic JSON bytes for checksumming (io.py's convention)."""
+    return json.dumps(obj, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def _doc_crc(doc: dict) -> int:
+    return zlib.crc32(_canonical(
+        {k: v for k, v in doc.items() if k != "crc"}))
+
+
+@dataclass
+class JoinCheckpoint:
+    """Serialized state of an interrupted spatial join (see module doc).
+
+    Built by :meth:`repro.join.SpatialJoin.run` in partial mode; consumed
+    by :meth:`repro.join.SpatialJoin.resume`.  ``reason`` records the
+    machine-readable cause of the interruption (a
+    :meth:`~repro.exec.budget.BudgetExceeded.as_dict` payload).
+    """
+
+    pair_enumeration: str
+    predicate: dict
+    collect_pairs: bool
+    tree1: dict
+    tree2: dict
+    buffer_kind: str
+    buffer_state: Any
+    stack: list
+    stats: dict
+    pair_count: int
+    comparisons: int
+    pairs: list | None = None
+    reason: dict = field(default_factory=dict)
+    format: int = CHECKPOINT_FORMAT_VERSION
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "JoinCheckpoint":
+        fields = {k: doc[k] for k in _REQUIRED_FIELDS}
+        fields["pairs"] = doc.get("pairs")
+        fields["reason"] = doc.get("reason") or {}
+        return cls(**fields)
+
+    def save(self, path: str | Path) -> None:
+        """Write the checkpoint as CRC-guarded JSON."""
+        doc = self.to_dict()
+        doc["crc"] = _doc_crc(doc)
+        Path(path).write_text(json.dumps(doc), encoding="utf-8")
+
+    @classmethod
+    def load(cls, path: str | Path) -> "JoinCheckpoint":
+        """Read and verify a checkpoint written by :meth:`save`.
+
+        Raises
+        ------
+        MalformedFileError
+            Invalid JSON, unsupported format, or missing fields.
+        CorruptPageError
+            The document CRC does not verify.
+        """
+        path = Path(path)
+        try:
+            doc = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise MalformedFileError(
+                f"{path}: invalid JSON: {exc}", path=path) from None
+        if not isinstance(doc, dict):
+            raise MalformedFileError(
+                f"{path}: checkpoint must be a JSON object, "
+                f"got {type(doc).__name__}", path=path)
+        fmt = doc.get("format")
+        if fmt not in _SUPPORTED_FORMATS:
+            raise MalformedFileError(
+                f"{path}: unsupported checkpoint format {fmt!r} "
+                f"(expected one of {_SUPPORTED_FORMATS})",
+                path=path, field="format")
+        for name in _REQUIRED_FIELDS:
+            if name not in doc:
+                raise MalformedFileError(
+                    f"{path}: checkpoint is missing required field "
+                    f"{name!r}", path=path, field=name)
+        if doc.get("crc") != _doc_crc(doc):
+            raise CorruptPageError(
+                f"{path}: checkpoint checksum mismatch "
+                f"(stored {doc.get('crc')!r})")
+        try:
+            return cls.from_dict(doc)
+        except (KeyError, TypeError) as exc:
+            raise MalformedFileError(
+                f"{path}: ill-typed checkpoint: {exc}",
+                path=path) from None

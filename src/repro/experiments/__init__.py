@@ -5,8 +5,9 @@ from .levels import LevelComparison, level_comparison
 from .harness import (JoinObservation, TreeCache, build_tree, observe_join,
                       relative_error)
 from .registry import experiment_ids, run_experiment
-from .reporting import (error_summary, figure5_rows, format_table,
-                        print_figure)
+from .reporting import (error_summary, figure5_rows, format_error,
+                        format_table, observation_records,
+                        observations_json, print_figure)
 
 __all__ = [
     "BENCH_SCALE",
@@ -20,8 +21,11 @@ __all__ = [
     "error_summary",
     "experiment_ids",
     "figure5_rows",
+    "format_error",
     "format_table",
     "level_comparison",
+    "observation_records",
+    "observations_json",
     "observe_join",
     "print_figure",
     "relative_error",

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from ..costmodel import (AnalyticalTreeParams, NonUniformJoinModel,
                          join_da_by_tree, join_da_total, join_na_total)
 from ..datasets import SpatialDataset
+from ..exec import ExecutionGovernor
 from ..join import R1, R2, spatial_join
 from ..rtree import GuttmanRTree, RStarTree, RTreeBase, hilbert_pack, str_pack
 
@@ -21,10 +22,18 @@ __all__ = ["TreeCache", "JoinObservation", "observe_join",
            "relative_error", "build_tree"]
 
 
-def relative_error(model: float, measured: float) -> float:
-    """Signed relative error of a model value against a measurement."""
+def relative_error(model: float, measured: float) -> float | None:
+    """Signed relative error of a model value against a measurement.
+
+    A zero measurement with a non-zero model value has no defined
+    relative error; the result is ``None`` (rendered ``n/a`` in tables,
+    ``null`` in JSON).  An earlier version returned ``float("inf")``,
+    which ``json.dumps`` turns into the non-standard literal
+    ``Infinity`` — breaking every strict JSON consumer of the
+    reporting output.
+    """
     if measured == 0:
-        return 0.0 if model == 0 else float("inf")
+        return 0.0 if model == 0 else None
     return (model - measured) / measured
 
 
@@ -98,19 +107,19 @@ class JoinObservation:
     pairs: int
 
     @property
-    def na_error(self) -> float:
+    def na_error(self) -> float | None:
         return relative_error(self.na_model, self.na_measured)
 
     @property
-    def da_error(self) -> float:
+    def da_error(self) -> float | None:
         return relative_error(self.da_model, self.da_measured)
 
     @property
-    def da1_error(self) -> float:
+    def da1_error(self) -> float | None:
         return relative_error(self.da1_model, self.da1_measured)
 
     @property
-    def da2_error(self) -> float:
+    def da2_error(self) -> float | None:
         return relative_error(self.da2_model, self.da2_measured)
 
 
@@ -119,17 +128,29 @@ def observe_join(dataset1: SpatialDataset, dataset2: SpatialDataset,
                  cache: TreeCache | None = None,
                  variant: str = "rstar",
                  nonuniform_resolution: int | None = None,
-                 label: str | None = None) -> JoinObservation:
+                 label: str | None = None,
+                 governor: ExecutionGovernor | None = None,
+                 ) -> JoinObservation:
     """Run one measured join and its analytical estimate side by side.
 
     ``nonuniform_resolution`` switches the analytical side to the
     local-density grid model of §4.2 (for skewed/real-like data).
+
+    ``governor`` bounds the measured run (deadline / NA / DA budgets,
+    cancellation); an exhausted budget raises the typed error — a
+    truncated measurement must never masquerade as a grid point, so a
+    partial-mode governor is refused.
     """
+    if governor is not None and governor.partial:
+        raise ValueError(
+            "observe_join needs complete measurements; partial-mode "
+            "governors are not supported here")
     cache = cache if cache is not None else TreeCache()
     tree1 = cache.get(dataset1, max_entries, variant)
     tree2 = cache.get(dataset2, max_entries, variant)
 
-    result = spatial_join(tree1, tree2, collect_pairs=False)
+    result = spatial_join(tree1, tree2, collect_pairs=False,
+                          governor=governor)
 
     p1 = AnalyticalTreeParams.from_dataset(dataset1, max_entries, fill)
     p2 = AnalyticalTreeParams.from_dataset(dataset2, max_entries, fill)

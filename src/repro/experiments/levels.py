@@ -32,9 +32,12 @@ class LevelComparison:
     da_model: float
 
     @property
-    def na_error(self) -> float:
+    def na_error(self) -> float | None:
+        """Signed relative error; ``None`` when a zero measurement
+        meets a non-zero model value (same convention as
+        :func:`repro.experiments.relative_error` — JSON-safe)."""
         if self.na_measured == 0:
-            return 0.0 if self.na_model == 0 else float("inf")
+            return 0.0 if self.na_model == 0 else None
         return (self.na_model - self.na_measured) / self.na_measured
 
 

@@ -17,6 +17,7 @@ from typing import Callable
 from ..costmodel import (AnalyticalTreeParams, join_da_total,
                          join_na_total)
 from ..datasets import uniform_rectangles
+from ..exec import ExecutionGovernor
 from .configs import BENCH_SCALE, PAPER_SCALE, SMOKE_SCALE, ExperimentScale
 from .harness import TreeCache, observe_join
 from .reporting import error_summary, figure5_rows, format_table
@@ -34,8 +35,16 @@ def experiment_ids() -> list[str]:
 
 
 def run_experiment(exp_id: str, scale: str | ExperimentScale = "bench",
-                   ) -> str:
-    """Run one experiment and return its formatted table."""
+                   governor: ExecutionGovernor | None = None) -> str:
+    """Run one experiment and return its formatted table.
+
+    A ``governor`` bounds every measured join of the experiment: the
+    NA/DA budgets apply per grid point (each join runs on fresh
+    counters), the deadline to the experiment as a whole (the clock
+    starts at the first join and keeps running).  An exhausted budget
+    raises the typed error instead of emitting a truncated table.
+    Analytic experiments never read a page and ignore the governor.
+    """
     try:
         runner = _REGISTRY[exp_id]
     except KeyError:
@@ -49,7 +58,7 @@ def run_experiment(exp_id: str, scale: str | ExperimentScale = "bench",
             raise ValueError(
                 f"unknown scale {scale!r}; choose from "
                 f"{sorted(_SCALES)}") from None
-    return runner(scale)
+    return runner(scale, governor)
 
 
 # -- analytic experiments (always paper scale) --------------------------------
@@ -92,7 +101,8 @@ def _fig7(ndim: int) -> str:
 
 # -- measured experiments (scale-dependent) -------------------------------------
 
-def _fig5(ndim: int, scale: ExperimentScale) -> str:
+def _fig5(ndim: int, scale: ExperimentScale,
+          governor: ExecutionGovernor | None = None) -> str:
     m = scale.max_entries(ndim)
     cache = TreeCache()
     r1 = {n: uniform_rectangles(n, scale.density, ndim, seed=100 + n)
@@ -103,7 +113,7 @@ def _fig5(ndim: int, scale: ExperimentScale) -> str:
     for n1 in scale.cardinalities:
         for n2 in scale.cardinalities:
             obs.append(observe_join(r1[n1], r2[n2], m, fill=scale.fill,
-                                    cache=cache))
+                                    cache=cache, governor=governor))
     summary = error_summary(obs)
     label = "5a" if ndim == 1 else "5b"
     headers = ["N1/N2", "exper(NA)", "anal(NA)", "exper(DA)",
@@ -114,11 +124,11 @@ def _fig5(ndim: int, scale: ExperimentScale) -> str:
               f"DA mean={summary['da_mean']:.1%}")
 
 
-_REGISTRY: dict[str, Callable[[ExperimentScale], str]] = {
-    "fig5a": lambda scale: _fig5(1, scale),
-    "fig5b": lambda scale: _fig5(2, scale),
-    "fig6a": lambda _scale: _fig6(1),
-    "fig6b": lambda _scale: _fig6(2),
-    "fig7a": lambda _scale: _fig7(1),
-    "fig7b": lambda _scale: _fig7(2),
+_REGISTRY: dict[str, Callable[..., str]] = {
+    "fig5a": lambda scale, governor=None: _fig5(1, scale, governor),
+    "fig5b": lambda scale, governor=None: _fig5(2, scale, governor),
+    "fig6a": lambda _scale, _governor=None: _fig6(1),
+    "fig6b": lambda _scale, _governor=None: _fig6(2),
+    "fig7a": lambda _scale, _governor=None: _fig7(1),
+    "fig7b": lambda _scale, _governor=None: _fig7(2),
 }

@@ -2,17 +2,27 @@
 
 The paper reports its results as figure series (experimental vs analytical
 NA and DA per N1/N2 combination); these helpers print the same rows so a
-bench run's stdout *is* the reproduced table.
+bench run's stdout *is* the reproduced table.  ``observation_records`` /
+``observations_json`` emit the same data machine-readably: strict JSON,
+with undefined relative errors as ``null`` (never ``Infinity``, which is
+not JSON).
 """
 
 from __future__ import annotations
 
+import json
 from typing import Iterable, Sequence
 
 from .harness import JoinObservation
 
-__all__ = ["format_table", "figure5_rows", "print_figure",
-           "error_summary"]
+__all__ = ["format_table", "format_error", "figure5_rows",
+           "print_figure", "error_summary", "observation_records",
+           "observations_json"]
+
+
+def format_error(error: float | None) -> str:
+    """Render a relative error for a table (``n/a`` when undefined)."""
+    return "n/a" if error is None else f"{error:+.1%}"
 
 
 def format_table(headers: Sequence[str],
@@ -50,7 +60,7 @@ def figure5_rows(observations: Iterable[JoinObservation],
             f"{ob.n1 // 1000}K/{ob.n2 // 1000}K",
             ob.na_measured, round(ob.na_model),
             ob.da_measured, round(ob.da_model),
-            f"{ob.na_error:+.1%}", f"{ob.da_error:+.1%}",
+            format_error(ob.na_error), format_error(ob.da_error),
         ])
     return rows
 
@@ -68,12 +78,19 @@ def print_figure(title: str,
 
 def error_summary(observations: Sequence[JoinObservation],
                   ) -> dict[str, float]:
-    """Aggregate |relative error| statistics over a grid of runs."""
+    """Aggregate |relative error| statistics over a grid of runs.
+
+    Undefined errors (``None``, zero measurement vs non-zero model) are
+    excluded from the aggregates; an axis with no defined error at all
+    reports zero mean/max.
+    """
     if not observations:
         raise ValueError("no observations to summarise")
 
-    def stats(errors: list[float]) -> tuple[float, float]:
-        magnitudes = [abs(e) for e in errors]
+    def stats(errors: list[float | None]) -> tuple[float, float]:
+        magnitudes = [abs(e) for e in errors if e is not None]
+        if not magnitudes:
+            return (0.0, 0.0)
         return (sum(magnitudes) / len(magnitudes), max(magnitudes))
 
     na_mean, na_max = stats([ob.na_error for ob in observations])
@@ -86,3 +103,36 @@ def error_summary(observations: Sequence[JoinObservation],
         "da1_mean": da1_mean, "da1_max": da1_max,
         "da2_mean": da2_mean, "da2_max": da2_max,
     }
+
+
+def observation_records(observations: Iterable[JoinObservation],
+                        ) -> list[dict[str, object]]:
+    """JSON-safe dict per observation (errors ``None`` when undefined)."""
+    records = []
+    for ob in observations:
+        records.append({
+            "label": ob.label,
+            "n1": ob.n1, "n2": ob.n2,
+            "height1": ob.height1, "height2": ob.height2,
+            "na_measured": ob.na_measured, "na_model": ob.na_model,
+            "da_measured": ob.da_measured, "da_model": ob.da_model,
+            "da1_measured": ob.da1_measured, "da1_model": ob.da1_model,
+            "da2_measured": ob.da2_measured, "da2_model": ob.da2_model,
+            "pairs": ob.pairs,
+            "na_error": ob.na_error, "da_error": ob.da_error,
+            "da1_error": ob.da1_error, "da2_error": ob.da2_error,
+        })
+    return records
+
+
+def observations_json(observations: Iterable[JoinObservation],
+                      indent: int | None = None) -> str:
+    """Strict-JSON serialization of a grid of observations.
+
+    ``allow_nan=False`` guarantees the output never contains the
+    ``Infinity``/``NaN`` literals strict parsers reject — the regression
+    the ``None`` convention of :func:`~repro.experiments.relative_error`
+    exists to prevent.
+    """
+    return json.dumps(observation_records(observations),
+                      allow_nan=False, indent=indent)

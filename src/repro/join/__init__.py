@@ -1,21 +1,23 @@
 """Spatial join algorithms: SJ synchronized traversal and baselines."""
 
 from .naive import naive_join
-from .parallel import (ASSIGNMENT_STRATEGIES, ParallelJoinResult,
-                       parallel_spatial_join)
+from .parallel import (ASSIGNMENT_STRATEGIES, EXECUTION_MODES,
+                       ParallelJoinResult, parallel_spatial_join)
 from .plane_sweep import nested_loop_pairs, sweep_pairs
 from .nested_loop import index_nested_loop_join
 from .predicates import OVERLAP, JoinPredicate, Overlap, WithinDistance
-from .result import R1, R2, JoinResult
+from .result import R1, R2, JoinResult, PartialJoinResult
 from .sync import PAIR_ENUMERATIONS, SpatialJoin, spatial_join
 
 __all__ = [
     "ASSIGNMENT_STRATEGIES",
+    "EXECUTION_MODES",
     "JoinPredicate",
     "JoinResult",
     "OVERLAP",
     "PAIR_ENUMERATIONS",
     "ParallelJoinResult",
+    "PartialJoinResult",
     "Overlap",
     "R1",
     "R2",

@@ -18,6 +18,7 @@ from __future__ import annotations
 import math
 from typing import Sequence
 
+from ..exec import ExecutionGovernor
 from ..geometry import Rect
 from ..rtree import RTreeBase
 from ..storage import (AccessStats, BufferManager, MeteredReader, NoBuffer)
@@ -31,18 +32,31 @@ def index_nested_loop_join(tree1: RTreeBase,
                            outer: Sequence[tuple[Rect, int]],
                            buffer: BufferManager | None = None,
                            predicate: JoinPredicate = OVERLAP,
-                           collect_pairs: bool = True) -> JoinResult:
+                           collect_pairs: bool = True,
+                           governor: ExecutionGovernor | None = None,
+                           ) -> JoinResult:
     """Join ``tree1`` (probed, R1 role) with a streamed outer data set.
 
     ``outer`` provides ``(rect, oid)`` pairs playing the R2 role.  The
     distance predicate is honoured by inflating each probe window, which
     is exactly the §5 window transformation.
+
+    A ``governor`` is consulted at every probed node visit (deadline,
+    NA/DA budget, result cap, cancellation) and raises the typed stop
+    error; partial/checkpoint mode belongs to the synchronized join and
+    is refused here.
     """
+    if governor is not None and governor.partial:
+        raise ValueError(
+            "index_nested_loop_join cannot produce partial results; "
+            "use a non-partial governor")
     if buffer is None:
         buffer = NoBuffer()
     buffer.reset()
     stats = AccessStats()
     reader = MeteredReader(tree1.pager, R1, stats, buffer)
+    if governor is not None:
+        governor.start()
 
     if isinstance(predicate, WithinDistance):
         inflate = predicate.distance
@@ -57,6 +71,8 @@ def index_nested_loop_join(tree1: RTreeBase,
         root = tree1.root()
         stack = [root]
         while stack:
+            if governor is not None:
+                governor.check(stats, pair_count)
             node = stack.pop()
             for entry in node.entries:
                 comparisons += 1

@@ -16,10 +16,24 @@ This module simulates exactly that:
   overlap-area of the two subtree MBRs as the cost proxy);
 * **makespan** — the parallel cost is the maximum per-worker DA, the
   quantity a shared-nothing parallel SDBMS waits for.
+
+Two execution modes drive the workers.  ``"serial"`` (default) runs the
+buckets one after another in the calling thread — fully deterministic,
+what the benches use.  ``"threads"`` runs each bucket in a thread pool:
+the access accounting is identical (workers share nothing but the
+read-only pagers), and the mode exercises the governance path — every
+worker observes a shared :class:`~repro.exec.CancellationToken`, so one
+worker's failure (or an exhausted budget, or an external cancel) makes
+the siblings drain cleanly, and the first real failure is re-raised at
+the pool boundary **with its original worker traceback**.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
+
+from ..exec import CancellationToken, ExecutionGovernor
+from ..exec.budget import Cancelled
 from ..rtree import RTreeBase
 from ..storage import AccessStats, MeteredReader, PathBuffer
 from .predicates import OVERLAP, JoinPredicate
@@ -27,9 +41,13 @@ from .result import R1, R2
 from .sync import _TraversalState
 
 __all__ = ["parallel_spatial_join", "ParallelJoinResult",
-           "ASSIGNMENT_STRATEGIES"]
+           "ASSIGNMENT_STRATEGIES", "EXECUTION_MODES"]
 
 ASSIGNMENT_STRATEGIES = ("round-robin", "greedy")
+
+#: How worker buckets are driven: sequentially in the calling thread, or
+#: concurrently on a thread pool with cooperative cancellation.
+EXECUTION_MODES = ("serial", "threads")
 
 
 class ParallelJoinResult:
@@ -78,22 +96,74 @@ class ParallelJoinResult:
                 f"total_da={self.total_da})")
 
 
+def _run_bucket(bucket: list[tuple], tree1: RTreeBase, tree2: RTreeBase,
+                root1, root2, predicate: JoinPredicate,
+                collect_pairs: bool,
+                governor: ExecutionGovernor | None,
+                ) -> tuple[AccessStats, list[tuple[int, int]], int]:
+    """Execute one worker's task bucket against a private buffer.
+
+    This is the worker body for both execution modes; any exception it
+    raises carries this function in its traceback, so a failure
+    surfacing at the pool boundary still points at the worker code.
+    """
+    stats = AccessStats()
+    buffer = PathBuffer()                # each worker owns its disk/buffer
+    reader1 = MeteredReader(tree1.pager, R1, stats, buffer)
+    reader2 = MeteredReader(tree2.pager, R2, stats, buffer)
+    state = _TraversalState(
+        reader1, reader2, predicate, collect_pairs,
+        pinned1=tree1.root_id, pinned2=tree2.root_id,
+        stats=stats, governor=governor)
+    for _cost, e1, e2 in bucket:
+        if governor is not None:
+            governor.check(stats, state.pair_count)
+        c1 = (root1 if e1 is None
+              else state._fetch1(e1.ref, root1.level - 1))
+        c2 = (root2 if e2 is None
+              else state._fetch2(e2.ref, root2.level - 1))
+        state.join(c1, c2)
+    return stats, state.pairs, state.pair_count
+
+
 def parallel_spatial_join(tree1: RTreeBase, tree2: RTreeBase,
                           workers: int,
                           predicate: JoinPredicate = OVERLAP,
                           assignment: str = "greedy",
                           collect_pairs: bool = True,
+                          governor: ExecutionGovernor | None = None,
+                          mode: str = "serial",
                           ) -> ParallelJoinResult:
     """Run the SJ join split into subtree-pair tasks over ``workers``.
 
     The result set equals the sequential join's; only the access
     accounting is partitioned.
+
+    With a ``governor``, every worker runs under a
+    :meth:`~repro.exec.ExecutionGovernor.spawn`-ed view of it: the
+    budget applies per worker (each worker's own NA/DA — the makespan
+    currency), the deadline and cancellation token are shared, and a
+    stop raises the typed error at this call's boundary.  Partial mode
+    is not supported here (checkpoints describe a single synchronized
+    traversal): a partial governor is refused.
+
+    ``mode="threads"`` executes the buckets on a thread pool; the first
+    worker failure cancels the shared abort token (siblings drain as
+    :class:`~repro.exec.Cancelled`) and is re-raised with its original
+    traceback.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
     if assignment not in ASSIGNMENT_STRATEGIES:
         raise ValueError(
             f"assignment must be one of {ASSIGNMENT_STRATEGIES}")
+    if mode not in EXECUTION_MODES:
+        raise ValueError(f"mode must be one of {EXECUTION_MODES}")
+    if governor is not None and governor.partial:
+        raise ValueError(
+            "parallel_spatial_join cannot produce partial results; "
+            "use a non-partial governor (checkpoints belong to the "
+            "synchronized single-traversal join)")
     if tree1.ndim != tree2.ndim:
         raise ValueError(
             f"dimensionality mismatch: {tree1.ndim} vs {tree2.ndim}")
@@ -143,25 +213,76 @@ def parallel_spatial_join(tree1: RTreeBase, tree2: RTreeBase,
             buckets[w].append(task)
             loads[w] += task[0]
 
+    if governor is not None:
+        governor.start()                 # deadline shared by all workers
+
+    if mode == "threads":
+        results = _drive_threads(buckets, tree1, tree2, root1, root2,
+                                 predicate, collect_pairs, governor)
+    else:
+        results = []
+        for bucket in buckets:
+            worker_gov = governor.spawn() if governor is not None else None
+            results.append(_run_bucket(bucket, tree1, tree2, root1, root2,
+                                       predicate, collect_pairs,
+                                       worker_gov))
+
     all_pairs: list[tuple[int, int]] = []
     pair_count = 0
     worker_stats: list[AccessStats] = []
-    for bucket in buckets:
-        stats = AccessStats()
-        buffer = PathBuffer()            # each worker owns its disk/buffer
-        reader1 = MeteredReader(tree1.pager, R1, stats, buffer)
-        reader2 = MeteredReader(tree2.pager, R2, stats, buffer)
-        state = _TraversalState(
-            reader1, reader2, predicate, collect_pairs,
-            pinned1=tree1.root_id, pinned2=tree2.root_id)
-        for _cost, e1, e2 in bucket:
-            c1 = (root1 if e1 is None
-                  else state._fetch1(e1.ref, root1.level - 1))
-            c2 = (root2 if e2 is None
-                  else state._fetch2(e2.ref, root2.level - 1))
-            state.join(c1, c2)
+    for stats, pairs, count in results:
         worker_stats.append(stats)
-        all_pairs.extend(state.pairs)
-        pair_count += state.pair_count
-
+        all_pairs.extend(pairs)
+        pair_count += count
     return ParallelJoinResult(all_pairs, worker_stats, pair_count)
+
+
+def _drive_threads(buckets, tree1, tree2, root1, root2, predicate,
+                   collect_pairs, governor):
+    """Run the buckets on a thread pool, propagating the first failure.
+
+    Workers observe an internal abort token (linked into each worker's
+    governor): the moment any worker raises something other than
+    :class:`Cancelled`, the token is cancelled and the siblings stop at
+    their next governor check.  Results are gathered in bucket order, so
+    the pair list and worker stats are deterministic; the preferred
+    failure to re-raise is the first *cause* (budget/fault), never the
+    secondary ``Cancelled`` it induced — and it propagates with the
+    original worker traceback attached by ``Future.result``.
+    """
+    abort = CancellationToken()
+
+    def worker_governor() -> ExecutionGovernor:
+        if governor is not None:
+            return governor.spawn(abort)
+        return ExecutionGovernor(token=abort)
+
+    def on_done(fut) -> None:
+        if not fut.cancelled():
+            exc = fut.exception()
+            if exc is not None and not isinstance(exc, Cancelled):
+                abort.cancel()           # make the siblings drain
+
+    failure: BaseException | None = None
+    results = []
+    with ThreadPoolExecutor(max_workers=max(1, len(buckets)),
+                            thread_name_prefix="sj-worker") as pool:
+        futures = []
+        for bucket in buckets:
+            fut = pool.submit(_run_bucket, bucket, tree1, tree2,
+                              root1, root2, predicate, collect_pairs,
+                              worker_governor())
+            fut.add_done_callback(on_done)
+            futures.append(fut)
+        for fut in futures:
+            try:
+                results.append(fut.result())
+            except Cancelled as exc:
+                if failure is None:
+                    failure = exc
+            except Exception as exc:
+                if failure is None or isinstance(failure, Cancelled):
+                    failure = exc        # prefer the cause over the drain
+    if failure is not None:
+        raise failure
+    return results

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+from ..exec.budget import BudgetExceeded, Cancelled
+from ..exec.checkpoint import JoinCheckpoint
 from ..storage import AccessStats
 
-__all__ = ["JoinResult", "R1", "R2"]
+__all__ = ["JoinResult", "PartialJoinResult", "R1", "R2"]
 
 #: Tree labels used throughout the join layer and the cost-model
 #: comparisons.  R2 plays the "query tree" role (outer loop of SJ),
@@ -57,6 +59,44 @@ class JoinResult:
         """
         return self.pair_count
 
+    #: ``False`` on :class:`PartialJoinResult` — check before trusting
+    #: ``pair_count`` as the join's selectivity.
+    complete = True
+
     def __repr__(self) -> str:
         return (f"JoinResult(pairs={len(self.pairs)}, "
                 f"NA={self.na_total}, DA={self.da_total})")
+
+
+class PartialJoinResult(JoinResult):
+    """A budget- or cancellation-interrupted join, ready to resume.
+
+    Produced by :class:`~repro.join.sync.SpatialJoin` when its governor
+    runs in ``partial`` mode.  Counters (``stats``, ``pair_count``,
+    ``comparisons``) are exact for the work done so far; ``checkpoint``
+    serializes the traversal frontier so ``resume`` can continue where
+    the cut happened with bit-identical NA/DA; ``reason`` is the typed
+    stop cause (``BudgetExceeded.as_dict()`` / ``Cancelled.as_dict()``);
+    the ``remaining_*`` fields estimate the outstanding cost from the
+    Eq. 7/10 predictions minus the observed counters (``None`` when the
+    model cannot price the pair).
+    """
+
+    complete = False
+
+    def __init__(self, pairs: list[tuple[int, int]], stats: AccessStats,
+                 comparisons: int, pair_count: int,
+                 checkpoint: JoinCheckpoint,
+                 reason: BudgetExceeded | Cancelled,
+                 remaining_na_estimate: float | None = None,
+                 remaining_da_estimate: float | None = None):
+        super().__init__(pairs, stats, comparisons, pair_count)
+        self.checkpoint = checkpoint
+        self.reason = reason
+        self.remaining_na_estimate = remaining_na_estimate
+        self.remaining_da_estimate = remaining_da_estimate
+
+    def __repr__(self) -> str:
+        return (f"PartialJoinResult(pairs={self.pair_count}, "
+                f"NA={self.na_total}, DA={self.da_total}, "
+                f"reason={self.reason.as_dict().get('error')!r})")

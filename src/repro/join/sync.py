@@ -18,16 +18,34 @@ One traversal measures NA and DA simultaneously: each fetch counts one
 node access, and each *buffer miss* counts one disk access, so running
 with a :class:`~repro.storage.PathBuffer` reproduces both metrics of the
 paper in a single pass (``NoBuffer`` makes DA equal NA).
+
+The traversal is implemented as an **explicit stack machine** rather
+than recursion: each stack frame holds one resident node pair plus a
+cursor into its entry-pair enumeration.  The machine consumes exactly
+the same ``ReadPage`` sequence the recursion would (frames carry live
+iterators; children are pushed depth-first), which buys two governance
+properties recursion cannot offer:
+
+* an :class:`~repro.exec.ExecutionGovernor` is consulted *between* any
+  two steps, so deadlines, NA/DA budgets, result caps and cooperative
+  cancellation stop the join at a clean node-pair boundary;
+* the frontier (the stack with its cursors), the buffer content and the
+  counters serialize into a :class:`~repro.exec.JoinCheckpoint`, and
+  :meth:`SpatialJoin.resume` continues with NA/DA **bit-identical** to
+  an uninterrupted run.
 """
 
 from __future__ import annotations
 
+from ..exec import (CheckpointMismatch, ExecutionGovernor, JoinCheckpoint,
+                    predict_join_cost, tree_fingerprint)
+from ..exec.budget import BudgetExceeded, Cancelled
 from ..reliability import ResilientReader, RetryPolicy
 from ..rtree import Node, RTreeBase
 from ..storage import AccessStats, BufferManager, MeteredReader, PathBuffer
 from .plane_sweep import nested_loop_pairs, sweep_pairs
-from .predicates import OVERLAP, JoinPredicate
-from .result import R1, R2, JoinResult
+from .predicates import OVERLAP, JoinPredicate, Overlap, WithinDistance
+from .result import R1, R2, JoinResult, PartialJoinResult
 
 __all__ = ["spatial_join", "SpatialJoin", "PAIR_ENUMERATIONS"]
 
@@ -36,13 +54,30 @@ __all__ = ["spatial_join", "SpatialJoin", "PAIR_ENUMERATIONS"]
 #: plane-sweep CPU optimisation.
 PAIR_ENUMERATIONS = ("nested-loop", "plane-sweep")
 
+_EXHAUSTED = object()
+
+
+def _predicate_spec(predicate: JoinPredicate) -> dict:
+    """JSON identity of a predicate, stored in checkpoints.
+
+    A resumed join must run the same condition the cut run did;
+    predicates outside the built-in set are matched by ``repr`` (make it
+    meaningful on custom predicates that should survive a checkpoint).
+    """
+    if isinstance(predicate, WithinDistance):
+        return {"kind": "within-distance", "distance": predicate.distance}
+    if isinstance(predicate, Overlap):
+        return {"kind": "overlap"}
+    return {"kind": "custom", "repr": repr(predicate)}
+
 
 def spatial_join(tree1: RTreeBase, tree2: RTreeBase,
                  buffer: BufferManager | None = None,
                  predicate: JoinPredicate = OVERLAP,
                  collect_pairs: bool = True,
                  pair_enumeration: str = "nested-loop",
-                 retry_policy: RetryPolicy | None = None) -> JoinResult:
+                 retry_policy: RetryPolicy | None = None,
+                 governor: ExecutionGovernor | None = None) -> JoinResult:
     """Join two R-trees; ``tree1`` is R1 (data role), ``tree2`` R2 (query).
 
     Parameters
@@ -65,9 +100,16 @@ def spatial_join(tree1: RTreeBase, tree2: RTreeBase,
         transient failures under this policy (use with a fault-injecting
         pager); NA/DA stay identical to a fault-free run, retries are
         recorded separately in the result's :class:`AccessStats`.
+    governor:
+        Optional :class:`~repro.exec.ExecutionGovernor` enforcing
+        deadlines, NA/DA/result budgets, admission control and
+        cooperative cancellation.  With ``governor.partial`` set, an
+        exhausted budget yields a
+        :class:`~repro.join.PartialJoinResult` with a resumable
+        checkpoint instead of raising.
     """
-    return SpatialJoin(tree1, tree2, buffer, predicate,
-                       pair_enumeration, retry_policy).run(collect_pairs)
+    return SpatialJoin(tree1, tree2, buffer, predicate, pair_enumeration,
+                       retry_policy, governor).run(collect_pairs)
 
 
 class SpatialJoin:
@@ -77,7 +119,8 @@ class SpatialJoin:
                  buffer: BufferManager | None = None,
                  predicate: JoinPredicate = OVERLAP,
                  pair_enumeration: str = "nested-loop",
-                 retry_policy: RetryPolicy | None = None):
+                 retry_policy: RetryPolicy | None = None,
+                 governor: ExecutionGovernor | None = None):
         if tree1.ndim != tree2.ndim:
             raise ValueError(
                 f"dimensionality mismatch: {tree1.ndim} vs {tree2.ndim}")
@@ -90,6 +133,7 @@ class SpatialJoin:
         self.predicate = predicate
         self.pair_enumeration = pair_enumeration
         self.retry_policy = retry_policy
+        self.governor = governor
 
     def _reader(self, pager, label: object, stats: AccessStats
                 ) -> MeteredReader:
@@ -98,33 +142,175 @@ class SpatialJoin:
                                    self.retry_policy)
         return MeteredReader(pager, label, stats, self.buffer)
 
-    def run(self, collect_pairs: bool = True) -> JoinResult:
-        """Execute the join, returning pairs and fresh access counters."""
-        self.buffer.reset()
-        stats = AccessStats()
+    def _state(self, stats: AccessStats, collect_pairs: bool,
+               ) -> "_TraversalState":
         reader1 = self._reader(self.tree1.pager, R1, stats)
         reader2 = self._reader(self.tree2.pager, R2, stats)
-        state = _TraversalState(
+        return _TraversalState(
             reader1, reader2, self.predicate, collect_pairs,
             pinned1=self.tree1.root_id, pinned2=self.tree2.root_id,
-            pair_enumeration=self.pair_enumeration)
+            pair_enumeration=self.pair_enumeration,
+            stats=stats, governor=self.governor)
+
+    def run(self, collect_pairs: bool = True) -> JoinResult:
+        """Execute the join, returning pairs and fresh access counters.
+
+        With a governor in ``"warn"``/``"reject"`` admission mode, the
+        Eq. 7/10 predictions are evaluated against the budget *before*
+        the first page read; ``"reject"`` raises
+        :class:`~repro.exec.AdmissionRejected` for a query that cannot
+        fit, with all access counters still at zero.
+        """
+        governor = self.governor
+        if governor is not None and governor.admission != "off":
+            governor.admit(self.tree1, self.tree2)
+        self.buffer.reset()
+        state = self._state(AccessStats(), collect_pairs)
         # Pinned-root reads go through the readers (uncharged) so the
         # retry loop also protects them under fault injection.
-        root1 = reader1.read_pinned(self.tree1.root_id, self.tree1.height)
-        root2 = reader2.read_pinned(self.tree2.root_id, self.tree2.height)
+        root1 = state.reader1.read_pinned(self.tree1.root_id,
+                                          self.tree1.height)
+        root2 = state.reader2.read_pinned(self.tree2.root_id,
+                                          self.tree2.height)
         if root1.entries and root2.entries:
-            state.join(root1, root2)
-        return JoinResult(state.pairs, stats, state.comparisons,
+            state.push(root1, root2)
+        return self._execute(state)
+
+    def resume(self, checkpoint: JoinCheckpoint) -> JoinResult:
+        """Continue an interrupted join from its checkpoint.
+
+        Restores counters, collected pairs, buffer content and the
+        traversal frontier, then drains the remaining work.  The final
+        result (pair set, NA, DA — per tree and level) is bit-identical
+        to an uninterrupted run of the same join; a resumed run may
+        itself stop again if this execution's governor runs out.
+
+        Raises :class:`~repro.exec.CheckpointMismatch` when the
+        checkpoint was taken with different trees, predicate, pair
+        enumeration or buffer kind.
+        """
+        cp = checkpoint
+        if cp.pair_enumeration != self.pair_enumeration:
+            raise CheckpointMismatch(
+                f"checkpoint used pair_enumeration="
+                f"{cp.pair_enumeration!r}, this join uses "
+                f"{self.pair_enumeration!r}")
+        spec = _predicate_spec(self.predicate)
+        if cp.predicate != spec:
+            raise CheckpointMismatch(
+                f"checkpoint predicate {cp.predicate!r} does not match "
+                f"this join's {spec!r}")
+        for name, tree, stored in (("tree1", self.tree1, cp.tree1),
+                                   ("tree2", self.tree2, cp.tree2)):
+            actual = tree_fingerprint(tree)
+            if stored != actual:
+                raise CheckpointMismatch(
+                    f"checkpoint {name} fingerprint {stored!r} does not "
+                    f"match the supplied tree {actual!r}")
+        if cp.buffer_kind != self.buffer.kind:
+            raise CheckpointMismatch(
+                f"checkpoint used a {cp.buffer_kind!r} buffer, this join "
+                f"has {self.buffer.kind!r}")
+        self.buffer.reset()
+        self.buffer.restore(cp.buffer_state)
+        state = self._state(AccessStats.from_dict(cp.stats),
+                            cp.collect_pairs)
+        state.pair_count = cp.pair_count
+        state.comparisons = cp.comparisons
+        if cp.collect_pairs and cp.pairs:
+            state.pairs = [(p[0], p[1]) for p in cp.pairs]
+        for row in cp.stack:
+            page1, level1, page2, level2, cursor = row
+            # Frontier nodes were charged before the cut (their cost is
+            # in the restored counters) — rebuild them uncharged and
+            # without disturbing the restored buffer content.
+            n1 = state.reader1.read_pinned(page1, level1)
+            n2 = state.reader2.read_pinned(page2, level2)
+            frame = state.push(n1, n2)
+            try:
+                for _ in range(cursor):
+                    next(frame.it)
+            except StopIteration:
+                raise CheckpointMismatch(
+                    f"checkpoint cursor {cursor} exceeds the entry pairs "
+                    f"of node pair ({page1}, {page2}) — stale "
+                    f"checkpoint?") from None
+            frame.cursor = cursor
+        return self._execute(state)
+
+    def _execute(self, state: "_TraversalState") -> JoinResult:
+        governor = self.governor
+        if governor is not None:
+            governor.start()
+        try:
+            state.drain()
+        except (BudgetExceeded, Cancelled) as exc:
+            if governor is not None and governor.partial:
+                return self._partial(state, exc)
+            raise
+        return JoinResult(state.pairs, state.stats, state.comparisons,
                           pair_count=state.pair_count)
+
+    def _partial(self, state: "_TraversalState",
+                 exc: BudgetExceeded | Cancelled) -> PartialJoinResult:
+        """Package an interrupted traversal as a resumable partial result."""
+        checkpoint = JoinCheckpoint(
+            pair_enumeration=self.pair_enumeration,
+            predicate=_predicate_spec(self.predicate),
+            collect_pairs=state.collect_pairs,
+            tree1=tree_fingerprint(self.tree1),
+            tree2=tree_fingerprint(self.tree2),
+            buffer_kind=self.buffer.kind,
+            buffer_state=self.buffer.snapshot(),
+            stack=[[f.n1.page_id, f.n1.level, f.n2.page_id, f.n2.level,
+                    f.cursor] for f in state.stack],
+            stats=state.stats.as_dict(),
+            pair_count=state.pair_count,
+            comparisons=state.comparisons,
+            pairs=([list(p) for p in state.pairs]
+                   if state.collect_pairs else None),
+            reason=exc.as_dict())
+        predicted = predict_join_cost(self.tree1, self.tree2)
+        remaining_na = remaining_da = None
+        if predicted is not None:
+            remaining_na = max(0.0, predicted[0] - state.stats.na())
+            remaining_da = max(0.0, predicted[1] - state.stats.da())
+        return PartialJoinResult(state.pairs, state.stats,
+                                 state.comparisons, state.pair_count,
+                                 checkpoint, exc,
+                                 remaining_na, remaining_da)
+
+
+class _Frame:
+    """One stack frame: a resident node pair and its enumeration cursor.
+
+    ``it`` is the live entry-pair iterator; ``cursor`` counts the items
+    already consumed (fully processed — the cut always falls *between*
+    items, so a checkpointed cursor restores by skipping that many
+    yields of a freshly built, deterministic iterator).  ``step`` is the
+    bound handler for this frame's leaf/internal regime.
+    """
+
+    __slots__ = ("n1", "n2", "it", "step", "cursor", "mbr")
+
+    def __init__(self, n1: Node, n2: Node, it, step, mbr=None):
+        self.n1 = n1
+        self.n2 = n2
+        self.it = it
+        self.step = step
+        self.cursor = 0
+        self.mbr = mbr
 
 
 class _TraversalState:
-    """Mutable state of one traversal (readers, output, counters)."""
+    """Mutable state of one traversal (readers, stack, output, counters)."""
 
     def __init__(self, reader1: MeteredReader, reader2: MeteredReader,
                  predicate: JoinPredicate, collect_pairs: bool,
                  pinned1: int, pinned2: int,
-                 pair_enumeration: str = "nested-loop"):
+                 pair_enumeration: str = "nested-loop",
+                 stats: AccessStats | None = None,
+                 governor: ExecutionGovernor | None = None):
         if pair_enumeration == "plane-sweep":
             self._pairs_of = sweep_pairs
         else:
@@ -137,6 +323,9 @@ class _TraversalState:
         # be charged even when a root doubles as a leaf (height-1 trees).
         self.pinned1 = pinned1
         self.pinned2 = pinned2
+        self.stats = stats if stats is not None else reader1.stats
+        self.governor = governor
+        self.stack: list[_Frame] = []
         self.pairs: list[tuple[int, int]] = []
         self.pair_count = 0
         self.comparisons = 0
@@ -151,54 +340,89 @@ class _TraversalState:
             return self.reader2.read_pinned(page_id, level)
         return self.reader2.fetch(page_id, level)
 
-    def join(self, n1: Node, n2: Node) -> None:
-        """SJ over a pair of resident nodes (the recursion of Fig. 2)."""
+    # -- the stack machine --------------------------------------------------
+
+    def push(self, n1: Node, n2: Node) -> _Frame:
+        """Open the SJ of a pair of resident nodes (one Fig. 2 call)."""
         if n1.is_leaf and n2.is_leaf:
-            self._join_leaves(n1, n2)
+            frame = _Frame(n1, n2, self._pairs_of(n1.entries, n2.entries),
+                           self._step_leaves)
         elif not n1.is_leaf and not n2.is_leaf:
-            self._join_internal(n1, n2)
+            frame = _Frame(n1, n2, self._pairs_of(n1.entries, n2.entries),
+                           self._step_internal)
         elif n1.is_leaf:
-            self._join_mixed_r1_leaf(n1, n2)
+            # R1 bottomed out, R2 still internal (h_R1 < h_R2 regime).
+            frame = _Frame(n1, n2, iter(n2.entries),
+                           self._step_r1_leaf, mbr=n1.mbr())
         else:
-            self._join_mixed_r2_leaf(n1, n2)
+            # R2 bottomed out, R1 still internal (h_R1 > h_R2 regime).
+            frame = _Frame(n1, n2, iter(n1.entries),
+                           self._step_r2_leaf, mbr=n2.mbr())
+        self.stack.append(frame)
+        return frame
 
-    def _join_leaves(self, n1: Node, n2: Node) -> None:
-        leaf_test = self.predicate.leaf_test
-        for e1, e2, cost in self._pairs_of(n1.entries, n2.entries):
-            self.comparisons += cost
-            if leaf_test(e1.rect, e2.rect):
-                self.pair_count += 1
-                if self.collect_pairs:
-                    self.pairs.append((e1.ref, e2.ref))
+    def drain(self) -> None:
+        """Run the machine until the stack empties (or the governor stops).
 
-    def _join_internal(self, n1: Node, n2: Node) -> None:
-        node_test = self.predicate.node_test
-        for e1, e2, cost in self._pairs_of(n1.entries, n2.entries):
-            self.comparisons += cost
-            if node_test(e1.rect, e2.rect):
-                # Line 14 of Fig. 2: ReadPage both children, recurse.
-                c1 = self._fetch1(e1.ref, n1.level - 1)
-                c2 = self._fetch2(e2.ref, n2.level - 1)
-                self.join(c1, c2)
+        Every iteration consumes one entry pair of the top frame (or
+        pops an exhausted frame), preceded by one governor check — so a
+        budget/cancellation stop always lands between fully processed
+        items and the stack is checkpointable as-is.  The fetch order is
+        exactly the recursion's: a qualifying internal pair pushes its
+        child frame, which is drained before the parent continues.
+        """
+        stack = self.stack
+        governor = self.governor
+        while stack:
+            if governor is not None:
+                governor.check(self.stats, self.pair_count)
+            frame = stack[-1]
+            item = next(frame.it, _EXHAUSTED)
+            if item is _EXHAUSTED:
+                stack.pop()
+                continue
+            frame.step(frame, item)
+            frame.cursor += 1
 
-    def _join_mixed_r1_leaf(self, n1: Node, n2: Node) -> None:
-        """R1 bottomed out, R2 still internal (h_R1 < h_R2 regime)."""
-        node_test = self.predicate.node_test
-        n1_mbr = n1.mbr()
-        for e2 in n2.entries:
-            self.comparisons += 1
-            if node_test(n1_mbr, e2.rect):
-                c2 = self._fetch2(e2.ref, n2.level - 1)
-                c1 = self._fetch1(n1.page_id, n1.level)
-                self.join(c1, c2)
+    def join(self, n1: Node, n2: Node) -> None:
+        """SJ over a pair of resident nodes, drained to completion.
 
-    def _join_mixed_r2_leaf(self, n1: Node, n2: Node) -> None:
-        """R2 bottomed out, R1 still internal (h_R1 > h_R2 regime)."""
-        node_test = self.predicate.node_test
-        n2_mbr = n2.mbr()
-        for e1 in n1.entries:
-            self.comparisons += 1
-            if node_test(e1.rect, n2_mbr):
-                c1 = self._fetch1(e1.ref, n1.level - 1)
-                c2 = self._fetch2(n2.page_id, n2.level)
-                self.join(c1, c2)
+        Equivalent to the recursion of Fig. 2 over this pair (used by
+        the parallel join, whose workers each own a state with an empty
+        stack).
+        """
+        self.push(n1, n2)
+        self.drain()
+
+    # -- per-regime handlers ------------------------------------------------
+
+    def _step_leaves(self, frame: _Frame, item) -> None:
+        e1, e2, cost = item
+        self.comparisons += cost
+        if self.predicate.leaf_test(e1.rect, e2.rect):
+            self.pair_count += 1
+            if self.collect_pairs:
+                self.pairs.append((e1.ref, e2.ref))
+
+    def _step_internal(self, frame: _Frame, item) -> None:
+        e1, e2, cost = item
+        self.comparisons += cost
+        if self.predicate.node_test(e1.rect, e2.rect):
+            # Line 14 of Fig. 2: ReadPage both children, recurse.
+            c1 = self._fetch1(e1.ref, frame.n1.level - 1)
+            c2 = self._fetch2(e2.ref, frame.n2.level - 1)
+            self.push(c1, c2)
+
+    def _step_r1_leaf(self, frame: _Frame, e2) -> None:
+        self.comparisons += 1
+        if self.predicate.node_test(frame.mbr, e2.rect):
+            c2 = self._fetch2(e2.ref, frame.n2.level - 1)
+            c1 = self._fetch1(frame.n1.page_id, frame.n1.level)
+            self.push(c1, c2)
+
+    def _step_r2_leaf(self, frame: _Frame, e1) -> None:
+        self.comparisons += 1
+        if self.predicate.node_test(e1.rect, frame.mbr):
+            c1 = self._fetch1(e1.ref, frame.n1.level - 1)
+            c2 = self._fetch2(frame.n2.page_id, frame.n2.level)
+            self.push(c1, c2)

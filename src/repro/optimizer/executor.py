@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..exec import ExecutionGovernor
 from ..geometry import Rect
 from ..rtree import RTreeBase
 from ..storage import AccessStats, MeteredReader, PathBuffer
@@ -75,21 +76,39 @@ class ExecutionResult:
 
 
 def execute_plan(plan: Plan, indexes: dict[str, RTreeBase],
+                 governor: ExecutionGovernor | None = None,
                  ) -> ExecutionResult:
-    """Run a plan against real trees keyed by relation name."""
+    """Run a plan against real trees keyed by relation name.
+
+    A ``governor`` rides through every plan operator: the SJ node checks
+    it per node-pair visit (against its own traversal counters, merged
+    into the plan totals when it finishes), the INL node per streamed
+    probe against the accumulated plan counters and result count.
+    Partial mode is refused — a multi-operator plan has no single
+    resumable frontier; use :meth:`repro.join.SpatialJoin.run` directly
+    for checkpointable joins.
+    """
+    if governor is not None and governor.partial:
+        raise ValueError(
+            "execute_plan cannot produce partial results; run the join "
+            "operator directly for checkpoint/resume")
     stats = AccessStats()
-    tuples = _execute(plan, indexes, stats)
+    if governor is not None:
+        governor.start()
+    tuples = _execute(plan, indexes, stats, governor)
     return ExecutionResult(tuples, stats)
 
 
 def _execute(plan: Plan, indexes: dict[str, RTreeBase],
-             stats: AccessStats) -> list[ResultTuple]:
+             stats: AccessStats,
+             governor: ExecutionGovernor | None = None,
+             ) -> list[ResultTuple]:
     if isinstance(plan, IndexScanPlan):
         return _execute_scan(plan, indexes)
     if isinstance(plan, SpatialJoinPlan):
-        return _execute_sj(plan, indexes, stats)
+        return _execute_sj(plan, indexes, stats, governor)
     if isinstance(plan, IndexNestedLoopPlan):
-        return _execute_inl(plan, indexes, stats)
+        return _execute_inl(plan, indexes, stats, governor)
     raise TypeError(f"cannot execute plan node {type(plan).__name__}")
 
 
@@ -113,12 +132,15 @@ def _execute_scan(plan: IndexScanPlan,
 
 
 def _execute_sj(plan: SpatialJoinPlan, indexes: dict[str, RTreeBase],
-                stats: AccessStats) -> list[ResultTuple]:
+                stats: AccessStats,
+                governor: ExecutionGovernor | None = None,
+                ) -> list[ResultTuple]:
     from ..join import SpatialJoin   # local import: avoids a cycle
 
     tree1 = _tree_for(plan.data, indexes)
     tree2 = _tree_for(plan.query, indexes)
-    join = SpatialJoin(tree1, tree2, buffer=PathBuffer())
+    join = SpatialJoin(tree1, tree2, buffer=PathBuffer(),
+                       governor=governor)
     result = join.run(collect_pairs=True)
     stats.merge(result.stats)
 
@@ -135,8 +157,10 @@ def _execute_sj(plan: SpatialJoinPlan, indexes: dict[str, RTreeBase],
 
 def _execute_inl(plan: IndexNestedLoopPlan,
                  indexes: dict[str, RTreeBase],
-                 stats: AccessStats) -> list[ResultTuple]:
-    stream = _execute(plan.stream, indexes, stats)
+                 stats: AccessStats,
+                 governor: ExecutionGovernor | None = None,
+                 ) -> list[ResultTuple]:
+    stream = _execute(plan.stream, indexes, stats, governor)
     tree = _tree_for(plan.indexed, indexes)
     name = plan.indexed.entry.name
     reader = MeteredReader(tree.pager, name, stats, PathBuffer())
@@ -144,6 +168,8 @@ def _execute_inl(plan: IndexNestedLoopPlan,
     rects = {e.ref: e.rect for e in tree.leaf_entries()}
     out = []
     for tup in stream:
+        if governor is not None:
+            governor.check(stats, len(out))
         for oid in tree.range_query(tup.rect, reader=reader):
             rect = tup.rect.union(rects[oid])
             out.append(ResultTuple(

@@ -24,7 +24,17 @@ __all__ = ["BufferManager", "NoBuffer", "PathBuffer", "LRUBuffer"]
 
 
 class BufferManager:
-    """Interface for page-buffer policies."""
+    """Interface for page-buffer policies.
+
+    ``snapshot``/``restore`` serialize the buffer's content so an
+    interrupted traversal can be checkpointed and resumed with the exact
+    same hit/miss behaviour (see :mod:`repro.exec.checkpoint`); the
+    state is JSON-safe as long as the tree labels are.
+    """
+
+    #: Stable identifier stored in checkpoints; a resume must supply a
+    #: buffer of the same kind.
+    kind = "abstract"
 
     def access(self, tree: object, level: int, node_id: int) -> bool:
         """Register a page read; return ``True`` on a buffer hit."""
@@ -34,14 +44,30 @@ class BufferManager:
         """Forget all cached pages."""
         raise NotImplementedError
 
+    def snapshot(self) -> object:
+        """JSON-safe serialization of the buffer content."""
+        raise NotImplementedError
+
+    def restore(self, state: object) -> None:
+        """Reinstall a :meth:`snapshot` (replacing current content)."""
+        raise NotImplementedError
+
 
 class NoBuffer(BufferManager):
     """Every read misses: models the bufferless NA metric."""
+
+    kind = "none"
 
     def access(self, tree: object, level: int, node_id: int) -> bool:
         return False
 
     def reset(self) -> None:
+        pass
+
+    def snapshot(self) -> object:
+        return None
+
+    def restore(self, state: object) -> None:
         pass
 
     def __repr__(self) -> str:
@@ -59,6 +85,8 @@ class PathBuffer(BufferManager):
     "simple path buffer" of the paper.
     """
 
+    kind = "path"
+
     def __init__(self) -> None:
         self._paths: dict[object, dict[int, int]] = {}
 
@@ -75,6 +103,19 @@ class PathBuffer(BufferManager):
     def reset(self) -> None:
         self._paths.clear()
 
+    def snapshot(self) -> object:
+        """The retained paths as sorted ``[tree, level, node_id]`` rows."""
+        return sorted(
+            ([tree, level, node_id]
+             for tree, path in self._paths.items()
+             for level, node_id in path.items()),
+            key=lambda row: (str(row[0]), row[1]))
+
+    def restore(self, state: object) -> None:
+        self._paths.clear()
+        for tree, level, node_id in state or []:
+            self._paths.setdefault(tree, {})[int(level)] = node_id
+
     def cached(self, tree: object) -> dict[int, int]:
         """Current path of a tree (level -> node id), for inspection."""
         return dict(self._paths.get(tree, {}))
@@ -89,6 +130,8 @@ class LRUBuffer(BufferManager):
     Capacity is in *pages* (nodes).  A capacity of zero degenerates to
     :class:`NoBuffer`.
     """
+
+    kind = "lru"
 
     def __init__(self, capacity: int):
         if capacity < 0:
@@ -110,6 +153,15 @@ class LRUBuffer(BufferManager):
 
     def reset(self) -> None:
         self._pool.clear()
+
+    def snapshot(self) -> object:
+        """Pool content as ``[tree, node_id]`` rows, LRU-first order."""
+        return [[tree, node_id] for tree, node_id in self._pool]
+
+    def restore(self, state: object) -> None:
+        self._pool.clear()
+        for tree, node_id in state or []:
+            self._pool[(tree, node_id)] = None
 
     def __len__(self) -> int:
         return len(self._pool)

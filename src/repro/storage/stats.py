@@ -124,6 +124,22 @@ class AccessStats:
             "accounted_backoff": self.accounted_backoff,
         }
 
+    @classmethod
+    def from_dict(cls, doc: dict) -> "AccessStats":
+        """Rebuild counters from :meth:`as_dict` output.
+
+        Used by checkpoint restore; tree labels round-trip as strings
+        (the join layer's ``"R1"``/``"R2"``), so counters resumed from a
+        checkpoint merge bit-identically with the pre-cut counters.
+        """
+        stats = cls()
+        for attr in ("node_accesses", "disk_accesses", "retries"):
+            for key, n in (doc.get(attr) or {}).items():
+                label, _, level = key.rpartition("@")
+                getattr(stats, attr)[(label, int(level))] += int(n)
+        stats.accounted_backoff = float(doc.get("accounted_backoff", 0.0))
+        return stats
+
     def __repr__(self) -> str:
         extra = (f", retries={self.retry_count()}"
                  if self.retries else "")

@@ -255,3 +255,186 @@ class TestReliabilityCli:
                               str(two_trees[0]), str(two_trees[1]))
         assert code == 4
         assert "retries" in err
+
+    def test_lenient_join_reports_what_was_dropped(self, two_trees,
+                                                   capsys):
+        # End-to-end through the CLI: a corrupt subtree, loaded with
+        # --lenient, must (a) exit 0, (b) print the CorruptionReport
+        # summary — corrupt/orphaned/lost counts — on stderr, and (c)
+        # still produce a usable join result on stdout.
+        self.corrupt_leaf(two_trees[0])
+        code, out, err = run(capsys, "join", "--lenient",
+                             str(two_trees[0]), str(two_trees[1]))
+        assert code == 0
+        assert "degraded load" in err
+        assert "corrupt page(s)" in err
+        assert "object(s) lost" in err
+        assert str(two_trees[1]) not in err     # only R1 degraded
+        assert "result pairs:" in out
+        assert "node accesses NA:" in out
+
+    def test_lenient_query_degrades_with_warning(self, saved_tree,
+                                                 capsys):
+        self.corrupt_leaf(saved_tree)
+        code, out, err = run(capsys, "query", "--lenient",
+                             str(saved_tree),
+                             "--window", "0", "0", "1", "1")
+        assert code == 0
+        assert "degraded load" in err
+        assert "range query" in out
+
+    def test_lenient_join_finds_fewer_pairs_than_clean(self, tmp_path,
+                                                       capsys):
+        # The degraded answer is a strict under-approximation: dropping
+        # a leaf can only lose pairs, never invent them.
+        paths = []
+        for seed in (16, 17):
+            data = tmp_path / f"d{seed}.txt"
+            tree = tmp_path / f"t{seed}.json"
+            run(capsys, "generate", "uniform", "-n", "250", "-d", "0.5",
+                "--seed", str(seed), "-o", str(data))
+            run(capsys, "build", str(data), "-M", "8", "-o", str(tree))
+            paths.append(tree)
+
+        def pairs_of(out):
+            for line in out.splitlines():
+                if line.startswith("result pairs:"):
+                    return int(line.split(":")[1])
+            raise AssertionError(f"no pair count in {out!r}")
+
+        _, clean_out, _ = run(capsys, "join", str(paths[0]),
+                              str(paths[1]))
+        self.corrupt_leaf(paths[0])
+        code, degraded_out, _err = run(capsys, "join", "--lenient",
+                                       str(paths[0]), str(paths[1]))
+        assert code == 0
+        assert pairs_of(degraded_out) < pairs_of(clean_out)
+
+
+class TestGovernorCli:
+    """Exit code 5: budgets, admission control, partial + resume."""
+
+    @pytest.fixture
+    def two_trees(self, tmp_path, capsys):
+        paths = []
+        for seed in (21, 22):
+            data = tmp_path / f"d{seed}.txt"
+            tree = tmp_path / f"t{seed}.json"
+            run(capsys, "generate", "uniform", "-n", "300", "-d", "0.5",
+                "--seed", str(seed), "-o", str(data))
+            run(capsys, "build", str(data), "-M", "8", "-o", str(tree))
+            paths.append(tree)
+        return paths
+
+    @staticmethod
+    def reason_of(out):
+        import json
+        for line in out.splitlines():
+            if line.startswith("{"):
+                return json.loads(line)
+        raise AssertionError(f"no JSON reason in {out!r}")
+
+    def test_budget_exhaustion_is_exit_5_with_json(self, two_trees,
+                                                   capsys):
+        code, out, err = run(capsys, "join", "--max-na", "5",
+                             "--admission", "off",
+                             str(two_trees[0]), str(two_trees[1]))
+        assert code == 5
+        assert "error:" in err
+        reason = self.reason_of(out)
+        assert reason["error"] == "budget-exceeded"
+        assert reason["resource"] == "na"
+        assert reason["limit"] == 5
+
+    def test_deadline_is_exit_5(self, two_trees, capsys):
+        code, out, _err = run(capsys, "join", "--deadline", "1e-9",
+                              str(two_trees[0]), str(two_trees[1]))
+        assert code == 5
+        assert self.reason_of(out)["resource"] == "deadline"
+
+    def test_admission_reject_before_any_read(self, two_trees, capsys):
+        code, out, _err = run(capsys, "join", "--max-na", "5",
+                              "--admission", "reject",
+                              str(two_trees[0]), str(two_trees[1]))
+        assert code == 5
+        assert "result pairs:" not in out    # never started executing
+        assert "node accesses" not in out
+        reason = self.reason_of(out)
+        assert reason["error"] == "admission-rejected"
+        assert reason["predicted"] is True
+
+    def test_admission_warn_proceeds(self, two_trees, capsys):
+        # Same impossible budget, warn mode: the warning names the
+        # predicted overrun but execution starts (and is then stopped
+        # by the runtime check, not by admission).
+        code, out, err = run(capsys, "join", "--max-na", "5",
+                             "--admission", "warn",
+                             str(two_trees[0]), str(two_trees[1]))
+        assert code == 5
+        assert "admission" in err and "proceeding" in err
+        assert self.reason_of(out)["error"] == "budget-exceeded"
+
+    def test_partial_then_resume_matches_uninterrupted(self, two_trees,
+                                                       tmp_path, capsys):
+        def totals(out):
+            na = da = None
+            for line in out.splitlines():
+                if line.startswith("node accesses NA:"):
+                    na = line
+                if line.startswith("disk accesses DA:"):
+                    da = line
+            return na, da
+
+        code, full_out, _err = run(capsys, "join", str(two_trees[0]),
+                                   str(two_trees[1]))
+        assert code == 0
+
+        ckpt = tmp_path / "join.ckpt"
+        code, out, _err = run(capsys, "join", "--max-na", "10",
+                              "--partial", "--checkpoint", str(ckpt),
+                              "--admission", "off",
+                              str(two_trees[0]), str(two_trees[1]))
+        assert code == 5
+        assert ckpt.exists()
+        assert "partial pairs so far:" in out
+        assert "result pairs:" not in out
+        assert f"--resume {ckpt}" in out
+        assert self.reason_of(out)["resource"] == "na"
+
+        code, resumed_out, _err = run(capsys, "join",
+                                      "--resume", str(ckpt),
+                                      str(two_trees[0]),
+                                      str(two_trees[1]))
+        assert code == 0
+        assert "result pairs:" in resumed_out
+        assert totals(resumed_out) == totals(full_out)
+
+    def test_partial_without_checkpoint_warns(self, two_trees, capsys):
+        code, _out, err = run(capsys, "join", "--max-na", "10",
+                              "--partial", "--admission", "off",
+                              str(two_trees[0]), str(two_trees[1]))
+        assert code == 5
+        assert "not resumable" in err
+
+    def test_resume_against_wrong_tree_is_exit_2(self, two_trees,
+                                                 tmp_path, capsys):
+        ckpt = tmp_path / "join.ckpt"
+        run(capsys, "join", "--max-na", "10", "--partial",
+            "--checkpoint", str(ckpt), "--admission", "off",
+            str(two_trees[0]), str(two_trees[1]))
+        other_data = tmp_path / "d99.txt"
+        other_tree = tmp_path / "t99.json"
+        run(capsys, "generate", "uniform", "-n", "100", "-d", "0.5",
+            "--seed", "99", "-o", str(other_data))
+        run(capsys, "build", str(other_data), "-M", "8",
+            "-o", str(other_tree))
+        code, _out, err = run(capsys, "join", "--resume", str(ckpt),
+                              str(other_tree), str(two_trees[1]))
+        assert code == 2
+        assert "fingerprint" in err
+
+    def test_experiment_budget_is_exit_5(self, capsys):
+        code, out, _err = run(capsys, "experiment", "fig5a",
+                              "--scale", "smoke", "--max-na", "1")
+        assert code == 5
+        assert self.reason_of(out)["error"] == "budget-exceeded"

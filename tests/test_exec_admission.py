@@ -1,0 +1,133 @@
+"""Admission control: refusing a join before a single page is read."""
+
+import pytest
+
+from repro.exec import (AdmissionRejected, Budget, BudgetExceeded,
+                        ExecutionGovernor, evaluate_admission,
+                        predict_join_cost)
+from repro.join import SpatialJoin
+from repro.storage import PathBuffer
+
+from .conftest import build_rstar, make_items
+
+
+@pytest.fixture(scope="module")
+def trees():
+    t1 = build_rstar(make_items(400, seed=41))
+    t2 = build_rstar(make_items(400, seed=42))
+    return t1, t2
+
+
+class SpyBuffer(PathBuffer):
+    """A buffer that counts how often the join touches it."""
+
+    def __init__(self):
+        super().__init__()
+        self.touches = 0
+
+    def access(self, tree, level, node_id):
+        self.touches += 1
+        return super().access(tree, level, node_id)
+
+
+class TestEvaluateAdmission:
+    def test_fits(self):
+        decision = evaluate_admission(Budget(max_na=1000), 100.0, 50.0)
+        assert decision.allowed
+        assert decision.resource is None
+        assert decision.predicted_na == 100.0
+
+    def test_na_violation(self):
+        decision = evaluate_admission(Budget(max_na=10), 100.0, 5.0)
+        assert not decision.allowed
+        assert decision.resource == "na"
+        assert decision.limit == 10
+
+    def test_da_violation(self):
+        decision = evaluate_admission(Budget(max_da=10), 5.0, 100.0)
+        assert not decision.allowed
+        assert decision.resource == "da"
+
+    def test_na_checked_before_da(self):
+        decision = evaluate_admission(Budget(max_na=1, max_da=1),
+                                      100.0, 100.0)
+        assert decision.resource == "na"
+
+    def test_exact_prediction_is_admitted(self):
+        # Admission is strictly `predicted > limit`: a query predicted
+        # to use exactly its budget may run.
+        assert evaluate_admission(Budget(max_na=100), 100.0, None).allowed
+
+    def test_unknown_prediction_is_admitted(self):
+        assert evaluate_admission(Budget(max_na=1), None, None).allowed
+
+    def test_as_dict_is_json_shaped(self):
+        import json
+        doc = evaluate_admission(Budget(max_na=10), 100.0, 5.0).as_dict()
+        assert json.loads(json.dumps(doc)) == doc
+
+
+class TestPredictJoinCost:
+    def test_predictions_positive_and_ordered(self, trees):
+        t1, t2 = trees
+        predicted = predict_join_cost(t1, t2)
+        assert predicted is not None
+        na, da = predicted
+        assert na > 0 and da > 0
+
+    def test_prediction_tracks_measurement(self, trees):
+        # The model should land within a factor of 2 of the measured NA
+        # on this well-behaved uniform workload — enough for admission
+        # decisions to be meaningful.
+        t1, t2 = trees
+        na_pred, _ = predict_join_cost(t1, t2)
+        measured = SpatialJoin(t1, t2, PathBuffer()).run(
+            collect_pairs=False)
+        assert 0.5 < na_pred / measured.na_total < 2.0
+
+
+class TestAdmissionBeforeExecution:
+    def test_reject_without_touching_a_page(self, trees):
+        t1, t2 = trees
+        buffer = SpyBuffer()
+        gov = ExecutionGovernor(Budget(max_na=1), admission="reject")
+        sj = SpatialJoin(t1, t2, buffer, governor=gov)
+        with pytest.raises(AdmissionRejected) as err:
+            sj.run()
+        # The acceptance bar: rejection happens with ZERO metered
+        # accesses — no buffer touch, no stats entry anywhere.
+        assert buffer.touches == 0
+        doc = err.value.as_dict()
+        assert doc["error"] == "admission-rejected"
+        assert doc["predicted"] is True
+        assert doc["resource"] == "na"
+
+    def test_admission_rejected_is_budget_exceeded(self):
+        assert issubclass(AdmissionRejected, BudgetExceeded)
+
+    def test_warn_mode_runs_and_records_decision(self, trees):
+        t1, t2 = trees
+        gov = ExecutionGovernor(Budget(max_na=10**9), admission="warn")
+        result = SpatialJoin(t1, t2, PathBuffer(), governor=gov).run(
+            collect_pairs=False)
+        assert result.complete
+        assert gov.last_admission is not None
+        assert gov.last_admission.allowed
+
+    def test_warn_mode_never_raises_at_admission(self, trees):
+        # An impossible budget in "warn" mode records the refusal but
+        # lets the run start; the runtime check stops it instead.
+        t1, t2 = trees
+        gov = ExecutionGovernor(Budget(max_na=1), admission="warn")
+        with pytest.raises(BudgetExceeded) as err:
+            SpatialJoin(t1, t2, PathBuffer(), governor=gov).run()
+        assert not isinstance(err.value, AdmissionRejected)
+        assert gov.last_admission is not None
+        assert not gov.last_admission.allowed
+
+    def test_off_mode_skips_prediction(self, trees):
+        t1, t2 = trees
+        gov = ExecutionGovernor(Budget(max_na=10**9), admission="off")
+        decision = gov.admit(t1, t2)
+        assert decision.allowed
+        assert decision.predicted_na is None

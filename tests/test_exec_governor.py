@@ -1,0 +1,223 @@
+"""Budgets, cancellation tokens, and the execution governor."""
+
+import pytest
+
+from repro.exec import (UNLIMITED, Budget, BudgetExceeded, Cancelled,
+                        CancellationToken, ExecutionGovernor)
+from repro.join import (PartialJoinResult, SpatialJoin,
+                        index_nested_loop_join, spatial_join)
+from repro.reliability import ReproError
+from repro.storage import AccessStats, PathBuffer
+
+from .conftest import build_rstar, make_items
+
+
+class TestBudget:
+    def test_unlimited_default(self):
+        assert UNLIMITED.unlimited
+        assert Budget().unlimited
+        assert not Budget(max_na=10).unlimited
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Budget(deadline=0.0)
+        with pytest.raises(ValueError):
+            Budget(deadline=float("inf"))
+        with pytest.raises(ValueError):
+            Budget(max_na=0)
+        with pytest.raises(ValueError):
+            Budget(max_da=-3)
+        with pytest.raises(ValueError):
+            Budget(max_results=True)     # bools are not counts
+
+    def test_as_dict_round_trips_json(self):
+        import json
+        doc = Budget(deadline=1.5, max_na=10).as_dict()
+        assert json.loads(json.dumps(doc)) == doc
+
+
+class TestCancellationToken:
+    def test_cancel_and_observe(self):
+        token = CancellationToken()
+        assert not token.cancelled
+        token.cancel()
+        assert token.cancelled
+        with pytest.raises(Cancelled):
+            token.raise_if_cancelled()
+
+    def test_parent_link_propagates(self):
+        parent = CancellationToken()
+        child = CancellationToken(parent)
+        assert not child.cancelled
+        parent.cancel()
+        assert child.cancelled
+        assert not CancellationToken().cancelled
+
+    def test_child_cancel_does_not_reach_parent(self):
+        parent = CancellationToken()
+        child = CancellationToken(parent)
+        child.cancel()
+        assert child.cancelled
+        assert not parent.cancelled
+
+
+class TestGovernorCheck:
+    def test_errors_are_repro_errors(self):
+        assert issubclass(BudgetExceeded, ReproError)
+        assert issubclass(Cancelled, ReproError)
+
+    def test_unlimited_never_raises(self):
+        gov = ExecutionGovernor()
+        stats = AccessStats()
+        for _ in range(100):
+            gov.check(stats, results=10**9)
+        assert gov.checks == 100
+
+    def test_na_budget(self):
+        gov = ExecutionGovernor(Budget(max_na=5))
+        stats = AccessStats()
+        for _ in range(4):
+            stats.record("R1", 1, buffer_hit=True)
+        gov.check(stats)                 # 4 < 5: fine
+        stats.record("R1", 1, buffer_hit=True)
+        with pytest.raises(BudgetExceeded) as err:
+            gov.check(stats)
+        assert err.value.resource == "na"
+        assert err.value.observed == 5
+        assert err.value.as_dict()["error"] == "budget-exceeded"
+
+    def test_da_budget_ignores_buffer_hits(self):
+        gov = ExecutionGovernor(Budget(max_da=2))
+        stats = AccessStats()
+        for _ in range(10):
+            stats.record("R1", 1, buffer_hit=True)   # NA only
+        gov.check(stats)
+        stats.record("R1", 1, buffer_hit=False)
+        stats.record("R2", 2, buffer_hit=False)
+        with pytest.raises(BudgetExceeded) as err:
+            gov.check(stats)
+        assert err.value.resource == "da"
+
+    def test_result_budget(self):
+        gov = ExecutionGovernor(Budget(max_results=3))
+        with pytest.raises(BudgetExceeded) as err:
+            gov.check(AccessStats(), results=3)
+        assert err.value.resource == "results"
+
+    def test_deadline_with_fake_clock(self):
+        now = [0.0]
+        gov = ExecutionGovernor(Budget(deadline=10.0),
+                                clock=lambda: now[0])
+        stats = AccessStats()
+        gov.check(stats)                 # starts the clock at t=0
+        now[0] = 9.9
+        gov.check(stats)
+        now[0] = 10.0
+        with pytest.raises(BudgetExceeded) as err:
+            gov.check(stats)
+        assert err.value.resource == "deadline"
+        assert err.value.observed == pytest.approx(10.0)
+
+    def test_cancellation_beats_budget(self):
+        gov = ExecutionGovernor(Budget(max_na=1))
+        stats = AccessStats()
+        stats.record("R1", 1, buffer_hit=True)
+        gov.token.cancel()
+        with pytest.raises(Cancelled):
+            gov.check(stats)
+
+    def test_reset_restarts_deadline(self):
+        now = [0.0]
+        gov = ExecutionGovernor(Budget(deadline=5.0),
+                                clock=lambda: now[0])
+        gov.start()
+        now[0] = 100.0
+        gov.reset()
+        gov.start()
+        gov.check(AccessStats())         # elapsed is 0 again
+
+    def test_spawn_shares_budget_links_token(self):
+        parent = ExecutionGovernor(Budget(max_na=7), partial=True)
+        extra = CancellationToken()
+        worker = parent.spawn(extra)
+        assert worker.budget is parent.budget
+        assert not worker.partial        # workers always raise
+        extra.cancel()
+        with pytest.raises(Cancelled):
+            worker.check(AccessStats())
+        # The other direction: cancelling the parent token reaches a
+        # freshly spawned worker too.
+        worker2 = parent.spawn(CancellationToken())
+        parent.token.cancel()
+        with pytest.raises(Cancelled):
+            worker2.check(AccessStats())
+
+    def test_invalid_admission_mode(self):
+        with pytest.raises(ValueError):
+            ExecutionGovernor(admission="maybe")
+
+
+class TestGovernedJoins:
+    @pytest.fixture(scope="class")
+    def trees(self):
+        t1 = build_rstar(make_items(300, seed=11))
+        t2 = build_rstar(make_items(300, seed=12))
+        return t1, t2
+
+    def test_spatial_join_raises_on_budget(self, trees):
+        t1, t2 = trees
+        baseline = spatial_join(t1, t2, collect_pairs=False)
+        assert baseline.na_total > 10
+        gov = ExecutionGovernor(Budget(max_na=10))
+        with pytest.raises(BudgetExceeded):
+            spatial_join(t1, t2, collect_pairs=False, governor=gov)
+
+    def test_spatial_join_partial_mode_returns_checkpoint(self, trees):
+        t1, t2 = trees
+        gov = ExecutionGovernor(Budget(max_na=10), partial=True)
+        result = SpatialJoin(t1, t2, PathBuffer(), governor=gov).run()
+        assert isinstance(result, PartialJoinResult)
+        assert not result.complete
+        assert result.na_total == 10     # stopped exactly at the budget
+        assert result.reason.resource == "na"
+        assert result.checkpoint.stack   # frontier captured
+
+    def test_spatial_join_cancellation(self, trees):
+        t1, t2 = trees
+        gov = ExecutionGovernor()
+        gov.token.cancel()
+        with pytest.raises(Cancelled):
+            spatial_join(t1, t2, governor=gov)
+
+    def test_result_cap_counts_pairs(self, trees):
+        t1, t2 = trees
+        baseline = spatial_join(t1, t2, collect_pairs=False)
+        cap = baseline.pair_count // 2
+        assert cap > 0
+        gov = ExecutionGovernor(Budget(max_results=cap), partial=True)
+        result = SpatialJoin(t1, t2, PathBuffer(), governor=gov).run()
+        assert isinstance(result, PartialJoinResult)
+        assert result.pair_count >= cap
+        assert result.reason.resource == "results"
+
+    def test_nested_loop_join_observes_governor(self, trees):
+        t1, _t2 = trees
+        outer = make_items(100, seed=13)
+        gov = ExecutionGovernor(Budget(max_na=5))
+        with pytest.raises(BudgetExceeded):
+            index_nested_loop_join(t1, outer, governor=gov)
+
+    def test_nested_loop_join_refuses_partial(self, trees):
+        t1, _t2 = trees
+        gov = ExecutionGovernor(Budget(max_na=5), partial=True)
+        with pytest.raises(ValueError):
+            index_nested_loop_join(t1, make_items(10, seed=14),
+                                   governor=gov)
+
+    def test_partial_remaining_estimates(self, trees):
+        t1, t2 = trees
+        gov = ExecutionGovernor(Budget(max_na=10), partial=True)
+        result = SpatialJoin(t1, t2, PathBuffer(), governor=gov).run()
+        assert result.remaining_na_estimate is not None
+        assert result.remaining_na_estimate >= 0.0
+        assert result.remaining_da_estimate >= 0.0

@@ -31,8 +31,40 @@ class TestRelativeError:
         assert relative_error(90, 100) == pytest.approx(-0.1)
 
     def test_zero_measured(self):
+        # A non-zero model against a zero measurement has no defined
+        # relative error: None, never float("inf"), which would leak
+        # the non-JSON literal `Infinity` into serialized reports.
         assert relative_error(0, 0) == 0.0
-        assert relative_error(5, 0) == float("inf")
+        assert relative_error(5, 0) is None
+
+    def test_observations_json_stays_strict_json(self):
+        import json
+
+        from repro.experiments import (JoinObservation,
+                                       observation_records,
+                                       observations_json)
+
+        # A grid point with zero measured DA and a non-zero DA model:
+        # exactly the shape that used to serialize as `Infinity`.
+        ob = JoinObservation(
+            label="edge", n1=10, n2=10, height1=1, height2=1,
+            model_height1=1, model_height2=1,
+            na_measured=4, na_model=5.0,
+            da_measured=0, da_model=2.0,
+            da1_measured=0, da1_model=1.0,
+            da2_measured=0, da2_model=1.0, pairs=3)
+        text = observations_json([ob])
+        assert "Infinity" not in text
+        [record] = json.loads(text)
+        assert record["da_error"] is None
+        assert record["na_error"] == pytest.approx(0.25)
+        assert observation_records([ob])[0]["da1_error"] is None
+
+    def test_none_errors_render_and_aggregate(self):
+        from repro.experiments import format_error
+
+        assert format_error(None) == "n/a"
+        assert format_error(0.25) == "+25.0%"
 
 
 class TestTreeCache:

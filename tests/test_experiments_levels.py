@@ -64,9 +64,9 @@ class TestLevelComparison:
                 assert r.na_error == pytest.approx(
                     (r.na_model - r.na_measured) / r.na_measured)
 
-    def test_zero_measured_nonzero_model_is_inf(self):
+    def test_zero_measured_nonzero_model_is_undefined(self):
         from repro.experiments.levels import LevelComparison
         row = LevelComparison(R1, 3, 0, 1.5, 0, 1.5)
-        assert row.na_error == float("inf")
+        assert row.na_error is None     # JSON-safe, never float("inf")
         row2 = LevelComparison(R1, 3, 0, 0.0, 0, 0.0)
         assert row2.na_error == 0.0

@@ -1,8 +1,13 @@
 """The simulated parallel spatial join (§5 / BKS96)."""
 
+import traceback
+
 import pytest
 
+from repro.exec import (Budget, BudgetExceeded, Cancelled,
+                        CancellationToken, ExecutionGovernor)
 from repro.join import naive_join, parallel_spatial_join, spatial_join
+from repro.reliability import CorruptPageError, FaultInjector, FaultyPager
 
 from .conftest import build_rstar, make_items
 
@@ -104,3 +109,90 @@ class TestAccounting:
         result = parallel_spatial_join(t1, t2, 3, collect_pairs=False)
         for stats in result.worker_stats:
             assert stats.da() <= stats.na()
+
+
+class TestThreadsMode:
+    @pytest.mark.parametrize("workers", [1, 3, 8])
+    def test_same_output_as_serial_mode(self, joined, workers):
+        a, b, t1, t2 = joined
+        serial = parallel_spatial_join(t1, t2, workers)
+        threaded = parallel_spatial_join(t1, t2, workers,
+                                         mode="threads")
+        assert sorted(threaded.pairs) == sorted(serial.pairs)
+        assert sorted(threaded.pairs) == sorted(naive_join(a, b))
+        # Deterministic accounting: workers share nothing, so per-
+        # worker stats are identical to the serial drive, in order.
+        assert [s.as_dict() for s in threaded.worker_stats] == \
+            [s.as_dict() for s in serial.worker_stats]
+
+    def test_invalid_mode(self, joined):
+        _a, _b, t1, t2 = joined
+        with pytest.raises(ValueError):
+            parallel_spatial_join(t1, t2, 2, mode="processes")
+
+    def test_partial_governor_refused(self, joined):
+        _a, _b, t1, t2 = joined
+        gov = ExecutionGovernor(Budget(max_na=10), partial=True)
+        with pytest.raises(ValueError):
+            parallel_spatial_join(t1, t2, 2, governor=gov)
+
+    @pytest.mark.parametrize("mode", ["serial", "threads"])
+    def test_per_worker_budget_raises(self, joined, mode):
+        _a, _b, t1, t2 = joined
+        gov = ExecutionGovernor(Budget(max_na=3))
+        with pytest.raises(BudgetExceeded) as err:
+            parallel_spatial_join(t1, t2, 4, governor=gov, mode=mode)
+        assert err.value.resource == "na"
+
+    @pytest.mark.parametrize("mode", ["serial", "threads"])
+    def test_pre_cancelled_token(self, joined, mode):
+        _a, _b, t1, t2 = joined
+        gov = ExecutionGovernor()
+        gov.token.cancel()
+        with pytest.raises(Cancelled):
+            parallel_spatial_join(t1, t2, 4, governor=gov, mode=mode)
+
+    def test_generous_budget_completes(self, joined):
+        a, b, t1, t2 = joined
+        gov = ExecutionGovernor(Budget(max_na=10**9))
+        result = parallel_spatial_join(t1, t2, 4, governor=gov,
+                                       mode="threads")
+        assert sorted(result.pairs) == sorted(naive_join(a, b))
+
+    def test_poisoned_worker_propagates_original_traceback(self, joined):
+        # One worker hits a corrupt page; the failure must surface at
+        # the pool boundary as the original typed error, with the
+        # worker body (_run_bucket) in its traceback — not as a bare
+        # "exception in thread" or a secondary Cancelled.
+        _a, _b, t1, t2 = joined
+        injector = FaultInjector(seed=5, corrupt_rate=0.02)
+        t1.pager = FaultyPager(t1.pager, injector)
+        t2.pager = FaultyPager(t2.pager, injector)
+        try:
+            with pytest.raises(CorruptPageError) as err:
+                parallel_spatial_join(t1, t2, 4, mode="threads")
+            frames = traceback.format_tb(err.value.__traceback__)
+            assert any("_run_bucket" in frame for frame in frames)
+            assert not isinstance(err.value, Cancelled)
+        finally:
+            t1.pager = t1.pager.inner
+            t2.pager = t2.pager.inner
+
+    def test_poisoned_worker_cancels_siblings(self, joined):
+        # The shared abort token is raised by the failing worker; a
+        # sibling observing it drains as Cancelled rather than running
+        # its bucket to completion.
+        _a, _b, t1, t2 = joined
+        abort = CancellationToken()
+        gov = ExecutionGovernor(token=abort)
+        injector = FaultInjector(seed=5, corrupt_rate=0.02)
+        t1.pager = FaultyPager(t1.pager, injector)
+        t2.pager = FaultyPager(t2.pager, injector)
+        try:
+            with pytest.raises(CorruptPageError):
+                parallel_spatial_join(t1, t2, 4, governor=gov,
+                                      mode="threads")
+            assert abort.cancelled is False   # caller token untouched
+        finally:
+            t1.pager = t1.pager.inner
+            t2.pager = t2.pager.inner

@@ -142,3 +142,62 @@ class TestPipelineExecution:
         measured_best = execute_plan(best, trees).da_total
         measured_bad = execute_plan(bad, trees).da_total
         assert measured_best <= measured_bad * 1.25
+
+
+class TestGovernedExecution:
+    def test_budget_raises_through_plan(self, world):
+        from repro.exec import Budget, BudgetExceeded, ExecutionGovernor
+        _datasets, trees, catalog = world
+        plan = make_spatial_join(IndexScanPlan(catalog.get("a")),
+                                 IndexScanPlan(catalog.get("b")))
+        gov = ExecutionGovernor(Budget(max_na=5))
+        with pytest.raises(BudgetExceeded):
+            execute_plan(plan, trees, governor=gov)
+
+    def test_budget_governs_inl_pipeline_stage(self, world):
+        # The budget must also bite in the streamed INL stage, not just
+        # inside the leaf spatial join.
+        from repro.exec import Budget, BudgetExceeded, ExecutionGovernor
+        _datasets, trees, catalog = world
+        sj = make_spatial_join(IndexScanPlan(catalog.get("a")),
+                               IndexScanPlan(catalog.get("b")))
+        pipeline = make_index_nested_loop(
+            sj, IndexScanPlan(catalog.get("c")))
+        base = execute_plan(pipeline, trees)
+        sj_only = execute_plan(sj, trees)
+        budget = sj_only.na_total + \
+            (base.na_total - sj_only.na_total) // 2
+        gov = ExecutionGovernor(Budget(max_na=budget))
+        with pytest.raises(BudgetExceeded) as err:
+            execute_plan(pipeline, trees, governor=gov)
+        assert err.value.observed >= sj_only.na_total
+
+    def test_cancellation_stops_plan(self, world):
+        from repro.exec import Cancelled, ExecutionGovernor
+        _datasets, trees, catalog = world
+        plan = make_spatial_join(IndexScanPlan(catalog.get("a")),
+                                 IndexScanPlan(catalog.get("b")))
+        gov = ExecutionGovernor()
+        gov.token.cancel()
+        with pytest.raises(Cancelled):
+            execute_plan(plan, trees, governor=gov)
+
+    def test_partial_governor_refused(self, world):
+        from repro.exec import Budget, ExecutionGovernor
+        _datasets, trees, catalog = world
+        plan = make_spatial_join(IndexScanPlan(catalog.get("a")),
+                                 IndexScanPlan(catalog.get("b")))
+        gov = ExecutionGovernor(Budget(max_na=5), partial=True)
+        with pytest.raises(ValueError):
+            execute_plan(plan, trees, governor=gov)
+
+    def test_generous_budget_unchanged_result(self, world):
+        from repro.exec import Budget, ExecutionGovernor
+        _datasets, trees, catalog = world
+        plan = make_spatial_join(IndexScanPlan(catalog.get("a")),
+                                 IndexScanPlan(catalog.get("b")))
+        base = execute_plan(plan, trees)
+        gov = ExecutionGovernor(Budget(max_na=10**9))
+        governed = execute_plan(plan, trees, governor=gov)
+        assert governed.key_set() == base.key_set()
+        assert governed.da_total == base.da_total
