@@ -1,0 +1,117 @@
+"""Benchmark: vectorized batch estimation vs the scalar loop.
+
+Evaluates a 10,000-point ``(N1, D1, N2, D2, window)`` grid — the shape
+of a Figure-5/6/7 sweep, where the same trees recur across grid points —
+once through :func:`repro.estimate_batch` and once as a plain Python
+loop over the scalar reference formulas, and writes the timings to
+``BENCH_estimator.json`` in the repository root.
+
+With NumPy present the batch path must be at least 10x faster (it is
+typically 15-40x); the numbers are asserted bit-identical either way.
+Under ``REPRO_PURE_PYTHON=1`` (or without NumPy) the speedup assertion
+is skipped — the fallback exists for correctness, not speed — but the
+JSON is still emitted with the measured ratio.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.costmodel import AnalyticalTreeParams
+from repro.costmodel.join_da import join_da_breakdown
+from repro.costmodel.join_na import join_na_breakdown
+from repro.costmodel.range_query import range_query_na
+from repro.costmodel.selectivity import join_selectivity_pairs
+from repro.estimator import EstimateRequest, estimate_batch, have_numpy
+
+GRID_POINTS = 10_000
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_estimator.json"
+
+
+def _grid() -> list[EstimateRequest]:
+    """A realistic 10k-point sweep: cardinalities x densities on both
+    sides, plus a range-query window on a quarter of the rows."""
+    cards = [10_000 + 7_000 * k for k in range(10)]
+    densities = [0.1, 0.3, 0.5, 0.8, 1.2]
+    reqs = []
+    i = 0
+    while len(reqs) < GRID_POINTS:
+        for n1 in cards:
+            for d1 in densities:
+                for n2 in cards:
+                    for d2 in densities[:4]:
+                        window = (0.05, 0.05) if i % 4 == 0 else None
+                        reqs.append(EstimateRequest(
+                            n1=n1, d1=d1, n2=n2, d2=d2,
+                            max_entries=50, ndim=2, window=window))
+                        i += 1
+                        if len(reqs) >= GRID_POINTS:
+                            return reqs
+    return reqs
+
+
+def _scalar_loop(reqs: list[EstimateRequest]) -> list[dict]:
+    """The pre-batch idiom: one scalar evaluation per grid point."""
+    out = []
+    for r in reqs:
+        p1 = AnalyticalTreeParams(r.n1, r.d1, r.m_left, r.ndim,
+                                  r.fill_left)
+        p2 = AnalyticalTreeParams(r.n2, r.d2, r.m_right, r.ndim,
+                                  r.fill_right_)
+        row = {
+            "na": sum(c.total for c in join_na_breakdown(p1, p2)),
+            "da": sum(c.total for c in join_da_breakdown(p1, p2)),
+            "selectivity": join_selectivity_pairs(
+                p1, p2, distance=r.distance),
+        }
+        w = r.window_tuple()
+        if w is not None:
+            row["range_na"] = range_query_na(p1, w)
+        out.append(row)
+    return out
+
+
+def test_estimator_batch_speedup(emit):
+    reqs = _grid()
+    assert len(reqs) == GRID_POINTS
+
+    t0 = time.perf_counter()
+    batch = estimate_batch(reqs)
+    batch_seconds = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    scalar = _scalar_loop(reqs)
+    scalar_seconds = time.perf_counter() - t0
+
+    for i, row in enumerate(scalar):
+        assert batch.na[i] == row["na"]
+        assert batch.da[i] == row["da"]
+        assert batch.selectivity[i] == row["selectivity"]
+        if "range_na" in row:
+            assert batch.range_na[i] == row["range_na"]
+
+    speedup = scalar_seconds / batch_seconds if batch_seconds else 0.0
+    payload = {
+        "benchmark": "estimator_batch",
+        "grid_points": GRID_POINTS,
+        "backend": batch.backend,
+        "batch_seconds": batch_seconds,
+        "scalar_seconds": scalar_seconds,
+        "speedup": speedup,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n",
+                      encoding="utf-8")
+    emit(f"estimator batch: {GRID_POINTS} points, "
+         f"backend={batch.backend}, batch={batch_seconds:.3f}s, "
+         f"scalar={scalar_seconds:.3f}s, speedup={speedup:.1f}x "
+         f"-> {OUTPUT.name}")
+
+    if not have_numpy():
+        pytest.skip("NumPy unavailable; fallback is for correctness, "
+                    "not speed")
+    assert speedup >= 10.0, (
+        f"batch path only {speedup:.1f}x faster than the scalar loop")

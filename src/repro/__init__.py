@@ -10,7 +10,7 @@ correction, and a cost-based optimizer built on top.
 Typical use::
 
     from repro import (uniform_rectangles, RStarTree, spatial_join,
-                       AnalyticalTreeParams, join_na_total, join_da_total)
+                       Estimator)
 
     data1 = uniform_rectangles(2000, density=0.5, ndim=2, seed=1)
     data2 = uniform_rectangles(4000, density=0.5, ndim=2, seed=2)
@@ -19,10 +19,19 @@ Typical use::
     for r, o in data2: t2.insert(r, o)
 
     measured = spatial_join(t1, t2)          # runs SJ, counts NA and DA
-    p1 = AnalyticalTreeParams.from_dataset(data1, 24)
-    p2 = AnalyticalTreeParams.from_dataset(data2, 24)
-    predicted_na = join_na_total(p1, p2)     # no trees needed
-    predicted_da = join_da_total(p1, p2)
+    est = Estimator.from_datasets(data1, data2, 24)
+    predicted_na = est.na()                  # no trees needed
+    predicted_da = est.da()
+
+For whole parameter grids, :func:`estimate_batch` evaluates the same
+formulas vectorized (NumPy when available, bit-identical scalar
+fallback otherwise)::
+
+    from repro import EstimateRequest, estimate_batch
+
+    grid = [EstimateRequest(n1=n, d1=0.5, n2=20000, d2=0.5)
+            for n in range(10000, 100001, 10000)]
+    result = estimate_batch(grid)            # .na / .da / .selectivity
 """
 
 from .costmodel import (AnalyticalTreeParams, MeasuredTreeParams,
@@ -35,6 +44,8 @@ from .datasets import (LocalDensityGrid, SpatialDataset,
                        clustered_rectangles, diagonal_rectangles,
                        tiger_like_segments, uniform_rectangles,
                        zipf_rectangles)
+from .estimator import (BatchResult, EstimateRequest, Estimator,
+                        ParamCache, estimate_batch, range_na_batch)
 from .exec import (AdmissionRejected, Budget, BudgetExceeded, Cancelled,
                    CancellationToken, CheckpointMismatch,
                    ExecutionGovernor, JoinCheckpoint)
@@ -60,14 +71,17 @@ __all__ = [
     "AccessStats",
     "AdmissionRejected",
     "AnalyticalTreeParams",
+    "BatchResult",
     "Budget",
     "BudgetExceeded",
-    "Cancelled",
     "CancellationToken",
+    "Cancelled",
     "Catalog",
     "CheckpointMismatch",
     "CorruptPageError",
     "CorruptionReport",
+    "EstimateRequest",
+    "Estimator",
     "ExecutionGovernor",
     "FaultInjector",
     "FaultyPager",
@@ -84,6 +98,7 @@ __all__ = [
     "OVERLAP",
     "Overlap",
     "ParallelJoinResult",
+    "ParamCache",
     "PartialJoinResult",
     "PathBuffer",
     "RStarTree",
@@ -101,6 +116,7 @@ __all__ = [
     "best_plan",
     "clustered_rectangles",
     "diagonal_rectangles",
+    "estimate_batch",
     "hilbert_pack",
     "index_nested_loop_join",
     "intsect",
@@ -115,12 +131,13 @@ __all__ = [
     "nearest_neighbors",
     "node_capacity",
     "parallel_spatial_join",
+    "range_na_batch",
     "range_query_na",
     "range_query_selectivity",
     "role_advice",
+    "rtree_height",
     "save_dataset",
     "save_tree",
-    "rtree_height",
     "spatial_join",
     "str_pack",
     "tiger_like_segments",

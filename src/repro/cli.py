@@ -40,11 +40,10 @@ import json
 import sys
 from typing import Sequence
 
-from .costmodel import (AnalyticalTreeParams, join_da_total,
-                        join_na_total, join_selectivity_pairs)
 from .datasets import (LocalDensityGrid, clustered_rectangles,
                        diagonal_rectangles, tiger_like_segments,
                        uniform_rectangles, zipf_rectangles)
+from .estimator import Estimator, estimate_batch
 from .exec import (ADMISSION_MODES, AdmissionRejected, Budget,
                    BudgetExceeded, Cancelled, ExecutionGovernor,
                    JoinCheckpoint, evaluate_admission, predict_join_cost)
@@ -55,8 +54,8 @@ from .reliability import (CorruptPageError, FaultInjector, FaultyPager,
                           ReproError, RetryPolicy, TransientPageError)
 from .storage import LRUBuffer, NoBuffer, PathBuffer
 
-__all__ = ["main", "EXIT_USAGE", "EXIT_CORRUPT", "EXIT_TRANSIENT",
-           "EXIT_BUDGET"]
+__all__ = ["EXIT_BUDGET", "EXIT_CORRUPT", "EXIT_TRANSIENT", "EXIT_USAGE",
+           "main"]
 
 GENERATORS = ("uniform", "clustered", "zipf", "diagonal", "tiger")
 
@@ -185,13 +184,21 @@ def _build_parser() -> argparse.ArgumentParser:
 
     est = sub.add_parser("estimate",
                          help="analytical costs from (N, D) statistics")
-    est.add_argument("--n1", type=int, required=True)
-    est.add_argument("--d1", type=float, required=True)
-    est.add_argument("--n2", type=int, required=True)
-    est.add_argument("--d2", type=float, required=True)
+    est.add_argument("--n1", type=int, default=None)
+    est.add_argument("--d1", type=float, default=None)
+    est.add_argument("--n2", type=int, default=None)
+    est.add_argument("--d2", type=float, default=None)
     est.add_argument("--ndim", type=int, default=2)
     est.add_argument("-M", "--max-entries", type=int, default=50)
     est.add_argument("--fill", type=float, default=0.67)
+    est.add_argument("--batch", metavar="GRID.json", default=None,
+                     help="evaluate a whole parameter grid: a JSON list "
+                          "of request records (n1, d1, n2, d2, and "
+                          "optionally max_entries/ndim/fill/distance/"
+                          "window/label) priced in one vectorized call")
+    est.add_argument("-o", "--output", metavar="OUT.json", default=None,
+                     help="with --batch: write the result records here "
+                          "instead of stdout")
     est.set_defaults(handler=_cmd_estimate)
 
     fig = sub.add_parser("figures",
@@ -349,13 +356,13 @@ def _cmd_join(args: argparse.Namespace) -> int:
         return EXIT_BUDGET
 
     # Analytical comparison from the trees' own primitive properties.
-    p1 = AnalyticalTreeParams(stats[0][0], stats[0][1],
-                              t1.max_entries, t1.ndim)
-    p2 = AnalyticalTreeParams(stats[1][0], stats[1][1],
-                              t2.max_entries, t2.ndim)
-    print(f"analytical: NA = {join_na_total(p1, p2):.0f}, "
-          f"DA = {join_da_total(p1, p2):.0f}, "
-          f"pairs = {join_selectivity_pairs(p1, p2):.0f}")
+    from .estimator import cached_params
+    est = Estimator(
+        cached_params(stats[0][0], stats[0][1], t1.max_entries, t1.ndim),
+        cached_params(stats[1][0], stats[1][1], t2.max_entries, t2.ndim))
+    print(f"analytical: NA = {est.na():.0f}, "
+          f"DA = {est.da():.0f}, "
+          f"pairs = {est.selectivity():.0f}")
     return 0
 
 
@@ -398,23 +405,49 @@ def _cmd_query(args: argparse.Namespace) -> int:
 
 
 def _cmd_estimate(args: argparse.Namespace) -> int:
-    p1 = AnalyticalTreeParams(args.n1, args.d1, args.max_entries,
-                              args.ndim, args.fill)
-    p2 = AnalyticalTreeParams(args.n2, args.d2, args.max_entries,
-                              args.ndim, args.fill)
-    print(f"R1: N={args.n1}, D={args.d1} -> height {p1.height}")
-    print(f"R2: N={args.n2}, D={args.d2} -> height {p2.height}")
-    print(f"NA_total (Eq. 7/11, role-independent): "
-          f"{join_na_total(p1, p2):.1f}")
-    da_12 = join_da_total(p1, p2)
-    da_21 = join_da_total(p2, p1)
-    print(f"DA_total (Eq. 10/12): {da_12:.1f} with R2 as query tree, "
-          f"{da_21:.1f} with roles swapped")
-    better = "keep" if da_12 <= da_21 else "swap"
+    if args.batch is not None:
+        return _cmd_estimate_batch(args)
+    missing = [name for name in ("n1", "d1", "n2", "d2")
+               if getattr(args, name) is None]
+    if missing:
+        raise ValueError(
+            f"estimate needs --{' --'.join(missing)} "
+            f"(or --batch GRID.json)")
+    est = Estimator.from_stats(args.n1, args.d1, args.n2, args.d2,
+                               args.max_entries, args.ndim, args.fill)
+    result = est.estimate()
+    print(f"R1: N={args.n1}, D={args.d1} -> height {result.height_left}")
+    print(f"R2: N={args.n2}, D={args.d2} -> height {result.height_right}")
+    print(f"NA_total (Eq. 7/11, role-independent): {result.na:.1f}")
+    print(f"DA_total (Eq. 10/12): {result.da:.1f} with R2 as query "
+          f"tree, {result.da_swapped:.1f} with roles swapped")
+    better = "keep" if result.da <= result.da_swapped else "swap"
     print(f"role advice: {better} "
-          f"(saves {abs(da_12 - da_21):.1f} disk accesses)")
-    print(f"expected result pairs (§5): "
-          f"{join_selectivity_pairs(p1, p2):.1f}")
+          f"(saves {abs(result.da - result.da_swapped):.1f} "
+          f"disk accesses)")
+    print(f"expected result pairs (§5): {result.selectivity:.1f}")
+    return 0
+
+
+def _cmd_estimate_batch(args: argparse.Namespace) -> int:
+    """``repro estimate --batch grid.json``: one vectorized sweep."""
+    with open(args.batch, "r", encoding="utf-8") as fh:
+        records = json.load(fh)
+    if not isinstance(records, list):
+        raise ValueError(
+            "--batch expects a JSON list of request records")
+    result = estimate_batch(records)
+    payload = {"backend": result.backend,
+               "mixed_height_mode": result.mixed_height_mode,
+               "results": result.as_records()}
+    text = json.dumps(payload, indent=2)
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {len(result)} estimates to {args.output} "
+              f"({result.backend} backend)")
+    else:
+        print(text)
     return 0
 
 

@@ -1,0 +1,47 @@
+"""Keyword-compatibility shims for the params1/params2 → left/right
+rename.
+
+The join-formula entry points historically named their arguments
+``params1``/``params2`` (and the grid selectivity ``dataset1``/
+``dataset2``).  The unified :class:`~repro.estimator.Estimator` facade
+settled on ``left``/``right`` — the roles the DA model actually cares
+about — and the free functions follow.  Positional call sites are
+unaffected; keyword call sites using the old names keep working through
+:func:`renamed_kwargs`, which rewrites them and emits a
+:class:`DeprecationWarning` pointing at the caller.
+"""
+
+from __future__ import annotations
+
+import functools
+import warnings
+
+__all__ = ["renamed_kwargs"]
+
+
+def renamed_kwargs(**old_to_new: str):
+    """Decorator: accept deprecated keyword names, warn, and forward.
+
+    ``@renamed_kwargs(params1="left", params2="right")`` lets
+    ``fn(params1=a, params2=b)`` keep working while the signature says
+    ``fn(left, right)``.  Passing both the old and the new spelling of
+    one argument is an error (mirroring Python's duplicate-argument
+    TypeError).
+    """
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            for old, new in old_to_new.items():
+                if old in kwargs:
+                    if new in kwargs:
+                        raise TypeError(
+                            f"{fn.__name__}() got values for both "
+                            f"{old!r} (deprecated) and {new!r}")
+                    warnings.warn(
+                        f"{fn.__name__}(): keyword {old!r} is "
+                        f"deprecated, use {new!r}",
+                        DeprecationWarning, stacklevel=2)
+                    kwargs[new] = kwargs.pop(old)
+            return fn(*args, **kwargs)
+        return wrapper
+    return decorate

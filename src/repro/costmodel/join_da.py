@@ -26,6 +26,12 @@ costs nothing more, while a leaf-pinned R1 keeps being re-read (the
 Unlike NA, DA is **not** symmetric in R1/R2 — the basis of the paper's
 role-assignment advice for optimizers (Figure 7).
 
+:func:`join_da_breakdown` is the scalar reference implementation; the
+totals delegate to the :class:`~repro.estimator.Estimator` facade
+(``Estimator(left, right).da()``), and
+:func:`~repro.estimator.estimate_batch` evaluates the same formulas
+vectorized over whole parameter grids.
+
 Mixed heights, ``h1 < h2``: two readings of Eq. 12
 --------------------------------------------------
 
@@ -50,8 +56,9 @@ cross-height combos — the two readings coincide exactly.
 
 from __future__ import annotations
 
+from ._compat import renamed_kwargs
 from .join_na import StageCost, stage_pairs
-from .params import TreeParams, check_model_params
+from .params import TreeParams
 from .range_query import intsect
 from .stages import Stage, traversal_stages
 
@@ -61,26 +68,27 @@ __all__ = ["join_da_total", "join_da_breakdown", "join_da_by_tree",
 MIXED_HEIGHT_MODES = ("traversal", "paper")
 
 
-def _da_r2(params1: TreeParams, params2: TreeParams,
+def _da_r2(left: TreeParams, right: TreeParams,
            stage: Stage, mode: str) -> float:
     """Eq. 8 at one stage (0 when R2 no longer descends)."""
     if not stage.descends2:
         # R2 is pinned at its leaf level; the path buffer retains it.
         return 0.0
-    n2 = params2.nodes_at(stage.level2)
-    s2 = params2.extents_at(stage.level2)
+    n2 = right.nodes_at(stage.level2)
+    s2 = right.extents_at(stage.level2)
     if mode == "paper" and not stage.descends1:
         # Literal Eq. 8 index while R1 is leaf-pinned: N_{R1, j+1} with
         # j = R2's level, clamped at R1's root.
-        r1_level = min(stage.level2 + 1, params1.height)
+        r1_level = min(stage.level2 + 1, left.height)
     else:
         r1_level = stage.parent1
-    n1_parent = params1.nodes_at(r1_level)
-    s1_parent = params1.extents_at(r1_level)
+    n1_parent = left.nodes_at(r1_level)
+    s1_parent = left.extents_at(r1_level)
     return n2 * intsect(n1_parent, s1_parent, s2)
 
 
-def join_da_breakdown(params1: TreeParams, params2: TreeParams,
+@renamed_kwargs(params1="left", params2="right")
+def join_da_breakdown(left: TreeParams, right: TreeParams,
                       mixed_height_mode: str = "traversal",
                       ) -> list[StageCost]:
     """Per-stage DA attribution under the path buffer.
@@ -93,11 +101,11 @@ def join_da_breakdown(params1: TreeParams, params2: TreeParams,
         raise ValueError(
             f"mixed_height_mode must be one of {MIXED_HEIGHT_MODES}")
     out = []
-    for stage in traversal_stages(params1, params2):
-        pairs = stage_pairs(params1, params2, stage)
-        cost2 = (_da_r2(params1, params2, stage, mixed_height_mode)
-                 if stage.level2 < params2.height else 0.0)
-        if stage.level1 >= params1.height:
+    for stage in traversal_stages(left, right):
+        pairs = stage_pairs(left, right, stage)
+        cost2 = (_da_r2(left, right, stage, mixed_height_mode)
+                 if stage.level2 < right.height else 0.0)
+        if stage.level1 >= left.height:
             cost1 = 0.0
         elif (mixed_height_mode == "paper" and not stage.descends1
                 and stage.descends2):
@@ -111,21 +119,21 @@ def join_da_breakdown(params1: TreeParams, params2: TreeParams,
     return out
 
 
-def join_da_total(params1: TreeParams, params2: TreeParams,
+@renamed_kwargs(params1="left", params2="right")
+def join_da_total(left: TreeParams, right: TreeParams,
                   mixed_height_mode: str = "traversal") -> float:
     """Eqs. 10/12: expected total disk accesses of the spatial join."""
-    if params1.ndim != params2.ndim:
-        raise ValueError("dimensionality mismatch between the data sets")
-    check_model_params(params1, params2)
-    return sum(c.total for c in
-               join_da_breakdown(params1, params2, mixed_height_mode))
+    from ..estimator import Estimator
+    return Estimator(left, right,
+                     mixed_height_mode=mixed_height_mode).da()
 
 
-def join_da_by_tree(params1: TreeParams, params2: TreeParams,
+@renamed_kwargs(params1="left", params2="right")
+def join_da_by_tree(left: TreeParams, right: TreeParams,
                     mixed_height_mode: str = "traversal",
                     ) -> tuple[float, float]:
     """``(DA_R1, DA_R2)`` — the per-tree split the paper's §4.1 error
     claims are stated against (R2 within ~5%, R1 within 10-15%)."""
-    breakdown = join_da_breakdown(params1, params2, mixed_height_mode)
-    return (sum(c.cost1 for c in breakdown),
-            sum(c.cost2 for c in breakdown))
+    from ..estimator import Estimator
+    return Estimator(left, right,
+                     mixed_height_mode=mixed_height_mode).da_by_tree()

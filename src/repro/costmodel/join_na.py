@@ -12,13 +12,20 @@ as query windows).  Summing ``2 * pairs`` over all stages gives
 ``NA_total`` — Eq. 7 for equal heights, Eq. 11 with the clamped level
 pairing for different heights.  The formula is symmetric in R1/R2, as the
 paper notes.
+
+:func:`join_na_breakdown` is the scalar reference implementation; the
+total is also available through the :class:`~repro.estimator.Estimator`
+facade (``Estimator(left, right).na()``), to which
+:func:`join_na_total` delegates, and in vectorized batch form through
+:func:`~repro.estimator.estimate_batch`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .params import TreeParams, check_model_params
+from ._compat import renamed_kwargs
+from .params import TreeParams
 from .range_query import intsect
 from .stages import Stage, traversal_stages
 
@@ -38,18 +45,20 @@ class StageCost:
         return self.cost1 + self.cost2
 
 
-def stage_pairs(params1: TreeParams, params2: TreeParams,
+@renamed_kwargs(params1="left", params2="right")
+def stage_pairs(left: TreeParams, right: TreeParams,
                 stage: Stage) -> float:
     """Eq. 6 at one stage: expected intersecting node pairs."""
-    n1 = params1.nodes_at(stage.level1)
-    s1 = params1.extents_at(stage.level1)
-    n2 = params2.nodes_at(stage.level2)
-    s2 = params2.extents_at(stage.level2)
+    n1 = left.nodes_at(stage.level1)
+    s1 = left.extents_at(stage.level1)
+    n2 = right.nodes_at(stage.level2)
+    s2 = right.extents_at(stage.level2)
     return n2 * intsect(n1, s1, s2)
 
 
-def join_na_breakdown(params1: TreeParams,
-                      params2: TreeParams) -> list[StageCost]:
+@renamed_kwargs(params1="left", params2="right")
+def join_na_breakdown(left: TreeParams,
+                      right: TreeParams) -> list[StageCost]:
     """Per-stage NA attribution (each side is charged the pair count).
 
     A side whose stage level *is* its root (only possible for trees of
@@ -57,21 +66,20 @@ def join_na_breakdown(params1: TreeParams,
     charged nothing, exactly like the measured traversal.
     """
     out = []
-    for stage in traversal_stages(params1, params2):
-        pairs = stage_pairs(params1, params2, stage)
-        cost1 = pairs if stage.level1 < params1.height else 0.0
-        cost2 = pairs if stage.level2 < params2.height else 0.0
+    for stage in traversal_stages(left, right):
+        pairs = stage_pairs(left, right, stage)
+        cost1 = pairs if stage.level1 < left.height else 0.0
+        cost2 = pairs if stage.level2 < right.height else 0.0
         out.append(StageCost(stage, cost1, cost2))
     return out
 
 
-def join_na_total(params1: TreeParams, params2: TreeParams) -> float:
+@renamed_kwargs(params1="left", params2="right")
+def join_na_total(left: TreeParams, right: TreeParams) -> float:
     """Eqs. 7/11: expected total node accesses of the spatial join.
 
     Trees of height 1 contribute nothing (their single root-leaf is
     memory-resident), consistent with the measured traversal.
     """
-    if params1.ndim != params2.ndim:
-        raise ValueError("dimensionality mismatch between the data sets")
-    check_model_params(params1, params2)
-    return sum(c.total for c in join_na_breakdown(params1, params2))
+    from ..estimator import Estimator
+    return Estimator(left, right).na()

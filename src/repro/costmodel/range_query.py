@@ -17,7 +17,7 @@ import math
 from typing import Sequence
 
 from ..reliability import ModelDomainError
-from .params import TreeParams, check_model_params
+from .params import TreeParams
 
 __all__ = ["intsect", "range_query_na", "range_query_selectivity"]
 
@@ -55,16 +55,12 @@ def range_query_na(params: TreeParams,
     ``h``) is memory-resident and not charged; a height-1 tree (root is
     the only, leaf, node) therefore costs 0, matching the paper's
     accounting.
+
+    Delegates to ``Estimator(params).range_na(window)``; see
+    :func:`~repro.estimator.range_na_batch` for the vectorized form.
     """
-    if len(window) != params.ndim:
-        raise ValueError(
-            f"window has {len(window)} dims, tree has {params.ndim}")
-    check_model_params(params)
-    total = 0.0
-    for level in range(1, params.height):
-        total += intsect(params.nodes_at(level),
-                         params.extents_at(level), window)
-    return total
+    from ..estimator import Estimator
+    return Estimator(params).range_na(window)
 
 
 def range_query_selectivity(n_objects: int,

@@ -16,11 +16,16 @@ the distance-join variant via the window transformation of
 local-density grid version: apply the formula per cell of a
 :class:`~repro.datasets.LocalDensityGrid` overlay (rescaled to the cell)
 and sum, exactly like the §4.2 cost correction.
+
+The pairwise forms delegate to the :class:`~repro.estimator.Estimator`
+facade (``Estimator(left, right).selectivity(distance)``); the batch
+API (:func:`~repro.estimator.estimate_batch`) evaluates them vectorized.
 """
 
 from __future__ import annotations
 
 from ..datasets import LocalDensityGrid, SpatialDataset
+from ._compat import renamed_kwargs
 from .params import AnalyticalTreeParams
 from .range_query import intsect
 
@@ -28,8 +33,9 @@ __all__ = ["join_selectivity_pairs", "join_selectivity_fraction",
            "join_selectivity_pairs_grid"]
 
 
-def join_selectivity_pairs(params1: AnalyticalTreeParams,
-                           params2: AnalyticalTreeParams,
+@renamed_kwargs(params1="left", params2="right")
+def join_selectivity_pairs(left: AnalyticalTreeParams,
+                           right: AnalyticalTreeParams,
                            distance: float = 0.0) -> float:
     """Expected number of qualifying object pairs.
 
@@ -37,28 +43,22 @@ def join_selectivity_pairs(params1: AnalyticalTreeParams,
     transformation, each pairwise test inflates the combined extent by
     ``2 * distance`` per dimension.
     """
-    if params1.ndim != params2.ndim:
-        raise ValueError("dimensionality mismatch between the data sets")
-    if distance < 0.0:
-        raise ValueError("distance must be >= 0")
-    s1 = params1.average_object_extents()
-    s2 = params2.average_object_extents()
-    window = tuple(b + 2.0 * distance for b in s2)
-    return params2.n_objects * intsect(params1.n_objects, s1, window)
+    from ..estimator import Estimator
+    return Estimator(left, right).selectivity(distance)
 
 
-def join_selectivity_fraction(params1: AnalyticalTreeParams,
-                              params2: AnalyticalTreeParams,
+@renamed_kwargs(params1="left", params2="right")
+def join_selectivity_fraction(left: AnalyticalTreeParams,
+                              right: AnalyticalTreeParams,
                               distance: float = 0.0) -> float:
     """Qualifying fraction of the Cartesian product ``N1 x N2``."""
-    total = params1.n_objects * params2.n_objects
-    if total == 0:
-        return 0.0
-    return join_selectivity_pairs(params1, params2, distance) / total
+    from ..estimator import Estimator
+    return Estimator(left, right).selectivity_fraction(distance)
 
 
-def join_selectivity_pairs_grid(dataset1: SpatialDataset,
-                                dataset2: SpatialDataset,
+@renamed_kwargs(dataset1="left", dataset2="right")
+def join_selectivity_pairs_grid(left: SpatialDataset,
+                                right: SpatialDataset,
                                 resolution: int = 6,
                                 distance: float = 0.0) -> float:
     """Non-uniform selectivity via the local-density grid (§4.2 style).
@@ -73,15 +73,15 @@ def join_selectivity_pairs_grid(dataset1: SpatialDataset,
     ``distance`` is in workspace units and is rescaled into cell units
     internally.
     """
-    if dataset1.ndim != dataset2.ndim:
+    if left.ndim != right.ndim:
         raise ValueError("dimensionality mismatch between the data sets")
     if distance < 0.0:
         raise ValueError("distance must be >= 0")
-    ndim = dataset1.ndim
-    grid1 = LocalDensityGrid(dataset1, resolution)
-    grid2 = LocalDensityGrid(dataset2, resolution)
-    n1_total = dataset1.cardinality
-    n2_total = dataset2.cardinality
+    ndim = left.ndim
+    grid1 = LocalDensityGrid(left, resolution)
+    grid2 = LocalDensityGrid(right, resolution)
+    n1_total = left.cardinality
+    n2_total = right.cardinality
 
     total = 0.0
     for (f1, d1), (f2, d2) in zip(grid1.cells(), grid2.cells()):

@@ -1,0 +1,44 @@
+"""Unified, batch-capable cost estimation over the paper's formulas.
+
+The analytical model (Eqs. 1-10) never touches a tree, which makes it
+embarrassingly vectorizable — yet the original API evaluated it one
+scalar call at a time.  This package is the consolidated front door:
+
+* :class:`Estimator` — the facade: one (left, right) pair, every
+  estimate (``.na()`` / ``.da()`` / ``.selectivity()`` /
+  ``.breakdown()`` / ``.range_na()``).  The old free functions in
+  :mod:`repro.costmodel` delegate here and stay importable.
+* :func:`estimate_batch` — thousands of ``(N1, D1, N2, D2, M, ndim,
+  window)`` grid points in one call, NumPy-vectorized when NumPy is
+  importable, scalar fallback otherwise (``REPRO_PURE_PYTHON=1`` forces
+  the fallback).  Plan enumeration, the experiments harness and the CLI
+  (``repro estimate --batch``) all go through it.
+* :class:`ParamCache` / :func:`cached_params` — memoized Eq. 2-5
+  derivations keyed on ``(N, D, M, ndim, fill)``, shared by the facade
+  and the execution governor's admission control.
+
+NumPy is optional: nothing here imports it unconditionally, and all
+three entry points produce identical numbers without it.
+"""
+
+from .backend import PURE_PYTHON_ENV, get_numpy, have_numpy
+from .batch import (BatchResult, EstimateRequest, estimate_batch,
+                    range_na_batch)
+from .cache import DEFAULT_PARAM_CACHE, ParamCache, cached_params
+from .facade import Estimate, EstimateBreakdown, Estimator
+
+__all__ = [
+    "BatchResult",
+    "DEFAULT_PARAM_CACHE",
+    "Estimate",
+    "EstimateBreakdown",
+    "EstimateRequest",
+    "Estimator",
+    "PURE_PYTHON_ENV",
+    "ParamCache",
+    "cached_params",
+    "estimate_batch",
+    "get_numpy",
+    "have_numpy",
+    "range_na_batch",
+]

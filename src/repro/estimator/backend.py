@@ -1,0 +1,35 @@
+"""Optional NumPy backend detection for the batch estimator.
+
+NumPy is an *optional* extra: every estimator entry point works without
+it (falling back to the scalar formulas in a Python loop), and the
+vectorized kernels light up automatically when it is importable.  The
+``REPRO_PURE_PYTHON`` environment variable forces the fallback even when
+NumPy is installed — that is how the CI matrix (and local tests) exercise
+the pure-Python path without uninstalling anything.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["get_numpy", "have_numpy", "PURE_PYTHON_ENV"]
+
+#: Set (to any non-empty value) to ignore an installed NumPy.
+PURE_PYTHON_ENV = "REPRO_PURE_PYTHON"
+
+try:  # pragma: no cover - exercised via both CI matrix legs
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+
+def get_numpy():
+    """The ``numpy`` module, or ``None`` when absent or disabled."""
+    if os.environ.get(PURE_PYTHON_ENV):
+        return None
+    return _np
+
+
+def have_numpy() -> bool:
+    """True when the vectorized kernels will be used."""
+    return get_numpy() is not None

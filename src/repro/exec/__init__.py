@@ -36,8 +36,8 @@ __all__ = [
     "Budget",
     "BudgetExceeded",
     "CHECKPOINT_FORMAT_VERSION",
-    "Cancelled",
     "CancellationToken",
+    "Cancelled",
     "CheckpointMismatch",
     "ExecutionGovernor",
     "JoinCheckpoint",

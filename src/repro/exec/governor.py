@@ -25,8 +25,8 @@ import time
 from dataclasses import dataclass
 from typing import Any, Callable
 
-from ..costmodel import join_da_total, join_na_total
 from ..costmodel.params import AnalyticalTreeParams, DEFAULT_FILL
+from ..estimator import Estimator, cached_params
 from ..reliability import (CorruptPageError, ModelDomainError,
                            TransientPageError)
 from ..storage import AccessStats
@@ -49,11 +49,14 @@ def tree_params(tree: Any, fill: float = DEFAULT_FILL,
     Uses only the cardinality and summed data-rectangle area (the
     density ``D``) — the statistics a real SDBMS keeps in its catalog.
     No metered page read is performed: nothing touches a
-    :class:`~repro.storage.MeteredReader` or a buffer.
+    :class:`~repro.storage.MeteredReader` or a buffer.  Derivations go
+    through the shared estimator :data:`~repro.estimator.cache.
+    DEFAULT_PARAM_CACHE`, so admitting the same pair of trees twice
+    reuses the Eq. 2-5 work.
     """
     density = sum(e.rect.area() for e in tree.leaf_entries())
-    return AnalyticalTreeParams(len(tree), density, tree.max_entries,
-                                tree.ndim, fill)
+    return cached_params(len(tree), density, tree.max_entries,
+                         tree.ndim, fill)
 
 
 def predict_join_cost(tree1: Any, tree2: Any,
@@ -66,9 +69,8 @@ def predict_join_cost(tree1: Any, tree2: Any,
     aborts the query it was meant to price.
     """
     try:
-        p1 = tree_params(tree1)
-        p2 = tree_params(tree2)
-        return join_na_total(p1, p2), join_da_total(p1, p2)
+        est = Estimator(tree_params(tree1), tree_params(tree2))
+        return est.na(), est.da()
     except (ModelDomainError, ValueError,
             TransientPageError, CorruptPageError):
         return None

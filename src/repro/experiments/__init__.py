@@ -2,8 +2,8 @@
 
 from .configs import BENCH_SCALE, PAPER_SCALE, SMOKE_SCALE, ExperimentScale
 from .levels import LevelComparison, level_comparison
-from .harness import (JoinObservation, TreeCache, build_tree, observe_join,
-                      relative_error)
+from .harness import (JoinObservation, TreeCache, build_tree, observe_grid,
+                      observe_join, relative_error)
 from .registry import experiment_ids, run_experiment
 from .reporting import (error_summary, figure5_rows, format_error,
                         format_table, observation_records,
@@ -26,6 +26,7 @@ __all__ = [
     "level_comparison",
     "observation_records",
     "observations_json",
+    "observe_grid",
     "observe_join",
     "print_figure",
     "relative_error",

@@ -4,21 +4,24 @@ The harness owns the expensive part — building R*-trees — behind a cache
 keyed by the data set, so the 16-combination grids of Figure 5 build each
 tree once.  ``observe_join`` produces a :class:`JoinObservation` holding
 the four numbers every paper plot reports (experimental/analytical NA/DA)
-plus per-tree splits and relative errors.
+plus per-tree splits and relative errors; ``observe_grid`` measures a
+whole grid while pricing every point's analytical side in one vectorized
+:func:`~repro.estimator.estimate_batch` call.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable
 
-from ..costmodel import (AnalyticalTreeParams, NonUniformJoinModel,
-                         join_da_by_tree, join_da_total, join_na_total)
+from ..costmodel import NonUniformJoinModel
 from ..datasets import SpatialDataset
+from ..estimator import EstimateRequest, Estimator, estimate_batch
 from ..exec import ExecutionGovernor
 from ..join import R1, R2, spatial_join
 from ..rtree import GuttmanRTree, RStarTree, RTreeBase, hilbert_pack, str_pack
 
-__all__ = ["TreeCache", "JoinObservation", "observe_join",
+__all__ = ["TreeCache", "JoinObservation", "observe_join", "observe_grid",
            "relative_error", "build_tree"]
 
 
@@ -152,12 +155,13 @@ def observe_join(dataset1: SpatialDataset, dataset2: SpatialDataset,
     result = spatial_join(tree1, tree2, collect_pairs=False,
                           governor=governor)
 
-    p1 = AnalyticalTreeParams.from_dataset(dataset1, max_entries, fill)
-    p2 = AnalyticalTreeParams.from_dataset(dataset2, max_entries, fill)
+    est = Estimator.from_datasets(dataset1, dataset2, max_entries,
+                                  fill=fill)
+    p1, p2 = est.left, est.right
     if nonuniform_resolution is None:
-        na_model = join_na_total(p1, p2)
-        da_model = join_da_total(p1, p2)
-        da1_model, da2_model = join_da_by_tree(p1, p2)
+        na_model = est.na()
+        da_model = est.da()
+        da1_model, da2_model = est.da_by_tree()
     else:
         model = NonUniformJoinModel(dataset1, dataset2, max_entries,
                                     resolution=nonuniform_resolution,
@@ -166,7 +170,7 @@ def observe_join(dataset1: SpatialDataset, dataset2: SpatialDataset,
         da_model = model.da_total()
         # The grid model prices cells jointly; split per tree by the
         # uniform model's proportions for reporting purposes.
-        u1, u2 = join_da_by_tree(p1, p2)
+        u1, u2 = est.da_by_tree()
         total = u1 + u2
         da1_model = da_model * (u1 / total) if total else 0.0
         da2_model = da_model * (u2 / total) if total else 0.0
@@ -189,3 +193,58 @@ def observe_join(dataset1: SpatialDataset, dataset2: SpatialDataset,
         da2_model=da2_model,
         pairs=result.pair_count,
     )
+
+
+def observe_grid(dataset_pairs: Iterable[tuple[SpatialDataset,
+                                               SpatialDataset]],
+                 max_entries: int, fill: float = 0.67,
+                 cache: TreeCache | None = None,
+                 variant: str = "rstar",
+                 governor: ExecutionGovernor | None = None,
+                 ) -> list[JoinObservation]:
+    """Measure a whole grid of joins, batching the analytical side.
+
+    The measured joins still run one at a time (trees must be built and
+    traversed), but every grid point's Eq. 7/10 predictions are
+    evaluated by a single :func:`~repro.estimator.estimate_batch` call —
+    the numbers are bit-identical to per-point :func:`observe_join`
+    with the uniform model.
+    """
+    if governor is not None and governor.partial:
+        raise ValueError(
+            "observe_grid needs complete measurements; partial-mode "
+            "governors are not supported here")
+    pairs = list(dataset_pairs)
+    cache = cache if cache is not None else TreeCache()
+    reqs = [EstimateRequest(
+        n1=ds1.cardinality, d1=ds1.density(),
+        n2=ds2.cardinality, d2=ds2.density(),
+        max_entries=max_entries, ndim=ds1.ndim, fill=fill)
+        for ds1, ds2 in pairs]
+    batch = estimate_batch(reqs)
+
+    out = []
+    for i, (ds1, ds2) in enumerate(pairs):
+        tree1 = cache.get(ds1, max_entries, variant)
+        tree2 = cache.get(ds2, max_entries, variant)
+        result = spatial_join(tree1, tree2, collect_pairs=False,
+                              governor=governor)
+        out.append(JoinObservation(
+            label=f"{ds1.name} JOIN {ds2.name}",
+            n1=ds1.cardinality,
+            n2=ds2.cardinality,
+            height1=tree1.height,
+            height2=tree2.height,
+            model_height1=batch.height1[i],
+            model_height2=batch.height2[i],
+            na_measured=result.na_total,
+            na_model=batch.na[i],
+            da_measured=result.da_total,
+            da_model=batch.da[i],
+            da1_measured=result.da(R1),
+            da1_model=batch.da_left[i],
+            da2_measured=result.da(R2),
+            da2_model=batch.da_right[i],
+            pairs=result.pair_count,
+        ))
+    return out

@@ -14,12 +14,11 @@ from __future__ import annotations
 
 from typing import Callable
 
-from ..costmodel import (AnalyticalTreeParams, join_da_total,
-                         join_na_total)
 from ..datasets import uniform_rectangles
+from ..estimator import EstimateRequest, estimate_batch
 from ..exec import ExecutionGovernor
 from .configs import BENCH_SCALE, PAPER_SCALE, SMOKE_SCALE, ExperimentScale
-from .harness import TreeCache, observe_join
+from .harness import TreeCache, observe_grid
 from .reporting import error_summary, figure5_rows, format_table
 
 __all__ = ["run_experiment", "experiment_ids"]
@@ -63,15 +62,20 @@ def run_experiment(exp_id: str, scale: str | ExperimentScale = "bench",
 
 # -- analytic experiments (always paper scale) --------------------------------
 
+def _analytic_request(n1: int, n2: int, ndim: int,
+                      m: int) -> EstimateRequest:
+    return EstimateRequest(
+        n1=n1, d1=PAPER_SCALE.density, n2=n2, d2=PAPER_SCALE.density,
+        max_entries=m, ndim=ndim, fill=PAPER_SCALE.fill)
+
+
 def _fig6(ndim: int) -> str:
     m = PAPER_SCALE.max_entries(ndim)
-    rows = []
-    for n in _SWEEP:
-        p = AnalyticalTreeParams(n, PAPER_SCALE.density, m, ndim,
-                                 PAPER_SCALE.fill)
-        rows.append([f"{n // 1000}K", p.height,
-                     round(join_na_total(p, p)),
-                     round(join_da_total(p, p))])
+    batch = estimate_batch(
+        [_analytic_request(n, n, ndim, m) for n in _SWEEP])
+    rows = [[f"{n // 1000}K", batch.height1[i],
+             round(batch.na[i]), round(batch.da[i])]
+            for i, n in enumerate(_SWEEP)]
     label = "6a" if ndim == 1 else "6b"
     return (f"Figure {label} (n={ndim}, M={m}, paper scale)\n"
             + format_table(["N1=N2", "h", "anal(NA)", "anal(DA)"], rows))
@@ -79,20 +83,16 @@ def _fig6(ndim: int) -> str:
 
 def _fig7(ndim: int) -> str:
     m = PAPER_SCALE.max_entries(ndim)
-
-    def params(n):
-        return AnalyticalTreeParams(n, PAPER_SCALE.density, m, ndim,
-                                    PAPER_SCALE.fill)
-
+    combos = [(n1, n2) for n in _SWEEP
+              for n1, n2 in ((n, 20000), (n, 80000),
+                             (20000, n), (80000, n))]
+    batch = estimate_batch(
+        [_analytic_request(n1, n2, ndim, m) for n1, n2 in combos])
     rows = []
-    for n in _SWEEP:
-        rows.append([
-            f"{n // 1000}K",
-            round(join_da_total(params(n), params(20000))),
-            round(join_da_total(params(n), params(80000))),
-            round(join_da_total(params(20000), params(n))),
-            round(join_da_total(params(80000), params(n))),
-        ])
+    for i, n in enumerate(_SWEEP):
+        base = 4 * i
+        rows.append([f"{n // 1000}K"]
+                    + [round(batch.da[base + k]) for k in range(4)])
     label = "7a" if ndim == 1 else "7b"
     return (f"Figure {label} (n={ndim}, M={m}, paper scale)\n"
             + format_table(
@@ -109,11 +109,10 @@ def _fig5(ndim: int, scale: ExperimentScale,
           for n in scale.cardinalities}
     r2 = {n: uniform_rectangles(n, scale.density, ndim, seed=150 + n)
           for n in scale.cardinalities}
-    obs = []
-    for n1 in scale.cardinalities:
-        for n2 in scale.cardinalities:
-            obs.append(observe_join(r1[n1], r2[n2], m, fill=scale.fill,
-                                    cache=cache, governor=governor))
+    obs = observe_grid(
+        [(r1[n1], r2[n2]) for n1 in scale.cardinalities
+         for n2 in scale.cardinalities],
+        m, fill=scale.fill, cache=cache, governor=governor)
     summary = error_summary(obs)
     label = "5a" if ndim == 1 else "5b"
     headers = ["N1/N2", "exper(NA)", "anal(NA)", "exper(DA)",

@@ -3,4 +3,4 @@
 from .rect import Rect
 from .workspace import Workspace, clamp_to_unit, density
 
-__all__ = ["Rect", "Workspace", "density", "clamp_to_unit"]
+__all__ = ["Rect", "Workspace", "clamp_to_unit", "density"]

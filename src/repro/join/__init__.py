@@ -15,18 +15,18 @@ __all__ = [
     "JoinPredicate",
     "JoinResult",
     "OVERLAP",
+    "Overlap",
     "PAIR_ENUMERATIONS",
     "ParallelJoinResult",
     "PartialJoinResult",
-    "Overlap",
     "R1",
     "R2",
     "SpatialJoin",
     "WithinDistance",
     "index_nested_loop_join",
+    "naive_join",
     "nested_loop_pairs",
     "parallel_spatial_join",
-    "naive_join",
     "spatial_join",
     "sweep_pairs",
 ]

@@ -1,7 +1,8 @@
 """Cost-based spatial query optimizer built on the paper's formulas."""
 
 from .catalog import Catalog, CatalogEntry
-from .costing import METRICS, make_index_nested_loop, make_spatial_join
+from .costing import (METRICS, make_index_nested_loop, make_spatial_join,
+                      make_spatial_joins_batch)
 from .enumerate import best_plan, role_advice
 from .executor import ExecutionResult, ResultTuple, execute_plan
 from .plans import (IndexNestedLoopPlan, IndexScanPlan, Plan,
@@ -21,5 +22,6 @@ __all__ = [
     "execute_plan",
     "make_index_nested_loop",
     "make_spatial_join",
+    "make_spatial_joins_batch",
     "role_advice",
 ]

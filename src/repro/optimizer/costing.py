@@ -7,16 +7,24 @@
   consecutive probe windows of an unclustered stream share little path).
 
 The join output cardinality comes from the §5 selectivity formula.
+
+Single plans are priced through the :class:`~repro.estimator.Estimator`
+facade; :func:`make_spatial_joins_batch` prices a whole candidate set in
+one :func:`~repro.estimator.estimate_batch` call — the plan enumerator
+uses it to cost every 2-subset seed (both role assignments) vectorized.
 """
 
 from __future__ import annotations
 
-from ..costmodel import (join_da_total, join_na_total,
-                         join_selectivity_pairs, range_query_na)
+from typing import Iterable
+
+from ..costmodel import range_query_na
+from ..estimator import EstimateRequest, Estimator, estimate_batch
 from .catalog import CatalogEntry
 from .plans import IndexNestedLoopPlan, IndexScanPlan, Plan, SpatialJoinPlan
 
-__all__ = ["make_spatial_join", "make_index_nested_loop", "METRICS"]
+__all__ = ["make_spatial_join", "make_spatial_joins_batch",
+           "make_index_nested_loop", "METRICS"]
 
 METRICS = ("na", "da")
 
@@ -25,25 +33,58 @@ def make_spatial_join(data: IndexScanPlan, query: IndexScanPlan,
                       metric: str = "da") -> SpatialJoinPlan:
     """Price an SJ plan with an explicit role assignment."""
     _check_metric(metric)
-    p1 = data.entry.params
-    p2 = query.entry.params
-    if metric == "da":
-        cost = join_da_total(p1, p2)
-    else:
-        cost = join_na_total(p1, p2)
-    out = join_selectivity_pairs(p1, p2)
-    return SpatialJoinPlan(data, query, cost, out)
+    est = Estimator(data.entry.params, query.entry.params)
+    cost = est.da() if metric == "da" else est.na()
+    return SpatialJoinPlan(data, query, cost, est.selectivity())
+
+
+def make_spatial_joins_batch(pairs: Iterable[tuple[IndexScanPlan,
+                                                   IndexScanPlan]],
+                             metric: str = "da",
+                             ) -> list[SpatialJoinPlan]:
+    """Price many SJ candidates in one vectorized batch.
+
+    ``pairs`` holds ``(data, query)`` role assignments; the returned
+    plans match :func:`make_spatial_join` row for row (the batch path is
+    bit-identical to the scalar formulas), evaluated by a single
+    :func:`~repro.estimator.estimate_batch` call.
+    """
+    _check_metric(metric)
+    pairs = list(pairs)
+    reqs = []
+    for data, query in pairs:
+        e1, e2 = data.entry, query.entry
+        if e1.ndim != e2.ndim:
+            raise ValueError(
+                "dimensionality mismatch between join inputs")
+        reqs.append(EstimateRequest(
+            n1=e1.cardinality, d1=e1.density,
+            n2=e2.cardinality, d2=e2.density,
+            max_entries=e1.max_entries, ndim=e1.ndim, fill=e1.fill,
+            max_entries_right=e2.max_entries, fill_right=e2.fill))
+    result = estimate_batch(reqs)
+    costs = result.da if metric == "da" else result.na
+    return [SpatialJoinPlan(data, query, costs[i],
+                            result.selectivity[i])
+            for i, (data, query) in enumerate(pairs)]
 
 
 def make_index_nested_loop(stream: Plan, indexed: IndexScanPlan,
-                           metric: str = "da") -> IndexNestedLoopPlan:
+                           metric: str = "da",
+                           per_probe: float | None = None,
+                           ) -> IndexNestedLoopPlan:
     """Price probing ``indexed`` once per streamed result tuple.
 
     The metric parameter is accepted for interface symmetry; probe cost
-    is Eq. 1 either way (see module docstring).
+    is Eq. 1 either way (see module docstring).  ``per_probe`` lets a
+    caller supply a precomputed Eq. 1 probe cost — the enumerator
+    batches a whole DP round's probes through
+    :func:`~repro.estimator.range_na_batch` and passes them back here.
     """
     _check_metric(metric)
-    per_probe = range_query_na(indexed.entry.params, stream.out_extents)
+    if per_probe is None:
+        per_probe = range_query_na(indexed.entry.params,
+                                   stream.out_extents)
     cost = stream.cost + stream.out_cardinality * per_probe
     return IndexNestedLoopPlan(stream, indexed, cost)
 

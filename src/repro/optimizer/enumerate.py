@@ -19,8 +19,10 @@ from __future__ import annotations
 
 import itertools
 
+from ..estimator import range_na_batch
 from .catalog import Catalog
-from .costing import make_index_nested_loop, make_spatial_join
+from .costing import (make_index_nested_loop, make_spatial_join,
+                      make_spatial_joins_batch)
 from .plans import IndexScanPlan, Plan
 
 __all__ = ["best_plan", "role_advice"]
@@ -43,24 +45,34 @@ def best_plan(catalog: Catalog, names: list[str],
 
     best: dict[frozenset[str], Plan] = {}
 
-    # Seed: all 2-subsets via SJ, trying both role assignments.
+    # Seed: all 2-subsets via SJ, trying both role assignments — the
+    # whole candidate set is priced in one vectorized batch.
+    seed_pairs = []
     for a, b in itertools.combinations(names, 2):
-        for data, query in ((a, b), (b, a)):
-            plan = make_spatial_join(scans[data], scans[query], metric)
-            _offer(best, plan)
+        seed_pairs.append((scans[a], scans[b]))
+        seed_pairs.append((scans[b], scans[a]))
+    for plan in make_spatial_joins_batch(seed_pairs, metric):
+        _offer(best, plan)
 
-    # Grow: extend each priced subset by one relation via INL.
+    # Grow: extend each priced subset by one relation via INL; the
+    # Eq. 1 probe costs of each DP round are estimated in one batch.
     for size in range(2, len(names)):
+        extensions: list[tuple[Plan, IndexScanPlan]] = []
         for subset in itertools.combinations(names, size):
             key = frozenset(subset)
             if key not in best:
                 continue
             for extra in names:
-                if extra in key:
-                    continue
-                plan = make_index_nested_loop(
-                    best[key], scans[extra], metric)
-                _offer(best, plan)
+                if extra not in key:
+                    extensions.append((best[key], scans[extra]))
+        if not extensions:
+            continue
+        probes = range_na_batch(
+            [scan.entry.params for _, scan in extensions],
+            [stream.out_extents for stream, _ in extensions])
+        for (stream, scan), per_probe in zip(extensions, probes):
+            _offer(best, make_index_nested_loop(
+                stream, scan, metric, per_probe=per_probe))
 
     return best[frozenset(names)]
 

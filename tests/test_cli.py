@@ -103,6 +103,54 @@ class TestBuildJoinEstimate:
         assert "NA_total" in out
         assert "role advice" in out
 
+    def test_estimate_missing_args(self, capsys):
+        code, _out, err = run(capsys, "estimate", "--n1", "20000",
+                              "--d1", "0.5")
+        assert code == 2
+        assert "--n2 --d2" in err and "--batch" in err
+
+    def test_estimate_batch(self, tmp_path, capsys):
+        import json
+        grid = tmp_path / "grid.json"
+        grid.write_text(json.dumps([
+            {"n1": 20000, "d1": 0.5, "n2": 60000, "d2": 0.5,
+             "max_entries": 50, "window": [0.1, 0.1]},
+            {"n1": 1000, "d1": 0.2, "n2": 1000, "d2": 0.2,
+             "distance": 0.02, "label": "tiny"},
+        ]))
+        out_file = tmp_path / "est.json"
+        code, out, _err = run(capsys, "estimate", "--batch", str(grid),
+                              "-o", str(out_file))
+        assert code == 0
+        assert "wrote 2 estimates" in out
+        payload = json.loads(out_file.read_text())
+        assert payload["backend"] in ("numpy", "python")
+        assert len(payload["results"]) == 2
+        first, second = payload["results"]
+        assert first["na"] > 0 and "range_na" in first
+        assert second["label"] == "tiny" and "range_na" not in second
+
+    def test_estimate_batch_to_stdout(self, tmp_path, capsys):
+        import json
+        grid = tmp_path / "grid.json"
+        grid.write_text(json.dumps(
+            [{"n1": 500, "d1": 0.5, "n2": 500, "d2": 0.5}]))
+        code, out, _err = run(capsys, "estimate", "--batch", str(grid))
+        assert code == 0
+        assert json.loads(out)["results"][0]["da"] > 0
+
+    def test_estimate_batch_bad_records(self, tmp_path, capsys):
+        import json
+        grid = tmp_path / "grid.json"
+        grid.write_text(json.dumps([{"n1": 500, "d1": 0.5}]))
+        code, _out, err = run(capsys, "estimate", "--batch", str(grid))
+        assert code == 2
+        assert "missing required field" in err
+        grid.write_text(json.dumps({"n1": 500}))
+        code, _out, err = run(capsys, "estimate", "--batch", str(grid))
+        assert code == 2
+        assert "JSON list" in err
+
     def test_figures(self, capsys):
         code, out, _err = run(capsys, "figures")
         assert code == 0

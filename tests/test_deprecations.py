@@ -1,0 +1,75 @@
+"""The params1/params2 → left/right rename: old keyword spellings keep
+working, warn, and return identical results."""
+
+import pytest
+
+from repro.costmodel import AnalyticalTreeParams
+from repro.costmodel.join_da import (join_da_breakdown, join_da_by_tree,
+                                     join_da_total)
+from repro.costmodel.join_na import (join_na_breakdown, join_na_total,
+                                     stage_pairs)
+from repro.costmodel.selectivity import (join_selectivity_fraction,
+                                         join_selectivity_pairs,
+                                         join_selectivity_pairs_grid)
+from repro.costmodel.stages import Stage
+from repro.datasets import uniform_rectangles
+
+P1 = AnalyticalTreeParams(40_000, 0.5, 50, 2)
+P2 = AnalyticalTreeParams(20_000, 0.3, 50, 2)
+
+_STAGE = Stage(level1=1, level2=1, parent1=2, parent2=2,
+               descends1=True, descends2=True)
+
+PAIR_FUNCTIONS = [
+    (stage_pairs, {"stage": _STAGE}),
+    (join_na_breakdown, {}),
+    (join_na_total, {}),
+    (join_da_breakdown, {}),
+    (join_da_total, {}),
+    (join_da_by_tree, {}),
+    (join_selectivity_pairs, {}),
+    (join_selectivity_fraction, {}),
+]
+
+
+@pytest.mark.parametrize("fn, extra", PAIR_FUNCTIONS,
+                         ids=lambda v: getattr(v, "__name__", ""))
+def test_old_keywords_warn_and_match(fn, extra):
+    new = fn(left=P1, right=P2, **extra)
+    with pytest.warns(DeprecationWarning, match="'params1'.*'left'"):
+        with pytest.warns(DeprecationWarning, match="'params2'.*'right'"):
+            old = fn(params1=P1, params2=P2, **extra)
+    assert old == new
+    # Positional calls never see the shim and stay warning-free.
+    assert fn(P1, P2, **extra) == new
+
+
+@pytest.mark.parametrize("fn, extra", PAIR_FUNCTIONS,
+                         ids=lambda v: getattr(v, "__name__", ""))
+def test_mixing_old_and_new_spelling_is_an_error(fn, extra):
+    with pytest.raises(TypeError, match="both 'params1'"):
+        fn(params1=P1, left=P1, right=P2, **extra)
+    with pytest.raises(TypeError, match="both 'params2'"):
+        fn(left=P1, params2=P2, right=P2, **extra)
+
+
+def test_grid_selectivity_dataset_keywords():
+    ds1 = uniform_rectangles(300, 0.4, 2, seed=5)
+    ds2 = uniform_rectangles(400, 0.5, 2, seed=6)
+    new = join_selectivity_pairs_grid(left=ds1, right=ds2, resolution=4)
+    with pytest.warns(DeprecationWarning, match="'dataset1'.*'left'"):
+        with pytest.warns(DeprecationWarning,
+                          match="'dataset2'.*'right'"):
+            old = join_selectivity_pairs_grid(dataset1=ds1, dataset2=ds2,
+                                              resolution=4)
+    assert old == new
+    with pytest.raises(TypeError, match="both 'dataset1'"):
+        join_selectivity_pairs_grid(dataset1=ds1, left=ds1, right=ds2)
+
+
+def test_new_keywords_do_not_warn():
+    import warnings
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        join_na_total(left=P1, right=P2)
+        join_da_total(left=P1, right=P2)

@@ -1,0 +1,72 @@
+"""The documented public surface is the actual public surface.
+
+Every ``repro.*`` package declares an explicit ``__all__``; every name
+in it resolves; the top-level list is sorted and matches the export
+table in ``docs/api.md`` exactly.
+"""
+
+import importlib
+import pkgutil
+import re
+from pathlib import Path
+
+import pytest
+
+import repro
+
+PACKAGES = ["repro"] + sorted(
+    f"repro.{m.name}"
+    for m in pkgutil.iter_modules(repro.__path__)
+    if m.ispkg or m.name in ("cli",))
+
+
+@pytest.mark.parametrize("modname", PACKAGES)
+def test_package_declares_all(modname):
+    mod = importlib.import_module(modname)
+    assert hasattr(mod, "__all__"), f"{modname} has no __all__"
+    assert len(mod.__all__) == len(set(mod.__all__)), (
+        f"{modname}.__all__ has duplicates")
+
+
+@pytest.mark.parametrize("modname", PACKAGES)
+def test_all_entries_resolve(modname):
+    mod = importlib.import_module(modname)
+    for name in mod.__all__:
+        assert getattr(mod, name, None) is not None, (
+            f"{modname}.__all__ lists {name!r} but it does not resolve")
+
+
+@pytest.mark.parametrize("modname", PACKAGES)
+def test_all_entries_sorted(modname):
+    mod = importlib.import_module(modname)
+    public = [n for n in mod.__all__ if not n.startswith("_")]
+    assert public == sorted(public), (
+        f"{modname}.__all__ is not sorted: {public}")
+
+
+def test_dunder_version_listed_last():
+    assert repro.__all__[-1] == "__version__"
+
+
+def test_star_import_honours_all():
+    ns = {}
+    exec("from repro import *", ns)
+    imported = {n for n in ns if not n.startswith("__")}
+    assert imported == {n for n in repro.__all__
+                        if not n.startswith("__")}
+
+
+def test_docs_list_every_top_level_export():
+    text = Path(__file__).resolve().parent.parent.joinpath(
+        "docs", "api.md").read_text()
+    match = re.search(r"## Top-level exports\n(.*?)(?:\n## |\Z)", text,
+                      re.DOTALL)
+    assert match, "docs/api.md lost its '## Top-level exports' section"
+    documented = set(re.findall(r"`([A-Za-z_][A-Za-z0-9_]*)`",
+                                match.group(1)))
+    documented -= {"repro"}          # prose mentions of the package
+    actual = set(repro.__all__) - {"__version__"}
+    missing = actual - documented
+    stale = documented - actual - {"import", "__all__"}
+    assert not missing, f"docs/api.md export table is missing {missing}"
+    assert not stale, f"docs/api.md export table lists stale {stale}"
