@@ -40,9 +40,10 @@ def test_parallel_scaling_table(join_setup, emit, benchmark):
         for w in WORKERS:
             r = parallel_spatial_join(t1, t2, w, assignment=strategy,
                                       collect_pairs=False)
+            speedup = r.speedup_da(sequential.da_total)
             rows.append([
                 f"{strategy}/{w}", r.makespan_da, r.total_da,
-                f"{r.speedup_da(sequential.da_total):.2f}x",
+                "n/a" if speedup is None else f"{speedup:.2f}x",
             ])
     emit("\n== Extension E3 (§5): simulated parallel SJ "
          f"(sequential DA = {sequential.da_total}) ==")

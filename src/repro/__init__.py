@@ -49,12 +49,13 @@ from .estimator import (BatchResult, EstimateRequest, Estimator,
 from .exec import (AdmissionRejected, Budget, BudgetExceeded, Cancelled,
                    CancellationToken, CheckpointMismatch,
                    ExecutionGovernor, JoinCheckpoint)
-from .geometry import Rect, Workspace
+from .geometry import ColumnarMBRs, Rect, Workspace
 from .io import load_dataset, load_tree, save_dataset, save_tree
 from .join import (OVERLAP, JoinResult, Overlap, ParallelJoinResult,
                    PartialJoinResult, SpatialJoin, WithinDistance,
                    index_nested_loop_join, naive_join,
-                   parallel_spatial_join, spatial_join)
+                   parallel_spatial_join, spatial_join,
+                   sweep_pairs_batch, vectorized_pairs)
 from .optimizer import Catalog, best_plan, role_advice
 from .reliability import (CorruptionReport, CorruptPageError, FaultInjector,
                           FaultyPager, MalformedFileError, ModelDomainError,
@@ -78,6 +79,7 @@ __all__ = [
     "Cancelled",
     "Catalog",
     "CheckpointMismatch",
+    "ColumnarMBRs",
     "CorruptPageError",
     "CorruptionReport",
     "EstimateRequest",
@@ -140,8 +142,10 @@ __all__ = [
     "save_tree",
     "spatial_join",
     "str_pack",
+    "sweep_pairs_batch",
     "tiger_like_segments",
     "uniform_rectangles",
+    "vectorized_pairs",
     "zipf_rectangles",
     "__version__",
 ]

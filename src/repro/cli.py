@@ -49,7 +49,9 @@ from .exec import (ADMISSION_MODES, AdmissionRejected, Budget,
                    JoinCheckpoint, evaluate_admission, predict_join_cost)
 from .io import load_dataset, load_tree, save_dataset, save_tree, \
     verify_tree_file
-from .join import PartialJoinResult, SpatialJoin
+from .join import (ASSIGNMENT_STRATEGIES, EXECUTION_MODES,
+                   PAIR_ENUMERATIONS, PartialJoinResult, SpatialJoin,
+                   parallel_spatial_join)
 from .reliability import (CorruptPageError, FaultInjector, FaultyPager,
                           ReproError, RetryPolicy, TransientPageError)
 from .storage import LRUBuffer, NoBuffer, PathBuffer
@@ -160,6 +162,23 @@ def _build_parser() -> argparse.ArgumentParser:
                       help="compare the Eq. 7/10 predicted cost against "
                            "the budget before reading any page: warn "
                            "(default), reject (exit 5), or off")
+    join.add_argument("--pair-enum", dest="pair_enum",
+                      choices=PAIR_ENUMERATIONS, default="nested-loop",
+                      help="node-pair matching kernel: the paper's "
+                           "nested loops (default), the batched "
+                           "'vectorized' kernel (identical NA/DA), or "
+                           "the plane sweeps")
+    join.add_argument("--workers", type=int, default=None, metavar="W",
+                      help="split the join into subtree-pair tasks over "
+                           "W parallel workers (incompatible with "
+                           "--partial/--checkpoint/--resume)")
+    join.add_argument("--mode", choices=EXECUTION_MODES,
+                      default="serial",
+                      help="how parallel workers are driven "
+                           "(with --workers)")
+    join.add_argument("--assignment", choices=ASSIGNMENT_STRATEGIES,
+                      default="greedy",
+                      help="task-to-worker assignment (with --workers)")
     join.set_defaults(handler=_cmd_join)
 
     query = sub.add_parser(
@@ -319,7 +338,31 @@ def _cmd_join(args: argparse.Namespace) -> int:
     governor = None
     if not budget.unlimited or args.partial:
         governor = ExecutionGovernor(budget, partial=args.partial)
+
+    if args.workers is not None:
+        if args.partial or args.checkpoint or args.resume:
+            print("--workers is incompatible with --partial, "
+                  "--checkpoint and --resume (checkpoints describe the "
+                  "single synchronized traversal)", file=sys.stderr)
+            return 2
+        result = parallel_spatial_join(
+            t1, t2, args.workers, assignment=args.assignment,
+            collect_pairs=False, governor=governor, mode=args.mode,
+            pair_enumeration=args.pair_enum)
+        print(f"R1: {args.tree1} (N={len(t1)}, h={t1.height})")
+        print(f"R2: {args.tree2} (N={len(t2)}, h={t2.height})")
+        print(f"result pairs: {result.pair_count}")
+        print(f"workers: {result.workers} (mode={args.mode}, "
+              f"assignment={args.assignment}, "
+              f"pair-enum={args.pair_enum})")
+        print(f"total NA: {result.total_na}, total DA: "
+              f"{result.total_da}")
+        print(f"makespan NA: {result.makespan_na}, makespan DA: "
+              f"{result.makespan_da}")
+        return 0
+
     sj = SpatialJoin(t1, t2, buffer=buffer, retry_policy=retry_policy,
+                     pair_enumeration=args.pair_enum,
                      governor=governor)
     if args.resume is not None:
         result = sj.resume(JoinCheckpoint.load(args.resume))

@@ -114,6 +114,14 @@ class BudgetExceeded(ReproError):
                 "limit": self.limit, "observed": self.observed,
                 "predicted": self.predicted}
 
+    def __reduce__(self):
+        # Default exception pickling replays ``args`` (just the message)
+        # into ``__init__``, which needs the typed fields — rebuild from
+        # them so a worker-process failure crosses the pipe intact.
+        return (BudgetExceeded,
+                (self.resource, self.limit, self.observed,
+                 self.predicted, str(self)))
+
 
 class AdmissionRejected(BudgetExceeded):
     """Refused before execution: the Eq. 6/7 prediction exceeds the budget.
@@ -132,3 +140,9 @@ class AdmissionRejected(BudgetExceeded):
         out = super().as_dict()
         out["error"] = "admission-rejected"
         return out
+
+    def __reduce__(self):
+        # The message is a pure function of the fields, so rebuilding
+        # through ``__init__`` round-trips exactly.
+        return (AdmissionRejected,
+                (self.resource, self.limit, self.observed))

@@ -1,6 +1,8 @@
-"""Geometric primitives: n-dimensional rectangles and the unit workspace."""
+"""Geometric primitives: rectangles, columnar MBR views, unit workspace."""
 
+from .columnar import ColumnarMBRs, distance_candidate_pairs, overlap_pairs
 from .rect import Rect
 from .workspace import Workspace, clamp_to_unit, density
 
-__all__ = ["Rect", "Workspace", "clamp_to_unit", "density"]
+__all__ = ["ColumnarMBRs", "Rect", "Workspace", "clamp_to_unit",
+           "density", "distance_candidate_pairs", "overlap_pairs"]

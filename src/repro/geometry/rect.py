@@ -265,3 +265,13 @@ class Rect:
 
     def __setattr__(self, name: str, value: object) -> None:
         raise AttributeError("Rect is immutable")
+
+    # The immutability guard above breaks default slot pickling (it
+    # restores state via setattr), so spell the round-trip out; the
+    # process-parallel join ships whole trees to worker processes.
+    def __getstate__(self) -> tuple[tuple[float, ...], tuple[float, ...]]:
+        return (self.lo, self.hi)
+
+    def __setstate__(self, state) -> None:
+        object.__setattr__(self, "lo", state[0])
+        object.__setattr__(self, "hi", state[1])

@@ -3,11 +3,12 @@
 from .naive import naive_join
 from .parallel import (ASSIGNMENT_STRATEGIES, EXECUTION_MODES,
                        ParallelJoinResult, parallel_spatial_join)
-from .plane_sweep import nested_loop_pairs, sweep_pairs
+from .plane_sweep import nested_loop_pairs, sweep_pairs, sweep_pairs_batch
 from .nested_loop import index_nested_loop_join
 from .predicates import OVERLAP, JoinPredicate, Overlap, WithinDistance
 from .result import R1, R2, JoinResult, PartialJoinResult
 from .sync import PAIR_ENUMERATIONS, SpatialJoin, spatial_join
+from .vectorized import vectorized_pairs
 
 __all__ = [
     "ASSIGNMENT_STRATEGIES",
@@ -29,4 +30,6 @@ __all__ = [
     "parallel_spatial_join",
     "spatial_join",
     "sweep_pairs",
+    "sweep_pairs_batch",
+    "vectorized_pairs",
 ]

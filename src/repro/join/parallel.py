@@ -17,37 +17,54 @@ This module simulates exactly that:
 * **makespan** — the parallel cost is the maximum per-worker DA, the
   quantity a shared-nothing parallel SDBMS waits for.
 
-Two execution modes drive the workers.  ``"serial"`` (default) runs the
-buckets one after another in the calling thread — fully deterministic,
-what the benches use.  ``"threads"`` runs each bucket in a thread pool:
-the access accounting is identical (workers share nothing but the
-read-only pagers), and the mode exercises the governance path — every
-worker observes a shared :class:`~repro.exec.CancellationToken`, so one
-worker's failure (or an exhausted budget, or an external cancel) makes
-the siblings drain cleanly, and the first real failure is re-raised at
-the pool boundary **with its original worker traceback**.
+Three execution modes drive the workers.  ``"serial"`` (default) runs
+the buckets one after another in the calling thread — fully
+deterministic, what the benches use.  ``"threads"`` runs each bucket in
+a thread pool: the access accounting is identical (workers share
+nothing but the read-only pagers), and the mode exercises the
+governance path — every worker observes a shared
+:class:`~repro.exec.CancellationToken`, so one worker's failure (or an
+exhausted budget, or an external cancel) makes the siblings drain
+cleanly, and the first real failure is re-raised at the pool boundary
+**with its original worker traceback**.  ``"processes"`` runs each
+bucket in its own OS process — real CPU parallelism for the vectorized
+enumerators: every worker unpickles a private copy of both trees (its
+own pager, its own path buffer — the shared-nothing setting of
+[BKS96]), executes its bucket, and ships plain-data results back; the
+coordinator merges the per-worker :class:`~repro.storage.AccessStats`
+into counters equal to the serial mode's.  Governance crosses the
+process boundary in two halves: workers receive the budget with the
+deadline rebased to the time remaining at dispatch, while the
+coordinator polls the governor between completions (poll-and-abort) so
+an expired deadline or a cancelled token abandons queued buckets
+without waiting for them.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import (ProcessPoolExecutor, ThreadPoolExecutor,
+                                wait)
 
 from ..exec import CancellationToken, ExecutionGovernor
-from ..exec.budget import Cancelled
+from ..exec.budget import Budget, BudgetExceeded, Cancelled
 from ..rtree import RTreeBase
 from ..storage import AccessStats, MeteredReader, PathBuffer
 from .predicates import OVERLAP, JoinPredicate
 from .result import R1, R2
-from .sync import _TraversalState
+from .sync import PAIR_ENUMERATIONS, _TraversalState
 
 __all__ = ["parallel_spatial_join", "ParallelJoinResult",
            "ASSIGNMENT_STRATEGIES", "EXECUTION_MODES"]
 
 ASSIGNMENT_STRATEGIES = ("round-robin", "greedy")
 
-#: How worker buckets are driven: sequentially in the calling thread, or
-#: concurrently on a thread pool with cooperative cancellation.
-EXECUTION_MODES = ("serial", "threads")
+#: How worker buckets are driven: sequentially in the calling thread,
+#: concurrently on a thread pool with cooperative cancellation, or on a
+#: pool of worker processes with per-worker tree copies.
+EXECUTION_MODES = ("serial", "threads", "processes")
+
+#: Seconds between coordinator governor polls in ``"processes"`` mode.
+_PROCESS_POLL_INTERVAL = 0.05
 
 
 class ParallelJoinResult:
@@ -83,10 +100,16 @@ class ParallelJoinResult:
         """Disk accesses of the busiest worker."""
         return max((s.da() for s in self.worker_stats), default=0)
 
-    def speedup_da(self, sequential_da: int) -> float:
-        """Wall-clock speedup over a given sequential DA measurement."""
+    def speedup_da(self, sequential_da: int) -> float | None:
+        """Wall-clock speedup over a given sequential DA measurement.
+
+        Returns ``None`` — JSON-safe, unlike the ``inf`` it used to
+        produce — when the parallel makespan is zero but the sequential
+        measurement is not (the ratio is undefined; it previously broke
+        every consumer that serialized or formatted the value).
+        """
         if self.makespan_da == 0:
-            return float("inf") if sequential_da > 0 else 1.0
+            return None if sequential_da > 0 else 1.0
         return sequential_da / self.makespan_da
 
     def __repr__(self) -> str:
@@ -100,10 +123,11 @@ def _run_bucket(bucket: list[tuple], tree1: RTreeBase, tree2: RTreeBase,
                 root1, root2, predicate: JoinPredicate,
                 collect_pairs: bool,
                 governor: ExecutionGovernor | None,
+                pair_enumeration: str = "nested-loop",
                 ) -> tuple[AccessStats, list[tuple[int, int]], int]:
     """Execute one worker's task bucket against a private buffer.
 
-    This is the worker body for both execution modes; any exception it
+    This is the worker body for every execution mode; any exception it
     raises carries this function in its traceback, so a failure
     surfacing at the pool boundary still points at the worker code.
     """
@@ -114,6 +138,7 @@ def _run_bucket(bucket: list[tuple], tree1: RTreeBase, tree2: RTreeBase,
     state = _TraversalState(
         reader1, reader2, predicate, collect_pairs,
         pinned1=tree1.root_id, pinned2=tree2.root_id,
+        pair_enumeration=pair_enumeration,
         stats=stats, governor=governor)
     for _cost, e1, e2 in bucket:
         if governor is not None:
@@ -126,6 +151,33 @@ def _run_bucket(bucket: list[tuple], tree1: RTreeBase, tree2: RTreeBase,
     return stats, state.pairs, state.pair_count
 
 
+def _process_bucket(bucket: list[tuple], tree1: RTreeBase,
+                    tree2: RTreeBase, predicate: JoinPredicate,
+                    collect_pairs: bool, pair_enumeration: str,
+                    budget: Budget | None,
+                    ) -> tuple[dict, list[tuple[int, int]], int]:
+    """Worker-*process* body: plain picklable data in, plain data out.
+
+    Runs in a child process on its own unpickled tree copies (private
+    pagers included).  The governor cannot cross the process boundary
+    (tokens and clocks are process-local), so the worker builds a fresh
+    one from the shipped budget — whose deadline the coordinator already
+    rebased to the time remaining at dispatch — and starts its clock
+    immediately.  Stats travel back as their ``as_dict`` form because
+    :class:`AccessStats` itself is not picklable.
+    """
+    governor = None
+    if budget is not None and not budget.unlimited:
+        governor = ExecutionGovernor(budget)
+        governor.start()
+    root1 = tree1.root()
+    root2 = tree2.root()
+    stats, pairs, count = _run_bucket(
+        bucket, tree1, tree2, root1, root2, predicate, collect_pairs,
+        governor, pair_enumeration)
+    return stats.as_dict(), pairs, count
+
+
 def parallel_spatial_join(tree1: RTreeBase, tree2: RTreeBase,
                           workers: int,
                           predicate: JoinPredicate = OVERLAP,
@@ -133,11 +185,14 @@ def parallel_spatial_join(tree1: RTreeBase, tree2: RTreeBase,
                           collect_pairs: bool = True,
                           governor: ExecutionGovernor | None = None,
                           mode: str = "serial",
+                          pair_enumeration: str = "nested-loop",
                           ) -> ParallelJoinResult:
     """Run the SJ join split into subtree-pair tasks over ``workers``.
 
     The result set equals the sequential join's; only the access
-    accounting is partitioned.
+    accounting is partitioned.  ``pair_enumeration`` selects the
+    node-pair matching kernel each worker uses (see
+    :data:`~repro.join.PAIR_ENUMERATIONS`).
 
     With a ``governor``, every worker runs under a
     :meth:`~repro.exec.ExecutionGovernor.spawn`-ed view of it: the
@@ -151,6 +206,12 @@ def parallel_spatial_join(tree1: RTreeBase, tree2: RTreeBase,
     worker failure cancels the shared abort token (siblings drain as
     :class:`~repro.exec.Cancelled`) and is re-raised with its original
     traceback.
+
+    ``mode="processes"`` executes each bucket in a worker process with
+    its own copy of both trees; merged counters equal the serial mode's.
+    Workers enforce the budget themselves (deadline rebased to dispatch
+    time), while the coordinator polls the governor between completions
+    and abandons queued buckets the moment the deadline or token trips.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -159,6 +220,9 @@ def parallel_spatial_join(tree1: RTreeBase, tree2: RTreeBase,
             f"assignment must be one of {ASSIGNMENT_STRATEGIES}")
     if mode not in EXECUTION_MODES:
         raise ValueError(f"mode must be one of {EXECUTION_MODES}")
+    if pair_enumeration not in PAIR_ENUMERATIONS:
+        raise ValueError(
+            f"pair_enumeration must be one of {PAIR_ENUMERATIONS}")
     if governor is not None and governor.partial:
         raise ValueError(
             "parallel_spatial_join cannot produce partial results; "
@@ -218,14 +282,19 @@ def parallel_spatial_join(tree1: RTreeBase, tree2: RTreeBase,
 
     if mode == "threads":
         results = _drive_threads(buckets, tree1, tree2, root1, root2,
-                                 predicate, collect_pairs, governor)
+                                 predicate, collect_pairs, governor,
+                                 pair_enumeration)
+    elif mode == "processes":
+        results = _drive_processes(buckets, tree1, tree2, predicate,
+                                   collect_pairs, governor,
+                                   pair_enumeration)
     else:
         results = []
         for bucket in buckets:
             worker_gov = governor.spawn() if governor is not None else None
             results.append(_run_bucket(bucket, tree1, tree2, root1, root2,
                                        predicate, collect_pairs,
-                                       worker_gov))
+                                       worker_gov, pair_enumeration))
 
     all_pairs: list[tuple[int, int]] = []
     pair_count = 0
@@ -238,7 +307,7 @@ def parallel_spatial_join(tree1: RTreeBase, tree2: RTreeBase,
 
 
 def _drive_threads(buckets, tree1, tree2, root1, root2, predicate,
-                   collect_pairs, governor):
+                   collect_pairs, governor, pair_enumeration):
     """Run the buckets on a thread pool, propagating the first failure.
 
     Workers observe an internal abort token (linked into each worker's
@@ -271,7 +340,7 @@ def _drive_threads(buckets, tree1, tree2, root1, root2, predicate,
         for bucket in buckets:
             fut = pool.submit(_run_bucket, bucket, tree1, tree2,
                               root1, root2, predicate, collect_pairs,
-                              worker_governor())
+                              worker_governor(), pair_enumeration)
             fut.add_done_callback(on_done)
             futures.append(fut)
         for fut in futures:
@@ -285,4 +354,90 @@ def _drive_threads(buckets, tree1, tree2, root1, root2, predicate,
                     failure = exc        # prefer the cause over the drain
     if failure is not None:
         raise failure
+    return results
+
+
+def _worker_budget(governor) -> Budget | None:
+    """The budget a worker process should self-enforce.
+
+    The deadline is rebased to the wall-clock time remaining *now*, at
+    dispatch: the worker's fresh clock then expires when the
+    coordinator's would have.  An already-expired deadline raises here,
+    before any process is spawned.
+    """
+    if governor is None:
+        return None
+    budget = governor.budget
+    deadline = budget.deadline
+    if deadline is not None:
+        governor.start()
+        remaining = deadline - governor.elapsed()
+        if remaining <= 0.0:
+            raise BudgetExceeded("deadline", deadline, governor.elapsed())
+        return Budget(deadline=remaining, max_na=budget.max_na,
+                      max_da=budget.max_da,
+                      max_results=budget.max_results)
+    return budget
+
+
+def _drive_processes(buckets, tree1, tree2, predicate, collect_pairs,
+                     governor, pair_enumeration):
+    """Run the buckets on a process pool with coordinator-side polling.
+
+    Each submission pickles the bucket, both trees, the predicate and
+    the worker budget into a child process; results come back as plain
+    data and the stats dicts are rebuilt into :class:`AccessStats` in
+    bucket order, keeping pair list and worker stats deterministic.
+
+    A process cannot observe the coordinator's cancellation token or a
+    clock started in another process, so enforcement is split: workers
+    run their own governor on the rebased budget (they stop themselves),
+    and the coordinator re-checks its governor every
+    ``_PROCESS_POLL_INTERVAL`` seconds between completions — a deadline
+    or cancellation trip cancels the not-yet-started buckets and raises
+    immediately instead of waiting for the queue to drain.  As in the
+    thread mode, a real worker failure is preferred over any
+    :class:`Cancelled` it induced.
+    """
+    if governor is not None:
+        # Trip a pre-cancelled token or spent deadline before paying
+        # for a single process spawn.
+        governor.check(AccessStats())
+    worker_budget = _worker_budget(governor)
+    failure: BaseException | None = None
+    results: list = []
+    with ProcessPoolExecutor(max_workers=max(1, len(buckets))) as pool:
+        futures = [
+            pool.submit(_process_bucket, bucket, tree1, tree2, predicate,
+                        collect_pairs, pair_enumeration, worker_budget)
+            for bucket in buckets
+        ]
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending,
+                                 timeout=_PROCESS_POLL_INTERVAL)
+            for fut in done:
+                exc = fut.exception()
+                if exc is not None and not isinstance(exc, Cancelled) \
+                        and (failure is None
+                             or isinstance(failure, Cancelled)):
+                    failure = exc
+            if pending and governor is not None and failure is None:
+                try:
+                    # Empty stats: only the deadline and the token can
+                    # trip — exactly the axes workers cannot share.
+                    governor.check(AccessStats())
+                except (BudgetExceeded, Cancelled) as exc:
+                    failure = exc
+            if failure is not None:
+                for fut in pending:
+                    fut.cancel()         # queued buckets never start
+                break
+    if failure is not None:
+        raise failure
+    ordered = []
+    for fut in futures:
+        stats_doc, pairs, count = fut.result()
+        ordered.append((AccessStats.from_dict(stats_doc), pairs, count))
+    results.extend(ordered)
     return results

@@ -18,7 +18,8 @@ lower bound on data distance).
 
 from __future__ import annotations
 
-from ..geometry import Rect
+from ..geometry import (ColumnarMBRs, Rect, distance_candidate_pairs,
+                        overlap_pairs)
 
 __all__ = ["JoinPredicate", "Overlap", "WithinDistance", "OVERLAP"]
 
@@ -34,6 +35,20 @@ class JoinPredicate:
         """Exact test for data rectangle pairs."""
         raise NotImplementedError
 
+    def block_pairs(self, cols1: ColumnarMBRs, cols2: ColumnarMBRs,
+                    ) -> tuple[list[tuple[int, int]], bool] | None:
+        """Batched candidate matching over two columnar MBR blocks.
+
+        Returns ``(pairs, exact)`` where ``pairs`` are ``(i, j)`` index
+        pairs in j-major (outer-R2) order and ``exact`` says whether
+        they are precisely the qualifying pairs (``True``) or a superset
+        the caller must confirm with the scalar test (``False``).
+        Returning ``None`` (the default) means the predicate has no
+        batched kernel; :func:`~repro.join.vectorized_pairs` then tests
+        the full cross product scalar-side.
+        """
+        return None
+
 
 class Overlap(JoinPredicate):
     """The paper's join condition: MBR intersection."""
@@ -43,6 +58,11 @@ class Overlap(JoinPredicate):
 
     def leaf_test(self, r1: Rect, r2: Rect) -> bool:
         return r1.intersects(r2)
+
+    def block_pairs(self, cols1: ColumnarMBRs, cols2: ColumnarMBRs,
+                    ) -> tuple[list[tuple[int, int]], bool]:
+        # Closed-box intersection vectorizes exactly (comparisons only).
+        return overlap_pairs(cols1, cols2), True
 
     def __repr__(self) -> str:
         return "Overlap()"
@@ -67,6 +87,14 @@ class WithinDistance(JoinPredicate):
 
     def leaf_test(self, r1: Rect, r2: Rect) -> bool:
         return r1.min_distance(r2) <= self.distance
+
+    def block_pairs(self, cols1: ColumnarMBRs, cols2: ColumnarMBRs,
+                    ) -> tuple[list[tuple[int, int]], bool]:
+        # The per-axis gap prefilter is exact (subtraction/comparison);
+        # the Euclidean norm is not, so candidates are confirmed with
+        # the scalar math.hypot test to stay bit-identical.
+        return (distance_candidate_pairs(cols1, cols2, self.distance),
+                False)
 
     def __repr__(self) -> str:
         return f"WithinDistance({self.distance})"

@@ -43,16 +43,28 @@ from ..exec.budget import BudgetExceeded, Cancelled
 from ..reliability import ResilientReader, RetryPolicy
 from ..rtree import Node, RTreeBase
 from ..storage import AccessStats, BufferManager, MeteredReader, PathBuffer
-from .plane_sweep import nested_loop_pairs, sweep_pairs
+from .plane_sweep import nested_loop_pairs, sweep_pairs, sweep_pairs_batch
 from .predicates import OVERLAP, JoinPredicate, Overlap, WithinDistance
 from .result import R1, R2, JoinResult, PartialJoinResult
+from .vectorized import vectorized_pairs
 
 __all__ = ["spatial_join", "SpatialJoin", "PAIR_ENUMERATIONS"]
 
-#: Pair-matching strategies inside one node pair: the paper's nested
-#: loops (outer R2, inner R1 — what the DA model assumes) or the BKS93
-#: plane-sweep CPU optimisation.
-PAIR_ENUMERATIONS = ("nested-loop", "plane-sweep")
+#: Pair-matching strategies inside one node pair:
+#:
+#: * ``"nested-loop"``     — the paper's Fig. 2 loops (outer R2, inner
+#:   R1 — what the DA model assumes); the reference.
+#: * ``"plane-sweep"``     — the BKS93 CPU optimisation: same pair set,
+#:   fewer comparisons, sweep-order emission (DA shifts slightly).
+#: * ``"vectorized"``      — one batched kernel per ``|n1| x |n2|``
+#:   block over the nodes' columnar MBR views; pair set, emission
+#:   order, ReadPage sequence, NA and DA bit-identical to
+#:   ``"nested-loop"``.
+#: * ``"vectorized-sweep"``— the plane sweep with batched sorting and
+#:   partner scans; yields (order included) identical to
+#:   ``"plane-sweep"``.
+PAIR_ENUMERATIONS = ("nested-loop", "plane-sweep", "vectorized",
+                     "vectorized-sweep")
 
 _EXHAUSTED = object()
 
@@ -91,9 +103,13 @@ def spatial_join(tree1: RTreeBase, tree2: RTreeBase,
         Set ``False`` for measurement-only runs over large data (the
         counters are unaffected, the pair list stays empty).
     pair_enumeration:
-        ``"nested-loop"`` (the paper's Fig. 2 loops, default) or
-        ``"plane-sweep"`` (the BKS93 CPU optimisation: same output,
-        fewer comparisons, slightly different read order).
+        One of :data:`PAIR_ENUMERATIONS`.  ``"nested-loop"`` (the
+        paper's Fig. 2 loops) is the default; ``"vectorized"`` runs the
+        same loops as batched kernels over columnar MBRs with
+        bit-identical NA/DA; ``"plane-sweep"`` is the BKS93 CPU
+        optimisation (same output, fewer comparisons, slightly
+        different read order) and ``"vectorized-sweep"`` its batched
+        equivalent.  See ``docs/performance.md``.
     retry_policy:
         When given, page reads go through a
         :class:`~repro.reliability.ResilientReader` that retries
@@ -311,10 +327,13 @@ class _TraversalState:
                  pair_enumeration: str = "nested-loop",
                  stats: AccessStats | None = None,
                  governor: ExecutionGovernor | None = None):
-        if pair_enumeration == "plane-sweep":
-            self._pairs_of = sweep_pairs
-        else:
-            self._pairs_of = nested_loop_pairs
+        if pair_enumeration not in PAIR_ENUMERATIONS:
+            raise ValueError(
+                f"pair_enumeration must be one of {PAIR_ENUMERATIONS}")
+        self.pair_enumeration = pair_enumeration
+        # Vectorized enumerators apply the predicate inside the kernel,
+        # so the step handlers must not re-test the yielded pairs.
+        self.pretested = pair_enumeration == "vectorized"
         self.reader1 = reader1
         self.reader2 = reader2
         self.predicate = predicate
@@ -342,13 +361,24 @@ class _TraversalState:
 
     # -- the stack machine --------------------------------------------------
 
+    def _entry_pairs(self, n1: Node, n2: Node, leaf: bool):
+        """The configured pair enumeration over one node pair."""
+        enum = self.pair_enumeration
+        if enum == "vectorized":
+            return vectorized_pairs(n1, n2, self.predicate, leaf)
+        if enum == "plane-sweep":
+            return sweep_pairs(n1.entries, n2.entries)
+        if enum == "vectorized-sweep":
+            return sweep_pairs_batch(n1.entries, n2.entries)
+        return nested_loop_pairs(n1.entries, n2.entries)
+
     def push(self, n1: Node, n2: Node) -> _Frame:
         """Open the SJ of a pair of resident nodes (one Fig. 2 call)."""
         if n1.is_leaf and n2.is_leaf:
-            frame = _Frame(n1, n2, self._pairs_of(n1.entries, n2.entries),
+            frame = _Frame(n1, n2, self._entry_pairs(n1, n2, leaf=True),
                            self._step_leaves)
         elif not n1.is_leaf and not n2.is_leaf:
-            frame = _Frame(n1, n2, self._pairs_of(n1.entries, n2.entries),
+            frame = _Frame(n1, n2, self._entry_pairs(n1, n2, leaf=False),
                            self._step_internal)
         elif n1.is_leaf:
             # R1 bottomed out, R2 still internal (h_R1 < h_R2 regime).
@@ -399,7 +429,7 @@ class _TraversalState:
     def _step_leaves(self, frame: _Frame, item) -> None:
         e1, e2, cost = item
         self.comparisons += cost
-        if self.predicate.leaf_test(e1.rect, e2.rect):
+        if self.pretested or self.predicate.leaf_test(e1.rect, e2.rect):
             self.pair_count += 1
             if self.collect_pairs:
                 self.pairs.append((e1.ref, e2.ref))
@@ -407,7 +437,7 @@ class _TraversalState:
     def _step_internal(self, frame: _Frame, item) -> None:
         e1, e2, cost = item
         self.comparisons += cost
-        if self.predicate.node_test(e1.rect, e2.rect):
+        if self.pretested or self.predicate.node_test(e1.rect, e2.rect):
             # Line 14 of Fig. 2: ReadPage both children, recurse.
             c1 = self._fetch1(e1.ref, frame.n1.level - 1)
             c2 = self._fetch2(e2.ref, frame.n2.level - 1)

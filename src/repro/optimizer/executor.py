@@ -77,6 +77,7 @@ class ExecutionResult:
 
 def execute_plan(plan: Plan, indexes: dict[str, RTreeBase],
                  governor: ExecutionGovernor | None = None,
+                 pair_enumeration: str = "nested-loop",
                  ) -> ExecutionResult:
     """Run a plan against real trees keyed by relation name.
 
@@ -86,7 +87,11 @@ def execute_plan(plan: Plan, indexes: dict[str, RTreeBase],
     probe against the accumulated plan counters and result count.
     Partial mode is refused — a multi-operator plan has no single
     resumable frontier; use :meth:`repro.join.SpatialJoin.run` directly
-    for checkpointable joins.
+    for checkpointable joins.  ``pair_enumeration`` selects the
+    node-pair matching kernel for every SJ operator in the plan (see
+    :data:`~repro.join.PAIR_ENUMERATIONS`); DA — what plans are priced
+    in — is identical across kernels except the plane sweeps' slightly
+    shifted buffer-hit pattern.
     """
     if governor is not None and governor.partial:
         raise ValueError(
@@ -95,20 +100,23 @@ def execute_plan(plan: Plan, indexes: dict[str, RTreeBase],
     stats = AccessStats()
     if governor is not None:
         governor.start()
-    tuples = _execute(plan, indexes, stats, governor)
+    tuples = _execute(plan, indexes, stats, governor, pair_enumeration)
     return ExecutionResult(tuples, stats)
 
 
 def _execute(plan: Plan, indexes: dict[str, RTreeBase],
              stats: AccessStats,
              governor: ExecutionGovernor | None = None,
+             pair_enumeration: str = "nested-loop",
              ) -> list[ResultTuple]:
     if isinstance(plan, IndexScanPlan):
         return _execute_scan(plan, indexes)
     if isinstance(plan, SpatialJoinPlan):
-        return _execute_sj(plan, indexes, stats, governor)
+        return _execute_sj(plan, indexes, stats, governor,
+                           pair_enumeration)
     if isinstance(plan, IndexNestedLoopPlan):
-        return _execute_inl(plan, indexes, stats, governor)
+        return _execute_inl(plan, indexes, stats, governor,
+                            pair_enumeration)
     raise TypeError(f"cannot execute plan node {type(plan).__name__}")
 
 
@@ -134,12 +142,14 @@ def _execute_scan(plan: IndexScanPlan,
 def _execute_sj(plan: SpatialJoinPlan, indexes: dict[str, RTreeBase],
                 stats: AccessStats,
                 governor: ExecutionGovernor | None = None,
+                pair_enumeration: str = "nested-loop",
                 ) -> list[ResultTuple]:
     from ..join import SpatialJoin   # local import: avoids a cycle
 
     tree1 = _tree_for(plan.data, indexes)
     tree2 = _tree_for(plan.query, indexes)
     join = SpatialJoin(tree1, tree2, buffer=PathBuffer(),
+                       pair_enumeration=pair_enumeration,
                        governor=governor)
     result = join.run(collect_pairs=True)
     stats.merge(result.stats)
@@ -159,8 +169,10 @@ def _execute_inl(plan: IndexNestedLoopPlan,
                  indexes: dict[str, RTreeBase],
                  stats: AccessStats,
                  governor: ExecutionGovernor | None = None,
+                 pair_enumeration: str = "nested-loop",
                  ) -> list[ResultTuple]:
-    stream = _execute(plan.stream, indexes, stats, governor)
+    stream = _execute(plan.stream, indexes, stats, governor,
+                      pair_enumeration)
     tree = _tree_for(plan.indexed, indexes)
     name = plan.indexed.entry.name
     reader = MeteredReader(tree.pager, name, stats, PathBuffer())

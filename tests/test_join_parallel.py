@@ -128,7 +128,12 @@ class TestThreadsMode:
     def test_invalid_mode(self, joined):
         _a, _b, t1, t2 = joined
         with pytest.raises(ValueError):
-            parallel_spatial_join(t1, t2, 2, mode="processes")
+            parallel_spatial_join(t1, t2, 2, mode="fibers")
+
+    def test_invalid_pair_enumeration(self, joined):
+        _a, _b, t1, t2 = joined
+        with pytest.raises(ValueError):
+            parallel_spatial_join(t1, t2, 2, pair_enumeration="simd")
 
     def test_partial_governor_refused(self, joined):
         _a, _b, t1, t2 = joined
@@ -196,3 +201,77 @@ class TestThreadsMode:
         finally:
             t1.pager = t1.pager.inner
             t2.pager = t2.pager.inner
+
+
+class TestProcessesMode:
+    @pytest.mark.parametrize("workers", [1, 3])
+    def test_same_output_as_serial_mode(self, joined, workers):
+        a, b, t1, t2 = joined
+        serial = parallel_spatial_join(t1, t2, workers)
+        proc = parallel_spatial_join(t1, t2, workers, mode="processes")
+        assert proc.pairs == serial.pairs
+        assert sorted(proc.pairs) == sorted(naive_join(a, b))
+        # Shared-nothing workers on private tree copies: the merged
+        # counters must equal the serial drive's, worker for worker.
+        assert [s.as_dict() for s in proc.worker_stats] == \
+            [s.as_dict() for s in serial.worker_stats]
+
+    def test_vectorized_enumeration_matches(self, joined):
+        _a, _b, t1, t2 = joined
+        base = parallel_spatial_join(t1, t2, 3)
+        vec = parallel_spatial_join(t1, t2, 3, mode="processes",
+                                    pair_enumeration="vectorized")
+        assert vec.pairs == base.pairs
+        for got, want in zip(vec.worker_stats, base.worker_stats):
+            got, want = got.as_dict(), want.as_dict()
+            assert got["node_accesses"] == want["node_accesses"]
+            assert got["disk_accesses"] == want["disk_accesses"]
+
+    def test_per_worker_budget_raises(self, joined):
+        _a, _b, t1, t2 = joined
+        gov = ExecutionGovernor(Budget(max_na=3))
+        with pytest.raises(BudgetExceeded) as err:
+            parallel_spatial_join(t1, t2, 4, governor=gov,
+                                  mode="processes")
+        assert err.value.resource == "na"
+
+    def test_expired_deadline_aborts_before_spawn(self, joined):
+        _a, _b, t1, t2 = joined
+        clock = iter([0.0, 10.0, 20.0, 30.0, 40.0, 50.0])
+        gov = ExecutionGovernor(Budget(deadline=1.0),
+                                clock=lambda: next(clock))
+        gov.start()
+        with pytest.raises(BudgetExceeded) as err:
+            parallel_spatial_join(t1, t2, 4, governor=gov,
+                                  mode="processes")
+        assert err.value.resource == "deadline"
+
+    def test_pre_cancelled_token_polled(self, joined):
+        _a, _b, t1, t2 = joined
+        gov = ExecutionGovernor()
+        gov.token.cancel()
+        with pytest.raises(Cancelled):
+            parallel_spatial_join(t1, t2, 4, governor=gov,
+                                  mode="processes")
+
+    def test_budget_error_pickles_across_boundary(self):
+        import pickle
+        err = pickle.loads(pickle.dumps(BudgetExceeded("na", 5, 6)))
+        assert (err.resource, err.limit, err.observed) == ("na", 5, 6)
+        assert "na budget" in str(err)
+
+
+class TestSpeedupDa:
+    def test_zero_makespan_nonzero_sequential_is_none(self):
+        from repro.storage import AccessStats
+        from repro.join.parallel import ParallelJoinResult
+        r = ParallelJoinResult([], [AccessStats()], 0)
+        assert r.speedup_da(100) is None       # was float("inf")
+        import json
+        json.dumps({"speedup": r.speedup_da(100)})  # JSON-safe
+
+    def test_zero_over_zero_is_one(self):
+        from repro.storage import AccessStats
+        from repro.join.parallel import ParallelJoinResult
+        r = ParallelJoinResult([], [AccessStats()], 0)
+        assert r.speedup_da(0) == 1.0

@@ -1,10 +1,13 @@
 """The plane-sweep pair enumerator and its SJ integration."""
 
+import random
+
 import pytest
 
 from repro.geometry import Rect
 from repro.join import naive_join, spatial_join
-from repro.join.plane_sweep import nested_loop_pairs, sweep_pairs
+from repro.join.plane_sweep import (nested_loop_pairs, sweep_pairs,
+                                    sweep_pairs_batch)
 from repro.rtree import Entry
 
 from .conftest import build_rstar, make_items
@@ -55,6 +58,73 @@ class TestSweepPairs:
         assert len(list(sweep_pairs(e1, e2, axis=0))) == 1
 
 
+def tied_entries():
+    """Entries engineered to collide on every sort key component but ref:
+    identical lo, several identical (lo, hi) combinations."""
+    rects = [Rect((0.1, 0.0), (0.5, 1.0)),
+             Rect((0.1, 0.0), (0.5, 1.0)),   # exact duplicate extent
+             Rect((0.1, 0.0), (0.7, 1.0)),   # tied lo, longer
+             Rect((0.3, 0.0), (0.5, 1.0)),
+             Rect((0.3, 0.0), (0.5, 1.0))]
+    return [Entry(r, i) for i, r in enumerate(rects)]
+
+
+class TestSweepDeterminism:
+    def test_emission_order_is_permutation_invariant(self):
+        # Tied lower boundaries used to make the order depend on input
+        # order (Python's sort is stable); the (lo, hi, ref) key is a
+        # total order, so any shuffle must emit the same sequence.
+        e1, e2 = tied_entries(), tied_entries()
+        reference = [(a.ref, b.ref) for a, b, _c in sweep_pairs(e1, e2)]
+        rng = random.Random(42)
+        for _ in range(10):
+            s1, s2 = list(e1), list(e2)
+            rng.shuffle(s1)
+            rng.shuffle(s2)
+            got = [(a.ref, b.ref) for a, b, _c in sweep_pairs(s1, s2)]
+            assert got == reference
+
+    def test_entries1_opens_on_exact_key_tie(self):
+        # Equal (lo, hi, ref) on both sides: the documented order says
+        # entries1's entry opens first.
+        r = Rect((0.2, 0.0), (0.4, 1.0))
+        e1 = [Entry(r, 7)]
+        e2 = [Entry(r, 7)]
+        assert [(a.ref, b.ref) for a, b, _c in sweep_pairs(e1, e2)] \
+            == [(7, 7)]
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    def test_batch_identical_to_scalar(self, seed):
+        items1 = make_items(80, seed=seed)
+        items2 = make_items(70, seed=seed + 100)
+        e1 = [Entry(r, i) for i, (r, _o) in enumerate(items1)]
+        e2 = [Entry(r, i) for i, (r, _o) in enumerate(items2)]
+        scalar = [(a.ref, b.ref, c) for a, b, c in sweep_pairs(e1, e2)]
+        batch = [(a.ref, b.ref, c)
+                 for a, b, c in sweep_pairs_batch(e1, e2)]
+        assert batch == scalar
+
+    def test_batch_identical_on_ties(self):
+        e1, e2 = tied_entries(), tied_entries()
+        scalar = [(a.ref, b.ref) for a, b, _c in sweep_pairs(e1, e2)]
+        batch = [(a.ref, b.ref)
+                 for a, b, _c in sweep_pairs_batch(e1, e2)]
+        assert batch == scalar
+
+    def test_batch_empty_sides(self):
+        e = [Entry(Rect((0, 0), (1, 1)), 0)]
+        assert list(sweep_pairs_batch([], e)) == []
+        assert list(sweep_pairs_batch(e, [])) == []
+
+    def test_batch_pure_python_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PURE_PYTHON", "1")
+        e1, e2 = tied_entries(), tied_entries()
+        scalar = [(a.ref, b.ref) for a, b, _c in sweep_pairs(e1, e2)]
+        batch = [(a.ref, b.ref)
+                 for a, b, _c in sweep_pairs_batch(e1, e2)]
+        assert batch == scalar
+
+
 class TestNestedLoopPairs:
     def test_full_cross_product_in_paper_order(self):
         e1 = entries([Rect((0, 0), (1, 1)), Rect((0, 0), (1, 1))])
@@ -96,3 +166,12 @@ class TestSweepInSpatialJoin:
         t = build_rstar(make_items(10, seed=11))
         with pytest.raises(ValueError, match="pair_enumeration"):
             spatial_join(t, t, pair_enumeration="quantum")
+
+    def test_vectorized_sweep_identical_to_plane_sweep(self):
+        a = make_items(250, seed=12)
+        b = make_items(250, seed=13)
+        t1, t2 = build_rstar(a), build_rstar(b)
+        ps = spatial_join(t1, t2, pair_enumeration="plane-sweep")
+        vs = spatial_join(t1, t2, pair_enumeration="vectorized-sweep")
+        assert vs.pairs == ps.pairs
+        assert vs.stats.as_dict() == ps.stats.as_dict()
