@@ -56,6 +56,8 @@ from .join import (OVERLAP, JoinResult, Overlap, ParallelJoinResult,
                    index_nested_loop_join, naive_join,
                    parallel_spatial_join, spatial_join,
                    sweep_pairs_batch, vectorized_pairs)
+from .obs import (AccuracyLedger, AccuracyRecord, JsonlSink, MemorySink,
+                  MetricsRegistry, NullSink, TraceSink, Tracer)
 from .optimizer import Catalog, best_plan, role_advice
 from .reliability import (CorruptionReport, CorruptPageError, FaultInjector,
                           FaultyPager, MalformedFileError, ModelDomainError,
@@ -70,6 +72,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AccessStats",
+    "AccuracyLedger",
+    "AccuracyRecord",
     "AdmissionRejected",
     "AnalyticalTreeParams",
     "BatchResult",
@@ -90,13 +94,17 @@ __all__ = [
     "GuttmanRTree",
     "JoinCheckpoint",
     "JoinResult",
+    "JsonlSink",
     "LRUBuffer",
     "LocalDensityGrid",
     "MalformedFileError",
     "MeasuredTreeParams",
+    "MemorySink",
+    "MetricsRegistry",
     "ModelDomainError",
     "NoBuffer",
     "NonUniformJoinModel",
+    "NullSink",
     "OVERLAP",
     "Overlap",
     "ParallelJoinResult",
@@ -112,6 +120,8 @@ __all__ = [
     "RetryPolicy",
     "SpatialDataset",
     "SpatialJoin",
+    "TraceSink",
+    "Tracer",
     "TransientPageError",
     "WithinDistance",
     "Workspace",

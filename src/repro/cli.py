@@ -18,7 +18,10 @@ the library is usable without writing code:
 * ``experiment`` — run any registered paper experiment by id
   (``fig5a`` .. ``fig7b``) at a chosen scale profile;
 * ``verify``   — check a saved tree file's checksums and report what (if
-  anything) is corrupt.
+  anything) is corrupt;
+* ``report``   — summarize a JSONL trace written by ``join --trace``
+  (event census, per-join counters, metrics snapshot, estimator
+  accuracy; see ``docs/observability.md``).
 
 Exit codes are structured so scripts can react precisely:
 
@@ -179,7 +182,22 @@ def _build_parser() -> argparse.ArgumentParser:
     join.add_argument("--assignment", choices=ASSIGNMENT_STRATEGIES,
                       default="greedy",
                       help="task-to-worker assignment (with --workers)")
+    join.add_argument("--trace", metavar="OUT.jsonl", default=None,
+                      help="write a structured JSONL trace of the run "
+                           "(summarize it later with 'repro report'); "
+                           "tracing never changes NA/DA")
+    join.add_argument("--sample-pairs", type=int, default=0, metavar="N",
+                      help="with --trace: emit every N-th node-pair "
+                           "visit as a trace event (0 = none)")
+    join.add_argument("--metrics", action="store_true",
+                      help="collect counters/histograms for the run and "
+                           "print them (also embedded in --trace output)")
     join.set_defaults(handler=_cmd_join)
+
+    rep = sub.add_parser(
+        "report", help="summarize a JSONL trace written by join --trace")
+    rep.add_argument("trace", help="trace file (one JSON object per line)")
+    rep.set_defaults(handler=_cmd_report)
 
     query = sub.add_parser(
         "query", help="range/kNN query over a saved tree")
@@ -339,16 +357,43 @@ def _cmd_join(args: argparse.Namespace) -> int:
     if not budget.unlimited or args.partial:
         governor = ExecutionGovernor(budget, partial=args.partial)
 
+    if args.workers is not None and (args.partial or args.checkpoint
+                                     or args.resume):
+        print("--workers is incompatible with --partial, "
+              "--checkpoint and --resume (checkpoints describe the "
+              "single synchronized traversal)", file=sys.stderr)
+        return 2
+
+    # Observability hooks (repro.obs): write-only, so a traced/metered
+    # run counts exactly what an unobserved one does.
+    tracer = metrics = ledger = None
+    if args.metrics:
+        from .obs import MetricsRegistry
+        metrics = MetricsRegistry()
+    if args.trace is not None:
+        from .obs import AccuracyLedger, JsonlSink, Tracer
+        tracer = Tracer(JsonlSink(args.trace),
+                        sample_pairs=args.sample_pairs)
+        ledger = AccuracyLedger(tracer=tracer)
+    try:
+        return _run_join(args, t1, t2, buffer, retry_policy, governor,
+                         tracer, metrics, ledger, stats)
+    finally:
+        if tracer is not None:
+            if metrics is not None:
+                tracer.metrics(metrics.as_dict())
+            tracer.close()
+
+
+def _run_join(args, t1, t2, buffer, retry_policy, governor,
+              tracer, metrics, ledger, stats) -> int:
+    """The measured part of ``repro join``, after setup/validation."""
     if args.workers is not None:
-        if args.partial or args.checkpoint or args.resume:
-            print("--workers is incompatible with --partial, "
-                  "--checkpoint and --resume (checkpoints describe the "
-                  "single synchronized traversal)", file=sys.stderr)
-            return 2
         result = parallel_spatial_join(
             t1, t2, args.workers, assignment=args.assignment,
             collect_pairs=False, governor=governor, mode=args.mode,
-            pair_enumeration=args.pair_enum)
+            pair_enumeration=args.pair_enum, tracer=tracer,
+            metrics=metrics)
         print(f"R1: {args.tree1} (N={len(t1)}, h={t1.height})")
         print(f"R2: {args.tree2} (N={len(t2)}, h={t2.height})")
         print(f"result pairs: {result.pair_count}")
@@ -359,11 +404,13 @@ def _cmd_join(args: argparse.Namespace) -> int:
               f"{result.total_da}")
         print(f"makespan NA: {result.makespan_na}, makespan DA: "
               f"{result.makespan_da}")
+        _print_obs(args, metrics, ledger)
         return 0
 
     sj = SpatialJoin(t1, t2, buffer=buffer, retry_policy=retry_policy,
                      pair_enumeration=args.pair_enum,
-                     governor=governor)
+                     governor=governor, tracer=tracer, metrics=metrics,
+                     ledger=ledger)
     if args.resume is not None:
         result = sj.resume(JoinCheckpoint.load(args.resume))
     else:
@@ -381,6 +428,7 @@ def _cmd_join(args: argparse.Namespace) -> int:
         print(f"retried reads: {result.stats.retry_count()} "
               f"(accounted backoff "
               f"{result.stats.accounted_backoff * 1e3:.1f} ms)")
+    _print_obs(args, metrics, ledger)
 
     if isinstance(result, PartialJoinResult):
         print(f"partial pairs so far: {result.pair_count}")
@@ -406,6 +454,27 @@ def _cmd_join(args: argparse.Namespace) -> int:
     print(f"analytical: NA = {est.na():.0f}, "
           f"DA = {est.da():.0f}, "
           f"pairs = {est.selectivity():.0f}")
+    return 0
+
+
+def _print_obs(args: argparse.Namespace, metrics, ledger) -> None:
+    """Human-readable tail for ``join --metrics`` / ``--trace``."""
+    if metrics is not None:
+        snap = metrics.as_dict()
+        for name in sorted(snap["counters"]):
+            print(f"metric {name}: {snap['counters'][name]}")
+    if ledger is not None and ledger.records:
+        rec = ledger.records[-1]
+        fmt = (lambda e: "undefined" if e is None else f"{e:+.1%}")
+        print(f"estimator accuracy: NA error {fmt(rec.na_error)}, "
+              f"DA error {fmt(rec.da_error)}")
+    if args.trace is not None:
+        print(f"trace written to {args.trace}")
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .obs import load_trace, render_report
+    print(render_report(load_trace(args.trace)))
     return 0
 
 

@@ -81,28 +81,31 @@ def error_summary(observations: Sequence[JoinObservation],
     """Aggregate |relative error| statistics over a grid of runs.
 
     Undefined errors (``None``, zero measurement vs non-zero model) are
-    excluded from the aggregates; an axis with no defined error at all
-    reports zero mean/max.
+    excluded from the aggregates without shrinking the denominators of
+    the defined ones; an axis with no defined error at all reports zero
+    mean/max.  Because that zero is indistinguishable from a perfectly
+    calibrated axis, each axis also reports ``<axis>_defined`` — how
+    many observations actually contributed — alongside the total
+    ``count``, so consumers can tell "no error" from "no evidence".
     """
     if not observations:
         raise ValueError("no observations to summarise")
 
-    def stats(errors: list[float | None]) -> tuple[float, float]:
+    def stats(errors: list[float | None]) -> tuple[float, float, int]:
         magnitudes = [abs(e) for e in errors if e is not None]
         if not magnitudes:
-            return (0.0, 0.0)
-        return (sum(magnitudes) / len(magnitudes), max(magnitudes))
+            return (0.0, 0.0, 0)
+        return (sum(magnitudes) / len(magnitudes), max(magnitudes),
+                len(magnitudes))
 
-    na_mean, na_max = stats([ob.na_error for ob in observations])
-    da_mean, da_max = stats([ob.da_error for ob in observations])
-    da1_mean, da1_max = stats([ob.da1_error for ob in observations])
-    da2_mean, da2_max = stats([ob.da2_error for ob in observations])
-    return {
-        "na_mean": na_mean, "na_max": na_max,
-        "da_mean": da_mean, "da_max": da_max,
-        "da1_mean": da1_mean, "da1_max": da1_max,
-        "da2_mean": da2_mean, "da2_max": da2_max,
-    }
+    out: dict[str, float] = {"count": len(observations)}
+    for axis in ("na", "da", "da1", "da2"):
+        mean, peak, defined = stats(
+            [getattr(ob, f"{axis}_error") for ob in observations])
+        out[f"{axis}_mean"] = mean
+        out[f"{axis}_max"] = peak
+        out[f"{axis}_defined"] = defined
+    return out
 
 
 def observation_records(observations: Iterable[JoinObservation],

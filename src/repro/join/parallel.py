@@ -124,12 +124,20 @@ def _run_bucket(bucket: list[tuple], tree1: RTreeBase, tree2: RTreeBase,
                 collect_pairs: bool,
                 governor: ExecutionGovernor | None,
                 pair_enumeration: str = "nested-loop",
-                ) -> tuple[AccessStats, list[tuple[int, int]], int]:
+                metrics=None,
+                ) -> tuple[AccessStats, list[tuple[int, int]], int,
+                           object]:
     """Execute one worker's task bucket against a private buffer.
 
     This is the worker body for every execution mode; any exception it
     raises carries this function in its traceback, so a failure
     surfacing at the pool boundary still points at the worker code.
+
+    ``metrics`` is a worker-*private*
+    :class:`~repro.obs.MetricsRegistry` (or ``None``): the worker
+    records its own delta, and ships the registry back as the fourth
+    element of the result tuple for the coordinator to merge — no
+    shared mutable state between workers.
     """
     stats = AccessStats()
     buffer = PathBuffer()                # each worker owns its disk/buffer
@@ -148,14 +156,24 @@ def _run_bucket(bucket: list[tuple], tree1: RTreeBase, tree2: RTreeBase,
         c2 = (root2 if e2 is None
               else state._fetch2(e2.ref, root2.level - 1))
         state.join(c1, c2)
-    return stats, state.pairs, state.pair_count
+    if metrics is not None:
+        metrics.counter("worker.count").inc()
+        metrics.counter("worker.tasks").inc(len(bucket))
+        metrics.counter("worker.pairs").inc(state.pair_count)
+        metrics.counter("worker.comparisons").inc(state.comparisons)
+        metrics.record_access_stats(stats, prefix="worker")
+        if governor is not None:
+            metrics.counter("governor.checks").inc(governor.checks)
+    return stats, state.pairs, state.pair_count, metrics
 
 
 def _process_bucket(bucket: list[tuple], tree1: RTreeBase,
                     tree2: RTreeBase, predicate: JoinPredicate,
                     collect_pairs: bool, pair_enumeration: str,
                     budget: Budget | None,
-                    ) -> tuple[dict, list[tuple[int, int]], int]:
+                    collect_metrics: bool = False,
+                    ) -> tuple[dict, list[tuple[int, int]], int,
+                               dict | None]:
     """Worker-*process* body: plain picklable data in, plain data out.
 
     Runs in a child process on its own unpickled tree copies (private
@@ -164,18 +182,25 @@ def _process_bucket(bucket: list[tuple], tree1: RTreeBase,
     one from the shipped budget — whose deadline the coordinator already
     rebased to the time remaining at dispatch — and starts its clock
     immediately.  Stats travel back as their ``as_dict`` form because
-    :class:`AccessStats` itself is not picklable.
+    :class:`AccessStats` itself is not picklable; with
+    ``collect_metrics`` the worker's metric delta ships the same way
+    (``MetricsRegistry.as_dict``) for the coordinator to merge.
     """
     governor = None
     if budget is not None and not budget.unlimited:
         governor = ExecutionGovernor(budget)
         governor.start()
+    metrics = None
+    if collect_metrics:
+        from ..obs import MetricsRegistry
+        metrics = MetricsRegistry()
     root1 = tree1.root()
     root2 = tree2.root()
-    stats, pairs, count = _run_bucket(
+    stats, pairs, count, metrics = _run_bucket(
         bucket, tree1, tree2, root1, root2, predicate, collect_pairs,
-        governor, pair_enumeration)
-    return stats.as_dict(), pairs, count
+        governor, pair_enumeration, metrics)
+    return (stats.as_dict(), pairs, count,
+            metrics.as_dict() if metrics is not None else None)
 
 
 def parallel_spatial_join(tree1: RTreeBase, tree2: RTreeBase,
@@ -186,6 +211,7 @@ def parallel_spatial_join(tree1: RTreeBase, tree2: RTreeBase,
                           governor: ExecutionGovernor | None = None,
                           mode: str = "serial",
                           pair_enumeration: str = "nested-loop",
+                          tracer=None, metrics=None,
                           ) -> ParallelJoinResult:
     """Run the SJ join split into subtree-pair tasks over ``workers``.
 
@@ -212,6 +238,16 @@ def parallel_spatial_join(tree1: RTreeBase, tree2: RTreeBase,
     Workers enforce the budget themselves (deadline rebased to dispatch
     time), while the coordinator polls the governor between completions
     and abandons queued buckets the moment the deadline or token trips.
+
+    ``tracer``/``metrics`` are the :mod:`repro.obs` hooks.  Workers
+    never touch the tracer (sinks don't cross process boundaries; the
+    coordinator emits the per-worker events from the collected
+    results), but each worker records into a *private*
+    :class:`~repro.obs.MetricsRegistry` whose delta travels back with
+    its ``AccessStats`` — in ``"processes"`` mode as a plain dict — and
+    is merged into the caller's registry in bucket order.  Both hooks
+    are write-only: pairs/NA/DA of an observed run are bit-identical to
+    an unobserved one.
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -280,34 +316,81 @@ def parallel_spatial_join(tree1: RTreeBase, tree2: RTreeBase,
     if governor is not None:
         governor.start()                 # deadline shared by all workers
 
-    if mode == "threads":
-        results = _drive_threads(buckets, tree1, tree2, root1, root2,
-                                 predicate, collect_pairs, governor,
-                                 pair_enumeration)
-    elif mode == "processes":
-        results = _drive_processes(buckets, tree1, tree2, predicate,
-                                   collect_pairs, governor,
-                                   pair_enumeration)
-    else:
-        results = []
-        for bucket in buckets:
-            worker_gov = governor.spawn() if governor is not None else None
-            results.append(_run_bucket(bucket, tree1, tree2, root1, root2,
-                                       predicate, collect_pairs,
-                                       worker_gov, pair_enumeration))
+    join_id = None
+    if tracer is not None:
+        join_id = tracer.new_join_id()
+        tracer.join_start(
+            join_id, n1=len(tree1), n2=len(tree2), mode=mode,
+            workers=workers, assignment=assignment, tasks=len(tasks),
+            pair_enumeration=pair_enumeration,
+            governed=governor is not None)
+
+    try:
+        if mode == "threads":
+            results = _drive_threads(buckets, tree1, tree2, root1, root2,
+                                     predicate, collect_pairs, governor,
+                                     pair_enumeration,
+                                     with_metrics=metrics is not None)
+        elif mode == "processes":
+            results = _drive_processes(buckets, tree1, tree2, predicate,
+                                       collect_pairs, governor,
+                                       pair_enumeration,
+                                       with_metrics=metrics is not None)
+        else:
+            results = []
+            for bucket in buckets:
+                worker_gov = governor.spawn() if governor is not None \
+                    else None
+                results.append(_run_bucket(
+                    bucket, tree1, tree2, root1, root2, predicate,
+                    collect_pairs, worker_gov, pair_enumeration,
+                    _fresh_metrics(metrics is not None)))
+    except (BudgetExceeded, Cancelled) as exc:
+        if tracer is not None:
+            tracer.budget_trip(join_id, exc.as_dict())
+        if metrics is not None:
+            metrics.counter("governor.trips").inc()
+        raise
 
     all_pairs: list[tuple[int, int]] = []
     pair_count = 0
     worker_stats: list[AccessStats] = []
-    for stats, pairs, count in results:
+    for index, (stats, pairs, count, delta) in enumerate(results):
         worker_stats.append(stats)
         all_pairs.extend(pairs)
         pair_count += count
-    return ParallelJoinResult(all_pairs, worker_stats, pair_count)
+        if metrics is not None and delta is not None:
+            metrics.merge(delta)     # a registry, or a dict from a process
+        if tracer is not None:
+            tracer.worker_finish(join_id, index, na=stats.na(),
+                                 da=stats.da(), pairs=count,
+                                 tasks=len(buckets[index]))
+    result = ParallelJoinResult(all_pairs, worker_stats, pair_count)
+    if metrics is not None:
+        metrics.counter("parallel.joins").inc()
+        hist = metrics.histogram("parallel.worker_da")
+        for stats in worker_stats:
+            hist.observe(stats.da())
+    if tracer is not None:
+        tracer.join_finish(join_id, na=result.total_na,
+                           da=result.total_da, pairs=result.pair_count,
+                           complete=True, mode=mode,
+                           makespan_na=result.makespan_na,
+                           makespan_da=result.makespan_da)
+    return result
+
+
+def _fresh_metrics(enabled: bool):
+    """A worker-private registry, or ``None`` when metrics are off."""
+    if not enabled:
+        return None
+    from ..obs import MetricsRegistry   # local import: obs is optional
+    return MetricsRegistry()
 
 
 def _drive_threads(buckets, tree1, tree2, root1, root2, predicate,
-                   collect_pairs, governor, pair_enumeration):
+                   collect_pairs, governor, pair_enumeration,
+                   with_metrics=False):
     """Run the buckets on a thread pool, propagating the first failure.
 
     Workers observe an internal abort token (linked into each worker's
@@ -340,7 +423,8 @@ def _drive_threads(buckets, tree1, tree2, root1, root2, predicate,
         for bucket in buckets:
             fut = pool.submit(_run_bucket, bucket, tree1, tree2,
                               root1, root2, predicate, collect_pairs,
-                              worker_governor(), pair_enumeration)
+                              worker_governor(), pair_enumeration,
+                              _fresh_metrics(with_metrics))
             fut.add_done_callback(on_done)
             futures.append(fut)
         for fut in futures:
@@ -381,7 +465,7 @@ def _worker_budget(governor) -> Budget | None:
 
 
 def _drive_processes(buckets, tree1, tree2, predicate, collect_pairs,
-                     governor, pair_enumeration):
+                     governor, pair_enumeration, with_metrics=False):
     """Run the buckets on a process pool with coordinator-side polling.
 
     Each submission pickles the bucket, both trees, the predicate and
@@ -409,7 +493,8 @@ def _drive_processes(buckets, tree1, tree2, predicate, collect_pairs,
     with ProcessPoolExecutor(max_workers=max(1, len(buckets))) as pool:
         futures = [
             pool.submit(_process_bucket, bucket, tree1, tree2, predicate,
-                        collect_pairs, pair_enumeration, worker_budget)
+                        collect_pairs, pair_enumeration, worker_budget,
+                        with_metrics)
             for bucket in buckets
         ]
         pending = set(futures)
@@ -437,7 +522,8 @@ def _drive_processes(buckets, tree1, tree2, predicate, collect_pairs,
         raise failure
     ordered = []
     for fut in futures:
-        stats_doc, pairs, count = fut.result()
-        ordered.append((AccessStats.from_dict(stats_doc), pairs, count))
+        stats_doc, pairs, count, metrics_doc = fut.result()
+        ordered.append((AccessStats.from_dict(stats_doc), pairs, count,
+                        metrics_doc))
     results.extend(ordered)
     return results

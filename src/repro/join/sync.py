@@ -89,7 +89,8 @@ def spatial_join(tree1: RTreeBase, tree2: RTreeBase,
                  collect_pairs: bool = True,
                  pair_enumeration: str = "nested-loop",
                  retry_policy: RetryPolicy | None = None,
-                 governor: ExecutionGovernor | None = None) -> JoinResult:
+                 governor: ExecutionGovernor | None = None,
+                 tracer=None, metrics=None, ledger=None) -> JoinResult:
     """Join two R-trees; ``tree1`` is R1 (data role), ``tree2`` R2 (query).
 
     Parameters
@@ -123,9 +124,16 @@ def spatial_join(tree1: RTreeBase, tree2: RTreeBase,
         exhausted budget yields a
         :class:`~repro.join.PartialJoinResult` with a resumable
         checkpoint instead of raising.
+    tracer, metrics, ledger:
+        Optional :class:`~repro.obs.Tracer`,
+        :class:`~repro.obs.MetricsRegistry` and
+        :class:`~repro.obs.AccuracyLedger` observability hooks.  All
+        three are write-only: NA/DA/pairs/checkpoints of an observed
+        run are bit-identical to an unobserved one.
     """
     return SpatialJoin(tree1, tree2, buffer, predicate, pair_enumeration,
-                       retry_policy, governor).run(collect_pairs)
+                       retry_policy, governor, tracer=tracer,
+                       metrics=metrics, ledger=ledger).run(collect_pairs)
 
 
 class SpatialJoin:
@@ -136,7 +144,8 @@ class SpatialJoin:
                  predicate: JoinPredicate = OVERLAP,
                  pair_enumeration: str = "nested-loop",
                  retry_policy: RetryPolicy | None = None,
-                 governor: ExecutionGovernor | None = None):
+                 governor: ExecutionGovernor | None = None,
+                 tracer=None, metrics=None, ledger=None):
         if tree1.ndim != tree2.ndim:
             raise ValueError(
                 f"dimensionality mismatch: {tree1.ndim} vs {tree2.ndim}")
@@ -150,13 +159,21 @@ class SpatialJoin:
         self.pair_enumeration = pair_enumeration
         self.retry_policy = retry_policy
         self.governor = governor
+        # Observability hooks (repro.obs) — all write-only: nothing in
+        # the traversal reads them, which is what keeps a traced run's
+        # NA/DA/pairs/checkpoints bit-identical to an untraced one.
+        self.tracer = tracer            #: optional repro.obs.Tracer
+        self.metrics = metrics          #: optional MetricsRegistry
+        self.ledger = ledger            #: optional AccuracyLedger
+        self._join_id = None
 
     def _reader(self, pager, label: object, stats: AccessStats
                 ) -> MeteredReader:
         if self.retry_policy is not None:
             return ResilientReader(pager, label, stats, self.buffer,
-                                   self.retry_policy)
-        return MeteredReader(pager, label, stats, self.buffer)
+                                   self.retry_policy, tracer=self.tracer)
+        return MeteredReader(pager, label, stats, self.buffer,
+                             tracer=self.tracer)
 
     def _state(self, stats: AccessStats, collect_pairs: bool,
                ) -> "_TraversalState":
@@ -166,7 +183,8 @@ class SpatialJoin:
             reader1, reader2, self.predicate, collect_pairs,
             pinned1=self.tree1.root_id, pinned2=self.tree2.root_id,
             pair_enumeration=self.pair_enumeration,
-            stats=stats, governor=self.governor)
+            stats=stats, governor=self.governor,
+            tracer=self.tracer, join_id=self._join_id)
 
     def run(self, collect_pairs: bool = True) -> JoinResult:
         """Execute the join, returning pairs and fresh access counters.
@@ -178,8 +196,25 @@ class SpatialJoin:
         fit, with all access counters still at zero.
         """
         governor = self.governor
+        tracer = self.tracer
+        if tracer is not None:
+            self._join_id = tracer.new_join_id()
+            tracer.join_start(
+                self._join_id, n1=len(self.tree1), n2=len(self.tree2),
+                height1=self.tree1.height, height2=self.tree2.height,
+                pair_enumeration=self.pair_enumeration,
+                buffer=self.buffer.kind,
+                governed=governor is not None)
         if governor is not None and governor.admission != "off":
-            governor.admit(self.tree1, self.tree2)
+            try:
+                governor.admit(self.tree1, self.tree2)
+            finally:
+                # admit() sets last_admission before raising, so a
+                # rejection is traced too.
+                if tracer is not None \
+                        and governor.last_admission is not None:
+                    tracer.admission(self._join_id,
+                                     governor.last_admission.as_dict())
         self.buffer.reset()
         state = self._state(AccessStats(), collect_pairs)
         # Pinned-root reads go through the readers (uncharged) so the
@@ -229,6 +264,12 @@ class SpatialJoin:
                 f"has {self.buffer.kind!r}")
         self.buffer.reset()
         self.buffer.restore(cp.buffer_state)
+        if self.tracer is not None:
+            self._join_id = self.tracer.new_join_id()
+            self.tracer.resume(
+                self._join_id, frames=len(cp.stack),
+                pair_count=cp.pair_count,
+                pair_enumeration=cp.pair_enumeration)
         state = self._state(AccessStats.from_dict(cp.stats),
                             cp.collect_pairs)
         state.pair_count = cp.pair_count
@@ -256,16 +297,54 @@ class SpatialJoin:
 
     def _execute(self, state: "_TraversalState") -> JoinResult:
         governor = self.governor
+        tracer = self.tracer
         if governor is not None:
             governor.start()
         try:
             state.drain()
         except (BudgetExceeded, Cancelled) as exc:
+            if tracer is not None:
+                tracer.budget_trip(self._join_id, exc.as_dict())
+            if self.metrics is not None:
+                self.metrics.counter("governor.trips").inc()
+            self._observe(state, complete=False)
             if governor is not None and governor.partial:
                 return self._partial(state, exc)
             raise
-        return JoinResult(state.pairs, state.stats, state.comparisons,
-                          pair_count=state.pair_count)
+        result = JoinResult(state.pairs, state.stats, state.comparisons,
+                            pair_count=state.pair_count)
+        self._observe(state, complete=True)
+        return result
+
+    def _observe(self, state: "_TraversalState", complete: bool) -> None:
+        """Ship the finished (or stopped) run to the telemetry hooks."""
+        tracer, metrics, ledger = self.tracer, self.metrics, self.ledger
+        if tracer is None and metrics is None \
+                and (ledger is None or not complete):
+            return
+        stats = state.stats
+        if tracer is not None:
+            tracer.join_finish(
+                self._join_id, na=stats.na(), da=stats.da(),
+                pairs=state.pair_count, comparisons=state.comparisons,
+                complete=complete)
+        if metrics is not None:
+            metrics.counter("join.count").inc()
+            metrics.counter("join.pairs").inc(state.pair_count)
+            metrics.counter("join.comparisons").inc(state.comparisons)
+            metrics.record_access_stats(stats, prefix="join")
+            if self.governor is not None:
+                metrics.counter("governor.checks").inc(
+                    self.governor.checks)
+        if ledger is not None and complete:
+            # The accuracy ledger only accepts complete measurements —
+            # a truncated run must never pass as a calibration point.
+            predicted = predict_join_cost(self.tree1, self.tree2)
+            est_na, est_da = predicted if predicted is not None \
+                else (None, None)
+            ledger.record_join(stats, est_na, est_da,
+                               pairs=state.pair_count,
+                               label=self._join_id or "join")
 
     def _partial(self, state: "_TraversalState",
                  exc: BudgetExceeded | Cancelled) -> PartialJoinResult:
@@ -286,6 +365,12 @@ class SpatialJoin:
             pairs=([list(p) for p in state.pairs]
                    if state.collect_pairs else None),
             reason=exc.as_dict())
+        if self.tracer is not None:
+            self.tracer.checkpoint(self._join_id,
+                                   frames=len(checkpoint.stack),
+                                   pair_count=checkpoint.pair_count,
+                                   na=state.stats.na(),
+                                   da=state.stats.da())
         predicted = predict_join_cost(self.tree1, self.tree2)
         remaining_na = remaining_da = None
         if predicted is not None:
@@ -326,7 +411,8 @@ class _TraversalState:
                  pinned1: int, pinned2: int,
                  pair_enumeration: str = "nested-loop",
                  stats: AccessStats | None = None,
-                 governor: ExecutionGovernor | None = None):
+                 governor: ExecutionGovernor | None = None,
+                 tracer=None, join_id: str | None = None):
         if pair_enumeration not in PAIR_ENUMERATIONS:
             raise ValueError(
                 f"pair_enumeration must be one of {PAIR_ENUMERATIONS}")
@@ -344,6 +430,12 @@ class _TraversalState:
         self.pinned2 = pinned2
         self.stats = stats if stats is not None else reader1.stats
         self.governor = governor
+        # Write-only telemetry: a sampled trace of node-pair visits.
+        # ``visits`` counts consumed entry pairs; it is not persisted in
+        # checkpoints (sampling restarts on resume — telemetry only).
+        self.tracer = tracer
+        self.join_id = join_id
+        self.visits = 0
         self.stack: list[_Frame] = []
         self.pairs: list[tuple[int, int]] = []
         self.pair_count = 0
@@ -403,6 +495,10 @@ class _TraversalState:
         """
         stack = self.stack
         governor = self.governor
+        tracer = self.tracer
+        # Hoist the sampling decision out of the loop: with tracing off
+        # (or visit sampling off) the hot path pays no tracer work.
+        trace_pairs = tracer is not None and tracer.sample_pairs > 0
         while stack:
             if governor is not None:
                 governor.check(self.stats, self.pair_count)
@@ -411,6 +507,12 @@ class _TraversalState:
             if item is _EXHAUSTED:
                 stack.pop()
                 continue
+            if trace_pairs:
+                self.visits += 1
+                if tracer.want_pair(self.visits):
+                    tracer.node_pair(self.join_id, self.visits,
+                                     frame.n1.page_id, frame.n1.level,
+                                     frame.n2.page_id, frame.n2.level)
             frame.step(frame, item)
             frame.cursor += 1
 

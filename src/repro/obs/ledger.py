@@ -1,0 +1,188 @@
+"""The estimator-accuracy ledger: predicted vs measured, every join.
+
+The paper's evaluation (Figures 5/6) compares the analytical NA/DA of
+Eqs. 7/10 against counters measured on real traversals and reports the
+relative error.  :class:`AccuracyLedger` turns that one-shot
+methodology into an always-on telemetry feature: every governed join
+appends an :class:`AccuracyRecord` holding the Eq. 7/10 estimates, the
+observed NA/DA **exactly as counted** (totals, per tree, and per
+(tree, level) — the raw ``AccessStats`` content), and the signed
+relative errors; :meth:`AccuracyLedger.summarize` then aggregates
+calibration quality and drift over any number of runs.
+
+The relative-error convention matches
+:func:`repro.experiments.relative_error`: a zero measurement against a
+non-zero model value has no defined error and is recorded as ``None``
+(``null`` in JSON, never ``NaN``/``Infinity``); undefined errors are
+excluded from aggregates without biasing the defined counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["AccuracyLedger", "AccuracyRecord"]
+
+
+def _relative_error(model: float | None,
+                    measured: float) -> float | None:
+    # Same convention as repro.experiments.relative_error; duplicated
+    # here because experiments imports the join layer, which the obs
+    # package must stay independent of.
+    if model is None:
+        return None
+    if measured == 0:
+        return 0.0 if model == 0 else None
+    return (model - measured) / measured
+
+
+@dataclass
+class AccuracyRecord:
+    """One join's predicted-vs-observed comparison.
+
+    ``per_tree`` maps tree labels to ``{"na": .., "da": ..}``;
+    ``per_level`` holds the full ``AccessStats.as_dict`` counter maps
+    (``"<tree>@<level>" -> count``), so per-level model auditing
+    (Eqs. 6-12) stays possible after the fact.
+    """
+
+    label: str
+    na_estimated: float | None
+    da_estimated: float | None
+    na_observed: int
+    da_observed: int
+    na_error: float | None
+    da_error: float | None
+    pairs: int | None = None
+    per_tree: dict[str, dict[str, int]] = field(default_factory=dict)
+    per_level: dict[str, dict[str, int]] = field(default_factory=dict)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "label": self.label,
+            "na_estimated": self.na_estimated,
+            "da_estimated": self.da_estimated,
+            "na_observed": self.na_observed,
+            "da_observed": self.da_observed,
+            "na_error": self.na_error,
+            "da_error": self.da_error,
+            "pairs": self.pairs,
+            "per_tree": self.per_tree,
+            "per_level": self.per_level,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "AccuracyRecord":
+        return cls(
+            label=str(doc.get("label", "join")),
+            na_estimated=doc.get("na_estimated"),
+            da_estimated=doc.get("da_estimated"),
+            na_observed=int(doc.get("na_observed", 0)),
+            da_observed=int(doc.get("da_observed", 0)),
+            na_error=doc.get("na_error"),
+            da_error=doc.get("da_error"),
+            pairs=doc.get("pairs"),
+            per_tree=dict(doc.get("per_tree") or {}),
+            per_level=dict(doc.get("per_level") or {}),
+        )
+
+
+class AccuracyLedger:
+    """Accumulates :class:`AccuracyRecord` rows and summarizes them.
+
+    Pass a :class:`~repro.obs.Tracer` to mirror every record into the
+    trace stream as an ``accuracy`` event (which is how ``repro
+    report`` recovers a ledger from a JSONL trace file).
+    """
+
+    def __init__(self, tracer=None):
+        self.records: list[AccuracyRecord] = []
+        self.tracer = tracer
+
+    def record_join(self, stats, estimated_na: float | None,
+                    estimated_da: float | None,
+                    pairs: int | None = None,
+                    label: str = "join") -> AccuracyRecord:
+        """Append one comparison from a finished join's counters.
+
+        ``stats`` is the run's :class:`~repro.storage.AccessStats`; the
+        observed side is copied from it exactly (no rounding, no
+        re-aggregation beyond the sums the counters already define).
+        """
+        doc = stats.as_dict()
+        trees = sorted({str(t) for (t, _lv) in stats.node_accesses})
+        record = AccuracyRecord(
+            label=label,
+            na_estimated=estimated_na,
+            da_estimated=estimated_da,
+            na_observed=stats.na(),
+            da_observed=stats.da(),
+            na_error=_relative_error(estimated_na, stats.na()),
+            da_error=_relative_error(estimated_da, stats.da()),
+            pairs=pairs,
+            per_tree={t: {"na": stats.na(t), "da": stats.da(t)}
+                      for t in trees},
+            per_level={"node_accesses": doc["node_accesses"],
+                       "disk_accesses": doc["disk_accesses"]},
+        )
+        self.records.append(record)
+        if self.tracer is not None:
+            self.tracer.accuracy(record.as_dict())
+        return record
+
+    def extend_from_trace(self, trace_records) -> int:
+        """Rebuild ledger rows from ``accuracy`` events of a trace.
+
+        Returns the number of records added; non-accuracy events are
+        ignored, so a whole trace file's records can be passed as-is.
+        """
+        added = 0
+        for rec in trace_records:
+            if rec.get("event") == "accuracy":
+                self.records.append(AccuracyRecord.from_dict(rec))
+                added += 1
+        return added
+
+    # -- aggregation --------------------------------------------------------
+
+    def summarize(self) -> dict[str, object]:
+        """Calibration quality and drift over all recorded joins.
+
+        Per axis (``na``, ``da``): the count of *defined* errors, mean
+        and max absolute error, and the signed bias (mean error — a
+        persistent sign means the model systematically over- or
+        under-prices).  ``drift`` compares the bias of the second half
+        of the ledger against the first half (``None`` until both
+        halves have a defined error): a calibration that is drifting
+        shows a growing gap.
+        """
+        out: dict[str, object] = {"joins": len(self.records)}
+        for axis in ("na", "da"):
+            errors = [getattr(r, f"{axis}_error") for r in self.records]
+            defined = [e for e in errors if e is not None]
+            summary = {
+                "defined": len(defined),
+                "mean_abs": (sum(abs(e) for e in defined) / len(defined)
+                             if defined else 0.0),
+                "max_abs": max((abs(e) for e in defined), default=0.0),
+                "bias": (sum(defined) / len(defined)
+                         if defined else 0.0),
+                "drift": self._drift(errors),
+            }
+            out[axis] = summary
+        return out
+
+    @staticmethod
+    def _drift(errors: list[float | None]) -> float | None:
+        half = len(errors) // 2
+        first = [e for e in errors[:half] if e is not None]
+        second = [e for e in errors[half:] if e is not None]
+        if not first or not second:
+            return None
+        return (sum(second) / len(second)) - (sum(first) / len(first))
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:
+        return f"AccuracyLedger(records={len(self.records)})"

@@ -1,0 +1,221 @@
+"""Counters, gauges and histograms for join executions.
+
+A :class:`MetricsRegistry` is a named bag of three instrument kinds —
+monotonic :class:`Counter`, last-value :class:`Gauge`, fixed-bucket
+:class:`Histogram` — with a JSON-safe ``as_dict``/``from_dict``
+round-trip and an additive :meth:`MetricsRegistry.merge`.  The merge is
+what makes the registry work across execution boundaries: parallel-join
+workers (including worker *processes*, which cannot share objects)
+record into a private registry and ship its ``as_dict`` delta back with
+their ``AccessStats`` dict; the coordinator folds the deltas into the
+caller's registry.
+
+Like tracing, metrics are observational only: nothing reads a registry
+to make an execution decision, so enabling ``--metrics`` never perturbs
+NA/DA.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+#: Default histogram bucket upper bounds (values above the last bound
+#: land in the overflow bucket).
+_DEFAULT_BUCKETS = (1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
+                    500.0, 1000.0, 2500.0, 5000.0, 10000.0)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.value})"
+
+
+class Gauge:
+    """A last-value-wins measurement."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.value})"
+
+
+class Histogram:
+    """Fixed-bucket distribution: counts per bucket plus sum and count.
+
+    ``buckets`` are inclusive upper bounds in increasing order; one
+    implicit overflow bucket catches everything above the last bound.
+    Two histograms merge only when their bounds match exactly.
+    """
+
+    __slots__ = ("buckets", "counts", "total", "count")
+
+    def __init__(self, buckets: tuple[float, ...] = _DEFAULT_BUCKETS):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError(
+                "histogram buckets must be strictly increasing")
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.total += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float | None:
+        """Mean observed value; ``None`` before the first observation."""
+        return self.total / self.count if self.count else None
+
+    def as_dict(self) -> dict[str, object]:
+        return {"buckets": list(self.buckets), "counts": list(self.counts),
+                "sum": self.total, "count": self.count}
+
+    def merge(self, other: "Histogram") -> None:
+        if self.buckets != other.buckets:
+            raise ValueError(
+                f"cannot merge histograms with different buckets: "
+                f"{self.buckets} vs {other.buckets}")
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.total += other.total
+        self.count += other.count
+
+    def __repr__(self) -> str:
+        return f"Histogram(count={self.count}, sum={self.total})"
+
+
+class MetricsRegistry:
+    """Named instruments with get-or-create access and additive merge."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+        self._lock = threading.Lock()
+
+    # -- get-or-create ------------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            try:
+                return self._counters[name]
+            except KeyError:
+                c = self._counters[name] = Counter()
+                return c
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            try:
+                return self._gauges[name]
+            except KeyError:
+                g = self._gauges[name] = Gauge()
+                return g
+
+    def histogram(self, name: str,
+                  buckets: tuple[float, ...] = _DEFAULT_BUCKETS,
+                  ) -> Histogram:
+        with self._lock:
+            try:
+                return self._histograms[name]
+            except KeyError:
+                h = self._histograms[name] = Histogram(buckets)
+                return h
+
+    # -- convenience feeders ------------------------------------------------
+
+    def record_access_stats(self, stats, prefix: str = "join") -> None:
+        """Fold one :class:`~repro.storage.AccessStats` into counters.
+
+        Adds ``<prefix>.na`` / ``<prefix>.da`` / ``<prefix>.retries``
+        plus per-tree splits (``<prefix>.na.<tree>``), and tracks the
+        accounted backoff in a gauge.
+        """
+        self.counter(f"{prefix}.na").inc(stats.na())
+        self.counter(f"{prefix}.da").inc(stats.da())
+        retries = stats.retry_count()
+        if retries:
+            self.counter(f"{prefix}.retries").inc(retries)
+        for tree in sorted({str(t) for (t, _lv) in stats.node_accesses}):
+            # Labels are R1/R2 strings throughout the join layer.
+            self.counter(f"{prefix}.na.{tree}").inc(stats.na(tree))
+            self.counter(f"{prefix}.da.{tree}").inc(stats.da(tree))
+        if stats.accounted_backoff:
+            gauge = self.gauge(f"{prefix}.accounted_backoff")
+            gauge.set(gauge.value + stats.accounted_backoff)
+
+    # -- serialization + merge ----------------------------------------------
+
+    def as_dict(self) -> dict[str, dict]:
+        """JSON-safe snapshot (the worker-delta transport format)."""
+        with self._lock:
+            return {
+                "counters": {k: c.value
+                             for k, c in sorted(self._counters.items())},
+                "gauges": {k: g.value
+                           for k, g in sorted(self._gauges.items())},
+                "histograms": {k: h.as_dict()
+                               for k, h in
+                               sorted(self._histograms.items())},
+            }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "MetricsRegistry":
+        reg = cls()
+        reg.merge(doc)
+        return reg
+
+    def merge(self, other: "MetricsRegistry | dict") -> None:
+        """Fold another registry (or its ``as_dict`` form) into this one.
+
+        Counters and histograms add; gauges take the incoming value
+        (last write wins — the merge order is the arrival order).
+        """
+        doc = other.as_dict() if isinstance(other, MetricsRegistry) \
+            else other
+        unknown = set(doc) - {"counters", "gauges", "histograms"}
+        if unknown:
+            raise ValueError(
+                f"unknown metrics sections: {sorted(unknown)}")
+        for name, value in (doc.get("counters") or {}).items():
+            self.counter(name).inc(int(value))
+        for name, value in (doc.get("gauges") or {}).items():
+            self.gauge(name).set(float(value))
+        for name, h in (doc.get("histograms") or {}).items():
+            incoming = Histogram(tuple(h["buckets"]))
+            incoming.counts = [int(n) for n in h["counts"]]
+            incoming.total = float(h["sum"])
+            incoming.count = int(h["count"])
+            self.histogram(name, tuple(h["buckets"])).merge(incoming)
+
+    def __len__(self) -> int:
+        return (len(self._counters) + len(self._gauges)
+                + len(self._histograms))
+
+    def __repr__(self) -> str:
+        return (f"MetricsRegistry(counters={len(self._counters)}, "
+                f"gauges={len(self._gauges)}, "
+                f"histograms={len(self._histograms)})")

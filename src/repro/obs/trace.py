@@ -1,0 +1,254 @@
+"""Structured join tracing: one Tracer, pluggable sinks, versioned JSONL.
+
+A :class:`Tracer` turns the interesting moments of a join execution —
+start/finish, sampled node-pair visits, buffer hits and misses, budget
+trips, retries, checkpoint and resume, admission verdicts — into flat
+JSON-safe records and hands them to a :class:`TraceSink`.  Three sinks
+cover the operational spectrum:
+
+* :class:`NullSink` — tracing disabled; the tracer short-circuits before
+  building a record, so the only cost left in the hot path is the guard
+  check the call sites already pay;
+* :class:`MemorySink` — a bounded ring buffer for tests and in-process
+  inspection (oldest records drop first, the drop count is kept);
+* :class:`JsonlSink` — one strict-JSON object per line, flushed per
+  record so a crashed run still leaves a readable trace.
+
+Tracing is **observational only**: no code path reads a tracer's state
+to make a decision, so NA/DA/pairs/checkpoints of a traced run are
+bit-identical to an untraced run (asserted by the zero-perturbation
+suite).  Every record carries ``schema`` (see
+:data:`TRACE_SCHEMA_VERSION`), a per-tracer sequence number and a wall
+clock timestamp; the event vocabulary is documented in
+``docs/observability.md``.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Callable
+
+__all__ = ["JsonlSink", "MemorySink", "NullSink", "TRACE_SCHEMA_VERSION",
+           "TraceSink", "Tracer"]
+
+#: Version stamped into every record; bump on incompatible field changes.
+TRACE_SCHEMA_VERSION = 1
+
+
+class TraceSink:
+    """Destination for trace records (one flat JSON-safe dict each)."""
+
+    def write(self, record: dict) -> None:
+        """Accept one record; must not mutate it."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release resources; further writes are undefined."""
+
+    def __enter__(self) -> "TraceSink":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class NullSink(TraceSink):
+    """Discard everything; a tracer on this sink is disabled outright."""
+
+    def write(self, record: dict) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NullSink()"
+
+
+class MemorySink(TraceSink):
+    """Bounded in-memory ring buffer (oldest records evicted first)."""
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.dropped = 0
+        self._records: deque[dict] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def write(self, record: dict) -> None:
+        with self._lock:
+            if len(self._records) == self.capacity:
+                self.dropped += 1
+            self._records.append(record)
+
+    @property
+    def records(self) -> list[dict]:
+        """Current buffer content, oldest first."""
+        with self._lock:
+            return list(self._records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __repr__(self) -> str:
+        return (f"MemorySink(capacity={self.capacity}, "
+                f"buffered={len(self._records)}, dropped={self.dropped})")
+
+
+class JsonlSink(TraceSink):
+    """Append records to a file, one strict-JSON object per line.
+
+    ``allow_nan=False`` keeps the file parseable by strict JSON readers
+    (no ``NaN``/``Infinity`` literals); each write is flushed so the
+    trace survives a crash mid-run.  Thread-safe: the parallel join's
+    thread mode may emit from several workers.
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh = open(path, "w", encoding="utf-8")
+        self._lock = threading.Lock()
+
+    def write(self, record: dict) -> None:
+        line = json.dumps(record, allow_nan=False)
+        with self._lock:
+            self._fh.write(line + "\n")
+            self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+    def __repr__(self) -> str:
+        return f"JsonlSink(path={self.path!r})"
+
+
+class Tracer:
+    """Emits structured events of a join execution to one sink.
+
+    Parameters
+    ----------
+    sink:
+        Where records go; defaults to a fresh :class:`MemorySink`.  A
+        :class:`NullSink` disables the tracer entirely (:attr:`enabled`
+        is ``False`` and every emit returns before building a record).
+    sample_pairs:
+        Node-pair visit sampling: ``0`` (default) emits no per-visit
+        records, ``n`` emits every ``n``-th visit.  Sampling is
+        deterministic (a visit counter, no RNG) so repeated runs trace
+        the same visits.
+    sample_buffer:
+        Same contract for per-``ReadPage`` buffer hit/miss records.
+    clock:
+        Timestamp source for the ``ts`` field (injectable in tests).
+
+    The tracer never influences execution: it is written to, not read.
+    """
+
+    def __init__(self, sink: TraceSink | None = None,
+                 sample_pairs: int = 0, sample_buffer: int = 0,
+                 clock: Callable[[], float] = time.time):
+        if sample_pairs < 0 or sample_buffer < 0:
+            raise ValueError("sampling intervals must be >= 0")
+        self.sink = sink if sink is not None else MemorySink()
+        self.enabled = not isinstance(self.sink, NullSink)
+        self.sample_pairs = sample_pairs
+        self.sample_buffer = sample_buffer
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._joins = 0
+        self._buffer_seen = 0
+
+    # -- identity -----------------------------------------------------------
+
+    def new_join_id(self) -> str:
+        """A fresh ``"j<n>"`` id correlating one join's records."""
+        with self._lock:
+            self._joins += 1
+            return f"j{self._joins}"
+
+    # -- emission -----------------------------------------------------------
+
+    def emit(self, event: str, **fields) -> None:
+        """Write one record; a no-op when the tracer is disabled."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._seq += 1
+            seq = self._seq
+        record = {"schema": TRACE_SCHEMA_VERSION, "seq": seq,
+                  "ts": self._clock(), "event": event}
+        record.update(fields)
+        self.sink.write(record)
+
+    def join_start(self, join_id: str, **fields) -> None:
+        self.emit("join_start", join=join_id, **fields)
+
+    def join_finish(self, join_id: str, *, na: int, da: int, pairs: int,
+                    comparisons: int | None = None,
+                    complete: bool = True, **fields) -> None:
+        self.emit("join_finish", join=join_id, na=na, da=da, pairs=pairs,
+                  comparisons=comparisons, complete=complete, **fields)
+
+    def node_pair(self, join_id: str, visit: int, page1: int, level1: int,
+                  page2: int, level2: int) -> None:
+        """One sampled node-pair visit (call only when :meth:`want_pair`)."""
+        self.emit("node_pair", join=join_id, visit=visit,
+                  page1=page1, level1=level1, page2=page2, level2=level2)
+
+    def want_pair(self, visit: int) -> bool:
+        """Should this node-pair visit be emitted under the sampling?"""
+        n = self.sample_pairs
+        return bool(n) and self.enabled and visit % n == 0
+
+    def buffer_access(self, tree: object, level: int, page: int,
+                      hit: bool) -> None:
+        """One ``ReadPage`` through a buffer manager (self-sampled)."""
+        n = self.sample_buffer
+        if not n or not self.enabled:
+            return
+        self._buffer_seen += 1
+        if self._buffer_seen % n:
+            return
+        self.emit("buffer_access", tree=str(tree), level=level,
+                  page=page, hit=hit)
+
+    def budget_trip(self, join_id: str, reason: dict) -> None:
+        self.emit("budget_trip", join=join_id, reason=reason)
+
+    def retry(self, tree: object, level: int, attempt: int,
+              backoff: float) -> None:
+        self.emit("retry", tree=str(tree), level=level, attempt=attempt,
+                  backoff=backoff)
+
+    def checkpoint(self, join_id: str, **fields) -> None:
+        self.emit("checkpoint", join=join_id, **fields)
+
+    def resume(self, join_id: str, **fields) -> None:
+        self.emit("resume", join=join_id, **fields)
+
+    def admission(self, join_id: str, decision: dict) -> None:
+        self.emit("admission", join=join_id, decision=decision)
+
+    def worker_finish(self, join_id: str, worker: int, *, na: int,
+                      da: int, pairs: int, tasks: int) -> None:
+        self.emit("worker_finish", join=join_id, worker=worker, na=na,
+                  da=da, pairs=pairs, tasks=tasks)
+
+    def accuracy(self, record: dict) -> None:
+        self.emit("accuracy", **record)
+
+    def metrics(self, snapshot: dict) -> None:
+        self.emit("metrics", metrics=snapshot)
+
+    def close(self) -> None:
+        """Close the underlying sink."""
+        self.sink.close()
+
+    def __repr__(self) -> str:
+        return (f"Tracer(sink={self.sink!r}, enabled={self.enabled}, "
+                f"sample_pairs={self.sample_pairs}, "
+                f"sample_buffer={self.sample_buffer})")

@@ -78,6 +78,7 @@ class ExecutionResult:
 def execute_plan(plan: Plan, indexes: dict[str, RTreeBase],
                  governor: ExecutionGovernor | None = None,
                  pair_enumeration: str = "nested-loop",
+                 tracer=None, metrics=None,
                  ) -> ExecutionResult:
     """Run a plan against real trees keyed by relation name.
 
@@ -92,6 +93,12 @@ def execute_plan(plan: Plan, indexes: dict[str, RTreeBase],
     :data:`~repro.join.PAIR_ENUMERATIONS`); DA — what plans are priced
     in — is identical across kernels except the plane sweeps' slightly
     shifted buffer-hit pattern.
+
+    ``tracer``/``metrics`` are the :mod:`repro.obs` hooks: every SJ
+    operator in the plan runs traced/metered, and the plan's end-to-end
+    totals are reported as a ``plan_finish`` event and ``plan.*``
+    counters.  Both are write-only — executing an observed plan yields
+    the same tuples and counters as an unobserved one.
     """
     if governor is not None and governor.partial:
         raise ValueError(
@@ -100,7 +107,15 @@ def execute_plan(plan: Plan, indexes: dict[str, RTreeBase],
     stats = AccessStats()
     if governor is not None:
         governor.start()
-    tuples = _execute(plan, indexes, stats, governor, pair_enumeration)
+    tuples = _execute(plan, indexes, stats, governor, pair_enumeration,
+                      tracer, metrics)
+    if tracer is not None:
+        tracer.emit("plan_finish", plan=type(plan).__name__,
+                    tuples=len(tuples), na=stats.na(), da=stats.da())
+    if metrics is not None:
+        metrics.counter("plan.count").inc()
+        metrics.counter("plan.tuples").inc(len(tuples))
+        metrics.record_access_stats(stats, prefix="plan")
     return ExecutionResult(tuples, stats)
 
 
@@ -108,15 +123,16 @@ def _execute(plan: Plan, indexes: dict[str, RTreeBase],
              stats: AccessStats,
              governor: ExecutionGovernor | None = None,
              pair_enumeration: str = "nested-loop",
+             tracer=None, metrics=None,
              ) -> list[ResultTuple]:
     if isinstance(plan, IndexScanPlan):
         return _execute_scan(plan, indexes)
     if isinstance(plan, SpatialJoinPlan):
         return _execute_sj(plan, indexes, stats, governor,
-                           pair_enumeration)
+                           pair_enumeration, tracer, metrics)
     if isinstance(plan, IndexNestedLoopPlan):
         return _execute_inl(plan, indexes, stats, governor,
-                            pair_enumeration)
+                            pair_enumeration, tracer, metrics)
     raise TypeError(f"cannot execute plan node {type(plan).__name__}")
 
 
@@ -143,6 +159,7 @@ def _execute_sj(plan: SpatialJoinPlan, indexes: dict[str, RTreeBase],
                 stats: AccessStats,
                 governor: ExecutionGovernor | None = None,
                 pair_enumeration: str = "nested-loop",
+                tracer=None, metrics=None,
                 ) -> list[ResultTuple]:
     from ..join import SpatialJoin   # local import: avoids a cycle
 
@@ -150,7 +167,8 @@ def _execute_sj(plan: SpatialJoinPlan, indexes: dict[str, RTreeBase],
     tree2 = _tree_for(plan.query, indexes)
     join = SpatialJoin(tree1, tree2, buffer=PathBuffer(),
                        pair_enumeration=pair_enumeration,
-                       governor=governor)
+                       governor=governor, tracer=tracer,
+                       metrics=metrics)
     result = join.run(collect_pairs=True)
     stats.merge(result.stats)
 
@@ -170,12 +188,16 @@ def _execute_inl(plan: IndexNestedLoopPlan,
                  stats: AccessStats,
                  governor: ExecutionGovernor | None = None,
                  pair_enumeration: str = "nested-loop",
+                 tracer=None, metrics=None,
                  ) -> list[ResultTuple]:
     stream = _execute(plan.stream, indexes, stats, governor,
-                      pair_enumeration)
+                      pair_enumeration, tracer, metrics)
     tree = _tree_for(plan.indexed, indexes)
     name = plan.indexed.entry.name
-    reader = MeteredReader(tree.pager, name, stats, PathBuffer())
+    reader = MeteredReader(tree.pager, name, stats, PathBuffer(),
+                           tracer=tracer)
+    if metrics is not None:
+        metrics.counter("plan.inl_probes").inc(len(stream))
 
     rects = {e.ref: e.rect for e in tree.leaf_entries()}
     out = []

@@ -72,8 +72,9 @@ class ResilientReader(MeteredReader):
 
     def __init__(self, pager: Pager, label: object, stats: AccessStats,
                  buffer: BufferManager,
-                 policy: RetryPolicy = DEFAULT_RETRY_POLICY):
-        super().__init__(pager, label, stats, buffer)
+                 policy: RetryPolicy = DEFAULT_RETRY_POLICY,
+                 tracer: Any = None):
+        super().__init__(pager, label, stats, buffer, tracer)
         self.policy = policy
 
     def fetch(self, page_id: int, level: int) -> Any:
@@ -81,6 +82,8 @@ class ResilientReader(MeteredReader):
         payload = self._read_with_retry(page_id, level)
         hit = self.buffer.access(self.label, level, page_id)
         self.stats.record(self.label, level, hit)
+        if self.tracer is not None:
+            self.tracer.buffer_access(self.label, level, page_id, hit)
         return payload
 
     def read_pinned(self, page_id: int, level: int = 0) -> Any:
@@ -95,8 +98,10 @@ class ResilientReader(MeteredReader):
             except TransientPageError as exc:
                 if attempt >= self.policy.max_attempts:
                     raise RetryExhaustedError(page_id, attempt) from exc
-                self.stats.record_retry(self.label, level,
-                                        self.policy.backoff(attempt))
+                backoff = self.policy.backoff(attempt)
+                self.stats.record_retry(self.label, level, backoff)
+                if self.tracer is not None:
+                    self.tracer.retry(self.label, level, attempt, backoff)
                 attempt += 1
 
     def __repr__(self) -> str:

@@ -18,9 +18,25 @@ only identity matters for counting.
 
 from __future__ import annotations
 
+import json
 from collections import OrderedDict
 
 __all__ = ["BufferManager", "NoBuffer", "PathBuffer", "LRUBuffer"]
+
+
+def _stable_key(label: object) -> str:
+    """Order-defining serialization of a tree label.
+
+    ``str(label)`` is ambiguous — the labels ``2`` and ``"2"`` map to
+    the same string, making snapshot row order depend on dict insertion
+    order instead of on the labels themselves.  JSON keeps the type
+    visible (``2`` vs ``"2"``); labels JSON can't express fall back to
+    a type-qualified repr.
+    """
+    try:
+        return json.dumps(label, sort_keys=True, allow_nan=False)
+    except (TypeError, ValueError):
+        return f"{type(label).__name__}:{label!r}"
 
 
 class BufferManager:
@@ -109,7 +125,7 @@ class PathBuffer(BufferManager):
             ([tree, level, node_id]
              for tree, path in self._paths.items()
              for level, node_id in path.items()),
-            key=lambda row: (str(row[0]), row[1]))
+            key=lambda row: (_stable_key(row[0]), row[1]))
 
     def restore(self, state: object) -> None:
         self._paths.clear()

@@ -122,16 +122,23 @@ class MeteredReader:
     """
 
     def __init__(self, pager: Pager, label: object,
-                 stats: AccessStats, buffer: BufferManager):
+                 stats: AccessStats, buffer: BufferManager,
+                 tracer: Any = None):
         self.pager = pager
         self.label = label
         self.stats = stats
         self.buffer = buffer
+        #: Optional :class:`~repro.obs.Tracer`; purely observational —
+        #: it is written to, never read, so a traced run's NA/DA are
+        #: bit-identical to an untraced one.
+        self.tracer = tracer
 
     def fetch(self, page_id: int, level: int) -> Any:
         """Read a page at a given tree level, recording NA/DA."""
         hit = self.buffer.access(self.label, level, page_id)
         self.stats.record(self.label, level, hit)
+        if self.tracer is not None:
+            self.tracer.buffer_access(self.label, level, page_id, hit)
         return self.pager.read(page_id)
 
     def read_pinned(self, page_id: int, level: int = 0) -> Any:

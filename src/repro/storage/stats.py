@@ -106,8 +106,13 @@ class AccessStats:
         self.retries.clear()
         self.accounted_backoff = 0.0
 
-    def as_dict(self) -> dict[str, dict[str, int]]:
-        """A JSON-friendly summary keyed by ``"<tree>@<level>"``."""
+    def as_dict(self) -> dict[str, object]:
+        """A JSON-friendly summary keyed by ``"<tree>@<level>"``.
+
+        Three counter maps (``str -> int``) plus the float
+        ``accounted_backoff`` scalar — which is why the value type is
+        ``object``, not a uniform counter map.
+        """
         return {
             "node_accesses": {
                 f"{t}@{lv}": n for (t, lv), n in
@@ -128,10 +133,20 @@ class AccessStats:
     def from_dict(cls, doc: dict) -> "AccessStats":
         """Rebuild counters from :meth:`as_dict` output.
 
-        Used by checkpoint restore; tree labels round-trip as strings
-        (the join layer's ``"R1"``/``"R2"``), so counters resumed from a
-        checkpoint merge bit-identically with the pre-cut counters.
+        Used by checkpoint restore and as the parallel join's process
+        transport; tree labels round-trip as strings (the join layer's
+        ``"R1"``/``"R2"``), so counters resumed from a checkpoint merge
+        bit-identically with the pre-cut counters.  Unknown keys are
+        rejected rather than silently dropped — a counter section this
+        class doesn't know about would otherwise vanish in transport.
         """
+        known = ("node_accesses", "disk_accesses", "retries",
+                 "accounted_backoff")
+        unknown = sorted(set(doc) - set(known))
+        if unknown:
+            raise ValueError(
+                f"unknown AccessStats sections {unknown!r} "
+                f"(expected a subset of {sorted(known)!r})")
         stats = cls()
         for attr in ("node_accesses", "disk_accesses", "retries"):
             for key, n in (doc.get(attr) or {}).items():

@@ -95,6 +95,66 @@ class TestBuildJoinEstimate:
         assert code == 2
         assert "buffer" in err
 
+    def test_join_trace_metrics_report(self, two_trees, tmp_path,
+                                       capsys):
+        """Governed traced join -> JSONL trace -> `repro report`."""
+        trace = tmp_path / "trace.jsonl"
+        code, out, _err = run(capsys, "join", "--max-na", "100000",
+                              "--trace", str(trace), "--metrics",
+                              "--sample-pairs", "10",
+                              str(two_trees[0]), str(two_trees[1]))
+        assert code == 0
+        assert "metric join.na:" in out
+        assert "estimator accuracy:" in out
+        assert f"trace written to {trace}" in out
+
+        import json
+        records = [json.loads(line) for line in
+                   trace.read_text().splitlines()]
+        events = {r["event"] for r in records}
+        assert {"join_start", "node_pair", "join_finish", "accuracy",
+                "metrics"} <= events
+
+        # The traced counters equal the printed ones exactly.
+        [finish] = [r for r in records if r["event"] == "join_finish"]
+        assert f"node accesses NA: {finish['na']}" in out
+        assert f"disk accesses DA: {finish['da']}" in out
+        [acc] = [r for r in records if r["event"] == "accuracy"]
+        assert acc["na_observed"] == finish["na"]
+        assert acc["da_observed"] == finish["da"]
+
+        code, out, _err = run(capsys, "report", str(trace))
+        assert code == 0
+        assert "estimator accuracy" in out
+        assert "join.na" in out
+
+    def test_join_traced_counters_match_untraced(self, two_trees,
+                                                 tmp_path, capsys):
+        _code, plain, _err = run(capsys, "join", str(two_trees[0]),
+                                 str(two_trees[1]))
+        trace = tmp_path / "t.jsonl"
+        _code, traced, _err = run(capsys, "join", "--trace", str(trace),
+                                  str(two_trees[0]), str(two_trees[1]))
+        pick = lambda out: [line for line in out.splitlines()
+                            if line.startswith(("result pairs",
+                                                "node accesses",
+                                                "disk accesses"))]
+        assert pick(traced) == pick(plain)
+
+    def test_join_workers_trace_metrics(self, two_trees, tmp_path,
+                                        capsys):
+        trace = tmp_path / "par.jsonl"
+        code, out, _err = run(capsys, "join", "--workers", "2",
+                              "--trace", str(trace), "--metrics",
+                              str(two_trees[0]), str(two_trees[1]))
+        assert code == 0
+        assert "metric worker.na:" in out
+        import json
+        records = [json.loads(line) for line in
+                   trace.read_text().splitlines()]
+        finishes = [r for r in records if r["event"] == "worker_finish"]
+        assert [r["worker"] for r in finishes] == [0, 1]
+
     def test_estimate(self, capsys):
         code, out, _err = run(capsys, "estimate", "--n1", "20000",
                               "--d1", "0.5", "--n2", "60000",

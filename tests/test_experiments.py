@@ -164,3 +164,52 @@ class TestReporting:
     def test_error_summary_empty_rejected(self):
         with pytest.raises(ValueError):
             error_summary([])
+
+    def test_error_summary_counts_defined_observations(self):
+        summary = error_summary(self._obs())
+        assert summary["count"] == 2
+        for axis in ("na", "da", "da1", "da2"):
+            assert 0 <= summary[f"{axis}_defined"] <= summary["count"]
+
+    def test_error_summary_all_none_column(self):
+        # An axis where every error is undefined (zero measured against
+        # a non-zero model) must aggregate to zero WITHOUT looking like
+        # a perfectly calibrated axis: defined=0 is the tell.
+        from repro.experiments import JoinObservation
+        obs = [JoinObservation(
+            label=f"p{i}", n1=10, n2=10, height1=1, height2=1,
+            model_height1=1, model_height2=1,
+            na_measured=4, na_model=5.0,
+            da_measured=0, da_model=2.0,     # da_error is None
+            da1_measured=0, da1_model=1.0,   # da1_error is None
+            da2_measured=0, da2_model=1.0,   # da2_error is None
+            pairs=1) for i in range(3)]
+        summary = error_summary(obs)
+        assert summary["count"] == 3
+        assert summary["na_defined"] == 3
+        for axis in ("da", "da1", "da2"):
+            assert summary[f"{axis}_defined"] == 0
+            assert summary[f"{axis}_mean"] == 0.0
+            assert summary[f"{axis}_max"] == 0.0
+
+    def test_mixed_none_does_not_bias_mean(self):
+        # One defined error of 0.5 plus two undefined ones: the mean is
+        # 0.5 (denominator 1), not 0.5/3.
+        from repro.experiments import JoinObservation
+
+        def ob(label, da_measured, da_model):
+            return JoinObservation(
+                label=label, n1=10, n2=10, height1=1, height2=1,
+                model_height1=1, model_height2=1,
+                na_measured=4, na_model=4.0,
+                da_measured=da_measured, da_model=da_model,
+                da1_measured=1, da1_model=1.0,
+                da2_measured=1, da2_model=1.0, pairs=1)
+
+        obs = [ob("defined", 2, 3.0),        # error +0.5
+               ob("undef-1", 0, 2.0),        # None
+               ob("undef-2", 0, 1.0)]        # None
+        summary = error_summary(obs)
+        assert summary["da_defined"] == 1
+        assert summary["da_mean"] == pytest.approx(0.5)
+        assert summary["da_max"] == pytest.approx(0.5)

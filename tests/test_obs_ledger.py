@@ -1,0 +1,104 @@
+"""Unit tests for the estimator-accuracy ledger."""
+
+import json
+
+import pytest
+
+from repro.obs import AccuracyLedger, AccuracyRecord, MemorySink, Tracer
+from repro.storage import AccessStats
+
+
+def _stats(na_misses=3, na_hits=1):
+    stats = AccessStats()
+    for _ in range(na_misses):
+        stats.record("R1", 1, buffer_hit=False)
+    for _ in range(na_hits):
+        stats.record("R2", 1, buffer_hit=True)
+    return stats
+
+
+class TestRecordJoin:
+    def test_observed_side_copies_stats_exactly(self):
+        stats = _stats()
+        ledger = AccuracyLedger()
+        rec = ledger.record_join(stats, estimated_na=5.0,
+                                 estimated_da=2.0, pairs=7)
+        assert rec.na_observed == stats.na()
+        assert rec.da_observed == stats.da()
+        assert rec.per_tree["R1"] == {"na": 3, "da": 3}
+        assert rec.per_tree["R2"] == {"na": 1, "da": 0}
+        assert rec.per_level["node_accesses"] == \
+            stats.as_dict()["node_accesses"]
+        assert rec.pairs == 7
+
+    def test_relative_error_convention(self):
+        # measured 4 NA / 3 DA vs model 5 / 2.
+        rec = AccuracyLedger().record_join(_stats(), 5.0, 2.0)
+        assert rec.na_error == pytest.approx((5.0 - 4) / 4)
+        assert rec.da_error == pytest.approx((2.0 - 3) / 3)
+
+    def test_zero_measured_nonzero_model_is_none(self):
+        rec = AccuracyLedger().record_join(AccessStats(), 5.0, 2.0)
+        assert rec.na_error is None
+        assert rec.da_error is None
+
+    def test_zero_measured_zero_model_is_exact(self):
+        rec = AccuracyLedger().record_join(AccessStats(), 0.0, 0.0)
+        assert rec.na_error == 0.0
+
+    def test_unavailable_estimate_is_none(self):
+        rec = AccuracyLedger().record_join(_stats(), None, None)
+        assert rec.na_estimated is None
+        assert rec.na_error is None
+
+    def test_mirrors_into_tracer(self):
+        sink = MemorySink()
+        ledger = AccuracyLedger(tracer=Tracer(sink))
+        ledger.record_join(_stats(), 5.0, 2.0, label="x")
+        [rec] = sink.records
+        assert rec["event"] == "accuracy"
+        assert rec["label"] == "x"
+        assert rec["na_observed"] == 4
+
+    def test_record_round_trips_as_json(self):
+        rec = AccuracyLedger().record_join(_stats(), 5.0, None)
+        doc = json.loads(json.dumps(rec.as_dict(), allow_nan=False))
+        back = AccuracyRecord.from_dict(doc)
+        assert back.as_dict() == rec.as_dict()
+
+
+class TestSummarize:
+    def test_skips_undefined_without_biasing(self):
+        ledger = AccuracyLedger()
+        ledger.record_join(_stats(), 6.0, 3.0)        # na_error +0.5
+        ledger.record_join(AccessStats(), 5.0, 2.0)   # both None
+        summary = ledger.summarize()
+        assert summary["joins"] == 2
+        assert summary["na"]["defined"] == 1
+        assert summary["na"]["mean_abs"] == pytest.approx(0.5)
+        assert summary["na"]["bias"] == pytest.approx(0.5)
+
+    def test_all_none_axis(self):
+        ledger = AccuracyLedger()
+        ledger.record_join(AccessStats(), 5.0, 2.0)
+        summary = ledger.summarize()
+        assert summary["na"]["defined"] == 0
+        assert summary["na"]["mean_abs"] == 0.0
+        assert summary["na"]["drift"] is None
+
+    def test_drift_compares_halves(self):
+        ledger = AccuracyLedger()
+        # First half biased +0.5, second half unbiased.
+        ledger.record_join(_stats(), 6.0, 3.0)   # +0.5
+        ledger.record_join(_stats(), 4.0, 3.0)   # 0.0
+        assert ledger.summarize()["na"]["drift"] == pytest.approx(-0.5)
+
+    def test_extend_from_trace_rebuilds_records(self):
+        sink = MemorySink()
+        src = AccuracyLedger(tracer=Tracer(sink))
+        src.record_join(_stats(), 5.0, 2.0)
+        src.record_join(_stats(), 4.0, 3.0)
+        rebuilt = AccuracyLedger()
+        assert rebuilt.extend_from_trace(sink.records) == 2
+        assert [r.as_dict() for r in rebuilt.records] == \
+            [r.as_dict() for r in src.records]

@@ -1,0 +1,118 @@
+"""Unit tests for counters, gauges, histograms and the registry."""
+
+import json
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry
+from repro.storage import AccessStats
+
+
+class TestInstruments:
+    def test_counter_increments(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        g = Gauge()
+        g.set(3.0)
+        g.set(1.5)
+        assert g.value == 1.5
+
+    def test_histogram_bucketing(self):
+        h = Histogram(buckets=(1.0, 10.0))
+        for v in (0.5, 1.0, 5.0, 100.0):
+            h.observe(v)
+        # Inclusive upper bounds: 0.5 and 1.0 -> first, 5.0 -> second,
+        # 100.0 -> overflow.
+        assert h.counts == [2, 1, 1]
+        assert h.count == 4
+        assert h.mean == pytest.approx(106.5 / 4)
+
+    def test_histogram_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram(buckets=(5.0, 1.0))
+
+    def test_histogram_merge_requires_equal_buckets(self):
+        a = Histogram(buckets=(1.0, 2.0))
+        b = Histogram(buckets=(1.0, 3.0))
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+    def test_histogram_merge_adds(self):
+        a = Histogram(buckets=(1.0, 2.0))
+        b = Histogram(buckets=(1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        a.merge(b)
+        assert a.counts == [1, 1, 0]
+        assert a.count == 2
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        assert reg.gauge("y") is reg.gauge("y")
+        assert reg.histogram("z") is reg.histogram("z")
+        assert len(reg) == 3
+
+    def test_record_access_stats(self):
+        stats = AccessStats()
+        stats.record("R1", 2, False)
+        stats.record("R2", 1, True)
+        stats.record_retry("R1", 1, backoff=0.004)
+        reg = MetricsRegistry()
+        reg.record_access_stats(stats, prefix="join")
+        snap = reg.as_dict()
+        assert snap["counters"]["join.na"] == 2
+        assert snap["counters"]["join.da"] == 1
+        assert snap["counters"]["join.retries"] == 1
+        assert snap["counters"]["join.na.R1"] == 1
+        assert snap["counters"]["join.da.R2"] == 0
+        assert snap["gauges"]["join.accounted_backoff"] == \
+            pytest.approx(0.004)
+
+    def test_round_trip_through_json(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(7)
+        reg.gauge("g").set(1.25)
+        reg.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        doc = json.loads(json.dumps(reg.as_dict(), allow_nan=False))
+        back = MetricsRegistry.from_dict(doc)
+        assert back.as_dict() == reg.as_dict()
+
+    def test_merge_adds_counters_and_histograms(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("c").inc(1)
+        b.counter("c").inc(2)
+        a.histogram("h", buckets=(1.0,)).observe(0.5)
+        b.histogram("h", buckets=(1.0,)).observe(2.0)
+        a.merge(b)
+        snap = a.as_dict()
+        assert snap["counters"]["c"] == 3
+        assert snap["histograms"]["h"]["count"] == 2
+
+    def test_merge_accepts_dict_deltas(self):
+        # Worker processes ship as_dict() documents, not objects.
+        a = MetricsRegistry()
+        a.counter("c").inc(1)
+        a.merge({"counters": {"c": 4, "new": 2}})
+        assert a.as_dict()["counters"] == {"c": 5, "new": 2}
+
+    def test_merge_gauges_last_write_wins(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("g").set(1.0)
+        b.gauge("g").set(9.0)
+        a.merge(b)
+        assert a.gauge("g").value == 9.0
+
+    def test_merge_rejects_unknown_sections(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().merge({"conters": {"c": 1}})

@@ -1,0 +1,85 @@
+"""``repro report`` over a committed fixture trace, and trace loading."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.obs import (AccuracyLedger, TRACE_SCHEMA_VERSION, load_trace,
+                       render_report)
+
+FIXTURE = str(Path(__file__).resolve().parent / "fixtures"
+              / "trace_small.jsonl")
+
+
+class TestLoadTrace:
+    def test_loads_fixture_in_order(self):
+        records = load_trace(FIXTURE)
+        assert [r["seq"] for r in records] == list(range(1, 12))
+        assert all(r["schema"] == TRACE_SCHEMA_VERSION for r in records)
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"event": "a"}\n\n{"event": "b"}\n')
+        assert len(load_trace(str(path))) == 2
+
+    def test_malformed_line_names_line_number(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('{"event": "a"}\nnot json\n')
+        with pytest.raises(ValueError, match=r":2:"):
+            load_trace(str(path))
+
+    def test_non_object_record_rejected(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text('[1, 2]\n')
+        with pytest.raises(ValueError, match="objects"):
+            load_trace(str(path))
+
+    def test_newer_schema_refused(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        path.write_text(
+            '{"schema": %d, "event": "a"}\n'
+            % (TRACE_SCHEMA_VERSION + 1))
+        with pytest.raises(ValueError, match="newer"):
+            load_trace(str(path))
+
+
+class TestRenderReport:
+    def test_fixture_report_sections(self):
+        text = render_report(load_trace(FIXTURE))
+        assert "trace: 11 records" in text
+        assert "node_pair" in text
+        assert "j1" in text and "partial" in text
+        assert "j2" in text and "complete" in text
+        assert "join.na" in text                 # metrics snapshot
+        assert "estimator accuracy" in text
+        assert "budget trips" in text
+
+    def test_ledger_rebuilt_from_trace_matches_events(self):
+        records = load_trace(FIXTURE)
+        ledger = AccuracyLedger()
+        assert ledger.extend_from_trace(records) == 1
+        [rec] = ledger.records
+        [event] = [r for r in records if r.get("event") == "accuracy"]
+        assert rec.na_observed == event["na_observed"]
+        assert rec.da_error == event["da_error"]
+
+    def test_empty_trace_renders(self):
+        assert "trace: 0 records" in render_report([])
+
+
+class TestCliReport:
+    def test_report_subcommand_on_fixture(self, capsys):
+        assert main(["report", FIXTURE]) == 0
+        out = capsys.readouterr().out
+        assert "events:" in out
+        assert "estimator accuracy" in out
+
+    def test_report_missing_file_is_usage_error(self, capsys):
+        assert main(["report", "/nonexistent/trace.jsonl"]) == 2
+
+    def test_report_malformed_file_is_usage_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("nope\n")
+        assert main(["report", str(path)]) == 2
+        assert "malformed" in capsys.readouterr().err

@@ -1,0 +1,121 @@
+"""Unit tests for the tracer and its sinks."""
+
+import json
+
+import pytest
+
+from repro.obs import (JsonlSink, MemorySink, NullSink,
+                       TRACE_SCHEMA_VERSION, Tracer)
+
+
+class TestSinks:
+    def test_null_sink_discards(self):
+        sink = NullSink()
+        sink.write({"event": "x"})       # no error, no storage
+        sink.close()
+
+    def test_memory_sink_keeps_records_in_order(self):
+        sink = MemorySink()
+        sink.write({"seq": 1})
+        sink.write({"seq": 2})
+        assert [r["seq"] for r in sink.records] == [1, 2]
+
+    def test_memory_sink_is_a_ring_buffer(self):
+        sink = MemorySink(capacity=3)
+        for i in range(5):
+            sink.write({"seq": i})
+        assert [r["seq"] for r in sink.records] == [2, 3, 4]
+        assert sink.dropped == 2
+        assert len(sink) == 3
+
+    def test_memory_sink_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            MemorySink(capacity=0)
+
+    def test_jsonl_sink_writes_strict_json_lines(self, tmp_path):
+        path = str(tmp_path / "t.jsonl")
+        with JsonlSink(path) as sink:
+            sink.write({"event": "a", "x": 1})
+            sink.write({"event": "b", "y": [1, 2]})
+        lines = [json.loads(line) for line in
+                 open(path, encoding="utf-8")]
+        assert [r["event"] for r in lines] == ["a", "b"]
+
+    def test_jsonl_sink_rejects_nan(self, tmp_path):
+        sink = JsonlSink(str(tmp_path / "t.jsonl"))
+        with pytest.raises(ValueError):
+            sink.write({"x": float("nan")})
+        sink.close()
+
+    def test_jsonl_sink_close_is_idempotent(self, tmp_path):
+        sink = JsonlSink(str(tmp_path / "t.jsonl"))
+        sink.close()
+        sink.close()
+
+
+class TestTracer:
+    def test_records_carry_schema_seq_ts(self):
+        sink = MemorySink()
+        tracer = Tracer(sink, clock=lambda: 123.5)
+        tracer.emit("join_start", join="j1")
+        [rec] = sink.records
+        assert rec["schema"] == TRACE_SCHEMA_VERSION
+        assert rec["seq"] == 1
+        assert rec["ts"] == 123.5
+        assert rec["event"] == "join_start"
+        assert rec["join"] == "j1"
+
+    def test_seq_is_monotonic(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        for _ in range(5):
+            tracer.emit("e")
+        assert [r["seq"] for r in sink.records] == [1, 2, 3, 4, 5]
+
+    def test_null_sink_disables_tracer(self):
+        tracer = Tracer(NullSink())
+        assert tracer.enabled is False
+        tracer.emit("e", x=1)            # cheap no-op, nothing stored
+
+    def test_join_ids_are_fresh(self):
+        tracer = Tracer(MemorySink())
+        assert tracer.new_join_id() == "j1"
+        assert tracer.new_join_id() == "j2"
+
+    def test_pair_sampling_is_deterministic(self):
+        tracer = Tracer(MemorySink(), sample_pairs=3)
+        wanted = [v for v in range(1, 10) if tracer.want_pair(v)]
+        assert wanted == [3, 6, 9]
+
+    def test_pair_sampling_off_by_default(self):
+        tracer = Tracer(MemorySink())
+        assert not any(tracer.want_pair(v) for v in range(1, 100))
+
+    def test_negative_sampling_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(MemorySink(), sample_pairs=-1)
+
+    def test_buffer_access_self_samples(self):
+        sink = MemorySink()
+        tracer = Tracer(sink, sample_buffer=2)
+        for page in range(6):
+            tracer.buffer_access("R1", 1, page, hit=False)
+        events = [r for r in sink.records
+                  if r["event"] == "buffer_access"]
+        assert len(events) == 3          # every 2nd of 6
+
+    def test_buffer_access_disabled_without_sampling(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)            # sample_buffer=0
+        tracer.buffer_access("R1", 1, 7, hit=True)
+        assert sink.records == []
+
+    def test_join_finish_fields(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        tracer.join_finish("j1", na=10, da=4, pairs=3, comparisons=99,
+                           complete=False)
+        [rec] = sink.records
+        assert rec["na"] == 10 and rec["da"] == 4
+        assert rec["pairs"] == 3 and rec["comparisons"] == 99
+        assert rec["complete"] is False

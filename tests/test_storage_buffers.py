@@ -72,6 +72,56 @@ class TestPathBuffer:
         assert buf.cached("other") == {}
 
 
+class TestPathBufferSnapshot:
+    def test_snapshot_round_trip(self):
+        buf = PathBuffer()
+        buf.access("R1", 2, 10)
+        buf.access("R1", 1, 20)
+        buf.access("R2", 2, 30)
+        clone = PathBuffer()
+        clone.restore(buf.snapshot())
+        assert clone.cached("R1") == buf.cached("R1")
+        assert clone.cached("R2") == buf.cached("R2")
+        assert clone.snapshot() == buf.snapshot()
+
+    def test_snapshot_order_independent_of_access_order(self):
+        a, b = PathBuffer(), PathBuffer()
+        a.access("R1", 1, 1)
+        a.access("R2", 1, 2)
+        b.access("R2", 1, 2)
+        b.access("R1", 1, 1)
+        assert a.snapshot() == b.snapshot()
+
+    def test_non_string_labels_do_not_collide(self):
+        # str(2) == str("2"): keying the sort on str() made row order
+        # depend on dict insertion order whenever labels collided.  The
+        # stable-serialization key keeps the types apart.
+        a, b = PathBuffer(), PathBuffer()
+        a.access(2, 1, 10)
+        a.access("2", 1, 20)
+        b.access("2", 1, 20)
+        b.access(2, 1, 10)
+        assert a.snapshot() == b.snapshot()
+
+    def test_non_string_labels_round_trip(self):
+        buf = PathBuffer()
+        buf.access(2, 2, 10)
+        buf.access("2", 2, 11)
+        buf.access(("R", 1), 1, 12)      # not JSON-expressible: fallback
+        clone = PathBuffer()
+        clone.restore(buf.snapshot())
+        assert clone.cached(2) == {2: 10}
+        assert clone.cached("2") == {2: 11}
+        assert clone.cached(("R", 1)) == {1: 12}
+        assert clone.snapshot() == buf.snapshot()
+
+    def test_restore_none_clears(self):
+        buf = PathBuffer()
+        buf.access("T", 1, 5)
+        buf.restore(None)
+        assert buf.cached("T") == {}
+
+
 class TestLRUBuffer:
     def test_rejects_negative_capacity(self):
         with pytest.raises(ValueError):

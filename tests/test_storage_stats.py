@@ -1,5 +1,9 @@
 """Unit tests for access statistics."""
 
+import json
+
+import pytest
+
 from repro.storage import AccessStats
 
 
@@ -86,3 +90,46 @@ class TestLifecycle:
         stats = AccessStats()
         stats.record("T", 1, True)
         assert "NA=1" in repr(stats) and "DA=0" in repr(stats)
+
+
+class TestSerialization:
+    def _sample(self):
+        stats = AccessStats()
+        stats.record("R1", 2, False)
+        stats.record("R1", 1, True)
+        stats.record("R2", 1, False)
+        stats.record_retry("R1", 1, backoff=0.004)
+        stats.record_retry("R2", 1, backoff=0.002)
+        return stats
+
+    def test_round_trip_through_json(self):
+        # as_dict -> JSON -> from_dict must preserve every counter and
+        # the float backoff scalar (the parallel join's process
+        # transport and checkpoint restore both rely on this).
+        stats = self._sample()
+        doc = json.loads(json.dumps(stats.as_dict(), allow_nan=False))
+        back = AccessStats.from_dict(doc)
+        assert back.as_dict() == stats.as_dict()
+        assert back.na() == stats.na()
+        assert back.da() == stats.da()
+        assert back.retry_count() == stats.retry_count()
+        assert back.accounted_backoff == stats.accounted_backoff
+
+    def test_backoff_is_float_not_counter_map(self):
+        doc = self._sample().as_dict()
+        assert isinstance(doc["accounted_backoff"], float)
+        for section in ("node_accesses", "disk_accesses", "retries"):
+            assert all(isinstance(v, int)
+                       for v in doc[section].values())
+
+    def test_from_dict_rejects_unknown_sections(self):
+        doc = self._sample().as_dict()
+        doc["node_acesses"] = {"R1@1": 3}     # typo'd key
+        with pytest.raises(ValueError, match="node_acesses"):
+            AccessStats.from_dict(doc)
+
+    def test_from_dict_accepts_missing_sections(self):
+        back = AccessStats.from_dict({"node_accesses": {"R1@1": 2}})
+        assert back.na() == 2
+        assert back.da() == 0
+        assert back.accounted_backoff == 0.0
