@@ -21,7 +21,12 @@ the library is usable without writing code:
   anything) is corrupt;
 * ``report``   — summarize a JSONL trace written by ``join --trace``
   (event census, per-join counters, metrics snapshot, estimator
-  accuracy; see ``docs/observability.md``).
+  accuracy; see ``docs/observability.md``);
+* ``serve``    — run the join daemon: concurrent joins over registered
+  trees behind O(1) cost-model admission, bounded queueing, per-tenant
+  quotas and graceful drain (see ``docs/serving.md``);
+* ``serve-join`` — run one join on such a daemon, mapping the HTTP
+  protocol back onto these exit codes.
 
 Exit codes are structured so scripts can react precisely:
 
@@ -29,7 +34,9 @@ Exit codes are structured so scripts can react precisely:
 * ``2`` — usage or data errors (bad arguments, malformed files,
   cost-model domain violations, mismatched checkpoints);
 * ``3`` — corruption detected (a checksum failed);
-* ``4`` — transient read failures exhausted the retry budget;
+* ``4`` — transient failures: read retries exhausted, a parallel worker
+  crashed, or the serve daemon shed the request (overload, quota,
+  draining — retry after the hinted delay);
 * ``5`` — execution stopped by governance: a resource budget or
   deadline was exhausted, admission control rejected the query, or it
   was cancelled.  A machine-readable JSON reason is printed on stdout
@@ -40,6 +47,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Sequence
 
@@ -53,10 +61,11 @@ from .exec import (ADMISSION_MODES, AdmissionRejected, Budget,
 from .io import load_dataset, load_tree, save_dataset, save_tree, \
     verify_tree_file
 from .join import (ASSIGNMENT_STRATEGIES, EXECUTION_MODES,
-                   PAIR_ENUMERATIONS, PartialJoinResult, SpatialJoin,
-                   parallel_spatial_join)
+                   ON_WORKER_CRASH, PAIR_ENUMERATIONS, PartialJoinResult,
+                   SpatialJoin, WorkerCrashed, parallel_spatial_join)
 from .reliability import (CorruptPageError, FaultInjector, FaultyPager,
                           ReproError, RetryPolicy, TransientPageError)
+from .serve import Overloaded, ServiceDraining
 from .storage import LRUBuffer, NoBuffer, PathBuffer
 
 __all__ = ["EXIT_BUDGET", "EXIT_CORRUPT", "EXIT_TRANSIENT", "EXIT_USAGE",
@@ -84,9 +93,21 @@ def main(argv: Sequence[str] | None = None) -> int:
     except CorruptPageError as exc:
         print(f"error: corrupt data: {exc}", file=sys.stderr)
         return EXIT_CORRUPT
+    except WorkerCrashed as exc:
+        # Infrastructure failure, like exhausted retries: the data is
+        # fine, the run may succeed if repeated (or degraded to serial).
+        print(json.dumps(exc.as_dict()))
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_TRANSIENT
     except TransientPageError as exc:
         print(f"error: transient failures exhausted retries: {exc}",
               file=sys.stderr)
+        return EXIT_TRANSIENT
+    except (Overloaded, ServiceDraining) as exc:
+        # The server shed this request; it may well succeed if retried
+        # after the hinted delay — transient, like exhausted retries.
+        print(json.dumps(exc.as_dict()))
+        print(f"error: {exc}", file=sys.stderr)
         return EXIT_TRANSIENT
     except (ReproError, ValueError, OSError, KeyError) as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -182,6 +203,17 @@ def _build_parser() -> argparse.ArgumentParser:
     join.add_argument("--assignment", choices=ASSIGNMENT_STRATEGIES,
                       default="greedy",
                       help="task-to-worker assignment (with --workers)")
+    join.add_argument("--worker-timeout", type=float, default=None,
+                      metavar="SECONDS",
+                      help="with --mode processes: declare the pool "
+                           "crashed after this long without any bucket "
+                           "completing (default 300)")
+    join.add_argument("--on-worker-crash", choices=ON_WORKER_CRASH,
+                      default="raise",
+                      help="with --mode processes: 'raise' a typed "
+                           "error (exit 4) when a worker dies, or "
+                           "'serial' to re-run the lost buckets "
+                           "serially and still finish")
     join.add_argument("--trace", metavar="OUT.jsonl", default=None,
                       help="write a structured JSONL trace of the run "
                            "(summarize it later with 'repro report'); "
@@ -256,6 +288,83 @@ def _build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--max-da", type=int, default=None, metavar="N",
                      help="disk-access budget per measured grid point")
     exp.set_defaults(handler=_cmd_experiment)
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the join daemon (JSON over HTTP and unix socket)")
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument("--port", type=int, default=0,
+                     help="TCP port (0 = ephemeral, printed on start; "
+                          "-1 disables TCP)")
+    srv.add_argument("--unix", metavar="PATH", default=None,
+                     help="also listen on this unix-domain socket")
+    srv.add_argument("--tree", action="append", default=[],
+                     metavar="NAME=PATH",
+                     help="register a saved tree at start (repeatable)")
+    srv.add_argument("--max-concurrency", type=int, default=4,
+                     help="joins executing simultaneously")
+    srv.add_argument("--queue-limit", type=int, default=16,
+                     help="admitted joins allowed to wait for a slot")
+    srv.add_argument("--max-predicted-na", type=float, default=None,
+                     metavar="NA",
+                     help="reject joins whose Eq. 7 predicted NA "
+                          "exceeds this, before any page read")
+    srv.add_argument("--max-predicted-da", type=float, default=None,
+                     metavar="DA",
+                     help="reject joins whose Eq. 10 predicted DA "
+                          "exceeds this")
+    srv.add_argument("--default-deadline", type=float, default=None,
+                     metavar="SECONDS",
+                     help="per-request wall-clock budget when the "
+                          "request carries none")
+    srv.add_argument("--pool-pages", type=int, default=4096,
+                     help="shared buffer-page pool that tenant quotas "
+                          "carve up")
+    srv.add_argument("--tenant-quota", action="append", default=[],
+                     metavar="TENANT=PAGES",
+                     help="per-tenant cap on concurrently held pool "
+                          "pages (repeatable)")
+    srv.add_argument("--serial-threshold", type=int, default=None,
+                     metavar="N",
+                     help="degrade process-parallel requests to serial "
+                          "below this tree size (default from "
+                          "BENCH_join.json)")
+    srv.add_argument("--drain-grace", type=float, default=10.0,
+                     metavar="SECONDS",
+                     help="how long SIGTERM waits for running joins "
+                          "before cancelling them")
+    srv.add_argument("--trace", metavar="OUT.jsonl", default=None,
+                     help="write a JSONL trace of every served join")
+    srv.set_defaults(handler=_cmd_serve)
+
+    sjoin = sub.add_parser(
+        "serve-join",
+        help="run one join on a daemon started with 'repro serve'")
+    sjoin.add_argument("server",
+                       help="http://host:port or unix:/path")
+    sjoin.add_argument("tree1", help="registered name of R1")
+    sjoin.add_argument("tree2", help="registered name of R2")
+    sjoin.add_argument("--tenant", default="default")
+    sjoin.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS")
+    sjoin.add_argument("--max-na", type=int, default=None, metavar="N")
+    sjoin.add_argument("--max-da", type=int, default=None, metavar="N")
+    sjoin.add_argument("--max-results", type=int, default=None,
+                       metavar="N")
+    sjoin.add_argument("--buffer", default=None,
+                       help="'none', 'path', or 'lru:<pages>'")
+    sjoin.add_argument("--workers", type=int, default=None, metavar="W")
+    sjoin.add_argument("--mode", choices=EXECUTION_MODES, default=None)
+    sjoin.add_argument("--admission", choices=("off", "reject"),
+                       default=None,
+                       help="check the request's own budget "
+                            "predictively too (server ceiling always "
+                            "applies)")
+    sjoin.add_argument("--resume-token", default=None,
+                       help="continue an interrupted served join")
+    sjoin.add_argument("--timeout", type=float, default=300.0,
+                       help="client-side HTTP timeout")
+    sjoin.set_defaults(handler=_cmd_serve_join)
     return parser
 
 
@@ -389,11 +498,15 @@ def _run_join(args, t1, t2, buffer, retry_policy, governor,
               tracer, metrics, ledger, stats) -> int:
     """The measured part of ``repro join``, after setup/validation."""
     if args.workers is not None:
+        from .join.parallel import DEFAULT_WORKER_TIMEOUT
+        timeout = (args.worker_timeout if args.worker_timeout is not None
+                   else DEFAULT_WORKER_TIMEOUT)
         result = parallel_spatial_join(
             t1, t2, args.workers, assignment=args.assignment,
             collect_pairs=False, governor=governor, mode=args.mode,
             pair_enumeration=args.pair_enum, tracer=tracer,
-            metrics=metrics)
+            metrics=metrics, worker_timeout=timeout,
+            on_worker_crash=args.on_worker_crash)
         print(f"R1: {args.tree1} (N={len(t1)}, h={t1.height})")
         print(f"R2: {args.tree2} (N={len(t2)}, h={t2.height})")
         print(f"result pairs: {result.pair_count}")
@@ -595,6 +708,102 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     if not budget.unlimited:
         governor = ExecutionGovernor(budget)
     print(run_experiment(args.id, args.scale, governor=governor))
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: run the daemon until SIGTERM/SIGINT drains it."""
+    import asyncio
+
+    from .serve import JoinService, ServeConfig, ServeDaemon
+
+    def _pairs(specs, what):
+        out = {}
+        for spec in specs:
+            name, sep, value = spec.partition("=")
+            if not sep or not name:
+                raise ValueError(f"--{what} expects NAME=VALUE, "
+                                 f"got {spec!r}")
+            out[name] = value
+        return out
+
+    quotas = {tenant: int(pages) for tenant, pages
+              in _pairs(args.tenant_quota, "tenant-quota").items()}
+    config_kw = dict(
+        host=args.host,
+        port=None if args.port < 0 else args.port,
+        unix_path=args.unix,
+        max_concurrency=args.max_concurrency,
+        queue_limit=args.queue_limit,
+        max_predicted_na=args.max_predicted_na,
+        max_predicted_da=args.max_predicted_da,
+        default_deadline=args.default_deadline,
+        pool_pages=args.pool_pages,
+        tenant_quotas=quotas,
+        drain_grace=args.drain_grace)
+    if args.serial_threshold is not None:
+        config_kw["serial_threshold"] = args.serial_threshold
+    config = ServeConfig(**config_kw)
+
+    tracer = None
+    if args.trace is not None:
+        from .obs import JsonlSink, Tracer
+        tracer = Tracer(JsonlSink(args.trace))
+    service = JoinService(config, tracer=tracer)
+    for name, path in _pairs(args.tree, "tree").items():
+        service.register_tree_file(name, path)
+    daemon = ServeDaemon(service)
+
+    async def _serve() -> bool:
+        addresses = await daemon.start()
+        print(json.dumps({"serving": addresses,
+                          "trees": [t["name"]
+                                    for t in service.trees()],
+                          "pid": os.getpid()}),
+              flush=True)
+        return await daemon.run_forever()
+
+    try:
+        clean = asyncio.run(_serve())
+    finally:
+        if tracer is not None:
+            tracer.metrics(service.metrics.as_dict())
+            tracer.close()
+    if clean:
+        print(json.dumps({"drained": "clean"}))
+        return 0
+    print(json.dumps({"drained": "cancelled"}))
+    print("warning: drain grace expired; running joins were "
+          "cancelled cooperatively", file=sys.stderr)
+    return EXIT_TRANSIENT
+
+
+def _cmd_serve_join(args: argparse.Namespace) -> int:
+    """``repro serve-join``: one remote join, local exit-code protocol.
+
+    Exit codes mirror ``repro join``: 0 complete, 5 for anything the
+    cost governance stopped (admission rejection, budget exhaustion,
+    cancellation — and a *partial* result, which prints its resume
+    token), 4 when the server shed the request (overload, quota,
+    draining), 2 for usage errors (unknown tree, bad token).
+    """
+    from .serve import ServeClient
+
+    options = {"tenant": args.tenant, "deadline": args.deadline,
+               "max_na": args.max_na, "max_da": args.max_da,
+               "max_results": args.max_results, "buffer": args.buffer,
+               "workers": args.workers, "mode": args.mode,
+               "admission": args.admission,
+               "resume_token": args.resume_token}
+    client = ServeClient(args.server, timeout=args.timeout)
+    response = client.join(args.tree1, args.tree2,
+                           **{k: v for k, v in options.items()
+                              if v is not None})
+    print(json.dumps(response))
+    if response.get("status") == "partial":
+        print(f"partial result; resume with --resume-token "
+              f"{response['resume_token'][:24]}...", file=sys.stderr)
+        return EXIT_BUDGET
     return 0
 
 

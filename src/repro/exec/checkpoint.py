@@ -26,6 +26,7 @@ mismatched trees or configuration raises :class:`CheckpointMismatch`.
 from __future__ import annotations
 
 import json
+import os
 import zlib
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -108,10 +109,27 @@ class JoinCheckpoint:
         return cls(**fields)
 
     def save(self, path: str | Path) -> None:
-        """Write the checkpoint as CRC-guarded JSON."""
+        """Write the checkpoint as CRC-guarded JSON, atomically.
+
+        The document goes to a sibling temporary file first and is
+        renamed over ``path`` only once fully written (``os.replace``
+        is atomic on POSIX and Windows).  A deadline, cancellation or
+        crash that interrupts the write therefore can never tear an
+        existing good checkpoint: ``path`` either still holds the
+        previous complete document, or the new complete one.  Should a
+        torn file appear anyway (kill mid-rename on exotic
+        filesystems, disk corruption), the document CRC makes
+        :meth:`load` reject it loudly instead of resuming from garbage.
+        """
         doc = self.to_dict()
         doc["crc"] = _doc_crc(doc)
-        Path(path).write_text(json.dumps(doc), encoding="utf-8")
+        path = Path(path)
+        tmp = path.with_name(path.name + ".tmp")
+        try:
+            tmp.write_text(json.dumps(doc), encoding="utf-8")
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
 
     @classmethod
     def load(cls, path: str | Path) -> "JoinCheckpoint":
@@ -127,7 +145,7 @@ class JoinCheckpoint:
         path = Path(path)
         try:
             doc = json.loads(path.read_text(encoding="utf-8"))
-        except json.JSONDecodeError as exc:
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             raise MalformedFileError(
                 f"{path}: invalid JSON: {exc}", path=path) from None
         if not isinstance(doc, dict):

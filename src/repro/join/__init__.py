@@ -2,7 +2,8 @@
 
 from .naive import naive_join
 from .parallel import (ASSIGNMENT_STRATEGIES, EXECUTION_MODES,
-                       ParallelJoinResult, parallel_spatial_join)
+                       ON_WORKER_CRASH, ParallelJoinResult, WorkerCrashed,
+                       parallel_spatial_join)
 from .plane_sweep import nested_loop_pairs, sweep_pairs, sweep_pairs_batch
 from .nested_loop import index_nested_loop_join
 from .predicates import OVERLAP, JoinPredicate, Overlap, WithinDistance
@@ -15,6 +16,7 @@ __all__ = [
     "EXECUTION_MODES",
     "JoinPredicate",
     "JoinResult",
+    "ON_WORKER_CRASH",
     "OVERLAP",
     "Overlap",
     "PAIR_ENUMERATIONS",
@@ -24,6 +26,7 @@ __all__ = [
     "R2",
     "SpatialJoin",
     "WithinDistance",
+    "WorkerCrashed",
     "index_nested_loop_join",
     "naive_join",
     "nested_loop_pairs",

@@ -42,11 +42,13 @@ without waiting for them.
 
 from __future__ import annotations
 
-from concurrent.futures import (ProcessPoolExecutor, ThreadPoolExecutor,
-                                wait)
+import time
+from concurrent.futures import (BrokenExecutor, ProcessPoolExecutor,
+                                ThreadPoolExecutor, wait)
 
 from ..exec import CancellationToken, ExecutionGovernor
 from ..exec.budget import Budget, BudgetExceeded, Cancelled
+from ..reliability import ReproError
 from ..rtree import RTreeBase
 from ..storage import AccessStats, MeteredReader, PathBuffer
 from .predicates import OVERLAP, JoinPredicate
@@ -54,7 +56,8 @@ from .result import R1, R2
 from .sync import PAIR_ENUMERATIONS, _TraversalState
 
 __all__ = ["parallel_spatial_join", "ParallelJoinResult",
-           "ASSIGNMENT_STRATEGIES", "EXECUTION_MODES"]
+           "ASSIGNMENT_STRATEGIES", "EXECUTION_MODES",
+           "ON_WORKER_CRASH", "WorkerCrashed"]
 
 ASSIGNMENT_STRATEGIES = ("round-robin", "greedy")
 
@@ -63,8 +66,47 @@ ASSIGNMENT_STRATEGIES = ("round-robin", "greedy")
 #: pool of worker processes with per-worker tree copies.
 EXECUTION_MODES = ("serial", "threads", "processes")
 
+#: What ``mode="processes"`` does when a worker process dies (SIGKILL,
+#: OOM kill, segfault) or stalls past the watchdog timeout: raise a
+#: typed :class:`WorkerCrashed`, or degrade — re-execute the lost
+#: buckets serially in the coordinator and still return a complete,
+#: correct result.
+ON_WORKER_CRASH = ("raise", "serial")
+
 #: Seconds between coordinator governor polls in ``"processes"`` mode.
 _PROCESS_POLL_INTERVAL = 0.05
+
+#: Default watchdog: how long the coordinator waits without *any* bucket
+#: completing before declaring the worker pool hung.  Generous on
+#: purpose — it exists to bound "forever", not to race real work.
+DEFAULT_WORKER_TIMEOUT = 300.0
+
+
+class WorkerCrashed(ReproError):
+    """A parallel worker process died or hung instead of finishing.
+
+    Raised by ``parallel_spatial_join(mode="processes",
+    on_worker_crash="raise")`` when the OS kills a worker (SIGKILL,
+    OOM), the pool breaks, or no bucket completes within the watchdog
+    timeout.  ``buckets`` lists the bucket indices whose results were
+    lost; ``cause`` is a short machine-readable reason string.
+    """
+
+    def __init__(self, buckets: list[int], cause: str,
+                 message: str | None = None):
+        self.buckets = list(buckets)
+        self.cause = cause
+        super().__init__(
+            message or f"parallel worker crashed ({cause}); "
+                       f"lost buckets {self.buckets}")
+
+    def as_dict(self) -> dict[str, object]:
+        """Machine-readable reason (the CLI prints this as JSON)."""
+        return {"error": "worker-crashed", "buckets": self.buckets,
+                "cause": self.cause}
+
+    def __reduce__(self):
+        return (WorkerCrashed, (self.buckets, self.cause, str(self)))
 
 
 class ParallelJoinResult:
@@ -212,6 +254,9 @@ def parallel_spatial_join(tree1: RTreeBase, tree2: RTreeBase,
                           mode: str = "serial",
                           pair_enumeration: str = "nested-loop",
                           tracer=None, metrics=None,
+                          worker_timeout: float | None =
+                          DEFAULT_WORKER_TIMEOUT,
+                          on_worker_crash: str = "raise",
                           ) -> ParallelJoinResult:
     """Run the SJ join split into subtree-pair tasks over ``workers``.
 
@@ -239,6 +284,16 @@ def parallel_spatial_join(tree1: RTreeBase, tree2: RTreeBase,
     time), while the coordinator polls the governor between completions
     and abandons queued buckets the moment the deadline or token trips.
 
+    A SIGKILLed (or OOM-killed, or hung) worker process can never hang
+    the coordinator: a broken pool and a ``worker_timeout`` seconds
+    stretch without any bucket completing are both treated as a crash.
+    ``on_worker_crash`` selects the reaction — ``"raise"`` (default)
+    raises a typed :class:`WorkerCrashed` naming the lost buckets,
+    ``"serial"`` degrades gracefully by re-executing the lost buckets
+    serially in the coordinator process (completed buckets are kept, so
+    the result is identical to an undisturbed run).  Both knobs apply
+    only to ``mode="processes"``.
+
     ``tracer``/``metrics`` are the :mod:`repro.obs` hooks.  Workers
     never touch the tracer (sinks don't cross process boundaries; the
     coordinator emits the per-worker events from the collected
@@ -256,6 +311,11 @@ def parallel_spatial_join(tree1: RTreeBase, tree2: RTreeBase,
             f"assignment must be one of {ASSIGNMENT_STRATEGIES}")
     if mode not in EXECUTION_MODES:
         raise ValueError(f"mode must be one of {EXECUTION_MODES}")
+    if on_worker_crash not in ON_WORKER_CRASH:
+        raise ValueError(
+            f"on_worker_crash must be one of {ON_WORKER_CRASH}")
+    if worker_timeout is not None and worker_timeout <= 0.0:
+        raise ValueError("worker_timeout must be positive (or None)")
     if pair_enumeration not in PAIR_ENUMERATIONS:
         raise ValueError(
             f"pair_enumeration must be one of {PAIR_ENUMERATIONS}")
@@ -335,7 +395,11 @@ def parallel_spatial_join(tree1: RTreeBase, tree2: RTreeBase,
             results = _drive_processes(buckets, tree1, tree2, predicate,
                                        collect_pairs, governor,
                                        pair_enumeration,
-                                       with_metrics=metrics is not None)
+                                       with_metrics=metrics is not None,
+                                       worker_timeout=worker_timeout,
+                                       on_worker_crash=on_worker_crash,
+                                       tracer=tracer, join_id=join_id,
+                                       metrics=metrics)
         else:
             results = []
             for bucket in buckets:
@@ -350,6 +414,13 @@ def parallel_spatial_join(tree1: RTreeBase, tree2: RTreeBase,
             tracer.budget_trip(join_id, exc.as_dict())
         if metrics is not None:
             metrics.counter("governor.trips").inc()
+        raise
+    except WorkerCrashed as exc:
+        if tracer is not None:
+            tracer.emit("worker_crash", join=join_id,
+                        reason=exc.as_dict())
+        if metrics is not None:
+            metrics.counter("parallel.worker_crashes").inc()
         raise
 
     all_pairs: list[tuple[int, int]] = []
@@ -465,7 +536,10 @@ def _worker_budget(governor) -> Budget | None:
 
 
 def _drive_processes(buckets, tree1, tree2, predicate, collect_pairs,
-                     governor, pair_enumeration, with_metrics=False):
+                     governor, pair_enumeration, with_metrics=False,
+                     worker_timeout: float | None = DEFAULT_WORKER_TIMEOUT,
+                     on_worker_crash: str = "raise",
+                     tracer=None, join_id=None, metrics=None):
     """Run the buckets on a process pool with coordinator-side polling.
 
     Each submission pickles the bucket, both trees, the predicate and
@@ -482,6 +556,13 @@ def _drive_processes(buckets, tree1, tree2, predicate, collect_pairs,
     immediately instead of waiting for the queue to drain.  As in the
     thread mode, a real worker failure is preferred over any
     :class:`Cancelled` it induced.
+
+    Worker *death* is handled by a watchdog, never by blocking: a
+    broken pool (a child was SIGKILLed, OOM-killed or segfaulted) or
+    ``worker_timeout`` seconds without any bucket completing hands off
+    to :func:`_handle_worker_crash`, which kills the remaining children
+    instead of joining them.  The pool is shut down without waiting on
+    the crash path, so a dead or hung worker cannot wedge the caller.
     """
     if governor is not None:
         # Trip a pre-cancelled token or spent deadline before paying
@@ -489,8 +570,9 @@ def _drive_processes(buckets, tree1, tree2, predicate, collect_pairs,
         governor.check(AccessStats())
     worker_budget = _worker_budget(governor)
     failure: BaseException | None = None
-    results: list = []
-    with ProcessPoolExecutor(max_workers=max(1, len(buckets))) as pool:
+    crash_cause: str | None = None
+    pool = ProcessPoolExecutor(max_workers=max(1, len(buckets)))
+    try:
         futures = [
             pool.submit(_process_bucket, bucket, tree1, tree2, predicate,
                         collect_pairs, pair_enumeration, worker_budget,
@@ -498,15 +580,29 @@ def _drive_processes(buckets, tree1, tree2, predicate, collect_pairs,
             for bucket in buckets
         ]
         pending = set(futures)
+        last_progress = time.monotonic()
         while pending:
             done, pending = wait(pending,
                                  timeout=_PROCESS_POLL_INTERVAL)
+            if done:
+                last_progress = time.monotonic()
             for fut in done:
+                if fut.cancelled():
+                    continue
                 exc = fut.exception()
-                if exc is not None and not isinstance(exc, Cancelled) \
+                if isinstance(exc, BrokenExecutor):
+                    crash_cause = "broken-pool"
+                elif exc is not None and not isinstance(exc, Cancelled) \
                         and (failure is None
                              or isinstance(failure, Cancelled)):
                     failure = exc
+            if crash_cause is None and pending \
+                    and worker_timeout is not None \
+                    and time.monotonic() - last_progress \
+                    >= worker_timeout:
+                crash_cause = "watchdog-timeout"
+            if crash_cause is not None:
+                break
             if pending and governor is not None and failure is None:
                 try:
                     # Empty stats: only the deadline and the token can
@@ -518,12 +614,76 @@ def _drive_processes(buckets, tree1, tree2, predicate, collect_pairs,
                 for fut in pending:
                     fut.cancel()         # queued buckets never start
                 break
-    if failure is not None:
-        raise failure
-    ordered = []
-    for fut in futures:
-        stats_doc, pairs, count, metrics_doc = fut.result()
-        ordered.append((AccessStats.from_dict(stats_doc), pairs, count,
-                        metrics_doc))
-    results.extend(ordered)
+        if crash_cause is not None:
+            return _handle_worker_crash(
+                crash_cause, pool, futures, buckets, tree1, tree2,
+                predicate, collect_pairs, governor, pair_enumeration,
+                with_metrics, on_worker_crash, tracer, join_id, metrics)
+        if failure is not None:
+            raise failure
+        ordered = []
+        for fut in futures:
+            stats_doc, pairs, count, metrics_doc = fut.result()
+            ordered.append((AccessStats.from_dict(stats_doc), pairs,
+                            count, metrics_doc))
+        return ordered
+    finally:
+        # Non-crash paths drain normally (every future is already done
+        # or cancelled).  The crash path already shut the pool down
+        # without waiting — this second shutdown is a no-op, crucially
+        # never a join on a dead or hung child.
+        pool.shutdown(wait=crash_cause is None)
+
+
+def _handle_worker_crash(cause, pool, futures, buckets, tree1, tree2,
+                         predicate, collect_pairs, governor,
+                         pair_enumeration, with_metrics, on_worker_crash,
+                         tracer, join_id, metrics):
+    """React to a dead or hung worker pool: raise typed, or go serial.
+
+    First puts the pool beyond doubt — surviving children are killed
+    (they may be mid-bucket; their results are lost anyway) and the pool
+    is shut down *without waiting*.  Then either raises
+    :class:`WorkerCrashed` naming the lost buckets, or — with
+    ``on_worker_crash="serial"`` — re-executes exactly those buckets
+    serially in this process.  Buckets that completed before the crash
+    are salvaged, so the degraded result is identical to an undisturbed
+    run's (the union of bucket outputs does not depend on where they
+    ran).
+    """
+    for proc in list((getattr(pool, "_processes", None) or {}).values()):
+        if proc.is_alive():
+            proc.kill()
+    pool.shutdown(wait=False, cancel_futures=True)
+    salvaged: dict[int, tuple] = {}
+    lost: list[int] = []
+    for index, fut in enumerate(futures):
+        if fut.done() and not fut.cancelled() \
+                and fut.exception() is None:
+            salvaged[index] = fut.result()
+        else:
+            lost.append(index)
+    if on_worker_crash == "raise":
+        raise WorkerCrashed(lost, cause)
+    if tracer is not None:
+        tracer.emit("degraded_serial", join=join_id, cause=cause,
+                    buckets=lost)
+    if metrics is not None:
+        metrics.counter("parallel.worker_crashes").inc()
+        metrics.counter("parallel.degraded_serial").inc()
+    root1 = tree1.root()
+    root2 = tree2.root()
+    results = []
+    for index, bucket in enumerate(buckets):
+        if index in salvaged:
+            stats_doc, pairs, count, metrics_doc = salvaged[index]
+            results.append((AccessStats.from_dict(stats_doc), pairs,
+                            count, metrics_doc))
+        else:
+            worker_gov = governor.spawn() if governor is not None \
+                else None
+            results.append(_run_bucket(
+                bucket, tree1, tree2, root1, root2, predicate,
+                collect_pairs, worker_gov, pair_enumeration,
+                _fresh_metrics(with_metrics)))
     return results

@@ -66,14 +66,17 @@ def render_report(records: list[dict]) -> str:
 
     finishes = [r for r in records if r.get("event") == "join_finish"]
     if finishes:
+        starts = _join_starts(records)
         lines.append("")
         lines.append("joins:")
         for r in finishes:
             status = "complete" if r.get("complete", True) else "partial"
+            duration = _join_duration(r, starts)
+            suffix = f"  {duration:.3f}s" if duration is not None else ""
             lines.append(
                 f"  {r.get('join', '?'):<6} NA={r.get('na', 0):<8} "
                 f"DA={r.get('da', 0):<8} pairs={r.get('pairs', 0):<8} "
-                f"{status}")
+                f"{status}{suffix}")
 
     snapshots = [r for r in records if r.get("event") == "metrics"]
     if snapshots:
@@ -106,6 +109,32 @@ def render_report(records: list[dict]) -> str:
             lines.append(f"  {r.get('join', '?'):<6} {reason}")
 
     return "\n".join(lines)
+
+
+def _join_starts(records: list[dict]) -> dict[str, float]:
+    """First ``elapsed`` per join id over its start/resume records."""
+    starts: dict[str, float] = {}
+    for r in records:
+        if r.get("event") in ("join_start", "resume") \
+                and isinstance(r.get("elapsed"), (int, float)):
+            starts.setdefault(str(r.get("join")), float(r["elapsed"]))
+    return starts
+
+
+def _join_duration(finish: dict, starts: dict[str, float],
+                   ) -> float | None:
+    """Monotonic duration of one join, ``None`` when not derivable.
+
+    Durations come from the ``elapsed`` field (monotonic since schema
+    gained it), never from ``ts`` differences — wall clocks can step
+    backwards under NTP skew, and a report must not print a negative
+    duration.  Traces written before the field existed get ``None``.
+    """
+    end = finish.get("elapsed")
+    start = starts.get(str(finish.get("join")))
+    if not isinstance(end, (int, float)) or start is None:
+        return None
+    return max(0.0, float(end) - start)
 
 
 def _render_metrics(snapshot: dict) -> list[str]:

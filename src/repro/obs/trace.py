@@ -18,9 +18,17 @@ Tracing is **observational only**: no code path reads a tracer's state
 to make a decision, so NA/DA/pairs/checkpoints of a traced run are
 bit-identical to an untraced run (asserted by the zero-perturbation
 suite).  Every record carries ``schema`` (see
-:data:`TRACE_SCHEMA_VERSION`), a per-tracer sequence number and a wall
-clock timestamp; the event vocabulary is documented in
-``docs/observability.md``.
+:data:`TRACE_SCHEMA_VERSION`), a per-tracer sequence number, a wall
+clock timestamp and a monotonic ``elapsed`` offset; the event
+vocabulary is documented in ``docs/observability.md``.
+
+Two clocks, one guarantee: ``ts`` is wall time (comparable across
+machines, but ``time.time`` can step backwards under NTP skew), while
+``elapsed`` is seconds since the tracer was created on the *monotonic*
+clock (immune to skew; the field durations should be computed from).
+Within one tracer ``ts`` is additionally clamped to be non-decreasing,
+so ``seq`` order, ``ts`` order and ``elapsed`` order never contradict
+each other in a trace file.
 """
 
 from __future__ import annotations
@@ -142,14 +150,22 @@ class Tracer:
     sample_buffer:
         Same contract for per-``ReadPage`` buffer hit/miss records.
     clock:
-        Timestamp source for the ``ts`` field (injectable in tests).
+        Wall-clock source for the ``ts`` field (injectable in tests).
+        ``time.time`` may step backwards under NTP skew, so ``ts`` is
+        clamped to be non-decreasing within this tracer.
+    monotonic:
+        Monotonic source for the ``elapsed`` field — seconds since the
+        tracer was created, guaranteed non-decreasing by the clock
+        itself.  Durations should be computed from ``elapsed``, never
+        from ``ts`` differences.
 
     The tracer never influences execution: it is written to, not read.
     """
 
     def __init__(self, sink: TraceSink | None = None,
                  sample_pairs: int = 0, sample_buffer: int = 0,
-                 clock: Callable[[], float] = time.time):
+                 clock: Callable[[], float] = time.time,
+                 monotonic: Callable[[], float] = time.monotonic):
         if sample_pairs < 0 or sample_buffer < 0:
             raise ValueError("sampling intervals must be >= 0")
         self.sink = sink if sink is not None else MemorySink()
@@ -157,6 +173,9 @@ class Tracer:
         self.sample_pairs = sample_pairs
         self.sample_buffer = sample_buffer
         self._clock = clock
+        self._monotonic = monotonic
+        self._epoch = monotonic()
+        self._last_ts = float("-inf")
         self._lock = threading.Lock()
         self._seq = 0
         self._joins = 0
@@ -173,14 +192,23 @@ class Tracer:
     # -- emission -----------------------------------------------------------
 
     def emit(self, event: str, **fields) -> None:
-        """Write one record; a no-op when the tracer is disabled."""
+        """Write one record; a no-op when the tracer is disabled.
+
+        ``ts`` is clamped against the previous record's so a wall clock
+        stepping backwards (NTP skew) can never produce a trace where
+        ``seq`` increases while ``ts`` decreases; ``elapsed`` comes from
+        the monotonic clock and needs no clamp.
+        """
         if not self.enabled:
             return
         with self._lock:
             self._seq += 1
             seq = self._seq
+            ts = max(self._clock(), self._last_ts)
+            self._last_ts = ts
+            elapsed = self._monotonic() - self._epoch
         record = {"schema": TRACE_SCHEMA_VERSION, "seq": seq,
-                  "ts": self._clock(), "event": event}
+                  "ts": ts, "elapsed": elapsed, "event": event}
         record.update(fields)
         self.sink.write(record)
 

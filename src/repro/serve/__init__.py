@@ -1,0 +1,43 @@
+"""Join-as-a-service: the ``repro serve`` daemon and its building blocks.
+
+The paper's closed loop — predict a join's cost from catalog statistics,
+then act on the prediction — scaled up to a shared daemon serving many
+concurrent joins: O(1) Eq. 7/10 admission before any page read, a
+bounded queue with cost-derived backpressure, per-tenant quotas over a
+shared buffer pool, per-request deadlines yielding CRC-guarded resume
+tokens, and drain-then-exit shutdown.  See ``docs/serving.md``.
+
+Layers (transport-agnostic core first):
+
+* :class:`ServeConfig` — limits, quotas, listen addresses;
+* :class:`JoinService` — admission, queueing, quotas, execution, drain;
+* :class:`ServeDaemon` — asyncio JSON-over-HTTP transport (TCP + unix);
+* :class:`ServeClient` — blocking client raising the same typed errors;
+* :func:`encode_resume_token` / :func:`decode_resume_token` — partial
+  results as opaque CRC-guarded strings.
+"""
+
+from .admission import CostAdmission, ThroughputClock
+from .client import ServeClient
+from .config import DEFAULT_SERIAL_THRESHOLD, ServeConfig
+from .http import ServeDaemon
+from .quotas import BufferPool, QuotaExceeded
+from .service import JoinService, Overloaded, ServiceDraining, UnknownTree
+from .tokens import decode_resume_token, encode_resume_token
+
+__all__ = [
+    "BufferPool",
+    "CostAdmission",
+    "DEFAULT_SERIAL_THRESHOLD",
+    "JoinService",
+    "Overloaded",
+    "QuotaExceeded",
+    "ServeClient",
+    "ServeConfig",
+    "ServeDaemon",
+    "ServiceDraining",
+    "ThroughputClock",
+    "UnknownTree",
+    "decode_resume_token",
+    "encode_resume_token",
+]

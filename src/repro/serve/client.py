@@ -1,0 +1,147 @@
+"""Blocking JSON client for the join daemon (stdlib ``http.client``).
+
+:class:`ServeClient` speaks the daemon's protocol over TCP
+(``http://host:port``) or a unix-domain socket (``unix:/path``) and
+turns error responses back into the same typed exceptions the service
+raises in-process, so a remote caller and an embedded caller handle
+failures identically:
+
+==========  =====================================================
+HTTP        raised
+==========  =====================================================
+404         :class:`~repro.serve.service.UnknownTree`
+408         :class:`~repro.exec.BudgetExceeded`
+413         :class:`~repro.exec.AdmissionRejected`
+422         :class:`~repro.reliability.MalformedFileError`
+429         :class:`~repro.serve.service.Overloaded`
+499         :class:`~repro.exec.Cancelled`
+503         :class:`~repro.serve.service.ServiceDraining`
+other 4xx   ``ValueError``
+5xx         :class:`~repro.reliability.TransientPageError`
+==========  =====================================================
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+
+from ..exec import AdmissionRejected, BudgetExceeded, Cancelled
+from ..reliability import MalformedFileError, TransientPageError
+from .service import Overloaded, ServiceDraining, UnknownTree
+
+__all__ = ["ServeClient"]
+
+
+class _UnixHTTPConnection(http.client.HTTPConnection):
+    """HTTP over an ``AF_UNIX`` stream socket."""
+
+    def __init__(self, path: str, timeout: float | None = None):
+        super().__init__("localhost", timeout=timeout)
+        self._unix_path = path
+
+    def connect(self) -> None:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if self.timeout is not None:
+            sock.settimeout(self.timeout)
+        sock.connect(self._unix_path)
+        self.sock = sock
+
+
+class ServeClient:
+    """One daemon address; a fresh connection per request."""
+
+    def __init__(self, url: str, timeout: float | None = 60.0):
+        self.url = url
+        self.timeout = timeout
+        if url.startswith("unix:"):
+            self._unix_path: str | None = url[len("unix:"):]
+        elif url.startswith("http://"):
+            self._unix_path = None
+            rest = url[len("http://"):].rstrip("/")
+            host, _, port = rest.partition(":")
+            self._host = host
+            self._port = int(port) if port else 80
+        else:
+            raise ValueError(
+                f"unsupported server url {url!r} "
+                f"(use http://host:port or unix:/path)")
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._unix_path is not None:
+            return _UnixHTTPConnection(self._unix_path, self.timeout)
+        return http.client.HTTPConnection(self._host, self._port,
+                                          timeout=self.timeout)
+
+    def request(self, method: str, path: str,
+                body: dict | None = None,
+                accept: tuple[int, ...] = (200,)) -> dict:
+        """One round-trip; raises the typed error for unaccepted replies."""
+        conn = self._connection()
+        try:
+            payload = (json.dumps(body).encode("utf-8")
+                       if body is not None else b"")
+            conn.request(method, path, body=payload,
+                         headers={"Content-Type": "application/json",
+                                  "Content-Length": str(len(payload))})
+            response = conn.getresponse()
+            status = response.status
+            doc = json.loads(response.read().decode("utf-8"))
+        finally:
+            conn.close()
+        if status in accept:
+            return doc
+        raise self._to_error(status, doc)
+
+    @staticmethod
+    def _to_error(status: int, doc: dict) -> Exception:
+        detail = doc.get("detail") or doc.get("error") or "error"
+        if status == 404 and doc.get("error") == "unknown-tree":
+            return UnknownTree(doc.get("tree", "?"))
+        if status == 413:
+            return AdmissionRejected(doc.get("resource", "na"),
+                                     float(doc.get("limit") or 0),
+                                     float(doc.get("observed") or 0))
+        if status == 429:
+            return Overloaded(doc.get("reason", doc.get("error", "shed")),
+                              float(doc.get("retry_after") or 0.1),
+                              doc.get("predicted_na"),
+                              doc.get("predicted_da"), detail=doc)
+        if status == 503:
+            return ServiceDraining(float(doc.get("retry_after") or 1.0))
+        if status == 499:
+            return Cancelled()
+        if status == 408:
+            return BudgetExceeded(doc.get("resource", "deadline"),
+                                  float(doc.get("limit") or 0),
+                                  float(doc.get("observed") or 0))
+        if status == 422:
+            return MalformedFileError(str(detail))
+        if 400 <= status < 500:
+            return ValueError(f"HTTP {status}: {detail}")
+        return TransientPageError(f"HTTP {status}: {detail}")
+
+    # -- convenience wrappers ----------------------------------------------
+
+    def healthz(self) -> dict:
+        # 503 is a *valid* health answer (draining), not an error.
+        return self.request("GET", "/healthz", accept=(200, 503))
+
+    def metrics(self) -> dict:
+        return self.request("GET", "/metrics")
+
+    def trees(self) -> dict:
+        return self.request("GET", "/trees")
+
+    def register_tree(self, name: str, path: str) -> dict:
+        return self.request("POST", "/trees",
+                            {"name": name, "path": path})
+
+    def join(self, tree1: str, tree2: str, **options) -> dict:
+        doc = {"tree1": tree1, "tree2": tree2}
+        doc.update(options)
+        return self.request("POST", "/join", doc)
+
+    def cancel(self, join_id: str) -> dict:
+        return self.request("POST", "/cancel", {"join_id": join_id})

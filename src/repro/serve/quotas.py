@@ -1,0 +1,110 @@
+"""Per-tenant quotas over a shared buffer-page pool.
+
+The daemon owns one pool of buffer pages (``ServeConfig.pool_pages``).
+Every admitted join holds pages for the lifetime of its execution — the
+buffer footprint of its configuration: two root-to-leaf paths for the
+default :class:`~repro.storage.PathBuffer` regime, ``k`` pages for an
+``lru:k`` request.  A :class:`BufferPool` accounts those holdings per
+tenant and refuses an acquisition that would overdraw either the
+tenant's slice or the pool itself, raising :class:`QuotaExceeded` — the
+transport maps it to 429 with a retry-after hint.
+
+The pool governs *admission*, never the join's buffer behaviour: a
+request runs with exactly the buffer it asked for, so the NA/DA of a
+served join stay bit-identical to the same join run directly.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from ..reliability import ReproError
+
+__all__ = ["BufferPool", "QuotaExceeded"]
+
+
+class QuotaExceeded(ReproError):
+    """An acquisition would overdraw the pool or a tenant's slice."""
+
+    def __init__(self, tenant: str, requested: int, held: int,
+                 limit: int, scope: str):
+        self.tenant = tenant
+        self.requested = requested
+        self.held = held
+        self.limit = limit
+        self.scope = scope               #: ``"tenant"`` or ``"pool"``
+        self.retry_after: float | None = None   #: set by the service
+        super().__init__(
+            f"{scope} quota exceeded for tenant {tenant!r}: "
+            f"holding {held} + requesting {requested} > {limit} pages")
+
+    def as_dict(self) -> dict[str, object]:
+        out: dict[str, object] = {
+            "error": "quota-exceeded", "scope": self.scope,
+            "tenant": self.tenant, "requested": self.requested,
+            "held": self.held, "limit": self.limit}
+        if self.retry_after is not None:
+            out["retry_after"] = self.retry_after
+        return out
+
+
+class BufferPool:
+    """Thread-safe page accounting: one pool, per-tenant ceilings."""
+
+    def __init__(self, pool_pages: int,
+                 tenant_limit) -> None:
+        """``tenant_limit(tenant) -> int | None`` gives each tenant's cap
+        (``None`` = bounded only by the pool); normally
+        :meth:`~repro.serve.config.ServeConfig.tenant_limit`.
+        """
+        if pool_pages < 1:
+            raise ValueError("pool_pages must be >= 1")
+        self.pool_pages = pool_pages
+        self._tenant_limit = tenant_limit
+        self._held: dict[str, int] = {}
+        self._total = 0
+        self._lock = threading.Lock()
+
+    def acquire(self, tenant: str, pages: int) -> None:
+        """Reserve ``pages`` for ``tenant`` or raise :class:`QuotaExceeded`.
+
+        A request larger than the pool (or the tenant's whole slice) is
+        refused even on an idle pool — waiting could never help.
+        """
+        if pages < 0:
+            raise ValueError("pages must be >= 0")
+        with self._lock:
+            held = self._held.get(tenant, 0)
+            limit = self._tenant_limit(tenant)
+            if limit is not None and held + pages > limit:
+                raise QuotaExceeded(tenant, pages, held, limit, "tenant")
+            if self._total + pages > self.pool_pages:
+                raise QuotaExceeded(tenant, pages, self._total,
+                                    self.pool_pages, "pool")
+            self._held[tenant] = held + pages
+            self._total += pages
+
+    def release(self, tenant: str, pages: int) -> None:
+        with self._lock:
+            held = self._held.get(tenant, 0)
+            if pages > held:
+                raise ValueError(
+                    f"releasing {pages} pages but tenant {tenant!r} "
+                    f"holds {held}")
+            if held == pages:
+                self._held.pop(tenant, None)
+            else:
+                self._held[tenant] = held - pages
+            self._total -= pages
+
+    def held(self, tenant: str | None = None) -> int:
+        """Pages currently held, by one tenant or over the whole pool."""
+        with self._lock:
+            if tenant is None:
+                return self._total
+            return self._held.get(tenant, 0)
+
+    def snapshot(self) -> dict[str, object]:
+        with self._lock:
+            return {"pool_pages": self.pool_pages, "held": self._total,
+                    "tenants": dict(sorted(self._held.items()))}

@@ -1,0 +1,548 @@
+"""The join service: admission, queueing, quotas, execution, drain.
+
+:class:`JoinService` is the transport-agnostic core of the daemon.  It
+owns the registered trees (with their Eq. 2-5 parameters cached at
+registration, so per-request admission is O(1)), the bounded admission
+queue, the per-tenant buffer-page quotas, and the running-join registry
+used for cooperative cancellation and drain.  The HTTP layer
+(:mod:`repro.serve.http`) is a thin JSON mapping over
+:meth:`JoinService.execute`; tests exercise the service directly.
+
+Design invariants:
+
+* **Admission before I/O** — a request is priced (Eq. 7/10, closed
+  form over cached parameters) and either rejected, queued or admitted
+  *before any page read*.  Rejections and sheds carry the
+  machine-readable cost estimate.
+* **Bounded everything** — at most ``max_concurrency`` joins run, at
+  most ``queue_limit`` wait, a queued request waits at most
+  ``queue_wait_limit`` seconds; everyone else is shed with a
+  retry-after hint derived from the estimated remaining cost of the
+  running joins.
+* **Bit-identical results** — the service adds governance *around* the
+  join, never inside it: a served join's NA/DA/pairs equal a direct
+  :class:`~repro.join.SpatialJoin` run of the same configuration.
+* **Graceful degradation** — deadlines yield partial results with
+  CRC-guarded resume tokens; process-parallel requests fall back to
+  serial for trees below the known-unprofitable size threshold or when
+  workers die; drain stops intake, lets running joins finish, then
+  cancels cooperatively.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from ..exec import (Budget, CancellationToken, ExecutionGovernor,
+                    tree_params)
+from ..io import load_tree
+from ..join import (ON_WORKER_CRASH, PAIR_ENUMERATIONS, PartialJoinResult,
+                    SpatialJoin, parallel_spatial_join)
+from ..obs import MetricsRegistry
+from ..reliability import ReproError
+from ..storage import LRUBuffer, NoBuffer, PathBuffer
+from .admission import CostAdmission, ThroughputClock
+from .config import ServeConfig
+from .quotas import BufferPool, QuotaExceeded
+from .tokens import decode_resume_token, encode_resume_token
+
+__all__ = ["JoinService", "Overloaded", "ServiceDraining", "UnknownTree"]
+
+_REQUEST_FIELDS = frozenset({
+    "tree1", "tree2", "tenant", "deadline", "max_na", "max_da",
+    "max_results", "buffer", "pair_enumeration", "workers", "mode",
+    "collect_pairs", "resume_token", "admission",
+})
+
+
+class UnknownTree(ReproError, KeyError):
+    """The request names a tree the service has not registered."""
+
+    def __init__(self, name: str):
+        self.name = name
+        super().__init__(f"unknown tree {name!r}")
+
+    def __str__(self) -> str:     # KeyError quotes its arg otherwise
+        return f"unknown tree {self.name!r}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {"error": "unknown-tree", "tree": self.name}
+
+
+class Overloaded(ReproError):
+    """Shed load: queue full, queue wait exhausted, or quota exceeded.
+
+    Carries the retry-after hint (seconds, derived from the estimated
+    remaining cost of running joins) and the Eq. 7/10 estimate of the
+    shed request itself.
+    """
+
+    def __init__(self, reason: str, retry_after: float,
+                 predicted_na: float | None = None,
+                 predicted_da: float | None = None,
+                 detail: dict | None = None):
+        self.reason = reason
+        self.retry_after = retry_after
+        self.predicted_na = predicted_na
+        self.predicted_da = predicted_da
+        self.detail = detail or {}
+        super().__init__(
+            f"overloaded ({reason}); retry after {retry_after:.1f}s")
+
+    def as_dict(self) -> dict[str, object]:
+        out = {"error": "overloaded", "reason": self.reason,
+               "retry_after": self.retry_after,
+               "predicted_na": self.predicted_na,
+               "predicted_da": self.predicted_da}
+        out.update(self.detail)
+        return out
+
+
+class ServiceDraining(ReproError):
+    """The daemon is shutting down and accepts no new joins."""
+
+    def __init__(self, retry_after: float):
+        self.retry_after = retry_after
+        super().__init__("service is draining")
+
+    def as_dict(self) -> dict[str, object]:
+        return {"error": "draining", "retry_after": self.retry_after}
+
+
+@dataclass(frozen=True)
+class _RegisteredTree:
+    """A servable tree plus its catalog statistics, fixed at registration."""
+
+    name: str
+    tree: Any
+    params: Any | None           #: Eq. 2-5 parameters, or None (empty tree)
+    height: int
+    size: int
+
+
+class _Running:
+    """Bookkeeping for one executing join."""
+
+    __slots__ = ("join_id", "tenant", "predicted_na", "started", "token")
+
+    def __init__(self, join_id, tenant, predicted_na, started, token):
+        self.join_id = join_id
+        self.tenant = tenant
+        self.predicted_na = predicted_na
+        self.started = started
+        self.token = token
+
+
+class _ParsedRequest:
+    """A validated join request (raises ``ValueError`` on bad input)."""
+
+    def __init__(self, doc: dict, config: ServeConfig):
+        if not isinstance(doc, dict):
+            raise ValueError("join request must be a JSON object")
+        unknown = set(doc) - _REQUEST_FIELDS
+        if unknown:
+            raise ValueError(
+                f"unknown request fields: {sorted(unknown)}")
+        for name in ("tree1", "tree2"):
+            if not isinstance(doc.get(name), str):
+                raise ValueError(f"request needs a string {name!r} field")
+        self.tree1 = doc["tree1"]
+        self.tree2 = doc["tree2"]
+        self.tenant = doc.get("tenant", "default")
+        if not isinstance(self.tenant, str) or not self.tenant:
+            raise ValueError("tenant must be a non-empty string")
+        deadline = doc.get("deadline", config.default_deadline)
+        self.budget = Budget(
+            deadline=deadline, max_na=doc.get("max_na"),
+            max_da=doc.get("max_da"), max_results=doc.get("max_results"))
+        self.buffer_spec = doc.get("buffer", "path")
+        self.pair_enumeration = doc.get("pair_enumeration", "nested-loop")
+        if self.pair_enumeration not in PAIR_ENUMERATIONS:
+            raise ValueError(
+                f"pair_enumeration must be one of {PAIR_ENUMERATIONS}")
+        self.workers = doc.get("workers")
+        if self.workers is not None and (
+                not isinstance(self.workers, int) or self.workers < 1):
+            raise ValueError("workers must be a positive integer")
+        self.mode = doc.get("mode", "serial")
+        self.collect_pairs = bool(doc.get("collect_pairs", False))
+        self.resume_token = doc.get("resume_token")
+        self.admission = doc.get("admission", "reject")
+        if self.admission not in ("off", "reject"):
+            raise ValueError("admission must be 'off' or 'reject'")
+        if self.resume_token is not None and self.workers is not None:
+            raise ValueError(
+                "resume_token is incompatible with workers (checkpoints "
+                "describe the single synchronized traversal)")
+
+    def make_buffer(self):
+        spec = self.buffer_spec
+        if spec == "none":
+            return NoBuffer()
+        if spec == "path":
+            return PathBuffer()
+        if isinstance(spec, str) and spec.startswith("lru:"):
+            return LRUBuffer(int(spec.split(":", 1)[1]))
+        raise ValueError(
+            f"unknown buffer spec {spec!r} (use 'none', 'path', "
+            f"'lru:<k>')")
+
+    def buffer_footprint(self, height1: int, height2: int) -> int:
+        """Pool pages this request's buffer holds while it runs."""
+        spec = self.buffer_spec
+        if spec == "none":
+            return 0
+        if spec == "path":
+            return height1 + height2
+        return int(spec.split(":", 1)[1])
+
+
+class JoinService:
+    """See the module docstring.  Thread-safe; one instance per daemon."""
+
+    def __init__(self, config: ServeConfig | None = None,
+                 metrics: MetricsRegistry | None = None,
+                 tracer=None, clock=time.monotonic):
+        self.config = config if config is not None else ServeConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer
+        self._clock = clock
+        self._trees: dict[str, _RegisteredTree] = {}
+        self.admission = CostAdmission(
+            self.config.max_predicted_na, self.config.max_predicted_da,
+            clock=ThroughputClock())
+        self.pool = BufferPool(self.config.pool_pages,
+                               self.config.tenant_limit)
+        self._cond = threading.Condition()
+        self._running: dict[str, _Running] = {}
+        self._queued = 0
+        self._draining = False
+        self._drained = threading.Event()
+        self._next_id = 0
+        self._started = clock()
+
+    # -- registration -------------------------------------------------------
+
+    def register_tree(self, name: str, tree: Any) -> dict[str, object]:
+        """Make a built tree joinable under ``name``.
+
+        The O(N) part of the cost model — the Eq. 2-5 parameters, which
+        need the summed leaf-rectangle area — runs here, once; every
+        later admission decision is closed-form arithmetic over the
+        cached parameters.
+        """
+        if not name or "/" in name:
+            raise ValueError(
+                f"tree name must be a non-empty path-safe string, "
+                f"got {name!r}")
+        try:
+            params = tree_params(tree)
+        except ValueError:
+            params = None            # empty tree: unpriceable, servable
+        with self._cond:
+            self._trees[name] = _RegisteredTree(
+                name, tree, params, tree.height, len(tree))
+        self.metrics.counter("serve.trees_registered").inc()
+        return {"name": name, "size": len(tree), "height": tree.height,
+                "priceable": params is not None}
+
+    def register_tree_file(self, name: str, path: str) -> dict[str, object]:
+        """Load a saved tree (strict checksums) and register it."""
+        return self.register_tree(name, load_tree(path, strict=True))
+
+    def trees(self) -> list[dict[str, object]]:
+        with self._cond:
+            regs = list(self._trees.values())
+        return [{"name": r.name, "size": r.size, "height": r.height,
+                 "priceable": r.params is not None}
+                for r in sorted(regs, key=lambda r: r.name)]
+
+    def _lookup(self, name: str) -> _RegisteredTree:
+        with self._cond:
+            try:
+                return self._trees[name]
+            except KeyError:
+                raise UnknownTree(name) from None
+
+    # -- introspection ------------------------------------------------------
+
+    def status(self) -> dict[str, object]:
+        """The ``/healthz`` payload."""
+        with self._cond:
+            running = len(self._running)
+            queued = self._queued
+            draining = self._draining
+            trees = sorted(self._trees)
+        return {
+            "status": "draining" if draining else "ok",
+            "running": running,
+            "queue_depth": queued,
+            "max_concurrency": self.config.max_concurrency,
+            "queue_limit": self.config.queue_limit,
+            "trees": trees,
+            "pool": self.pool.snapshot(),
+            "uptime": round(self._clock() - self._started, 3),
+        }
+
+    def metrics_snapshot(self) -> dict[str, object]:
+        """The ``/metrics`` payload (gauges refreshed first)."""
+        with self._cond:
+            self.metrics.gauge("serve.running").set(len(self._running))
+            self.metrics.gauge("serve.queue_depth").set(self._queued)
+            self.metrics.gauge("serve.draining").set(
+                1.0 if self._draining else 0.0)
+        self.metrics.gauge("serve.pool_held").set(self.pool.held())
+        self.metrics.gauge("serve.na_per_second").set(
+            self.admission.clock.na_per_second)
+        return self.metrics.as_dict()
+
+    def _retry_after(self) -> float:
+        now = self._clock()
+        with self._cond:
+            running = [(r.predicted_na, now - r.started)
+                       for r in self._running.values()]
+        return self.admission.retry_after(running)
+
+    # -- cancellation / drain -----------------------------------------------
+
+    def cancel(self, join_id: str) -> bool:
+        """Cooperatively cancel one running join (True if it was found)."""
+        with self._cond:
+            entry = self._running.get(join_id)
+        if entry is None:
+            return False
+        entry.token.cancel()
+        self.metrics.counter("serve.cancelled").inc()
+        return True
+
+    def drain(self, grace: float | None = None) -> bool:
+        """Stop intake, wait for running joins, then cancel stragglers.
+
+        Returns ``True`` when every join finished within the grace
+        period, ``False`` when cooperative cancellation was needed.
+        New requests and queued waiters are refused with
+        :class:`ServiceDraining` from the moment drain starts.
+        """
+        grace = self.config.drain_grace if grace is None else grace
+        with self._cond:
+            self._draining = True
+            self._cond.notify_all()
+        self.metrics.gauge("serve.draining").set(1.0)
+        deadline = self._clock() + grace
+        clean = True
+        with self._cond:
+            while self._running:
+                remaining = deadline - self._clock()
+                if remaining <= 0:
+                    break
+                self._cond.wait(timeout=min(remaining, 0.1))
+            if self._running:
+                clean = False
+                for entry in self._running.values():
+                    entry.token.cancel()
+            # Cancelled joins stop at their next governor check; give
+            # them a bounded moment to surface their partial results.
+            stop = self._clock() + max(grace, 1.0)
+            while self._running and self._clock() < stop:
+                self._cond.wait(timeout=0.1)
+        self._drained.set()
+        return clean
+
+    @property
+    def draining(self) -> bool:
+        with self._cond:
+            return self._draining
+
+    # -- the request path ---------------------------------------------------
+
+    def execute(self, request: dict,
+                token: CancellationToken | None = None,
+                ) -> dict[str, object]:
+        """Admit, (maybe) queue, and run one join request; blocking.
+
+        ``token`` lets the transport cancel this specific request from
+        outside (client disconnect); the join's own token is linked to
+        it.  Returns the JSON-safe response document.  Raises typed
+        errors for every refusal — :class:`UnknownTree`,
+        :class:`~repro.exec.AdmissionRejected`, :class:`Overloaded`,
+        :class:`~repro.serve.quotas.QuotaExceeded`,
+        :class:`ServiceDraining`, ``ValueError`` for malformed requests
+        — which the transport maps to status codes.
+        """
+        req = _ParsedRequest(request, self.config)
+        if self.draining:
+            raise ServiceDraining(self.config.drain_grace)
+        reg1 = self._lookup(req.tree1)
+        reg2 = self._lookup(req.tree2)
+        checkpoint = (decode_resume_token(req.resume_token)
+                      if req.resume_token is not None else None)
+
+        # O(1) admission: closed-form Eq. 7/10 over cached parameters,
+        # against the server ceiling and (opt-out) the request budget.
+        predicted = None
+        if reg1.params is not None and reg2.params is not None:
+            request_budget = (req.budget if req.admission == "reject"
+                              else None)
+            try:
+                predicted = self.admission.admit(
+                    reg1.params, reg2.params, request_budget)
+            except Exception:
+                self.metrics.counter("serve.rejected.admission").inc()
+                raise
+        predicted_na = predicted[0] if predicted else None
+        predicted_da = predicted[1] if predicted else None
+
+        join_id, token = self._acquire_slot(req, predicted_na,
+                                            predicted_da, token)
+        pages = req.buffer_footprint(reg1.height, reg2.height)
+        try:
+            self.pool.acquire(req.tenant, pages)
+        except QuotaExceeded as exc:
+            self._release_slot(join_id)
+            exc.retry_after = self._retry_after()
+            self.metrics.counter("serve.shed.quota").inc()
+            raise
+        self.metrics.counter("serve.admitted").inc()
+
+        started = self._clock()
+        try:
+            result, degraded = self._run(req, reg1, reg2, checkpoint,
+                                         token, join_id)
+        finally:
+            self.pool.release(req.tenant, pages)
+            elapsed = self._clock() - started
+            self._release_slot(join_id)
+
+        observed_na = getattr(result, "na_total",
+                              getattr(result, "total_na", 0))
+        if observed_na:
+            self.admission.clock.observe(observed_na, elapsed)
+        self.metrics.histogram("serve.latency_ms").observe(elapsed * 1e3)
+        return self._respond(req, join_id, result, predicted_na,
+                             predicted_da, elapsed, degraded)
+
+    # -- slot management ----------------------------------------------------
+
+    def _acquire_slot(self, req: _ParsedRequest,
+                      predicted_na, predicted_da,
+                      outer_token: CancellationToken | None = None):
+        config = self.config
+        with self._cond:
+            while len(self._running) >= config.max_concurrency:
+                if self._draining:
+                    raise ServiceDraining(config.drain_grace)
+                if self._queued >= config.queue_limit:
+                    self.metrics.counter("serve.shed.queue").inc()
+                    raise Overloaded("queue-full", self._retry_after_locked(),
+                                     predicted_na, predicted_da,
+                                     {"queue_depth": self._queued})
+                self._queued += 1
+                self.metrics.counter("serve.queued").inc()
+                try:
+                    got = self._cond.wait(timeout=config.queue_wait_limit)
+                finally:
+                    self._queued -= 1
+                if not got and len(self._running) >= config.max_concurrency:
+                    self.metrics.counter("serve.shed.queue_timeout").inc()
+                    raise Overloaded("queue-timeout",
+                                     self._retry_after_locked(),
+                                     predicted_na, predicted_da)
+            if self._draining:
+                raise ServiceDraining(config.drain_grace)
+            self._next_id += 1
+            join_id = f"j{self._next_id}"
+            token = (CancellationToken(outer_token)
+                     if outer_token is not None else CancellationToken())
+            self._running[join_id] = _Running(
+                join_id, req.tenant, predicted_na, self._clock(), token)
+            return join_id, token
+
+    def _retry_after_locked(self) -> float:
+        now = self._clock()
+        running = [(r.predicted_na, now - r.started)
+                   for r in self._running.values()]
+        return self.admission.retry_after(running)
+
+    def _release_slot(self, join_id: str) -> None:
+        with self._cond:
+            self._running.pop(join_id, None)
+            self._cond.notify_all()
+
+    # -- execution ----------------------------------------------------------
+
+    def _run(self, req, reg1, reg2, checkpoint, token, join_id):
+        """Run the admitted join; returns ``(result, degraded_reason)``."""
+        degraded = None
+        workers = req.workers
+        mode = req.mode
+        if workers is not None and workers > 1 and mode == "processes" \
+                and min(reg1.size, reg2.size) < self.config.serial_threshold:
+            # Known-unprofitable regime (BENCH_join.json): worker
+            # start-up dominates below the threshold, so run serially.
+            degraded = "serial-small-tree"
+            self.metrics.counter("serve.degraded.small_tree").inc()
+            workers = None
+        if workers is not None and workers > 1:
+            governor = ExecutionGovernor(req.budget, token, partial=False)
+            result = parallel_spatial_join(
+                reg1.tree, reg2.tree, workers, mode=mode,
+                collect_pairs=req.collect_pairs, governor=governor,
+                pair_enumeration=req.pair_enumeration,
+                tracer=self.tracer, metrics=self.metrics,
+                on_worker_crash="serial")
+            return result, degraded
+        governor = ExecutionGovernor(req.budget, token, partial=True)
+        join = SpatialJoin(reg1.tree, reg2.tree, req.make_buffer(),
+                           pair_enumeration=req.pair_enumeration,
+                           governor=governor, tracer=self.tracer,
+                           metrics=self.metrics)
+        if checkpoint is not None:
+            self.metrics.counter("serve.resumed").inc()
+            return join.resume(checkpoint), degraded
+        return join.run(collect_pairs=req.collect_pairs), degraded
+
+    # -- responses ----------------------------------------------------------
+
+    def _respond(self, req, join_id, result, predicted_na, predicted_da,
+                 elapsed, degraded):
+        doc: dict[str, object] = {
+            "join_id": join_id,
+            "tenant": req.tenant,
+            "pair_count": result.pair_count,
+            "comparisons": getattr(result, "comparisons", None),
+            "elapsed": round(elapsed, 6),
+            "predicted_na": predicted_na,
+            "predicted_da": predicted_da,
+        }
+        if hasattr(result, "worker_stats"):      # ParallelJoinResult
+            doc["status"] = "complete"
+            doc["na"] = result.total_na
+            doc["da"] = result.total_da
+            doc["workers"] = result.workers
+        else:
+            doc["na"] = result.na_total
+            doc["da"] = result.da_total
+            doc["na_by_tree"] = {"R1": result.na("R1"),
+                                 "R2": result.na("R2")}
+            doc["da_by_tree"] = {"R1": result.da("R1"),
+                                 "R2": result.da("R2")}
+            doc["status"] = ("complete" if result.complete else "partial")
+        if req.collect_pairs and getattr(result, "complete", True):
+            doc["pairs"] = [list(p) for p in result.pairs]
+        if degraded is not None:
+            doc["degraded"] = degraded
+        if isinstance(result, PartialJoinResult):
+            self.metrics.counter("serve.partial").inc()
+            doc["reason"] = result.reason.as_dict()
+            doc["resume_token"] = encode_resume_token(result.checkpoint)
+            doc["remaining_na_estimate"] = result.remaining_na_estimate
+            doc["remaining_da_estimate"] = result.remaining_da_estimate
+            if result.remaining_na_estimate is not None:
+                doc["retry_after"] = round(self.admission.clock.seconds_for(
+                    result.remaining_na_estimate), 3)
+        else:
+            self.metrics.counter("serve.completed").inc()
+        return doc

@@ -261,6 +261,113 @@ class TestProcessesMode:
         assert "na budget" in str(err)
 
 
+def _sigkill_worker(*_args, **_kwargs):
+    """Worker body that dies the way an OOM killer kills: no cleanup."""
+    import os
+    import signal
+    os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _hung_worker(*_args, **_kwargs):
+    """Worker body that never finishes (a stuck child, not a dead one)."""
+    import time
+    time.sleep(600)
+
+
+_FORK_ONLY = pytest.mark.skipif(
+    __import__("multiprocessing").get_start_method() != "fork",
+    reason="worker-body injection relies on fork inheritance")
+
+
+@_FORK_ONLY
+class TestWorkerCrash:
+    """A SIGKILLed or hung worker must never hang the coordinator."""
+
+    def _patch(self, monkeypatch, body):
+        import repro.join.parallel as parallel_mod
+        monkeypatch.setattr(parallel_mod, "_process_bucket", body)
+
+    def test_sigkilled_worker_raises_typed_error(self, joined,
+                                                 monkeypatch):
+        from repro.join import WorkerCrashed
+        _a, _b, t1, t2 = joined
+        self._patch(monkeypatch, _sigkill_worker)
+        with pytest.raises(WorkerCrashed) as err:
+            parallel_spatial_join(t1, t2, 2, mode="processes",
+                                  worker_timeout=60.0)
+        doc = err.value.as_dict()
+        assert doc["error"] == "worker-crashed"
+        assert doc["buckets"]          # the lost buckets are named
+        assert doc["cause"] in ("broken-pool", "watchdog-timeout")
+
+    def test_sigkilled_worker_degrades_to_serial(self, joined,
+                                                 monkeypatch):
+        _a, _b, t1, t2 = joined
+        want = parallel_spatial_join(t1, t2, 2)     # undisturbed serial
+        self._patch(monkeypatch, _sigkill_worker)
+        got = parallel_spatial_join(t1, t2, 2, mode="processes",
+                                    worker_timeout=60.0,
+                                    on_worker_crash="serial")
+        assert got.pairs == want.pairs
+        assert [s.as_dict() for s in got.worker_stats] == \
+            [s.as_dict() for s in want.worker_stats]
+
+    def test_degraded_run_is_observable(self, joined, monkeypatch):
+        from repro.obs import MemorySink, MetricsRegistry, Tracer
+        _a, _b, t1, t2 = joined
+        self._patch(monkeypatch, _sigkill_worker)
+        sink = MemorySink()
+        metrics = MetricsRegistry()
+        parallel_spatial_join(t1, t2, 2, mode="processes",
+                              worker_timeout=60.0,
+                              on_worker_crash="serial",
+                              tracer=Tracer(sink), metrics=metrics)
+        events = {r["event"] for r in sink.records}
+        assert "degraded_serial" in events
+        snap = metrics.as_dict()["counters"]
+        assert snap["parallel.worker_crashes"] == 1
+        assert snap["parallel.degraded_serial"] == 1
+
+    def test_watchdog_catches_hung_worker(self, joined, monkeypatch):
+        import time
+        from repro.join import WorkerCrashed
+        _a, _b, t1, t2 = joined
+        self._patch(monkeypatch, _hung_worker)
+        started = time.monotonic()
+        with pytest.raises(WorkerCrashed) as err:
+            parallel_spatial_join(t1, t2, 2, mode="processes",
+                                  worker_timeout=1.0)
+        assert err.value.cause == "watchdog-timeout"
+        # The whole point: we came back in ~the timeout, not "forever".
+        assert time.monotonic() - started < 30.0
+
+    def test_hung_worker_degrades_to_serial(self, joined, monkeypatch):
+        _a, _b, t1, t2 = joined
+        want = parallel_spatial_join(t1, t2, 2)
+        self._patch(monkeypatch, _hung_worker)
+        got = parallel_spatial_join(t1, t2, 2, mode="processes",
+                                    worker_timeout=1.0,
+                                    on_worker_crash="serial")
+        assert got.pairs == want.pairs
+
+    def test_crash_error_pickles(self):
+        import pickle
+        from repro.join import WorkerCrashed
+        err = pickle.loads(pickle.dumps(
+            WorkerCrashed([1, 3], "broken-pool")))
+        assert err.buckets == [1, 3]
+        assert err.cause == "broken-pool"
+
+    def test_invalid_crash_policy_rejected(self, joined):
+        _a, _b, t1, t2 = joined
+        with pytest.raises(ValueError):
+            parallel_spatial_join(t1, t2, 2, mode="processes",
+                                  on_worker_crash="panic")
+        with pytest.raises(ValueError):
+            parallel_spatial_join(t1, t2, 2, mode="processes",
+                                  worker_timeout=0.0)
+
+
 class TestSpeedupDa:
     def test_zero_makespan_nonzero_sequential_is_none(self):
         from repro.storage import AccessStats

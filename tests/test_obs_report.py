@@ -67,6 +67,47 @@ class TestRenderReport:
     def test_empty_trace_renders(self):
         assert "trace: 0 records" in render_report([])
 
+    def test_join_duration_from_monotonic_elapsed(self):
+        records = [
+            {"event": "join_start", "join": "j1", "ts": 1000.0,
+             "elapsed": 1.0},
+            # Wall clock stepped back mid-join; elapsed kept going.
+            {"event": "join_finish", "join": "j1", "ts": 400.0,
+             "elapsed": 3.5, "na": 1, "da": 1, "pairs": 0},
+        ]
+        report = render_report(records)
+        assert "2.500s" in report
+        assert "-" not in report.split("joins:")[1].splitlines()[1]
+
+    def test_join_duration_never_negative(self):
+        # A defensive clamp: even a nonsensical trace (finish elapsed
+        # before start) must not render a negative duration.
+        records = [
+            {"event": "join_start", "join": "j1", "elapsed": 9.0},
+            {"event": "join_finish", "join": "j1", "elapsed": 2.0,
+             "na": 0, "da": 0, "pairs": 0},
+        ]
+        assert "0.000s" in render_report(records)
+
+    def test_join_duration_omitted_for_old_traces(self):
+        # Pre-elapsed traces simply render without a duration column.
+        records = [
+            {"event": "join_start", "join": "j1", "ts": 1.0},
+            {"event": "join_finish", "join": "j1", "ts": 2.0,
+             "na": 5, "da": 2, "pairs": 1},
+        ]
+        report = render_report(records)
+        join_line = next(l for l in report.splitlines() if "NA=5" in l)
+        assert join_line.rstrip().endswith("complete")
+
+    def test_resumed_join_duration_uses_resume_record(self):
+        records = [
+            {"event": "resume", "join": "j2", "elapsed": 10.0},
+            {"event": "join_finish", "join": "j2", "elapsed": 10.75,
+             "na": 3, "da": 1, "pairs": 0},
+        ]
+        assert "0.750s" in render_report(records)
+
 
 class TestCliReport:
     def test_report_subcommand_on_fixture(self, capsys):

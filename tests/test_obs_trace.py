@@ -119,3 +119,47 @@ class TestTracer:
         assert rec["na"] == 10 and rec["da"] == 4
         assert rec["pairs"] == 3 and rec["comparisons"] == 99
         assert rec["complete"] is False
+
+
+class TestTracerClocks:
+    def test_records_carry_monotonic_elapsed(self):
+        sink = MemorySink()
+        mono = iter([100.0, 100.25, 101.5])
+        tracer = Tracer(sink, clock=lambda: 7.0,
+                        monotonic=lambda: next(mono))
+        tracer.emit("a")
+        tracer.emit("b")
+        assert [r["elapsed"] for r in sink.records] == [0.25, 1.5]
+
+    def test_ts_never_decreases_under_backward_wall_clock(self):
+        # NTP skew: the wall clock steps back mid-trace.  seq keeps
+        # increasing, so ts must be clamped to the high-water mark.
+        sink = MemorySink()
+        wall = iter([1000.0, 1005.0, 990.0, 991.0, 1010.0])
+        tracer = Tracer(sink, clock=lambda: next(wall))
+        for _ in range(5):
+            tracer.emit("e")
+        ts = [r["ts"] for r in sink.records]
+        assert ts == sorted(ts)
+        assert ts == [1000.0, 1005.0, 1005.0, 1005.0, 1010.0]
+
+    def test_elapsed_immune_to_wall_clock_skew(self):
+        sink = MemorySink()
+        wall = iter([1000.0, 500.0])     # wall clock jumps back 500s
+        mono = iter([10.0, 10.1, 10.2])  # monotonic just keeps going
+        tracer = Tracer(sink, clock=lambda: next(wall),
+                        monotonic=lambda: next(mono))
+        tracer.emit("a")
+        tracer.emit("b")
+        elapsed = [r["elapsed"] for r in sink.records]
+        assert elapsed == sorted(elapsed)
+        assert elapsed[0] >= 0.0
+
+    def test_real_clocks_produce_sane_fields(self):
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        tracer.emit("a")
+        tracer.emit("b")
+        a, b = sink.records
+        assert b["ts"] >= a["ts"]
+        assert 0.0 <= a["elapsed"] <= b["elapsed"]

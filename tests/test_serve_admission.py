@@ -1,0 +1,125 @@
+"""Admission and backpressure math: O(1), typed, cost-derived."""
+
+import pytest
+
+from repro.exec import AdmissionRejected, Budget, tree_params
+from repro.serve import CostAdmission, ThroughputClock
+
+from .conftest import build_rstar, make_items
+
+
+@pytest.fixture(scope="module")
+def params():
+    t1 = build_rstar(make_items(300, seed=81), max_entries=8)
+    t2 = build_rstar(make_items(250, seed=82), max_entries=8)
+    return tree_params(t1), tree_params(t2)
+
+
+class TestCostAdmission:
+    def test_predict_matches_estimator(self, params):
+        from repro.estimator import Estimator
+        p1, p2 = params
+        predicted = CostAdmission.predict(p1, p2)
+        est = Estimator(p1, p2)
+        assert predicted == (est.na(), est.da())
+
+    def test_admit_under_ceiling(self, params):
+        p1, p2 = params
+        adm = CostAdmission(max_predicted_na=10**9)
+        na, da = adm.admit(p1, p2)
+        assert na > 0 and da > 0
+
+    def test_server_ceiling_rejects_with_estimate(self, params):
+        p1, p2 = params
+        predicted_na, _ = CostAdmission.predict(p1, p2)
+        adm = CostAdmission(max_predicted_na=int(predicted_na) - 1)
+        with pytest.raises(AdmissionRejected) as err:
+            adm.admit(p1, p2)
+        doc = err.value.as_dict()
+        assert doc["error"] == "admission-rejected"
+        assert doc["predicted"] is True
+        assert doc["observed"] == pytest.approx(predicted_na)
+
+    def test_request_budget_rejects(self, params):
+        p1, p2 = params
+        adm = CostAdmission()             # no server ceiling
+        with pytest.raises(AdmissionRejected):
+            adm.admit(p1, p2, Budget(max_na=1))
+
+    def test_request_budget_da_axis(self, params):
+        p1, p2 = params
+        _, predicted_da = CostAdmission.predict(p1, p2)
+        adm = CostAdmission()
+        with pytest.raises(AdmissionRejected) as err:
+            adm.admit(p1, p2, Budget(max_da=int(predicted_da) - 1))
+        assert err.value.resource == "da"
+
+    def test_unlimited_budget_admits(self, params):
+        p1, p2 = params
+        assert CostAdmission().admit(p1, p2, Budget()) is not None
+
+    def test_admission_is_o1_no_tree_access(self):
+        # The O(N) part (leaf density sum) happens at registration;
+        # admission over the cached parameters must not touch a tree.
+        t1 = build_rstar(make_items(150, seed=83), max_entries=8)
+        t2 = build_rstar(make_items(140, seed=84), max_entries=8)
+        p1, p2 = tree_params(t1), tree_params(t2)
+
+        def boom(*a, **kw):
+            raise AssertionError("admission touched the tree")
+
+        t1.leaf_entries = boom
+        t2.leaf_entries = boom
+        t1.pager.read = boom
+        t2.pager.read = boom
+        assert CostAdmission().admit(p1, p2, Budget(max_na=10**9))
+
+
+class TestThroughputClock:
+    def test_first_sample_replaces_prior(self):
+        clock = ThroughputClock(initial_rate=1000.0)
+        clock.observe(na=500, seconds=1.0)
+        assert clock.na_per_second == pytest.approx(500.0)
+
+    def test_ewma_converges(self):
+        clock = ThroughputClock(alpha=0.5)
+        for _ in range(20):
+            clock.observe(na=100, seconds=1.0)
+        assert clock.na_per_second == pytest.approx(100.0, rel=0.01)
+
+    def test_ignores_degenerate_samples(self):
+        clock = ThroughputClock()
+        before = clock.na_per_second
+        clock.observe(na=0, seconds=1.0)
+        clock.observe(na=10, seconds=0.0)
+        assert clock.na_per_second == before
+
+    def test_seconds_for_is_linear(self):
+        clock = ThroughputClock()
+        clock.observe(na=1000, seconds=1.0)
+        assert clock.seconds_for(2000) == pytest.approx(2.0)
+        assert clock.seconds_for(0) == 0.0
+
+
+class TestRetryAfter:
+    def test_derived_from_soonest_finishing_join(self):
+        adm = CostAdmission()
+        adm.clock.observe(na=1000, seconds=1.0)    # 1000 NA/s
+        # Two running joins: 5000 NA total, one 4s in; 2000 NA, fresh.
+        hint = adm.retry_after([(5000.0, 4.0), (2000.0, 0.0)])
+        # Remaining: 5s-4s = 1s vs 2s-0s = 2s -> soonest is 1s.
+        assert hint == pytest.approx(1.0, abs=0.01)
+
+    def test_overdue_join_clamps_to_floor(self):
+        adm = CostAdmission()
+        adm.clock.observe(na=1000, seconds=1.0)
+        assert adm.retry_after([(1000.0, 99.0)]) == pytest.approx(
+            0.1, abs=0.01)
+
+    def test_empty_running_set_uses_floor(self):
+        assert CostAdmission().retry_after([]) > 0
+
+    def test_clamped_to_ceiling(self):
+        adm = CostAdmission()
+        adm.clock.observe(na=10, seconds=10.0)     # 1 NA/s, very slow
+        assert adm.retry_after([(10**9, 0.0)]) == 60.0

@@ -1,0 +1,127 @@
+"""Per-tenant quotas over the shared buffer-page pool."""
+
+import threading
+
+import pytest
+
+from repro.serve import BufferPool, QuotaExceeded, ServeConfig
+
+
+def pool(pages=100, quotas=None, default=None):
+    config = ServeConfig(pool_pages=pages,
+                         tenant_quotas=quotas or {},
+                         default_tenant_pages=default)
+    return BufferPool(pages, config.tenant_limit)
+
+
+class TestBufferPool:
+    def test_acquire_release_accounting(self):
+        p = pool(100)
+        p.acquire("a", 30)
+        p.acquire("b", 20)
+        assert p.held() == 50
+        assert p.held("a") == 30
+        p.release("a", 30)
+        assert p.held("a") == 0
+        assert p.held() == 20
+
+    def test_pool_exhaustion_is_typed(self):
+        p = pool(100)
+        p.acquire("a", 80)
+        with pytest.raises(QuotaExceeded) as err:
+            p.acquire("b", 30)
+        assert err.value.scope == "pool"
+        doc = err.value.as_dict()
+        assert doc["error"] == "quota-exceeded"
+        assert doc["limit"] == 100
+
+    def test_tenant_ceiling(self):
+        p = pool(100, quotas={"small": 10})
+        p.acquire("small", 8)
+        with pytest.raises(QuotaExceeded) as err:
+            p.acquire("small", 5)
+        assert err.value.scope == "tenant"
+        assert err.value.tenant == "small"
+        # Another tenant is unaffected by small's ceiling.
+        p.acquire("big", 50)
+
+    def test_default_tenant_pages(self):
+        p = pool(100, default=15)
+        with pytest.raises(QuotaExceeded):
+            p.acquire("anyone", 16)
+        p.acquire("anyone", 15)
+
+    def test_oversized_request_refused_even_when_idle(self):
+        p = pool(10)
+        with pytest.raises(QuotaExceeded):
+            p.acquire("a", 11)
+        assert p.held() == 0
+
+    def test_over_release_is_an_error(self):
+        p = pool(10)
+        p.acquire("a", 3)
+        with pytest.raises(ValueError):
+            p.release("a", 4)
+
+    def test_zero_page_acquire_is_free(self):
+        p = pool(10, quotas={"t": 1})
+        for _ in range(100):
+            p.acquire("t", 0)
+        assert p.held("t") == 0
+
+    def test_snapshot(self):
+        p = pool(50, quotas={"a": 20})
+        p.acquire("a", 5)
+        snap = p.snapshot()
+        assert snap == {"pool_pages": 50, "held": 5,
+                        "tenants": {"a": 5}}
+
+    def test_concurrent_acquire_never_overdraws(self):
+        p = pool(100, default=100)
+        granted = []
+        barrier = threading.Barrier(8)
+
+        def worker(tenant):
+            barrier.wait()
+            for _ in range(50):
+                try:
+                    p.acquire(tenant, 7)
+                    granted.append(tenant)
+                except QuotaExceeded:
+                    pass
+
+        threads = [threading.Thread(target=worker, args=(f"t{i}",))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert p.held() == len(granted) * 7
+        assert p.held() <= 100
+
+
+class TestConfigValidation:
+    def test_tenant_limit_capped_by_pool(self):
+        config = ServeConfig(pool_pages=10, tenant_quotas={"a": 50})
+        assert config.tenant_limit("a") == 10
+
+    def test_unlisted_tenant_unbounded_by_default(self):
+        assert ServeConfig().tenant_limit("x") is None
+
+    @pytest.mark.parametrize("kw", [
+        {"max_concurrency": 0},
+        {"queue_limit": -1},
+        {"pool_pages": 0},
+        {"max_predicted_na": -5.0},
+        {"tenant_quotas": {"a": 0}},
+        {"drain_grace": -1.0},
+        {"queue_wait_limit": 0.0},
+    ])
+    def test_bad_config_rejected(self, kw):
+        with pytest.raises(ValueError):
+            ServeConfig(**kw)
+
+    def test_as_dict_round_trips(self):
+        config = ServeConfig(port=8080, tenant_quotas={"a": 5})
+        rebuilt = ServeConfig(**config.as_dict())
+        assert rebuilt == config
