@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 import zlib
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -124,9 +125,17 @@ class JoinCheckpoint:
         doc = self.to_dict()
         doc["crc"] = _doc_crc(doc)
         path = Path(path)
-        tmp = path.with_name(path.name + ".tmp")
+        # The temp name must be unique per save: with a fixed sibling
+        # name, two concurrent saves to the same path clobber each
+        # other's in-flight temp and the loser's cleanup can unlink
+        # the winner's before its rename.
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent,
+                                        prefix=path.name + ".",
+                                        suffix=".tmp")
+        tmp = Path(tmp_name)
         try:
-            tmp.write_text(json.dumps(doc), encoding="utf-8")
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(json.dumps(doc))
             os.replace(tmp, path)
         finally:
             tmp.unlink(missing_ok=True)

@@ -277,7 +277,7 @@ class ServeDaemon:
         # Watch for the client hanging up while the join runs: EOF on
         # the request stream cancels this request's token, converting
         # the orphaned work into a resumable partial result.
-        watchdog = asyncio.ensure_future(reader.read())
+        watchdog = asyncio.ensure_future(self._await_eof(reader))
         try:
             done, _pending = await asyncio.wait(
                 {join, watchdog}, return_when=asyncio.FIRST_COMPLETED)
@@ -290,3 +290,16 @@ class ServeDaemon:
             return _error_status(exc)
         finally:
             watchdog.cancel()
+
+    @staticmethod
+    async def _await_eof(reader: asyncio.StreamReader) -> None:
+        """Complete only at true EOF, not on any readable bytes.
+
+        A client that pipelines a second request, sends trailing
+        bytes, or half-closes its write side after the request
+        (``shutdown(SHUT_WR)``, valid HTTP/1.1) has NOT hung up;
+        treating its readable bytes as a disconnect would spuriously
+        cancel the join.  Discard data until the empty read.
+        """
+        while await reader.read(65536):
+            pass

@@ -159,6 +159,24 @@ class _ParsedRequest:
             deadline=deadline, max_na=doc.get("max_na"),
             max_da=doc.get("max_da"), max_results=doc.get("max_results"))
         self.buffer_spec = doc.get("buffer", "path")
+        self._lru_pages: int | None = None
+        if self.buffer_spec not in ("none", "path"):
+            # Validate here, not in make_buffer()/buffer_footprint():
+            # those run after a concurrency slot is held, and a raise
+            # there must never be reachable from unauthenticated input.
+            if (not isinstance(self.buffer_spec, str)
+                    or not self.buffer_spec.startswith("lru:")):
+                raise ValueError(
+                    f"unknown buffer spec {self.buffer_spec!r} "
+                    f"(use 'none', 'path', 'lru:<k>')")
+            try:
+                self._lru_pages = int(self.buffer_spec[4:])
+            except ValueError:
+                raise ValueError(
+                    f"bad lru buffer spec {self.buffer_spec!r}: "
+                    f"'lru:' needs an integer page count") from None
+            if self._lru_pages < 1:
+                raise ValueError("lru buffer needs at least one page")
         self.pair_enumeration = doc.get("pair_enumeration", "nested-loop")
         if self.pair_enumeration not in PAIR_ENUMERATIONS:
             raise ValueError(
@@ -179,25 +197,19 @@ class _ParsedRequest:
                 "describe the single synchronized traversal)")
 
     def make_buffer(self):
-        spec = self.buffer_spec
-        if spec == "none":
+        if self.buffer_spec == "none":
             return NoBuffer()
-        if spec == "path":
+        if self.buffer_spec == "path":
             return PathBuffer()
-        if isinstance(spec, str) and spec.startswith("lru:"):
-            return LRUBuffer(int(spec.split(":", 1)[1]))
-        raise ValueError(
-            f"unknown buffer spec {spec!r} (use 'none', 'path', "
-            f"'lru:<k>')")
+        return LRUBuffer(self._lru_pages)
 
     def buffer_footprint(self, height1: int, height2: int) -> int:
         """Pool pages this request's buffer holds while it runs."""
-        spec = self.buffer_spec
-        if spec == "none":
+        if self.buffer_spec == "none":
             return 0
-        if spec == "path":
+        if self.buffer_spec == "path":
             return height1 + height2
-        return int(spec.split(":", 1)[1])
+        return self._lru_pages
 
 
 class JoinService:
@@ -395,24 +407,29 @@ class JoinService:
         predicted_na = predicted[0] if predicted else None
         predicted_da = predicted[1] if predicted else None
 
+        pages = req.buffer_footprint(reg1.height, reg2.height)
         join_id, token = self._acquire_slot(req, predicted_na,
                                             predicted_da, token)
-        pages = req.buffer_footprint(reg1.height, reg2.height)
-        try:
-            self.pool.acquire(req.tenant, pages)
-        except QuotaExceeded as exc:
-            self._release_slot(join_id)
-            exc.retry_after = self._retry_after()
-            self.metrics.counter("serve.shed.quota").inc()
-            raise
-        self.metrics.counter("serve.admitted").inc()
-
+        # From here on, every exit path must release the slot: a leaked
+        # _running entry permanently consumes concurrency and wedges
+        # the daemon once max_concurrency requests have failed oddly.
+        pages_held = False
         started = self._clock()
         try:
+            try:
+                self.pool.acquire(req.tenant, pages)
+                pages_held = True
+            except QuotaExceeded as exc:
+                exc.retry_after = self._retry_after()
+                self.metrics.counter("serve.shed.quota").inc()
+                raise
+            self.metrics.counter("serve.admitted").inc()
+            started = self._clock()
             result, degraded = self._run(req, reg1, reg2, checkpoint,
                                          token, join_id)
         finally:
-            self.pool.release(req.tenant, pages)
+            if pages_held:
+                self.pool.release(req.tenant, pages)
             elapsed = self._clock() - started
             self._release_slot(join_id)
 
@@ -431,25 +448,39 @@ class JoinService:
                       outer_token: CancellationToken | None = None):
         config = self.config
         with self._cond:
-            while len(self._running) >= config.max_concurrency:
-                if self._draining:
-                    raise ServiceDraining(config.drain_grace)
-                if self._queued >= config.queue_limit:
-                    self.metrics.counter("serve.shed.queue").inc()
-                    raise Overloaded("queue-full", self._retry_after_locked(),
-                                     predicted_na, predicted_da,
-                                     {"queue_depth": self._queued})
-                self._queued += 1
-                self.metrics.counter("serve.queued").inc()
-                try:
-                    got = self._cond.wait(timeout=config.queue_wait_limit)
-                finally:
+            # The wait deadline is absolute: a waiter that is notified
+            # but loses the slot race re-enters wait() with only the
+            # *remaining* time, so "waits at most queue_wait_limit
+            # seconds" holds under contention.  Queue accounting
+            # happens once, on first entry, not per wakeup.
+            deadline = None
+            queued = False
+            try:
+                while len(self._running) >= config.max_concurrency:
+                    if self._draining:
+                        raise ServiceDraining(config.drain_grace)
+                    if not queued:
+                        if self._queued >= config.queue_limit:
+                            self.metrics.counter("serve.shed.queue").inc()
+                            raise Overloaded(
+                                "queue-full", self._retry_after_locked(),
+                                predicted_na, predicted_da,
+                                {"queue_depth": self._queued})
+                        queued = True
+                        self._queued += 1
+                        self.metrics.counter("serve.queued").inc()
+                        deadline = self._clock() + config.queue_wait_limit
+                    remaining = deadline - self._clock()
+                    if remaining <= 0:
+                        self.metrics.counter(
+                            "serve.shed.queue_timeout").inc()
+                        raise Overloaded("queue-timeout",
+                                         self._retry_after_locked(),
+                                         predicted_na, predicted_da)
+                    self._cond.wait(timeout=remaining)
+            finally:
+                if queued:
                     self._queued -= 1
-                if not got and len(self._running) >= config.max_concurrency:
-                    self.metrics.counter("serve.shed.queue_timeout").inc()
-                    raise Overloaded("queue-timeout",
-                                     self._retry_after_locked(),
-                                     predicted_na, predicted_da)
             if self._draining:
                 raise ServiceDraining(config.drain_grace)
             self._next_id += 1

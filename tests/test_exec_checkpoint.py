@@ -1,6 +1,7 @@
 """Checkpoint file format, validation, and resume safeguards."""
 
 import json
+import threading
 
 import pytest
 
@@ -35,6 +36,34 @@ class TestFileFormat:
         partial.checkpoint.save(path)
         loaded = JoinCheckpoint.load(path)
         assert loaded.to_dict() == partial.checkpoint.to_dict()
+
+    def test_concurrent_saves_to_same_path_are_safe(self, partial,
+                                                    tmp_path):
+        # Regression: a fixed sibling temp name (path + '.tmp') let
+        # concurrent saves clobber each other's in-flight temp file,
+        # and the loser's cleanup could unlink the winner's temp
+        # before its rename, failing the save.
+        path = tmp_path / "join.ckpt"
+        errors = []
+        start = threading.Barrier(8)
+
+        def hammer():
+            try:
+                start.wait(10)
+                for _ in range(25):
+                    partial.checkpoint.save(path)
+            except Exception as exc:    # noqa: BLE001 — collected
+                errors.append(exc)
+
+        workers = [threading.Thread(target=hammer) for _ in range(8)]
+        for w in workers:
+            w.start()
+        for w in workers:
+            w.join(30)
+        assert errors == []
+        loaded = JoinCheckpoint.load(path)
+        assert loaded.to_dict() == partial.checkpoint.to_dict()
+        assert list(tmp_path.glob("*.tmp")) == []    # no temp litter
 
     def test_tampered_payload_fails_crc(self, partial, tmp_path):
         path = tmp_path / "join.ckpt"

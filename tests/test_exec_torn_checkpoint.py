@@ -135,7 +135,7 @@ class TestAtomicSave:
         path = tmp_path / "cp.json"
         cp.save(path)
         assert JoinCheckpoint.load(path).to_dict() == cp.to_dict()
-        assert not path.with_name("cp.json.tmp").exists()
+        assert list(tmp_path.glob("*.tmp")) == []
 
     def test_interrupted_save_preserves_previous_good(
             self, tmp_path, trees, baseline, good_checkpoint,
@@ -163,7 +163,7 @@ class TestAtomicSave:
             later.checkpoint.save(path)
         monkeypatch.undo()
 
-        assert not path.with_name("cp.json.tmp").exists()
+        assert list(tmp_path.glob("*.tmp")) == []
         loaded = JoinCheckpoint.load(path)
         assert loaded.to_dict() == cp.to_dict()
         final = _join(t1, t2).resume(loaded)
@@ -182,7 +182,7 @@ class TestAtomicSave:
             cp.save(path)
         monkeypatch.undo()
         assert not path.exists()
-        assert not path.with_name("cp.json.tmp").exists()
+        assert list(tmp_path.glob("*.tmp")) == []
 
     @TORN
     @given(fail_after=st.integers(min_value=0, max_value=400))
@@ -198,21 +198,33 @@ class TestAtomicSave:
         before = path.read_bytes()
 
         import repro.exec.checkpoint as cpmod
-        real_write_text = cpmod.Path.write_text
+        real_fdopen = cpmod.os.fdopen
 
-        def torn_write_text(self, data, *a, **kw):
-            if self.name.endswith(".tmp"):
-                real_write_text(self, data[:fail_after], *a, **kw)
+        class TornFile:
+            def __init__(self, fh):
+                self._fh = fh
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *exc):
+                self._fh.close()
+                return False
+
+            def write(self, data):
+                self._fh.write(data[:fail_after])
                 raise TimeoutError("budget deadline during write")
-            return real_write_text(self, data, *a, **kw)
+
+        def torn_fdopen(fd, *a, **kw):
+            return TornFile(real_fdopen(fd, *a, **kw))
 
         try:
-            cpmod.Path.write_text = torn_write_text
+            cpmod.os.fdopen = torn_fdopen
             with pytest.raises(TimeoutError):
                 cp.save(path)
         finally:
-            cpmod.Path.write_text = real_write_text
+            cpmod.os.fdopen = real_fdopen
 
         assert path.read_bytes() == before
-        assert not path.with_name("cp.json.tmp").exists()
+        assert list(tmp_dir.glob("*.tmp")) == []
         assert JoinCheckpoint.load(path).to_dict() == cp.to_dict()

@@ -226,6 +226,51 @@ class TestOverloadOverHttp:
             h.close()
 
 
+    def test_trailing_bytes_are_not_a_disconnect(self, trees, direct,
+                                                 monkeypatch):
+        # Regression: the disconnect watchdog completed on ANY readable
+        # bytes, so a client that pipelined a second request (valid
+        # HTTP/1.1) had its running join spuriously cancelled and got a
+        # partial result.  Only a true EOF means the client went away.
+        h = DaemonHarness(ServeConfig(port=0))
+        try:
+            h.service.register_tree("a", trees[0])
+            h.service.register_tree("b", trees[1])
+            started = threading.Event()
+            release = threading.Event()
+            original = h.service._run
+
+            def gated(req, reg1, reg2, checkpoint, token, join_id):
+                started.set()
+                assert release.wait(30)
+                return original(req, reg1, reg2, checkpoint, token,
+                                join_id)
+
+            monkeypatch.setattr(h.service, "_run", gated)
+            host, port = h.http_url[len("http://"):].split(":")
+            body = json.dumps({"tree1": "a", "tree2": "b"}).encode()
+            with socket.create_connection((host, int(port))) as raw:
+                raw.sendall(b"POST /join HTTP/1.1\r\n"
+                            b"Content-Length: %d\r\n\r\n%s"
+                            % (len(body), body))
+                assert started.wait(10)
+                raw.sendall(b"GET /healthz HTTP/1.1\r\n\r\n")
+                release.set()
+                raw.settimeout(30)
+                data = b""
+                while chunk := raw.recv(65536):
+                    data += chunk
+            head, _, payload = data.partition(b"\r\n\r\n")
+            assert head.split(b"\r\n", 1)[0] == b"HTTP/1.1 200 OK"
+            doc = json.loads(payload)
+            assert doc["status"] == "complete"
+            assert doc["na"] == direct.na_total
+            counters = h.service.metrics_snapshot()["counters"]
+            assert "serve.client_disconnects" not in counters
+        finally:
+            h.close()
+
+
 class TestDrainOverHttp:
     def test_draining_daemon_reports_503(self, trees):
         h = DaemonHarness(ServeConfig(port=0))

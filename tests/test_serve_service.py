@@ -5,6 +5,7 @@ mapping has its own suite (``test_serve_http.py``).
 """
 
 import threading
+import time
 
 import pytest
 
@@ -139,6 +140,10 @@ class TestAdmission:
         {"tree1": "a", "tree2": "b", "pair_enumeration": "wat"},
         {"tree1": "a", "tree2": "b", "workers": 0},
         {"tree1": "a", "tree2": "b", "buffer": "hash:9"},
+        {"tree1": "a", "tree2": "b", "buffer": "garbage"},
+        {"tree1": "a", "tree2": "b", "buffer": "lru:abc"},
+        {"tree1": "a", "tree2": "b", "buffer": "lru:0"},
+        {"tree1": "a", "tree2": "b", "buffer": 7},
         {"tree1": "a", "tree2": "b", "admission": "warn"},
         {"tree1": "a", "tree2": "b", "workers": 2,
          "resume_token": "x"},
@@ -147,6 +152,18 @@ class TestAdmission:
         svc = make_service(trees)
         with pytest.raises(ValueError):
             svc.execute(bad)
+
+    def test_malformed_buffer_specs_consume_no_slot(self, trees):
+        # Regression: bad buffer specs used to raise only after the
+        # concurrency slot was held, leaking the _running entry; with
+        # max_concurrency such requests the daemon shed everything.
+        svc = make_service(trees, max_concurrency=1, queue_limit=0)
+        for bad in ("garbage", "lru:abc", "lru:0"):
+            with pytest.raises(ValueError):
+                svc.execute({"tree1": "a", "tree2": "b", "buffer": bad})
+        assert svc._running == {}
+        resp = svc.execute({"tree1": "a", "tree2": "b"})
+        assert resp["status"] == "complete"
 
     def test_bad_resume_token_is_typed(self, trees):
         svc = make_service(trees)
@@ -260,6 +277,45 @@ class TestBackpressure:
             gate.release.set()
             worker.join(30)
         assert err.value.reason == "queue-timeout"
+
+    def test_queue_wait_deadline_is_absolute(self, trees, monkeypatch):
+        # Regression: each Condition wakeup used to restart a fresh
+        # queue_wait_limit window, so a waiter that kept losing the
+        # slot race could wait unboundedly.  Wake the waiter far more
+        # often than the window and check it still times out on
+        # schedule — and that serve.queued counts requests, not
+        # wakeups.
+        svc = make_service(trees, max_concurrency=1, queue_limit=1,
+                           queue_wait_limit=0.3)
+        gate = _SlowGate(svc, monkeypatch)
+        worker = threading.Thread(
+            target=svc.execute, args=({"tree1": "a", "tree2": "b"},))
+        worker.start()
+        assert gate.started.wait(10)
+        stop = threading.Event()
+
+        def chatter():
+            while not stop.is_set():
+                with svc._cond:
+                    svc._cond.notify_all()
+                time.sleep(0.02)
+
+        noisy = threading.Thread(target=chatter)
+        noisy.start()
+        begin = time.monotonic()
+        try:
+            with pytest.raises(Overloaded) as err:
+                svc.execute({"tree1": "a", "tree2": "b"})
+            elapsed = time.monotonic() - begin
+        finally:
+            stop.set()
+            noisy.join(10)
+            gate.release.set()
+            worker.join(30)
+        assert err.value.reason == "queue-timeout"
+        assert elapsed < 5.0
+        snap = svc.metrics_snapshot()
+        assert snap["counters"]["serve.queued"] == 1
 
     def test_tenant_quota_sheds(self, trees):
         t1, t2 = trees
