@@ -333,6 +333,26 @@ def _build_parser() -> argparse.ArgumentParser:
                      metavar="SECONDS",
                      help="how long SIGTERM waits for running joins "
                           "before cancelling them")
+    srv.add_argument("--state-dir", metavar="DIR", default=None,
+                     help="durable state directory: registrations and "
+                          "admitted joins survive a crash and are "
+                          "recovered on restart (docs/serving.md)")
+    srv.add_argument("--journal-fsync", type=float, default=0.0,
+                     metavar="SECONDS",
+                     help="journal fsync cadence: 0 = every record "
+                          "(default), N = at most every N seconds, "
+                          "negative = never (kill-safe, not "
+                          "power-safe)")
+    srv.add_argument("--spill-interval", type=int, default=None,
+                     metavar="NA",
+                     help="checkpoint a durable join every NA node "
+                          "accesses (bounds re-done work after a "
+                          "crash)")
+    srv.add_argument("--read-timeout", type=float, default=None,
+                     metavar="SECONDS",
+                     help="drop clients that cannot deliver a full "
+                          "request within this long (slow-loris "
+                          "guard; default 30)")
     srv.add_argument("--trace", metavar="OUT.jsonl", default=None,
                      help="write a JSONL trace of every served join")
     srv.set_defaults(handler=_cmd_serve)
@@ -362,6 +382,19 @@ def _build_parser() -> argparse.ArgumentParser:
                             "applies)")
     sjoin.add_argument("--resume-token", default=None,
                        help="continue an interrupted served join")
+    sjoin.add_argument("--idempotency-key", default=None, metavar="KEY",
+                       help="at-most-once execution: a retried KEY "
+                            "replays the recorded result instead of "
+                            "re-running the join (needs a daemon "
+                            "--state-dir to survive restarts)")
+    sjoin.add_argument("--retries", type=int, default=1, metavar="N",
+                       help="attempts for transient failures "
+                            "(overload, drain, daemon restarting); "
+                            "full-jitter backoff honoring Retry-After "
+                            "(default 1 = no retry)")
+    sjoin.add_argument("--retry-deadline", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="wall-clock cap across all retry attempts")
     sjoin.add_argument("--timeout", type=float, default=300.0,
                        help="client-side HTTP timeout")
     sjoin.set_defaults(handler=_cmd_serve_join)
@@ -740,9 +773,16 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         default_deadline=args.default_deadline,
         pool_pages=args.pool_pages,
         tenant_quotas=quotas,
-        drain_grace=args.drain_grace)
+        drain_grace=args.drain_grace,
+        state_dir=args.state_dir,
+        journal_fsync_interval=(None if args.journal_fsync < 0
+                                else args.journal_fsync))
     if args.serial_threshold is not None:
         config_kw["serial_threshold"] = args.serial_threshold
+    if args.spill_interval is not None:
+        config_kw["spill_na_interval"] = args.spill_interval
+    if args.read_timeout is not None:
+        config_kw["read_timeout"] = args.read_timeout
     config = ServeConfig(**config_kw)
 
     tracer = None
@@ -750,17 +790,22 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         from .obs import JsonlSink, Tracer
         tracer = Tracer(JsonlSink(args.trace))
     service = JoinService(config, tracer=tracer)
+    # Recover BEFORE registering --tree flags: a flag for an already
+    # journaled name re-registers the same tree, not a duplicate, and
+    # orphaned joins resume against the recovered registrations.
+    recovery = service.recover() if service.durable is not None else None
     for name, path in _pairs(args.tree, "tree").items():
         service.register_tree_file(name, path)
     daemon = ServeDaemon(service)
 
     async def _serve() -> bool:
         addresses = await daemon.start()
-        print(json.dumps({"serving": addresses,
-                          "trees": [t["name"]
-                                    for t in service.trees()],
-                          "pid": os.getpid()}),
-              flush=True)
+        started = {"serving": addresses,
+                   "trees": [t["name"] for t in service.trees()],
+                   "pid": os.getpid()}
+        if recovery is not None:
+            started["recovered"] = recovery
+        print(json.dumps(started), flush=True)
         return await daemon.run_forever()
 
     try:
@@ -787,7 +832,7 @@ def _cmd_serve_join(args: argparse.Namespace) -> int:
     token), 4 when the server shed the request (overload, quota,
     draining), 2 for usage errors (unknown tree, bad token).
     """
-    from .serve import ServeClient
+    from .serve import ClientRetryPolicy, ServeClient
 
     options = {"tenant": args.tenant, "deadline": args.deadline,
                "max_na": args.max_na, "max_da": args.max_da,
@@ -796,9 +841,18 @@ def _cmd_serve_join(args: argparse.Namespace) -> int:
                "admission": args.admission,
                "resume_token": args.resume_token}
     client = ServeClient(args.server, timeout=args.timeout)
-    response = client.join(args.tree1, args.tree2,
-                           **{k: v for k, v in options.items()
-                              if v is not None})
+    options = {k: v for k, v in options.items() if v is not None}
+    if args.retries > 1:
+        policy = ClientRetryPolicy(max_attempts=args.retries,
+                                   deadline=args.retry_deadline)
+        response = client.join_with_retry(
+            args.tree1, args.tree2,
+            idempotency_key=args.idempotency_key, retry=policy,
+            **options)
+    else:
+        response = client.join(args.tree1, args.tree2,
+                               idempotency_key=args.idempotency_key,
+                               **options)
     print(json.dumps(response))
     if response.get("status") == "partial":
         print(f"partial result; resume with --resume-token "

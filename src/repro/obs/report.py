@@ -108,7 +108,37 @@ def render_report(records: list[dict]) -> str:
             reason = r.get("reason") or {}
             lines.append(f"  {r.get('join', '?'):<6} {reason}")
 
+    recovery_lines = _render_recovery(records)
+    if recovery_lines:
+        lines.append("")
+        lines.append("recovery:")
+        lines.extend(recovery_lines)
+
     return "\n".join(lines)
+
+
+def _render_recovery(records: list[dict]) -> list[str]:
+    """What a daemon restart actually did, from ``recovery`` events.
+
+    One line per phase event (tree restored/failed, journaled join
+    resumed/replayed/failed, torn tails, quarantined logs) plus an
+    idempotent-replay tally, so an operator can audit a recovery from
+    the trace alone.
+    """
+    lines: list[str] = []
+    for r in records:
+        if r.get("event") != "recovery":
+            continue
+        phase = str(r.get("phase", "?"))
+        detail = " ".join(
+            f"{k}={r[k]}" for k in sorted(r)
+            if k not in ("event", "phase", "schema", "seq", "ts",
+                         "elapsed") and r[k] is not None)
+        lines.append(f"  {phase:<16} {detail}".rstrip())
+    hits = [r for r in records if r.get("event") == "idempotent_hit"]
+    if hits:
+        lines.append(f"  idempotent hits  {len(hits)}")
+    return lines
 
 
 def _join_starts(records: list[dict]) -> dict[str, float]:

@@ -269,6 +269,14 @@ class Tracer:
     def accuracy(self, record: dict) -> None:
         self.emit("accuracy", **record)
 
+    def recovery(self, phase: str, **fields) -> None:
+        """One step of a daemon restart's journal/manifest replay."""
+        self.emit("recovery", phase=phase, **fields)
+
+    def idempotent_hit(self, key: str, **fields) -> None:
+        """A retried idempotency key answered from the recorded result."""
+        self.emit("idempotent_hit", key=key, **fields)
+
     def metrics(self, snapshot: dict) -> None:
         self.emit("metrics", metrics=snapshot)
 

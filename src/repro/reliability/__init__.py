@@ -17,7 +17,9 @@ is about:
 
 from .errors import (CorruptPageError, MalformedFileError, ModelDomainError,
                      ReproError, RetryExhaustedError, TransientPageError)
-from .faults import FaultInjector, FaultyPager, InjectionCounts
+from .faults import (FaultInjector, FaultyPager, InjectionCounts,
+                     StreamFault, StreamFaultInjector,
+                     StreamInjectionCounts)
 from .report import CorruptionReport
 from .retry import DEFAULT_RETRY_POLICY, ResilientReader, RetryPolicy
 
@@ -34,5 +36,8 @@ __all__ = [
     "ResilientReader",
     "RetryExhaustedError",
     "RetryPolicy",
+    "StreamFault",
+    "StreamFaultInjector",
+    "StreamInjectionCounts",
     "TransientPageError",
 ]

@@ -18,6 +18,13 @@ Three fault types, mirroring what a real disk/page-cache path exhibits:
 * **latency** — the read succeeds but a simulated delay is *accounted*
   (never slept) on the injector, so tests stay fast while the cost is
   still observable.
+
+:class:`StreamFaultInjector` applies the same seeded-decision idea one
+layer up, to a byte-stream *transport*: per request it plans whether to
+drop the connection mid-request or mid-response, truncate the framed
+body, or trickle bytes slow-loris style.  The injector only decides —
+executing the plan against real sockets lives in
+:mod:`repro.serve.chaos`, keeping this module transport-free.
 """
 
 from __future__ import annotations
@@ -29,7 +36,8 @@ from typing import Any
 from ..storage.pager import Pager
 from .errors import CorruptPageError, TransientPageError
 
-__all__ = ["FaultInjector", "FaultyPager", "InjectionCounts"]
+__all__ = ["FaultInjector", "FaultyPager", "InjectionCounts",
+           "StreamFault", "StreamFaultInjector", "StreamInjectionCounts"]
 
 
 @dataclass
@@ -105,6 +113,109 @@ class FaultInjector:
         """Re-seed the RNG and zero the counters (fresh identical run)."""
         self._rng = random.Random(self.seed)
         self.counts = InjectionCounts()
+
+
+@dataclass(frozen=True)
+class StreamFault:
+    """One planned transport fault (see :class:`StreamFaultInjector`).
+
+    ``kind`` is one of ``"none"``, ``"drop-request"`` (close after
+    sending ``fraction`` of the request bytes), ``"truncate-frame"``
+    (send full headers whose Content-Length promises the whole body,
+    then only ``fraction`` of it, then close — a torn JSON frame),
+    ``"slow-loris"`` (send the full request ``chunk`` bytes at a time
+    with ``delay`` seconds between chunks), or ``"drop-response"``
+    (send everything, read a few response bytes, close).
+    """
+
+    kind: str
+    fraction: float = 1.0
+    chunk: int = 1
+    delay: float = 0.0
+
+
+@dataclass
+class StreamInjectionCounts:
+    """What a stream injector actually planned."""
+
+    requests: int = 0
+    drop_request: int = 0
+    truncate_frame: int = 0
+    slow_loris: int = 0
+    drop_response: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "requests": self.requests,
+            "drop_request": self.drop_request,
+            "truncate_frame": self.truncate_frame,
+            "slow_loris": self.slow_loris,
+            "drop_response": self.drop_response,
+        }
+
+
+@dataclass
+class StreamFaultInjector:
+    """Seeded, per-request transport fault planner.
+
+    Same reproducibility contract as :class:`FaultInjector`: equal seed,
+    rates, and request sequence yield the identical fault plan.  Rates
+    are independent probabilities drawn in the fixed order
+    (drop-request, truncate-frame, slow-loris, drop-response); the first
+    hit wins.  ``fraction`` — where a drop or truncation cuts — is drawn
+    from the same RNG, so it is reproducible too.
+    """
+
+    seed: int = 0
+    drop_request_rate: float = 0.0
+    truncate_frame_rate: float = 0.0
+    slow_loris_rate: float = 0.0
+    drop_response_rate: float = 0.0
+    chunk: int = 3
+    delay: float = 0.002
+    counts: StreamInjectionCounts = field(
+        default_factory=StreamInjectionCounts)
+
+    def __post_init__(self) -> None:
+        for name in ("drop_request_rate", "truncate_frame_rate",
+                     "slow_loris_rate", "drop_response_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.chunk < 1:
+            raise ValueError("chunk must be >= 1")
+        if self.delay < 0.0:
+            raise ValueError("delay must be >= 0")
+        self._rng = random.Random(self.seed)
+
+    def plan(self) -> StreamFault:
+        """Decide the fault (if any) for the next request."""
+        self.counts.requests += 1
+        if (self.drop_request_rate
+                and self._rng.random() < self.drop_request_rate):
+            self.counts.drop_request += 1
+            return StreamFault("drop-request",
+                               fraction=self._rng.uniform(0.1, 0.9))
+        if (self.truncate_frame_rate
+                and self._rng.random() < self.truncate_frame_rate):
+            self.counts.truncate_frame += 1
+            return StreamFault("truncate-frame",
+                               fraction=self._rng.uniform(0.1, 0.9))
+        if (self.slow_loris_rate
+                and self._rng.random() < self.slow_loris_rate):
+            self.counts.slow_loris += 1
+            return StreamFault("slow-loris", chunk=self.chunk,
+                               delay=self.delay)
+        if (self.drop_response_rate
+                and self._rng.random() < self.drop_response_rate):
+            self.counts.drop_response += 1
+            return StreamFault("drop-response")
+        return StreamFault("none")
+
+    def reset(self) -> None:
+        """Re-seed the RNG and zero the counters (fresh identical run)."""
+        self._rng = random.Random(self.seed)
+        self.counts = StreamInjectionCounts()
 
 
 class FaultyPager:

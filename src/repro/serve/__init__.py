@@ -12,14 +12,21 @@ Layers (transport-agnostic core first):
 * :class:`ServeConfig` — limits, quotas, listen addresses;
 * :class:`JoinService` — admission, queueing, quotas, execution, drain;
 * :class:`ServeDaemon` — asyncio JSON-over-HTTP transport (TCP + unix);
-* :class:`ServeClient` — blocking client raising the same typed errors;
+* :class:`ServeClient` — blocking client raising the same typed errors,
+  with :class:`ClientRetryPolicy` for bounded, jittered retries;
+* :class:`DurableState` — the ``--state-dir`` persistence tier
+  (registration manifest, request journal, checkpoint spills) behind
+  crash recovery and idempotency keys;
+* :class:`ChaosClient` — seeded transport fault harness (tests/CI);
 * :func:`encode_resume_token` / :func:`decode_resume_token` — partial
   results as opaque CRC-guarded strings.
 """
 
 from .admission import CostAdmission, ThroughputClock
-from .client import ServeClient
+from .chaos import ChaosClient, ChaosOutcome
+from .client import ClientRetryPolicy, ServeClient
 from .config import DEFAULT_SERIAL_THRESHOLD, ServeConfig
+from .durable import DurableState, JsonlLog, RecoveredState, TornTail
 from .http import ServeDaemon
 from .quotas import BufferPool, QuotaExceeded
 from .service import JoinService, Overloaded, ServiceDraining, UnknownTree
@@ -27,16 +34,23 @@ from .tokens import decode_resume_token, encode_resume_token
 
 __all__ = [
     "BufferPool",
+    "ChaosClient",
+    "ChaosOutcome",
+    "ClientRetryPolicy",
     "CostAdmission",
     "DEFAULT_SERIAL_THRESHOLD",
+    "DurableState",
     "JoinService",
+    "JsonlLog",
     "Overloaded",
     "QuotaExceeded",
+    "RecoveredState",
     "ServeClient",
     "ServeConfig",
     "ServeDaemon",
     "ServiceDraining",
     "ThroughputClock",
+    "TornTail",
     "UnknownTree",
     "decode_resume_token",
     "encode_resume_token",

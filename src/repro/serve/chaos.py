@@ -1,0 +1,139 @@
+"""Chaos harness for the serve transport: misbehaving HTTP clients.
+
+:class:`ChaosClient` executes the fault plans a seeded
+:class:`~repro.reliability.StreamFaultInjector` draws — dropping the
+connection mid-request or mid-response, truncating a JSON frame after
+promising its full Content-Length, trickling bytes slow-loris style —
+against a live daemon over a raw TCP socket, bypassing
+:class:`~repro.serve.client.ServeClient` precisely because a
+well-behaved client cannot produce these byte sequences.
+
+The harness asserts nothing itself; it reports what happened per
+request as a :class:`ChaosOutcome` and lets tests check the daemon's
+invariants afterwards: no leaked concurrency slots, no held pool pages,
+well-formed responses for the surviving requests, disconnect/timeout
+counters accounting for every fault.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import time
+from dataclasses import dataclass
+
+from ..reliability import StreamFault, StreamFaultInjector
+
+__all__ = ["ChaosClient", "ChaosOutcome"]
+
+
+@dataclass
+class ChaosOutcome:
+    """What one chaos-driven request observed."""
+
+    kind: str                       #: the executed fault kind
+    status: int | None = None       #: HTTP status, when a reply arrived
+    doc: dict | None = None         #: parsed JSON body, when complete
+    error: str | None = None        #: socket/parse error, when any
+    sent: int = 0                   #: request bytes actually sent
+
+
+class ChaosClient:
+    """Drive seeded transport faults against one daemon address."""
+
+    def __init__(self, host: str, port: int,
+                 injector: StreamFaultInjector,
+                 timeout: float = 10.0):
+        self.host = host
+        self.port = port
+        self.injector = injector
+        self.timeout = timeout
+
+    # -- request building ---------------------------------------------------
+
+    @staticmethod
+    def _frame(doc: dict, idempotency_key: str | None = None) -> bytes:
+        body = json.dumps(doc).encode("utf-8")
+        head = (f"POST /join HTTP/1.1\r\n"
+                f"Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n")
+        if idempotency_key is not None:
+            head += f"Idempotency-Key: {idempotency_key}\r\n"
+        head += "\r\n"
+        return head.encode("ascii") + body
+
+    # -- the chaos request --------------------------------------------------
+
+    def join(self, doc: dict,
+             idempotency_key: str | None = None) -> ChaosOutcome:
+        """Send one join request under the injector's next fault plan."""
+        fault = self.injector.plan()
+        return self.execute(fault, doc, idempotency_key)
+
+    def execute(self, fault: StreamFault, doc: dict,
+                idempotency_key: str | None = None) -> ChaosOutcome:
+        """Execute a specific fault plan (tests may force one)."""
+        frame = self._frame(doc, idempotency_key)
+        outcome = ChaosOutcome(kind=fault.kind)
+        try:
+            with socket.create_connection((self.host, self.port),
+                                          timeout=self.timeout) as sock:
+                self._drive(sock, fault, frame, outcome)
+        except OSError as exc:
+            outcome.error = f"{type(exc).__name__}: {exc}"
+        return outcome
+
+    def _drive(self, sock: socket.socket, fault: StreamFault,
+               frame: bytes, outcome: ChaosOutcome) -> None:
+        kind = fault.kind
+        if kind == "drop-request":
+            # Cut inside the frame: at least 1 byte, never all of it.
+            cut = min(max(int(len(frame) * fault.fraction), 1),
+                      len(frame) - 1)
+            sock.sendall(frame[:cut])
+            outcome.sent = cut
+            return                       # close = vanish mid-request
+        if kind == "truncate-frame":
+            # Full headers promise the whole body; the body stops short.
+            head, _, body = frame.partition(b"\r\n\r\n")
+            cut = min(max(int(len(body) * fault.fraction), 1),
+                      len(body) - 1) if len(body) > 1 else 0
+            sock.sendall(head + b"\r\n\r\n" + body[:cut])
+            outcome.sent = len(head) + 4 + cut
+            return                       # close with the frame torn
+        if kind == "slow-loris":
+            for start in range(0, len(frame), fault.chunk):
+                sock.sendall(frame[start:start + fault.chunk])
+                if fault.delay:
+                    time.sleep(fault.delay)
+            outcome.sent = len(frame)
+            self._read_response(sock, outcome)
+            return
+        sock.sendall(frame)
+        outcome.sent = len(frame)
+        if kind == "drop-response":
+            # Read a token amount, then vanish mid-response.
+            try:
+                sock.recv(8)
+            except OSError:
+                pass
+            return
+        self._read_response(sock, outcome)
+
+    def _read_response(self, sock: socket.socket,
+                       outcome: ChaosOutcome) -> None:
+        data = b""
+        try:
+            while chunk := sock.recv(65536):
+                data += chunk
+        except OSError as exc:
+            outcome.error = f"{type(exc).__name__}: {exc}"
+            if not data:
+                return
+        head, _, payload = data.partition(b"\r\n\r\n")
+        try:
+            status_line = head.split(b"\r\n", 1)[0].decode("ascii")
+            outcome.status = int(status_line.split()[1])
+            outcome.doc = json.loads(payload)
+        except (IndexError, ValueError, UnicodeDecodeError) as exc:
+            outcome.error = f"unparseable response: {exc}"

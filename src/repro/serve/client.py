@@ -19,19 +19,94 @@ HTTP        raised
 other 4xx   ``ValueError``
 5xx         :class:`~repro.reliability.TransientPageError`
 ==========  =====================================================
+
+Transient refusals (overload, drain, 5xx, connection errors while the
+daemon restarts) can be retried with :class:`ClientRetryPolicy` —
+bounded attempts, full-jitter exponential backoff that honors the
+server's ``Retry-After`` hint as a floor, and a wall-clock deadline cap.
+Pair retries with an ``idempotency_key`` so a retry of a request whose
+response was lost in transit replays the recorded result instead of
+re-running the join.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
+import time
 
 from ..exec import AdmissionRejected, BudgetExceeded, Cancelled
 from ..reliability import MalformedFileError, TransientPageError
 from .service import Overloaded, ServiceDraining, UnknownTree
 
-__all__ = ["ServeClient"]
+__all__ = ["ClientRetryPolicy", "ServeClient"]
+
+#: Errors a retry can help with: shed load, drain, transient server
+#: trouble, and socket-level failures while the daemon is restarting.
+_RETRYABLE = (Overloaded, ServiceDraining, TransientPageError,
+              ConnectionError, OSError, http.client.HTTPException)
+
+
+class ClientRetryPolicy:
+    """Bounded retries with full jitter, honoring server hints.
+
+    (Named apart from :class:`repro.reliability.RetryPolicy`, which
+    retries page reads inside the storage layer.)
+
+    Each attempt ``n`` (1-based) sleeps ``uniform(0, min(cap,
+    base * 2**n))`` — *full jitter*, so a thundering herd of shed
+    clients decorrelates instead of reconverging on the daemon in lock
+    step.  A server ``retry_after`` hint is a **floor**: the client
+    never retries before the server asked it to wait.  ``deadline``
+    caps the total wall clock spent across all attempts — a sleep that
+    would overrun it re-raises instead.
+
+    ``rng``, ``clock`` and ``sleep`` are injectable for deterministic
+    tests.
+    """
+
+    def __init__(self, max_attempts: int = 5, base: float = 0.1,
+                 cap: float = 5.0, deadline: float = 30.0,
+                 rng: random.Random | None = None,
+                 clock=time.monotonic, sleep=time.sleep):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if base <= 0 or cap <= 0 or deadline <= 0:
+            raise ValueError("base, cap and deadline must be positive")
+        self.max_attempts = max_attempts
+        self.base = base
+        self.cap = cap
+        self.deadline = deadline
+        self.rng = rng if rng is not None else random.Random()
+        self.clock = clock
+        self.sleep = sleep
+
+    def backoff(self, attempt: int, hint: float | None = None) -> float:
+        """Sleep before retry number ``attempt`` (1-based)."""
+        ceiling = min(self.cap, self.base * (2 ** attempt))
+        delay = self.rng.uniform(0.0, ceiling)
+        if hint is not None:
+            delay = max(delay, float(hint))
+        return delay
+
+    def call(self, fn):
+        """Run ``fn()`` under this policy; returns its result."""
+        start = self.clock()
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except _RETRYABLE as exc:
+                attempt += 1
+                if attempt >= self.max_attempts:
+                    raise
+                delay = self.backoff(
+                    attempt, getattr(exc, "retry_after", None))
+                if self.clock() - start + delay > self.deadline:
+                    raise
+                self.sleep(delay)
 
 
 class _UnixHTTPConnection(http.client.HTTPConnection):
@@ -76,15 +151,19 @@ class ServeClient:
 
     def request(self, method: str, path: str,
                 body: dict | None = None,
-                accept: tuple[int, ...] = (200,)) -> dict:
+                accept: tuple[int, ...] = (200,),
+                headers: dict[str, str] | None = None) -> dict:
         """One round-trip; raises the typed error for unaccepted replies."""
         conn = self._connection()
         try:
             payload = (json.dumps(body).encode("utf-8")
                        if body is not None else b"")
+            send_headers = {"Content-Type": "application/json",
+                            "Content-Length": str(len(payload))}
+            if headers:
+                send_headers.update(headers)
             conn.request(method, path, body=payload,
-                         headers={"Content-Type": "application/json",
-                                  "Content-Length": str(len(payload))})
+                         headers=send_headers)
             response = conn.getresponse()
             status = response.status
             doc = json.loads(response.read().decode("utf-8"))
@@ -104,12 +183,18 @@ class ServeClient:
                                      float(doc.get("limit") or 0),
                                      float(doc.get("observed") or 0))
         if status == 429:
+            # Pass the hint through unchanged (None when the server
+            # sent none): ClientRetryPolicy owns the backoff schedule,
+            # a made-up hint here would silently floor it.
+            hint = doc.get("retry_after")
             return Overloaded(doc.get("reason", doc.get("error", "shed")),
-                              float(doc.get("retry_after") or 0.1),
+                              None if hint is None else float(hint),
                               doc.get("predicted_na"),
                               doc.get("predicted_da"), detail=doc)
         if status == 503:
-            return ServiceDraining(float(doc.get("retry_after") or 1.0))
+            hint = doc.get("retry_after")
+            return ServiceDraining(
+                None if hint is None else float(hint))
         if status == 499:
             return Cancelled()
         if status == 408:
@@ -138,10 +223,28 @@ class ServeClient:
         return self.request("POST", "/trees",
                             {"name": name, "path": path})
 
-    def join(self, tree1: str, tree2: str, **options) -> dict:
+    def join(self, tree1: str, tree2: str,
+             idempotency_key: str | None = None, **options) -> dict:
         doc = {"tree1": tree1, "tree2": tree2}
         doc.update(options)
-        return self.request("POST", "/join", doc)
+        headers = None
+        if idempotency_key is not None:
+            headers = {"Idempotency-Key": idempotency_key}
+        return self.request("POST", "/join", doc, headers=headers)
+
+    def join_with_retry(self, tree1: str, tree2: str,
+                        idempotency_key: str | None = None,
+                        retry: ClientRetryPolicy | None = None,
+                        **options) -> dict:
+        """:meth:`join` under a :class:`ClientRetryPolicy`.
+
+        Without an ``idempotency_key`` a retry after a lost response
+        re-runs the join; with one, the daemon replays the recorded
+        result — at-most-once execution across retries and restarts.
+        """
+        policy = retry if retry is not None else ClientRetryPolicy()
+        return policy.call(lambda: self.join(
+            tree1, tree2, idempotency_key=idempotency_key, **options))
 
     def cancel(self, join_id: str) -> dict:
         return self.request("POST", "/cancel", {"join_id": join_id})

@@ -66,6 +66,30 @@ class ServeConfig:
         cancelling them cooperatively.
     queue_wait_limit:
         Longest a queued request waits for a slot before being shed.
+    state_dir:
+        Directory for durable daemon state (registration manifest,
+        request journal, checkpoint spills — see
+        :mod:`repro.serve.durable`).  ``None`` (the default) keeps all
+        state in memory, as before.
+    journal_fsync_interval:
+        fsync cadence of the request journal: ``0.0`` (default) syncs
+        every record (acknowledged work survives power loss), a
+        positive number syncs at most once per that many seconds
+        (bounded loss, cheaper), ``None`` never syncs (survives
+        ``kill -9`` but not power failure).  Checkpoint spills are
+        durable (fsynced) only under the strict ``0.0`` policy.
+    spill_na_interval:
+        How often a durable join spills its checkpoint: once per this
+        many node accesses (NA).  Smaller means less repeated work
+        after a crash, at the cost of more checkpoint writes.
+    idempotency_cache_size:
+        Completed responses retained per idempotency key, in memory and
+        across a clean restart (the journal is compacted to this bound
+        on shutdown).
+    read_timeout:
+        Seconds the daemon waits for a complete request (header + body)
+        before answering 408 and closing — the slow-loris guard.
+        ``None`` disables the timeout.
     """
 
     host: str = "127.0.0.1"
@@ -82,6 +106,11 @@ class ServeConfig:
     serial_threshold: int = DEFAULT_SERIAL_THRESHOLD
     drain_grace: float = 10.0
     queue_wait_limit: float = 30.0
+    state_dir: str | None = None
+    journal_fsync_interval: float | None = 0.0
+    spill_na_interval: int = 50_000
+    idempotency_cache_size: int = 1024
+    read_timeout: float | None = 30.0
 
     def __post_init__(self) -> None:
         if self.max_concurrency < 1:
@@ -102,6 +131,16 @@ class ServeConfig:
             raise ValueError("drain_grace must be >= 0")
         if self.queue_wait_limit <= 0:
             raise ValueError("queue_wait_limit must be positive")
+        if (self.journal_fsync_interval is not None
+                and self.journal_fsync_interval < 0):
+            raise ValueError(
+                "journal_fsync_interval must be >= 0 or None")
+        if self.spill_na_interval < 1:
+            raise ValueError("spill_na_interval must be >= 1")
+        if self.idempotency_cache_size < 1:
+            raise ValueError("idempotency_cache_size must be >= 1")
+        if self.read_timeout is not None and self.read_timeout <= 0:
+            raise ValueError("read_timeout must be positive when set")
 
     def tenant_limit(self, tenant: str) -> int | None:
         """Concurrent pool pages this tenant may hold (None = pool cap)."""
@@ -123,4 +162,9 @@ class ServeConfig:
             "serial_threshold": self.serial_threshold,
             "drain_grace": self.drain_grace,
             "queue_wait_limit": self.queue_wait_limit,
+            "state_dir": self.state_dir,
+            "journal_fsync_interval": self.journal_fsync_interval,
+            "spill_na_interval": self.spill_na_interval,
+            "idempotency_cache_size": self.idempotency_cache_size,
+            "read_timeout": self.read_timeout,
         }

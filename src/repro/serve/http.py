@@ -99,8 +99,16 @@ class ServeDaemon:
     # -- lifecycle ----------------------------------------------------------
 
     async def start(self) -> list[str]:
-        """Bind the configured listeners; returns the bound addresses."""
+        """Bind the configured listeners; returns the bound addresses.
+
+        With durable state configured, crash recovery (manifest replay,
+        orphaned-join resumption) runs to completion *before* any
+        listener binds: clients never observe a half-recovered daemon.
+        """
         self._stopping = asyncio.Event()
+        if self.service.durable is not None:
+            await asyncio.get_running_loop().run_in_executor(
+                None, self.service.recover)
         if self.config.port is not None:
             server = await asyncio.start_server(
                 self._handle, host=self.config.host,
@@ -162,12 +170,27 @@ class ServeDaemon:
     async def _handle(self, reader: asyncio.StreamReader,
                       writer: asyncio.StreamWriter) -> None:
         try:
-            request = await self._read_request(reader)
+            timeout = self.config.read_timeout
+            read = self._read_request(reader)
+            if timeout is not None:
+                # The slow-loris guard: a client trickling bytes (or
+                # stalling after claiming a Content-Length) holds a
+                # connection, never a concurrency slot — bound it.
+                request = await asyncio.wait_for(read, timeout)
+            else:
+                request = await read
             if request is None:
                 return
-            method, path, body = request
+            method, path, body, idem_key = request
             status, payload = await self._route(method, path, body,
-                                                reader)
+                                                reader, idem_key)
+        except asyncio.TimeoutError:
+            self.service.metrics.counter(
+                "serve.slow_client_timeouts").inc()
+            status, payload = 408, {
+                "error": "request-timeout",
+                "detail": (f"request not received within "
+                           f"{self.config.read_timeout}s")}
         except asyncio.IncompleteReadError:
             return
         except Exception as exc:        # noqa: BLE001 — last-ditch 500
@@ -192,19 +215,23 @@ class ServeDaemon:
         except (UnicodeDecodeError, ValueError):
             raise ValueError("malformed request line") from None
         length = 0
+        idem_key = None
         for _ in range(_MAX_HEADER_LINES):
             header = await reader.readline()
             if header in (b"\r\n", b"\n", b""):
                 break
             name, _, value = header.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
+            name = name.strip().lower()
+            if name == "content-length":
                 length = int(value.strip())
+            elif name == "idempotency-key":
+                idem_key = value.strip()
         else:
             raise ValueError("too many headers")
         if length > _MAX_BODY:
             raise ValueError(f"body too large ({length} bytes)")
         body = await reader.readexactly(length) if length else b""
-        return method.upper(), path, body
+        return method.upper(), path, body, idem_key
 
     async def _write_response(self, writer, status: int,
                               payload: dict) -> None:
@@ -228,7 +255,8 @@ class ServeDaemon:
     # -- routing ------------------------------------------------------------
 
     async def _route(self, method: str, path: str, body: bytes,
-                     reader: asyncio.StreamReader):
+                     reader: asyncio.StreamReader,
+                     idem_key: str | None = None):
         service = self.service
         if method == "GET" and path == "/healthz":
             status = service.status()
@@ -252,7 +280,7 @@ class ServeDaemon:
                     {"cancelled": found,
                      "join_id": doc.get("join_id")})
         if method == "POST" and path == "/join":
-            return await self._route_join(body, reader)
+            return await self._route_join(body, reader, idem_key)
         if path in ("/healthz", "/metrics", "/trees", "/join", "/cancel"):
             return 405, {"error": "method-not-allowed", "method": method}
         return 404, {"error": "not-found", "path": path}
@@ -268,8 +296,11 @@ class ServeDaemon:
         return doc
 
     async def _route_join(self, body: bytes,
-                          reader: asyncio.StreamReader):
+                          reader: asyncio.StreamReader,
+                          idem_key: str | None = None):
         doc = self._json_body(body)
+        if idem_key is not None and "idempotency_key" not in doc:
+            doc["idempotency_key"] = idem_key
         loop = asyncio.get_running_loop()
         token = CancellationToken()
         join = loop.run_in_executor(self._pool, self.service.execute,

@@ -27,25 +27,36 @@ Design invariants:
   serial for trees below the known-unprofitable size threshold or when
   workers die; drain stops intake, lets running joins finish, then
   cancels cooperatively.
+* **Crash safety (opt-in)** — with a ``state_dir`` configured, every
+  registration and every admitted request is journaled through
+  :class:`~repro.serve.durable.DurableState`; serial joins spill their
+  checkpoint every ``spill_na_interval`` node accesses, and
+  :meth:`JoinService.recover` replays it all after a crash — resumed
+  joins produce NA/DA/pairs bit-identical to an uninterrupted run, and
+  a retried completed idempotency key is answered from the cache
+  without re-executing.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Any
 
 from ..exec import (Budget, CancellationToken, ExecutionGovernor,
-                    tree_params)
+                    JoinCheckpoint, tree_params)
 from ..io import load_tree
 from ..join import (ON_WORKER_CRASH, PAIR_ENUMERATIONS, PartialJoinResult,
                     SpatialJoin, parallel_spatial_join)
 from ..obs import MetricsRegistry
 from ..reliability import ReproError
-from ..storage import LRUBuffer, NoBuffer, PathBuffer
+from ..storage import AccessStats, LRUBuffer, NoBuffer, PathBuffer
 from .admission import CostAdmission, ThroughputClock
 from .config import ServeConfig
+from .durable import DurableState
 from .quotas import BufferPool, QuotaExceeded
 from .tokens import decode_resume_token, encode_resume_token
 
@@ -54,8 +65,18 @@ __all__ = ["JoinService", "Overloaded", "ServiceDraining", "UnknownTree"]
 _REQUEST_FIELDS = frozenset({
     "tree1", "tree2", "tenant", "deadline", "max_na", "max_da",
     "max_results", "buffer", "pair_enumeration", "workers", "mode",
-    "collect_pairs", "resume_token", "admission",
+    "collect_pairs", "resume_token", "admission", "idempotency_key",
 })
+
+
+def _journal_request(doc: dict) -> dict:
+    """The request as journaled: everything but the resume token.
+
+    A client-supplied checkpoint is captured as the entry's first spill
+    instead — the journal stays small and recovery always resumes from
+    the *latest* frontier, not the token the client happened to send.
+    """
+    return {k: v for k, v in doc.items() if k != "resume_token"}
 
 
 class UnknownTree(ReproError, KeyError):
@@ -80,7 +101,7 @@ class Overloaded(ReproError):
     shed request itself.
     """
 
-    def __init__(self, reason: str, retry_after: float,
+    def __init__(self, reason: str, retry_after: float | None,
                  predicted_na: float | None = None,
                  predicted_da: float | None = None,
                  detail: dict | None = None):
@@ -89,8 +110,9 @@ class Overloaded(ReproError):
         self.predicted_na = predicted_na
         self.predicted_da = predicted_da
         self.detail = detail or {}
-        super().__init__(
-            f"overloaded ({reason}); retry after {retry_after:.1f}s")
+        hint = ("retry later" if retry_after is None
+                else f"retry after {retry_after:.1f}s")
+        super().__init__(f"overloaded ({reason}); {hint}")
 
     def as_dict(self) -> dict[str, object]:
         out = {"error": "overloaded", "reason": self.reason,
@@ -104,7 +126,7 @@ class Overloaded(ReproError):
 class ServiceDraining(ReproError):
     """The daemon is shutting down and accepts no new joins."""
 
-    def __init__(self, retry_after: float):
+    def __init__(self, retry_after: float | None = None):
         self.retry_after = retry_after
         super().__init__("service is draining")
 
@@ -121,12 +143,14 @@ class _RegisteredTree:
     params: Any | None           #: Eq. 2-5 parameters, or None (empty tree)
     height: int
     size: int
+    path: str | None = None      #: durable source file, when state_dir set
 
 
 class _Running:
     """Bookkeeping for one executing join."""
 
-    __slots__ = ("join_id", "tenant", "predicted_na", "started", "token")
+    __slots__ = ("join_id", "tenant", "predicted_na", "started", "token",
+                 "rid")
 
     def __init__(self, join_id, tenant, predicted_na, started, token):
         self.join_id = join_id
@@ -134,6 +158,7 @@ class _Running:
         self.predicted_na = predicted_na
         self.started = started
         self.token = token
+        self.rid = None          #: journal id, when the request is durable
 
 
 class _ParsedRequest:
@@ -191,6 +216,11 @@ class _ParsedRequest:
         self.admission = doc.get("admission", "reject")
         if self.admission not in ("off", "reject"):
             raise ValueError("admission must be 'off' or 'reject'")
+        self.idempotency_key = doc.get("idempotency_key")
+        if self.idempotency_key is not None and (
+                not isinstance(self.idempotency_key, str)
+                or not self.idempotency_key):
+            raise ValueError("idempotency_key must be a non-empty string")
         if self.resume_token is not None and self.workers is not None:
             raise ValueError(
                 "resume_token is incompatible with workers (checkpoints "
@@ -235,16 +265,31 @@ class JoinService:
         self._drained = threading.Event()
         self._next_id = 0
         self._started = clock()
+        self.durable = (DurableState(self.config.state_dir,
+                                     self.config.journal_fsync_interval,
+                                     clock=clock)
+                        if self.config.state_dir is not None else None)
+        self._idem: OrderedDict[str, dict] = OrderedDict()
+        self._idem_lock = threading.Lock()
+        self._recovery_report: dict[str, object] | None = None
 
     # -- registration -------------------------------------------------------
 
-    def register_tree(self, name: str, tree: Any) -> dict[str, object]:
+    def register_tree(self, name: str, tree: Any, *,
+                      source_path: str | None = None,
+                      record: bool = True) -> dict[str, object]:
         """Make a built tree joinable under ``name``.
 
         The O(N) part of the cost model — the Eq. 2-5 parameters, which
         need the summed leaf-rectangle area — runs here, once; every
         later admission decision is closed-form arithmetic over the
         cached parameters.
+
+        With durable state configured, the registration is appended to
+        the manifest (fsynced) so it survives a crash; a tree with no
+        ``source_path`` is first serialized into the state directory.
+        Recovery re-registers with ``record=False`` to avoid re-writing
+        what it just replayed.
         """
         if not name or "/" in name:
             raise ValueError(
@@ -254,16 +299,26 @@ class JoinService:
             params = tree_params(tree)
         except ValueError:
             params = None            # empty tree: unpriceable, servable
+        path = None
+        if self.durable is not None:
+            if source_path is not None:
+                path = str(Path(source_path).resolve())
+            else:
+                path = str(self.durable.save_tree_object(name, tree))
         with self._cond:
             self._trees[name] = _RegisteredTree(
-                name, tree, params, tree.height, len(tree))
+                name, tree, params, tree.height, len(tree), path)
+        if self.durable is not None and record:
+            self.durable.record_tree(name, path, len(tree), tree.height)
         self.metrics.counter("serve.trees_registered").inc()
         return {"name": name, "size": len(tree), "height": tree.height,
                 "priceable": params is not None}
 
-    def register_tree_file(self, name: str, path: str) -> dict[str, object]:
+    def register_tree_file(self, name: str, path: str, *,
+                           record: bool = True) -> dict[str, object]:
         """Load a saved tree (strict checksums) and register it."""
-        return self.register_tree(name, load_tree(path, strict=True))
+        return self.register_tree(name, load_tree(path, strict=True),
+                                  source_path=path, record=record)
 
     def trees(self) -> list[dict[str, object]]:
         with self._cond:
@@ -309,6 +364,11 @@ class JoinService:
         self.metrics.gauge("serve.pool_held").set(self.pool.held())
         self.metrics.gauge("serve.na_per_second").set(
             self.admission.clock.na_per_second)
+        if self.durable is not None:
+            self.metrics.gauge("serve.journal.appends").set(
+                self.durable.journal.appends)
+            self.metrics.gauge("serve.journal.fsyncs").set(
+                self.durable.journal.fsyncs)
         return self.metrics.as_dict()
 
     def _retry_after(self) -> float:
@@ -361,7 +421,25 @@ class JoinService:
             while self._running and self._clock() < stop:
                 self._cond.wait(timeout=0.1)
         self._drained.set()
+        if self.durable is not None:
+            self._compact_durable()
         return clean
+
+    def _compact_durable(self) -> None:
+        """Clean-shutdown compaction of the manifest + journal."""
+        with self._cond:
+            regs = list(self._trees.values())
+        trees = []
+        for r in regs:
+            path = r.path
+            if path is None:     # registered before durable state existed
+                path = str(self.durable.save_tree_object(r.name, r.tree))
+            trees.append({"name": r.name, "path": path,
+                          "size": r.size, "height": r.height})
+        with self._idem_lock:
+            completed = list(self._idem.values())
+        self.durable.compact(trees, completed)
+        self.durable.close()
 
     @property
     def draining(self) -> bool:
@@ -385,6 +463,17 @@ class JoinService:
         — which the transport maps to status codes.
         """
         req = _ParsedRequest(request, self.config)
+        key = req.idempotency_key
+        if key is not None:
+            cached = self._idem_get(key)
+            if cached is not None:
+                # A completed key replays its recorded response — the
+                # join is NOT re-executed, even across a restart.
+                self.metrics.counter("serve.idempotent_hits").inc()
+                if self.tracer is not None:
+                    self.tracer.emit("idempotent_hit", key=key,
+                                     join_id=cached.get("join_id"))
+                return dict(cached)
         if self.draining:
             raise ServiceDraining(self.config.drain_grace)
         reg1 = self._lookup(req.tree1)
@@ -415,7 +504,16 @@ class JoinService:
         # the daemon once max_concurrency requests have failed oddly.
         pages_held = False
         started = self._clock()
+        rid = None
         try:
+            if self.durable is not None:
+                # Journal AFTER admission: a shed or rejected request
+                # must never be replayed on recovery.
+                rid = self.durable.begin(key, _journal_request(request))
+                with self._cond:
+                    entry = self._running.get(join_id)
+                if entry is not None:
+                    entry.rid = rid
             try:
                 self.pool.acquire(req.tenant, pages)
                 pages_held = True
@@ -427,6 +525,10 @@ class JoinService:
             started = self._clock()
             result, degraded = self._run(req, reg1, reg2, checkpoint,
                                          token, join_id)
+        except Exception as exc:
+            if rid is not None:
+                self.durable.abort(rid, exc)
+            raise
         finally:
             if pages_held:
                 self.pool.release(req.tenant, pages)
@@ -438,8 +540,31 @@ class JoinService:
         if observed_na:
             self.admission.clock.observe(observed_na, elapsed)
         self.metrics.histogram("serve.latency_ms").observe(elapsed * 1e3)
-        return self._respond(req, join_id, result, predicted_na,
-                             predicted_da, elapsed, degraded)
+        response = self._respond(req, join_id, result, predicted_na,
+                                 predicted_da, elapsed, degraded)
+        if rid is not None:
+            if key is not None:
+                self._idem_store(key, {"op": "complete", "rid": rid,
+                                       "key": key, "response": response})
+            self.durable.complete(rid, key, response)
+        return response
+
+    # -- idempotency cache --------------------------------------------------
+
+    def _idem_get(self, key: str) -> dict | None:
+        with self._idem_lock:
+            record = self._idem.get(key)
+            if record is None:
+                return None
+            self._idem.move_to_end(key)
+            return record["response"]
+
+    def _idem_store(self, key: str, record: dict) -> None:
+        with self._idem_lock:
+            self._idem[key] = record
+            self._idem.move_to_end(key)
+            while len(self._idem) > self.config.idempotency_cache_size:
+                self._idem.popitem(last=False)
 
     # -- slot management ----------------------------------------------------
 
@@ -525,6 +650,14 @@ class JoinService:
                 tracer=self.tracer, metrics=self.metrics,
                 on_worker_crash="serial")
             return result, degraded
+        rid = None
+        if self.durable is not None:
+            with self._cond:
+                entry = self._running.get(join_id)
+            rid = entry.rid if entry is not None else None
+        if rid is not None:
+            return (self._run_durable(req, reg1, reg2, checkpoint,
+                                      token, rid), degraded)
         governor = ExecutionGovernor(req.budget, token, partial=True)
         join = SpatialJoin(reg1.tree, reg2.tree, req.make_buffer(),
                            pair_enumeration=req.pair_enumeration,
@@ -534,6 +667,193 @@ class JoinService:
             self.metrics.counter("serve.resumed").inc()
             return join.resume(checkpoint), degraded
         return join.run(collect_pairs=req.collect_pairs), degraded
+
+    def _run_durable(self, req, reg1, reg2, checkpoint, token, rid):
+        """Serial execution with the checkpoint spilled every NA interval.
+
+        The join runs in slices: a *synthetic* ``max_na`` budget one
+        ``spill_na_interval`` ahead of the current frontier makes the
+        governor surface a resumable :class:`PartialJoinResult` at each
+        interval; the checkpoint is spilled to the state directory,
+        journaled, and the join resumed in place.  Checkpoint/resume is
+        bit-identical (the PR 2 property), so slicing never perturbs
+        NA/DA/pairs.  A *genuine* budget trip or cancellation — the
+        request's own ``max_na`` reached, deadline, token — is returned
+        to the caller unchanged, after a final spill so even the
+        partial frontier survives a crash.
+        """
+        interval = self.config.spill_na_interval
+        budget = req.budget
+        overall_start = self._clock()
+        if checkpoint is not None:
+            # A client-sent resume token: capture it as the entry's
+            # first spill so recovery never falls back to scratch.
+            self.metrics.counter("serve.resumed").inc()
+            self.durable.spill(rid, checkpoint)
+            self.metrics.counter("serve.journal.spills").inc()
+        while True:
+            done_na = 0
+            if checkpoint is not None:
+                done_na = AccessStats.from_dict(checkpoint.stats).na()
+            synthetic_cap = done_na + interval
+            eff_na = synthetic_cap
+            if budget.max_na is not None:
+                eff_na = min(eff_na, budget.max_na)
+            deadline = budget.deadline
+            if deadline is not None:
+                # The governor measures each slice from its own start;
+                # keep the request's deadline absolute across slices.
+                deadline = max(
+                    deadline - (self._clock() - overall_start), 1e-9)
+            slice_budget = Budget(deadline=deadline, max_na=eff_na,
+                                  max_da=budget.max_da,
+                                  max_results=budget.max_results)
+            governor = ExecutionGovernor(slice_budget, token, partial=True)
+            join = SpatialJoin(reg1.tree, reg2.tree, req.make_buffer(),
+                               pair_enumeration=req.pair_enumeration,
+                               governor=governor, tracer=self.tracer,
+                               metrics=self.metrics)
+            if checkpoint is not None:
+                result = join.resume(checkpoint)
+            else:
+                result = join.run(collect_pairs=req.collect_pairs)
+            if not isinstance(result, PartialJoinResult):
+                return result
+            reason = result.reason
+            synthetic = (
+                getattr(reason, "resource", None) == "na"
+                and getattr(reason, "limit", None) == eff_na
+                and (budget.max_na is None or eff_na < budget.max_na))
+            checkpoint = result.checkpoint
+            self.durable.spill(rid, checkpoint, na=result.stats.na())
+            self.metrics.counter("serve.journal.spills").inc()
+            if not synthetic:
+                return result
+
+    # -- recovery -----------------------------------------------------------
+
+    def recover(self) -> dict[str, object]:
+        """Replay durable state: re-register trees, finish orphaned joins.
+
+        Call once at startup, *before* the daemon starts listening, so
+        clients never observe a half-recovered service.  Failures are
+        contained per item — an unreadable tree is skipped (loudly), an
+        unresumable journal entry is aborted in the journal — recovery
+        never takes the daemon down with it.  Returns a JSON-safe
+        report (also traced as ``recovery`` events).  Idempotent: a
+        second call returns the first report without replaying.
+        """
+        if self.durable is None:
+            return {"enabled": False}
+        if self._recovery_report is not None:
+            return self._recovery_report
+        t0 = self._clock()
+        if self.tracer is not None:
+            self.tracer.emit("recovery", phase="start",
+                             state_dir=str(self.durable.root))
+        state = self.durable.load()
+        report: dict[str, Any] = {
+            "enabled": True, "trees": 0, "trees_failed": 0,
+            "completed_cached": 0, "resumed": 0, "replayed": 0,
+            "failed": 0, "torn_tails": len(state.torn_tails),
+            "quarantined_logs": len(state.quarantined_logs)}
+        for doc in state.torn_tails:
+            if self.tracer is not None:
+                self.tracer.emit("recovery", phase="torn_tail", **doc)
+        for detail in state.quarantined_logs:
+            self.metrics.counter("serve.recovery.log_quarantined").inc()
+            if self.tracer is not None:
+                self.tracer.emit("recovery", phase="log_quarantined",
+                                 detail=detail)
+        for rec in state.trees:
+            name, path = rec.get("name"), rec.get("path")
+            try:
+                self.register_tree_file(name, path, record=False)
+            except Exception as exc:
+                report["trees_failed"] += 1
+                self.metrics.counter("serve.recovery.tree_failed").inc()
+                if self.tracer is not None:
+                    self.tracer.emit("recovery", phase="tree_failed",
+                                     name=name, path=path,
+                                     error=str(exc))
+            else:
+                report["trees"] += 1
+                if self.tracer is not None:
+                    self.tracer.emit("recovery", phase="tree_restored",
+                                     name=name, path=path)
+        for rec in state.completed:
+            key = rec.get("key")
+            if key is not None:
+                self._idem_store(key, rec)
+                report["completed_cached"] += 1
+        for entry in state.in_flight:
+            report[self._recover_entry(entry)] += 1
+        report["elapsed"] = round(self._clock() - t0, 6)
+        if self.tracer is not None:
+            self.tracer.emit("recovery", phase="done", **report)
+        self._recovery_report = report
+        return report
+
+    def _recover_entry(self, entry: dict) -> str:
+        """Finish one journaled in-flight join; returns its outcome key."""
+        rid = entry["rid"]
+        key = entry.get("key")
+        reqdoc = dict(entry.get("request") or {})
+        # The journaled deadline measured wall-clock of a dead process;
+        # the other budget axes still bind on the resumed run.
+        reqdoc.pop("deadline", None)
+        reqdoc.pop("resume_token", None)
+        checkpoint = None
+        try:
+            req = _ParsedRequest(reqdoc, self.config)
+            reg1 = self._lookup(req.tree1)
+            reg2 = self._lookup(req.tree2)
+        except Exception as exc:
+            return self._recovery_failed(rid, key, exc)
+        spill = entry.get("spill")
+        if spill is not None:
+            try:
+                checkpoint = JoinCheckpoint.load(self.durable.root / spill)
+            except (ReproError, OSError) as exc:
+                # A damaged spill costs repeated work, not correctness:
+                # fall back to replaying the join from scratch.
+                self.metrics.counter("serve.recovery.spill_failed").inc()
+                if self.tracer is not None:
+                    self.tracer.emit("recovery", phase="spill_failed",
+                                     rid=rid, spill=spill,
+                                     error=str(exc))
+        with self._cond:
+            self._next_id += 1
+            join_id = f"j{self._next_id}"
+        started = self._clock()
+        try:
+            result = self._run_durable(req, reg1, reg2, checkpoint,
+                                       CancellationToken(), rid)
+        except Exception as exc:
+            return self._recovery_failed(rid, key, exc)
+        elapsed = self._clock() - started
+        response = self._respond(req, join_id, result, None, None,
+                                 elapsed, None)
+        if key is not None:
+            self._idem_store(key, {"op": "complete", "rid": rid,
+                                   "key": key, "response": response})
+        self.durable.complete(rid, key, response)
+        outcome = "resumed" if checkpoint is not None else "replayed"
+        self.metrics.counter(f"serve.recovery.{outcome}").inc()
+        if self.tracer is not None:
+            self.tracer.emit("recovery", phase=f"join_{outcome}",
+                             rid=rid, key=key, na=response.get("na"),
+                             da=response.get("da"),
+                             pairs=response.get("pair_count"))
+        return outcome
+
+    def _recovery_failed(self, rid, key, exc: Exception) -> str:
+        self.durable.abort(rid, exc)
+        self.metrics.counter("serve.recovery.failed").inc()
+        if self.tracer is not None:
+            self.tracer.emit("recovery", phase="join_failed", rid=rid,
+                             key=key, error=str(exc))
+        return "failed"
 
     # -- responses ----------------------------------------------------------
 

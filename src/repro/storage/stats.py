@@ -44,13 +44,21 @@ class AccessStats:
     retries: dict[tuple[object, int], int] = field(
         default_factory=lambda: defaultdict(int))
     accounted_backoff: float = 0.0
+    # Grand totals, maintained incrementally: the execution governor
+    # polls na()/da() at every node-pair visit, and summing the
+    # per-(tree, level) maps there turns a budgeted join O(levels)
+    # slower per visit than an unbudgeted one.
+    _na_total: int = field(default=0, repr=False)
+    _da_total: int = field(default=0, repr=False)
 
     def record(self, tree: object, level: int, buffer_hit: bool) -> None:
         """Record one ``ReadPage``; a buffer hit costs NA but not DA."""
         key = (tree, level)
         self.node_accesses[key] += 1
+        self._na_total += 1
         if not buffer_hit:
             self.disk_accesses[key] += 1
+            self._da_total += 1
 
     def record_retry(self, tree: object, level: int,
                      backoff: float = 0.0) -> None:
@@ -62,10 +70,14 @@ class AccessStats:
 
     def na(self, tree: object | None = None, level: int | None = None) -> int:
         """Total node accesses, optionally filtered by tree and/or level."""
+        if tree is None and level is None:
+            return self._na_total
         return self._total(self.node_accesses, tree, level)
 
     def da(self, tree: object | None = None, level: int | None = None) -> int:
         """Total disk accesses, optionally filtered by tree and/or level."""
+        if tree is None and level is None:
+            return self._da_total
         return self._total(self.disk_accesses, tree, level)
 
     def retry_count(self, tree: object | None = None,
@@ -98,6 +110,8 @@ class AccessStats:
         for key, n in other.retries.items():
             self.retries[key] += n
         self.accounted_backoff += other.accounted_backoff
+        self._na_total += other._na_total
+        self._da_total += other._da_total
 
     def reset(self) -> None:
         """Zero every counter."""
@@ -105,6 +119,8 @@ class AccessStats:
         self.disk_accesses.clear()
         self.retries.clear()
         self.accounted_backoff = 0.0
+        self._na_total = 0
+        self._da_total = 0
 
     def as_dict(self) -> dict[str, object]:
         """A JSON-friendly summary keyed by ``"<tree>@<level>"``.
@@ -153,6 +169,8 @@ class AccessStats:
                 label, _, level = key.rpartition("@")
                 getattr(stats, attr)[(label, int(level))] += int(n)
         stats.accounted_backoff = float(doc.get("accounted_backoff", 0.0))
+        stats._na_total = sum(stats.node_accesses.values())
+        stats._da_total = sum(stats.disk_accesses.values())
         return stats
 
     def __repr__(self) -> str:

@@ -65,6 +65,31 @@ class TestFileFormat:
         assert loaded.to_dict() == partial.checkpoint.to_dict()
         assert list(tmp_path.glob("*.tmp")) == []    # no temp litter
 
+    def test_save_fsyncs_file_and_directory(self, partial, tmp_path,
+                                            monkeypatch):
+        # Crash-safety contract: a durable save syncs the file content
+        # AND the directory entry, so neither the bytes nor the rename
+        # can be lost to a power cut after save() returns.
+        import os as _os
+        synced = []
+        real_fsync = _os.fsync
+        monkeypatch.setattr(
+            "os.fsync", lambda fd: (synced.append(fd), real_fsync(fd))[1])
+        partial.checkpoint.save(tmp_path / "durable.ckpt")
+        assert len(synced) >= 2            # content + parent directory
+
+    def test_save_durable_false_skips_fsync(self, partial, tmp_path,
+                                            monkeypatch):
+        # The hot-loop opt-out (interval-fsynced journals) must not pay
+        # per-spill fsyncs; atomic replace still applies.
+        synced = []
+        monkeypatch.setattr("os.fsync", lambda fd: synced.append(fd))
+        path = tmp_path / "fast.ckpt"
+        partial.checkpoint.save(path, durable=False)
+        assert synced == []
+        loaded = JoinCheckpoint.load(path)
+        assert loaded.to_dict() == partial.checkpoint.to_dict()
+
     def test_tampered_payload_fails_crc(self, partial, tmp_path):
         path = tmp_path / "join.ckpt"
         partial.checkpoint.save(path)

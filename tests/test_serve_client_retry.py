@@ -1,0 +1,134 @@
+"""ClientRetryPolicy: full-jitter backoff, server hints, deadline cap.
+
+Pure unit tests on injected clocks — no sockets, no sleeping.  The
+policy replaced the client's old bare ``time.sleep(0.1)``-style
+fallbacks, so its contract is pinned precisely: bounded attempts,
+jitter bounded by ``min(cap, base * 2**attempt)``, the server's
+``Retry-After`` hint honored as a floor (never a substitute for the
+schedule), and a wall-clock deadline no sleep may overrun.
+"""
+
+import random
+
+import pytest
+
+from repro.exec import AdmissionRejected
+from repro.serve import ClientRetryPolicy, Overloaded, ServiceDraining
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def sleep(self, seconds):
+        assert seconds >= 0.0
+        self.now += seconds
+        self.slept.append(seconds)
+
+    slept: list
+
+
+def make_policy(**kw):
+    clock = FakeClock()
+    clock.slept = []
+    kw.setdefault("rng", random.Random(0))
+    policy = ClientRetryPolicy(clock=clock, sleep=clock.sleep, **kw)
+    return policy, clock
+
+
+class Flaky:
+    """Fails ``n`` times with the given errors, then succeeds."""
+
+    def __init__(self, errors):
+        self.errors = list(errors)
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        if self.errors:
+            raise self.errors.pop(0)
+        return {"status": "complete"}
+
+
+class TestBackoffSchedule:
+    def test_jitter_bounded_by_exponential_ceiling(self):
+        policy, _ = make_policy(base=0.1, cap=100.0)
+        for attempt in range(1, 8):
+            ceiling = 0.1 * (2 ** attempt)
+            draws = [policy.backoff(attempt) for _ in range(200)]
+            assert all(0.0 <= d <= ceiling for d in draws)
+            # Full jitter actually spreads over the range — the old
+            # fixed-delay behaviour would put every draw in one spot.
+            assert max(draws) - min(draws) > ceiling / 4
+
+    def test_cap_bounds_late_attempts(self):
+        policy, _ = make_policy(base=1.0, cap=5.0)
+        assert all(policy.backoff(attempt) <= 5.0
+                   for attempt in range(1, 20) for _ in range(50))
+
+    def test_server_hint_is_a_floor(self):
+        policy, _ = make_policy(base=0.001, cap=0.002)
+        # The schedule alone would sleep ~2ms; the server said 1.5s.
+        assert all(policy.backoff(n, hint=1.5) >= 1.5
+                   for n in range(1, 5))
+
+    def test_deterministic_with_seeded_rng(self):
+        a, _ = make_policy(rng=random.Random(42))
+        b, _ = make_policy(rng=random.Random(42))
+        assert [a.backoff(n) for n in range(1, 6)] == \
+               [b.backoff(n) for n in range(1, 6)]
+
+
+class TestCall:
+    def test_retries_transients_then_succeeds(self):
+        policy, clock = make_policy(max_attempts=5)
+        fn = Flaky([Overloaded("queue-full", 0.05),
+                    ServiceDraining(0.1),
+                    ConnectionRefusedError("daemon restarting")])
+        assert policy.call(fn) == {"status": "complete"}
+        assert fn.calls == 4
+        assert len(clock.slept) == 3
+        # Each sleep honored the hint floor where one was given.
+        assert clock.slept[0] >= 0.05
+        assert clock.slept[1] >= 0.1
+
+    def test_non_retryable_raises_immediately(self):
+        policy, clock = make_policy()
+        fn = Flaky([AdmissionRejected("na", 10.0, 99.0)])
+        with pytest.raises(AdmissionRejected):
+            policy.call(fn)
+        assert fn.calls == 1 and clock.slept == []
+
+    def test_attempts_exhausted_reraises_last_error(self):
+        policy, clock = make_policy(max_attempts=3)
+        fn = Flaky([Overloaded("queue-full", None)] * 10)
+        with pytest.raises(Overloaded):
+            policy.call(fn)
+        assert fn.calls == 3               # the cap counts executions
+        assert len(clock.slept) == 2       # no sleep after the last
+
+    def test_deadline_caps_total_wall_clock(self):
+        policy, clock = make_policy(max_attempts=100, deadline=10.0)
+        # Every retry is told to wait 4s: the third would overrun 10s.
+        fn = Flaky([Overloaded("queue-full", 4.0)] * 100)
+        with pytest.raises(Overloaded):
+            policy.call(fn)
+        assert clock.now <= 10.0
+        assert fn.calls == 3               # 0s + 4s + 4s, then refuse
+
+    def test_overloaded_without_hint_still_retries(self):
+        policy, clock = make_policy(max_attempts=2, base=0.1, cap=0.2)
+        fn = Flaky([Overloaded("queue-full", None)])
+        assert policy.call(fn) == {"status": "complete"}
+        assert len(clock.slept) == 1 and clock.slept[0] <= 0.4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ClientRetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            ClientRetryPolicy(base=0.0)
+        with pytest.raises(ValueError):
+            ClientRetryPolicy(deadline=-1.0)
