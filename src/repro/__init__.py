@@ -48,8 +48,10 @@ from .estimator import (BatchResult, EstimateRequest, Estimator,
                         ParamCache, estimate_batch, range_na_batch)
 from .exec import (AdmissionRejected, Budget, BudgetExceeded, Cancelled,
                    CancellationToken, CheckpointMismatch,
-                   ExecutionGovernor, JoinCheckpoint)
-from .geometry import ColumnarMBRs, Rect, Workspace
+                   ExecutionConfig, ExecutionGovernor, JoinCheckpoint)
+from .geometry import (ArenaHandle, ColumnarMBRs, Rect, TreeArena,
+                       Workspace, arena_from_shared_memory,
+                       arena_to_shared_memory)
 from .io import load_dataset, load_tree, save_dataset, save_tree
 from .join import (OVERLAP, JoinResult, Overlap, ParallelJoinResult,
                    PartialJoinResult, SpatialJoin, WithinDistance,
@@ -63,8 +65,9 @@ from .reliability import (CorruptionReport, CorruptPageError, FaultInjector,
                           FaultyPager, MalformedFileError, ModelDomainError,
                           ReproError, ResilientReader, RetryExhaustedError,
                           RetryPolicy, TransientPageError)
-from .rtree import (GuttmanRTree, RStarTree, RTreeBase, hilbert_pack,
-                    nearest_neighbors, str_pack)
+from .rtree import (ArenaTreeView, GuttmanRTree, RStarTree, RTreeBase,
+                    hilbert_pack, nearest_neighbors, share_tree,
+                    str_pack)
 from .storage import (AccessStats, LRUBuffer, NoBuffer, PathBuffer,
                       node_capacity)
 
@@ -76,6 +79,8 @@ __all__ = [
     "AccuracyRecord",
     "AdmissionRejected",
     "AnalyticalTreeParams",
+    "ArenaHandle",
+    "ArenaTreeView",
     "BatchResult",
     "Budget",
     "BudgetExceeded",
@@ -88,6 +93,7 @@ __all__ = [
     "CorruptionReport",
     "EstimateRequest",
     "Estimator",
+    "ExecutionConfig",
     "ExecutionGovernor",
     "FaultInjector",
     "FaultyPager",
@@ -123,8 +129,11 @@ __all__ = [
     "TraceSink",
     "Tracer",
     "TransientPageError",
+    "TreeArena",
     "WithinDistance",
     "Workspace",
+    "arena_from_shared_memory",
+    "arena_to_shared_memory",
     "best_plan",
     "clustered_rectangles",
     "diagonal_rectangles",
@@ -150,6 +159,7 @@ __all__ = [
     "rtree_height",
     "save_dataset",
     "save_tree",
+    "share_tree",
     "spatial_join",
     "str_pack",
     "sweep_pairs_batch",

@@ -214,6 +214,11 @@ def _build_parser() -> argparse.ArgumentParser:
                            "error (exit 4) when a worker dies, or "
                            "'serial' to re-run the lost buckets "
                            "serially and still finish")
+    join.add_argument("--no-shared-memory", dest="shared_memory",
+                      action="store_false", default=True,
+                      help="with --mode processes: pickle a private "
+                           "tree copy into every worker instead of "
+                           "attaching the shared-memory arena")
     join.add_argument("--trace", metavar="OUT.jsonl", default=None,
                       help="write a structured JSONL trace of the run "
                            "(summarize it later with 'repro report'); "
@@ -531,15 +536,18 @@ def _run_join(args, t1, t2, buffer, retry_policy, governor,
               tracer, metrics, ledger, stats) -> int:
     """The measured part of ``repro join``, after setup/validation."""
     if args.workers is not None:
-        from .join.parallel import DEFAULT_WORKER_TIMEOUT
+        from .exec import DEFAULT_WORKER_TIMEOUT, ExecutionConfig
         timeout = (args.worker_timeout if args.worker_timeout is not None
                    else DEFAULT_WORKER_TIMEOUT)
+        exec_cfg = ExecutionConfig(
+            mode=args.mode, workers=args.workers,
+            pair_enumeration=args.pair_enum,
+            assignment=args.assignment, worker_timeout=timeout,
+            on_worker_crash=args.on_worker_crash,
+            shared_memory=args.shared_memory)
         result = parallel_spatial_join(
-            t1, t2, args.workers, assignment=args.assignment,
-            collect_pairs=False, governor=governor, mode=args.mode,
-            pair_enumeration=args.pair_enum, tracer=tracer,
-            metrics=metrics, worker_timeout=timeout,
-            on_worker_crash=args.on_worker_crash)
+            t1, t2, collect_pairs=False, governor=governor,
+            tracer=tracer, metrics=metrics, config=exec_cfg)
         print(f"R1: {args.tree1} (N={len(t1)}, h={t1.height})")
         print(f"R2: {args.tree2} (N={len(t2)}, h={t2.height})")
         print(f"result pairs: {result.pair_count}")
@@ -553,10 +561,12 @@ def _run_join(args, t1, t2, buffer, retry_policy, governor,
         _print_obs(args, metrics, ledger)
         return 0
 
+    from .exec import ExecutionConfig
     sj = SpatialJoin(t1, t2, buffer=buffer, retry_policy=retry_policy,
-                     pair_enumeration=args.pair_enum,
                      governor=governor, tracer=tracer, metrics=metrics,
-                     ledger=ledger)
+                     ledger=ledger,
+                     config=ExecutionConfig(
+                         pair_enumeration=args.pair_enum))
     if args.resume is not None:
         result = sj.resume(JoinCheckpoint.load(args.resume))
     else:

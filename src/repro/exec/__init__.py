@@ -23,6 +23,9 @@ See ``docs/operations.md`` for the operational runbook.
 from .budget import (UNLIMITED, AdmissionRejected, Budget, BudgetExceeded,
                      Cancelled)
 from .cancellation import CancellationToken
+from .config import (ASSIGNMENT_STRATEGIES, DEFAULT_WORKER_TIMEOUT,
+                     EXECUTION_MODES, ON_WORKER_CRASH, PAIR_ENUMERATIONS,
+                     ExecutionConfig)
 from .checkpoint import (CHECKPOINT_FORMAT_VERSION, CheckpointMismatch,
                          JoinCheckpoint, tree_fingerprint)
 from .governor import (ADMISSION_MODES, AdmissionDecision,
@@ -31,6 +34,7 @@ from .governor import (ADMISSION_MODES, AdmissionDecision,
 
 __all__ = [
     "ADMISSION_MODES",
+    "ASSIGNMENT_STRATEGIES",
     "AdmissionDecision",
     "AdmissionRejected",
     "Budget",
@@ -39,8 +43,13 @@ __all__ = [
     "CancellationToken",
     "Cancelled",
     "CheckpointMismatch",
+    "DEFAULT_WORKER_TIMEOUT",
+    "EXECUTION_MODES",
+    "ExecutionConfig",
     "ExecutionGovernor",
     "JoinCheckpoint",
+    "ON_WORKER_CRASH",
+    "PAIR_ENUMERATIONS",
     "UNLIMITED",
     "evaluate_admission",
     "predict_join_cost",

@@ -1,0 +1,168 @@
+"""The unified execution configuration.
+
+Historically every entry point grew its own copies of the execution
+knobs: ``SpatialJoin`` took ``pair_enumeration``,
+``parallel_spatial_join`` took ``mode`` / ``assignment`` /
+``on_worker_crash`` / ``worker_timeout`` on top of that, the optimizer
+executor and the serve daemon forwarded their own subsets, and the CLI
+mapped flags onto each.  :class:`ExecutionConfig` is the one place
+those knobs live now; every execution entry point accepts a
+``config=`` argument, and the old per-knob keywords keep working
+through :func:`merge_legacy_kwargs` (a :class:`DeprecationWarning`
+shim following the ``costmodel/_compat`` pattern).
+
+The canonical knob vocabularies (:data:`PAIR_ENUMERATIONS`,
+:data:`EXECUTION_MODES`, …) are defined here — the bottom of the
+import graph — and re-exported by :mod:`repro.join` for
+compatibility.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+
+__all__ = [
+    "ASSIGNMENT_STRATEGIES",
+    "DEFAULT_WORKER_TIMEOUT",
+    "EXECUTION_MODES",
+    "ExecutionConfig",
+    "ON_WORKER_CRASH",
+    "PAIR_ENUMERATIONS",
+]
+
+#: Node-pair matching kernels of the synchronized traversal (see
+#: :mod:`repro.join.plane_sweep` and :mod:`repro.join.vectorized`).
+PAIR_ENUMERATIONS = ("nested-loop", "plane-sweep", "vectorized",
+                     "vectorized-sweep")
+
+#: How worker buckets are driven: sequentially in the calling thread,
+#: concurrently on a thread pool with cooperative cancellation, or on a
+#: pool of worker processes.
+EXECUTION_MODES = ("serial", "threads", "processes")
+
+#: How root-entry tasks are packed into worker buckets.
+ASSIGNMENT_STRATEGIES = ("round-robin", "greedy")
+
+#: What ``mode="processes"`` does when a worker process dies or stalls
+#: past the watchdog timeout: raise a typed ``WorkerCrashed``, or
+#: re-execute the lost buckets serially in the coordinator.
+ON_WORKER_CRASH = ("raise", "serial")
+
+#: Default watchdog: how long the coordinator waits without *any*
+#: bucket completing before declaring the worker pool hung.
+DEFAULT_WORKER_TIMEOUT = 300.0
+
+
+class _Unset:
+    """Sentinel distinguishing "not passed" from any real value."""
+
+    def __repr__(self) -> str:       # pragma: no cover - debug aid
+        return "<unset>"
+
+
+UNSET = _Unset()
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Every knob of one join execution, in one frozen value.
+
+    Parameters
+    ----------
+    mode:
+        One of :data:`EXECUTION_MODES`.  Only
+        ``parallel_spatial_join`` acts on it; the synchronized
+        single-traversal join is serial by construction.
+    workers:
+        Worker count for the parallel modes (``>= 1``).
+    pair_enumeration:
+        Node-pair matching kernel, one of :data:`PAIR_ENUMERATIONS`.
+        Consumed by every entry point.
+    assignment:
+        Task-to-bucket packing, one of :data:`ASSIGNMENT_STRATEGIES`.
+    on_worker_crash:
+        Reaction to a dead or hung worker process, one of
+        :data:`ON_WORKER_CRASH`.
+    worker_timeout:
+        Watchdog seconds without any bucket completing before the pool
+        is declared hung (``None`` disables the watchdog).
+    shared_memory:
+        Whether ``mode="processes"`` ships trees as shared-memory
+        columnar arenas (workers attach zero-copy) instead of pickling
+        a private tree copy into every worker.
+    """
+
+    mode: str = "serial"
+    workers: int = 1
+    pair_enumeration: str = "nested-loop"
+    assignment: str = "greedy"
+    on_worker_crash: str = "raise"
+    worker_timeout: float | None = DEFAULT_WORKER_TIMEOUT
+    shared_memory: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mode not in EXECUTION_MODES:
+            raise ValueError(f"mode must be one of {EXECUTION_MODES}")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.pair_enumeration not in PAIR_ENUMERATIONS:
+            raise ValueError(
+                f"pair_enumeration must be one of {PAIR_ENUMERATIONS}")
+        if self.assignment not in ASSIGNMENT_STRATEGIES:
+            raise ValueError(
+                f"assignment must be one of {ASSIGNMENT_STRATEGIES}")
+        if self.on_worker_crash not in ON_WORKER_CRASH:
+            raise ValueError(
+                f"on_worker_crash must be one of {ON_WORKER_CRASH}")
+        if self.worker_timeout is not None and self.worker_timeout <= 0.0:
+            raise ValueError("worker_timeout must be positive (or None)")
+
+    def with_options(self, **changes) -> "ExecutionConfig":
+        """A copy with some fields replaced (validated on construction)."""
+        return replace(self, **changes)
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "mode": self.mode,
+            "workers": self.workers,
+            "pair_enumeration": self.pair_enumeration,
+            "assignment": self.assignment,
+            "on_worker_crash": self.on_worker_crash,
+            "worker_timeout": self.worker_timeout,
+            "shared_memory": self.shared_memory,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "ExecutionConfig":
+        return cls(**{k: doc[k] for k in cls.__dataclass_fields__
+                      if k in doc})
+
+
+def merge_legacy_kwargs(fn_name: str,
+                        config: ExecutionConfig | None,
+                        **legacy) -> ExecutionConfig:
+    """Fold deprecated per-knob keywords into an :class:`ExecutionConfig`.
+
+    Entry points pass each legacy knob with :data:`UNSET` as the
+    "not given" default; any knob that *was* given emits a
+    :class:`DeprecationWarning` pointing at the caller and is applied
+    on top of a default config.  Mixing a ``config`` with a legacy
+    knob is an error (mirroring the duplicate-argument TypeError of
+    ``costmodel/_compat.renamed_kwargs``).
+    """
+    supplied = {name: value for name, value in legacy.items()
+                if not isinstance(value, _Unset)}
+    if not supplied:
+        return config if config is not None else ExecutionConfig()
+    if config is not None:
+        names = ", ".join(repr(n) for n in sorted(supplied))
+        raise TypeError(
+            f"{fn_name}() got both 'config' and the deprecated "
+            f"keyword(s) {names}")
+    for name in supplied:
+        warnings.warn(
+            f"{fn_name}(): keyword {name!r} is deprecated, pass "
+            f"config=ExecutionConfig({name}=...)",
+            DeprecationWarning, stacklevel=3)
+    return ExecutionConfig(**supplied)

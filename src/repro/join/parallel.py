@@ -48,8 +48,12 @@ from concurrent.futures import (BrokenExecutor, ProcessPoolExecutor,
 
 from ..exec import CancellationToken, ExecutionGovernor
 from ..exec.budget import Budget, BudgetExceeded, Cancelled
+from ..exec.config import (ASSIGNMENT_STRATEGIES, DEFAULT_WORKER_TIMEOUT,
+                           EXECUTION_MODES, ON_WORKER_CRASH, UNSET,
+                           ExecutionConfig, merge_legacy_kwargs)
 from ..reliability import ReproError
 from ..rtree import RTreeBase
+from ..rtree.arena_view import ArenaTreeHandle, share_tree
 from ..storage import AccessStats, MeteredReader, PathBuffer
 from .predicates import OVERLAP, JoinPredicate
 from .result import R1, R2
@@ -59,27 +63,12 @@ __all__ = ["parallel_spatial_join", "ParallelJoinResult",
            "ASSIGNMENT_STRATEGIES", "EXECUTION_MODES",
            "ON_WORKER_CRASH", "WorkerCrashed"]
 
-ASSIGNMENT_STRATEGIES = ("round-robin", "greedy")
-
-#: How worker buckets are driven: sequentially in the calling thread,
-#: concurrently on a thread pool with cooperative cancellation, or on a
-#: pool of worker processes with per-worker tree copies.
-EXECUTION_MODES = ("serial", "threads", "processes")
-
-#: What ``mode="processes"`` does when a worker process dies (SIGKILL,
-#: OOM kill, segfault) or stalls past the watchdog timeout: raise a
-#: typed :class:`WorkerCrashed`, or degrade — re-execute the lost
-#: buckets serially in the coordinator and still return a complete,
-#: correct result.
-ON_WORKER_CRASH = ("raise", "serial")
+# ASSIGNMENT_STRATEGIES / EXECUTION_MODES / ON_WORKER_CRASH /
+# DEFAULT_WORKER_TIMEOUT are canonically defined on
+# repro.exec.ExecutionConfig and re-exported here for compatibility.
 
 #: Seconds between coordinator governor polls in ``"processes"`` mode.
 _PROCESS_POLL_INTERVAL = 0.05
-
-#: Default watchdog: how long the coordinator waits without *any* bucket
-#: completing before declaring the worker pool hung.  Generous on
-#: purpose — it exists to bound "forever", not to race real work.
-DEFAULT_WORKER_TIMEOUT = 300.0
 
 
 class WorkerCrashed(ReproError):
@@ -218,16 +207,27 @@ def _process_bucket(bucket: list[tuple], tree1: RTreeBase,
                                dict | None]:
     """Worker-*process* body: plain picklable data in, plain data out.
 
-    Runs in a child process on its own unpickled tree copies (private
-    pagers included).  The governor cannot cross the process boundary
-    (tokens and clocks are process-local), so the worker builds a fresh
-    one from the shipped budget — whose deadline the coordinator already
-    rebased to the time remaining at dispatch — and starts its clock
-    immediately.  Stats travel back as their ``as_dict`` form because
+    Each tree arrives either as an :class:`ArenaTreeHandle` — the
+    shared-memory fast path: the worker attaches the coordinator's
+    columnar arena zero-copy and materializes only the nodes its bucket
+    visits — or, with ``shared_memory=False``, as a full pickled tree
+    copy (private pager included).  Either way the traversal below is
+    identical and its NA/DA/pairs are bit-identical to the serial
+    join's.
+
+    The governor cannot cross the process boundary (tokens and clocks
+    are process-local), so the worker builds a fresh one from the
+    shipped budget — whose deadline the coordinator already rebased to
+    the time remaining at dispatch — and starts its clock immediately.
+    Stats travel back as their ``as_dict`` form because
     :class:`AccessStats` itself is not picklable; with
     ``collect_metrics`` the worker's metric delta ships the same way
     (``MetricsRegistry.as_dict``) for the coordinator to merge.
     """
+    if isinstance(tree1, ArenaTreeHandle):
+        tree1 = tree1.attach()
+    if isinstance(tree2, ArenaTreeHandle):
+        tree2 = tree2.attach()
     governor = None
     if budget is not None and not budget.unlimited:
         governor = ExecutionGovernor(budget)
@@ -246,24 +246,29 @@ def _process_bucket(bucket: list[tuple], tree1: RTreeBase,
 
 
 def parallel_spatial_join(tree1: RTreeBase, tree2: RTreeBase,
-                          workers: int,
+                          workers: int | None = None,
                           predicate: JoinPredicate = OVERLAP,
-                          assignment: str = "greedy",
+                          assignment=UNSET,
                           collect_pairs: bool = True,
                           governor: ExecutionGovernor | None = None,
-                          mode: str = "serial",
-                          pair_enumeration: str = "nested-loop",
+                          mode=UNSET,
+                          pair_enumeration=UNSET,
                           tracer=None, metrics=None,
-                          worker_timeout: float | None =
-                          DEFAULT_WORKER_TIMEOUT,
-                          on_worker_crash: str = "raise",
+                          worker_timeout=UNSET,
+                          on_worker_crash=UNSET,
+                          config: ExecutionConfig | None = None,
                           ) -> ParallelJoinResult:
-    """Run the SJ join split into subtree-pair tasks over ``workers``.
+    """Run the SJ join split into subtree-pair tasks over workers.
+
+    The execution knobs — worker count, driving ``mode``, bucket
+    ``assignment``, ``pair_enumeration`` kernel, crash policy, watchdog
+    timeout and the shared-memory switch — live on one
+    :class:`~repro.exec.ExecutionConfig` passed as ``config``.  The
+    historical per-knob keywords (including the ``workers``
+    positional) keep working but emit a :class:`DeprecationWarning`.
 
     The result set equals the sequential join's; only the access
-    accounting is partitioned.  ``pair_enumeration`` selects the
-    node-pair matching kernel each worker uses (see
-    :data:`~repro.join.PAIR_ENUMERATIONS`).
+    accounting is partitioned.
 
     With a ``governor``, every worker runs under a
     :meth:`~repro.exec.ExecutionGovernor.spawn`-ed view of it: the
@@ -278,8 +283,16 @@ def parallel_spatial_join(tree1: RTreeBase, tree2: RTreeBase,
     :class:`~repro.exec.Cancelled`) and is re-raised with its original
     traceback.
 
-    ``mode="processes"`` executes each bucket in a worker process with
-    its own copy of both trees; merged counters equal the serial mode's.
+    ``mode="processes"`` executes each bucket in a worker process;
+    merged counters equal the serial mode's.  With the default
+    ``shared_memory=True`` both trees are exported once as columnar
+    arenas in ``multiprocessing.shared_memory`` segments and each
+    submission ships only the segment names plus the index tables —
+    workers attach zero-copy and materialize just the nodes their
+    bucket visits.  The segments are unlinked in a ``finally`` (crash
+    and governor-stop paths included) with an ``atexit`` backstop for
+    abnormal teardown.  ``shared_memory=False`` restores the historical
+    behaviour of pickling a private tree copy into every worker.
     Workers enforce the budget themselves (deadline rebased to dispatch
     time), while the coordinator polls the governor between completions
     and abandons queued buckets the moment the deadline or token trips.
@@ -304,21 +317,18 @@ def parallel_spatial_join(tree1: RTreeBase, tree2: RTreeBase,
     are write-only: pairs/NA/DA of an observed run are bit-identical to
     an unobserved one.
     """
-    if workers < 1:
-        raise ValueError("workers must be >= 1")
-    if assignment not in ASSIGNMENT_STRATEGIES:
-        raise ValueError(
-            f"assignment must be one of {ASSIGNMENT_STRATEGIES}")
-    if mode not in EXECUTION_MODES:
-        raise ValueError(f"mode must be one of {EXECUTION_MODES}")
-    if on_worker_crash not in ON_WORKER_CRASH:
-        raise ValueError(
-            f"on_worker_crash must be one of {ON_WORKER_CRASH}")
-    if worker_timeout is not None and worker_timeout <= 0.0:
-        raise ValueError("worker_timeout must be positive (or None)")
-    if pair_enumeration not in PAIR_ENUMERATIONS:
-        raise ValueError(
-            f"pair_enumeration must be one of {PAIR_ENUMERATIONS}")
+    config = merge_legacy_kwargs(
+        "parallel_spatial_join", config,
+        workers=UNSET if workers is None else workers,
+        assignment=assignment, mode=mode,
+        pair_enumeration=pair_enumeration,
+        worker_timeout=worker_timeout, on_worker_crash=on_worker_crash)
+    workers = config.workers
+    assignment = config.assignment
+    mode = config.mode
+    pair_enumeration = config.pair_enumeration
+    worker_timeout = config.worker_timeout
+    on_worker_crash = config.on_worker_crash
     if governor is not None and governor.partial:
         raise ValueError(
             "parallel_spatial_join cannot produce partial results; "
@@ -399,7 +409,8 @@ def parallel_spatial_join(tree1: RTreeBase, tree2: RTreeBase,
                                        worker_timeout=worker_timeout,
                                        on_worker_crash=on_worker_crash,
                                        tracer=tracer, join_id=join_id,
-                                       metrics=metrics)
+                                       metrics=metrics,
+                                       shared_memory=config.shared_memory)
         else:
             results = []
             for bucket in buckets:
@@ -539,13 +550,24 @@ def _drive_processes(buckets, tree1, tree2, predicate, collect_pairs,
                      governor, pair_enumeration, with_metrics=False,
                      worker_timeout: float | None = DEFAULT_WORKER_TIMEOUT,
                      on_worker_crash: str = "raise",
-                     tracer=None, join_id=None, metrics=None):
+                     tracer=None, join_id=None, metrics=None,
+                     shared_memory: bool = True):
     """Run the buckets on a process pool with coordinator-side polling.
 
-    Each submission pickles the bucket, both trees, the predicate and
-    the worker budget into a child process; results come back as plain
-    data and the stats dicts are rebuilt into :class:`AccessStats` in
-    bucket order, keeping pair list and worker stats deterministic.
+    With ``shared_memory`` (the default) each tree is exported once via
+    :func:`~repro.rtree.share_tree`: its whole-tree columnar arena goes
+    into a ``multiprocessing.shared_memory`` segment and every
+    submission pickles only a tiny :class:`ArenaTreeHandle` (segment
+    name plus index table) — workers attach zero-copy.  The segments
+    are closed and unlinked in this function's ``finally``, which runs
+    on the crash, failure and governor-trip paths too; the coordinator
+    keeps the real trees, so the serial crash-degrade re-run below
+    stays valid after the segments are gone.  With
+    ``shared_memory=False`` each submission pickles the full trees into
+    the child (the historical transport).  Either way results come back
+    as plain data and the stats dicts are rebuilt into
+    :class:`AccessStats` in bucket order, keeping pair list and worker
+    stats deterministic.
 
     A process cannot observe the coordinator's cancellation token or a
     clock started in another process, so enforcement is split: workers
@@ -571,10 +593,18 @@ def _drive_processes(buckets, tree1, tree2, predicate, collect_pairs,
     worker_budget = _worker_budget(governor)
     failure: BaseException | None = None
     crash_cause: str | None = None
+    leases = []
     pool = ProcessPoolExecutor(max_workers=max(1, len(buckets)))
     try:
+        ship1, ship2 = tree1, tree2
+        if shared_memory:
+            handle1, lease1 = share_tree(tree1)
+            leases.append(lease1)
+            handle2, lease2 = share_tree(tree2)
+            leases.append(lease2)
+            ship1, ship2 = handle1, handle2
         futures = [
-            pool.submit(_process_bucket, bucket, tree1, tree2, predicate,
+            pool.submit(_process_bucket, bucket, ship1, ship2, predicate,
                         collect_pairs, pair_enumeration, worker_budget,
                         with_metrics)
             for bucket in buckets
@@ -633,6 +663,11 @@ def _drive_processes(buckets, tree1, tree2, predicate, collect_pairs,
         # without waiting — this second shutdown is a no-op, crucially
         # never a join on a dead or hung child.
         pool.shutdown(wait=crash_cause is None)
+        # Unlink the shared-memory segments only after the children are
+        # gone (or abandoned): close() is idempotent and the atexit
+        # sweep backstops an interpreter that dies before reaching here.
+        for lease in leases:
+            lease.close()
 
 
 def _handle_worker_crash(cause, pool, futures, buckets, tree1, tree2,

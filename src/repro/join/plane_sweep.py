@@ -93,7 +93,8 @@ def sweep_pairs(entries1: list[Entry], entries2: list[Entry],
 
 
 def sweep_pairs_batch(entries1: list[Entry], entries2: list[Entry],
-                      axis: int = 0) -> Iterator[tuple[Entry, Entry, int]]:
+                      axis: int = 0, cols1=None, cols2=None,
+                      ) -> Iterator[tuple[Entry, Entry, int]]:
     """The plane sweep with batched sorting and partner scans.
 
     Identical yields, order included, to :func:`sweep_pairs` — the sort
@@ -102,6 +103,13 @@ def sweep_pairs_batch(entries1: list[Entry], entries2: list[Entry],
     a Python comparison per partner.  Falls back to the scalar sweep
     when NumPy is unavailable (the fallback exists for correctness, not
     speed).
+
+    ``cols1``/``cols2`` optionally hand over the entries' columnar MBR
+    views (node caches or tree-arena slices): the sweep-axis
+    coordinates are then read straight from the existing float64
+    columns — the same bits the per-``Rect`` extraction would produce —
+    instead of being rebuilt from the ``Rect`` objects.  A view is
+    ignored unless it is NumPy-backed and matches the entry count.
     """
     from ..geometry.columnar import _get_numpy
     np = _get_numpy()
@@ -109,19 +117,24 @@ def sweep_pairs_batch(entries1: list[Entry], entries2: list[Entry],
         yield from sweep_pairs(entries1, entries2, axis)
         return
 
-    def prepare(entries):
-        lo = np.array([e.rect.lo[axis] for e in entries],
-                      dtype=np.float64)
-        hi = np.array([e.rect.hi[axis] for e in entries],
-                      dtype=np.float64)
+    def prepare(entries, cols):
+        if cols is not None and cols.np is np \
+                and len(cols) == len(entries):
+            lo = np.ascontiguousarray(cols.lo_col(axis))
+            hi = np.ascontiguousarray(cols.hi_col(axis))
+        else:
+            lo = np.array([e.rect.lo[axis] for e in entries],
+                          dtype=np.float64)
+            hi = np.array([e.rect.hi[axis] for e in entries],
+                          dtype=np.float64)
         refs = np.array([e.ref for e in entries])
         # lexsort: last key is primary — (lo, hi, ref), the scalar key.
         order = np.lexsort((refs, hi, lo))
         ordered = [entries[t] for t in order.tolist()]
         return ordered, lo[order], hi[order]
 
-    sorted1, lo1, hi1 = prepare(entries1)
-    sorted2, lo2, hi2 = prepare(entries2)
+    sorted1, lo1, hi1 = prepare(entries1, cols1)
+    sorted2, lo2, hi2 = prepare(entries2, cols2)
     n1, n2 = len(sorted1), len(sorted2)
     i = j = 0
     while i < n1 and j < n2:

@@ -40,6 +40,8 @@ from __future__ import annotations
 from ..exec import (CheckpointMismatch, ExecutionGovernor, JoinCheckpoint,
                     predict_join_cost, tree_fingerprint)
 from ..exec.budget import BudgetExceeded, Cancelled
+from ..exec.config import (UNSET, ExecutionConfig, merge_legacy_kwargs)
+from ..geometry.columnar import _get_numpy
 from ..reliability import ResilientReader, RetryPolicy
 from ..rtree import Node, RTreeBase
 from ..storage import AccessStats, BufferManager, MeteredReader, PathBuffer
@@ -50,21 +52,13 @@ from .vectorized import vectorized_pairs
 
 __all__ = ["spatial_join", "SpatialJoin", "PAIR_ENUMERATIONS"]
 
-#: Pair-matching strategies inside one node pair:
-#:
-#: * ``"nested-loop"``     — the paper's Fig. 2 loops (outer R2, inner
-#:   R1 — what the DA model assumes); the reference.
-#: * ``"plane-sweep"``     — the BKS93 CPU optimisation: same pair set,
-#:   fewer comparisons, sweep-order emission (DA shifts slightly).
-#: * ``"vectorized"``      — one batched kernel per ``|n1| x |n2|``
-#:   block over the nodes' columnar MBR views; pair set, emission
-#:   order, ReadPage sequence, NA and DA bit-identical to
-#:   ``"nested-loop"``.
-#: * ``"vectorized-sweep"``— the plane sweep with batched sorting and
-#:   partner scans; yields (order included) identical to
-#:   ``"plane-sweep"``.
-PAIR_ENUMERATIONS = ("nested-loop", "plane-sweep", "vectorized",
-                     "vectorized-sweep")
+#: Pair-matching strategies inside one node pair — ``"nested-loop"``
+#: (the paper's Fig. 2 loops, the reference), ``"plane-sweep"`` (BKS93
+#: CPU optimisation, same pair set), ``"vectorized"`` (batched kernels,
+#: bit-identical to nested-loop) and ``"vectorized-sweep"`` (batched
+#: sweep).  Canonically defined on :class:`~repro.exec.ExecutionConfig`
+#: and re-exported here.
+from ..exec.config import PAIR_ENUMERATIONS  # noqa: E402  (re-export)
 
 _EXHAUSTED = object()
 
@@ -87,10 +81,11 @@ def spatial_join(tree1: RTreeBase, tree2: RTreeBase,
                  buffer: BufferManager | None = None,
                  predicate: JoinPredicate = OVERLAP,
                  collect_pairs: bool = True,
-                 pair_enumeration: str = "nested-loop",
+                 pair_enumeration=UNSET,
                  retry_policy: RetryPolicy | None = None,
                  governor: ExecutionGovernor | None = None,
-                 tracer=None, metrics=None, ledger=None) -> JoinResult:
+                 tracer=None, metrics=None, ledger=None,
+                 config: ExecutionConfig | None = None) -> JoinResult:
     """Join two R-trees; ``tree1`` is R1 (data role), ``tree2`` R2 (query).
 
     Parameters
@@ -104,13 +99,15 @@ def spatial_join(tree1: RTreeBase, tree2: RTreeBase,
         Set ``False`` for measurement-only runs over large data (the
         counters are unaffected, the pair list stays empty).
     pair_enumeration:
-        One of :data:`PAIR_ENUMERATIONS`.  ``"nested-loop"`` (the
-        paper's Fig. 2 loops) is the default; ``"vectorized"`` runs the
-        same loops as batched kernels over columnar MBRs with
-        bit-identical NA/DA; ``"plane-sweep"`` is the BKS93 CPU
-        optimisation (same output, fewer comparisons, slightly
-        different read order) and ``"vectorized-sweep"`` its batched
-        equivalent.  See ``docs/performance.md``.
+        Deprecated keyword — pass
+        ``config=ExecutionConfig(pair_enumeration=...)`` instead.  One
+        of :data:`PAIR_ENUMERATIONS`.  ``"nested-loop"`` (the paper's
+        Fig. 2 loops) is the default; ``"vectorized"`` runs the same
+        loops as batched kernels over columnar MBRs with bit-identical
+        NA/DA; ``"plane-sweep"`` is the BKS93 CPU optimisation (same
+        output, fewer comparisons, slightly different read order) and
+        ``"vectorized-sweep"`` its batched equivalent.  See
+        ``docs/performance.md``.
     retry_policy:
         When given, page reads go through a
         :class:`~repro.reliability.ResilientReader` that retries
@@ -130,10 +127,17 @@ def spatial_join(tree1: RTreeBase, tree2: RTreeBase,
         :class:`~repro.obs.AccuracyLedger` observability hooks.  All
         three are write-only: NA/DA/pairs/checkpoints of an observed
         run are bit-identical to an unobserved one.
+    config:
+        An :class:`~repro.exec.ExecutionConfig`; the synchronized
+        traversal consumes its ``pair_enumeration`` (the parallel
+        knobs belong to :func:`~repro.join.parallel_spatial_join`).
     """
-    return SpatialJoin(tree1, tree2, buffer, predicate, pair_enumeration,
-                       retry_policy, governor, tracer=tracer,
-                       metrics=metrics, ledger=ledger).run(collect_pairs)
+    config = merge_legacy_kwargs("spatial_join", config,
+                                 pair_enumeration=pair_enumeration)
+    return SpatialJoin(tree1, tree2, buffer, predicate,
+                       retry_policy=retry_policy, governor=governor,
+                       tracer=tracer, metrics=metrics, ledger=ledger,
+                       config=config).run(collect_pairs)
 
 
 class SpatialJoin:
@@ -142,21 +146,22 @@ class SpatialJoin:
     def __init__(self, tree1: RTreeBase, tree2: RTreeBase,
                  buffer: BufferManager | None = None,
                  predicate: JoinPredicate = OVERLAP,
-                 pair_enumeration: str = "nested-loop",
+                 pair_enumeration=UNSET,
                  retry_policy: RetryPolicy | None = None,
                  governor: ExecutionGovernor | None = None,
-                 tracer=None, metrics=None, ledger=None):
+                 tracer=None, metrics=None, ledger=None,
+                 config: ExecutionConfig | None = None):
         if tree1.ndim != tree2.ndim:
             raise ValueError(
                 f"dimensionality mismatch: {tree1.ndim} vs {tree2.ndim}")
-        if pair_enumeration not in PAIR_ENUMERATIONS:
-            raise ValueError(
-                f"pair_enumeration must be one of {PAIR_ENUMERATIONS}")
+        config = merge_legacy_kwargs("SpatialJoin", config,
+                                     pair_enumeration=pair_enumeration)
         self.tree1 = tree1
         self.tree2 = tree2
         self.buffer = buffer if buffer is not None else PathBuffer()
         self.predicate = predicate
-        self.pair_enumeration = pair_enumeration
+        self.config = config
+        self.pair_enumeration = config.pair_enumeration
         self.retry_policy = retry_policy
         self.governor = governor
         # Observability hooks (repro.obs) — all write-only: nothing in
@@ -461,6 +466,13 @@ class _TraversalState:
         if enum == "plane-sweep":
             return sweep_pairs(n1.entries, n2.entries)
         if enum == "vectorized-sweep":
+            if _get_numpy() is not None:
+                # Hand the batched sweep the columnar views (arena
+                # slices when installed) so it reads coordinates
+                # without re-extracting them from the Rect objects.
+                return sweep_pairs_batch(n1.entries, n2.entries,
+                                         cols1=n1.columns(),
+                                         cols2=n2.columns())
             return sweep_pairs_batch(n1.entries, n2.entries)
         return nested_loop_pairs(n1.entries, n2.entries)
 

@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..exec import ExecutionGovernor
+from ..exec.config import UNSET, ExecutionConfig, merge_legacy_kwargs
 from ..geometry import Rect
 from ..rtree import RTreeBase
 from ..storage import AccessStats, MeteredReader, PathBuffer
@@ -77,8 +78,9 @@ class ExecutionResult:
 
 def execute_plan(plan: Plan, indexes: dict[str, RTreeBase],
                  governor: ExecutionGovernor | None = None,
-                 pair_enumeration: str = "nested-loop",
+                 pair_enumeration=UNSET,
                  tracer=None, metrics=None,
+                 config: ExecutionConfig | None = None,
                  ) -> ExecutionResult:
     """Run a plan against real trees keyed by relation name.
 
@@ -88,11 +90,14 @@ def execute_plan(plan: Plan, indexes: dict[str, RTreeBase],
     probe against the accumulated plan counters and result count.
     Partial mode is refused — a multi-operator plan has no single
     resumable frontier; use :meth:`repro.join.SpatialJoin.run` directly
-    for checkpointable joins.  ``pair_enumeration`` selects the
-    node-pair matching kernel for every SJ operator in the plan (see
+    for checkpointable joins.  ``config``
+    (:class:`~repro.exec.ExecutionConfig`) carries the execution knobs;
+    its ``pair_enumeration`` selects the node-pair matching kernel for
+    every SJ operator in the plan (see
     :data:`~repro.join.PAIR_ENUMERATIONS`); DA — what plans are priced
     in — is identical across kernels except the plane sweeps' slightly
-    shifted buffer-hit pattern.
+    shifted buffer-hit pattern.  The bare ``pair_enumeration`` keyword
+    is deprecated but still honoured.
 
     ``tracer``/``metrics`` are the :mod:`repro.obs` hooks: every SJ
     operator in the plan runs traced/metered, and the plan's end-to-end
@@ -100,6 +105,8 @@ def execute_plan(plan: Plan, indexes: dict[str, RTreeBase],
     counters.  Both are write-only — executing an observed plan yields
     the same tuples and counters as an unobserved one.
     """
+    config = merge_legacy_kwargs("execute_plan", config,
+                                 pair_enumeration=pair_enumeration)
     if governor is not None and governor.partial:
         raise ValueError(
             "execute_plan cannot produce partial results; run the join "
@@ -107,7 +114,7 @@ def execute_plan(plan: Plan, indexes: dict[str, RTreeBase],
     stats = AccessStats()
     if governor is not None:
         governor.start()
-    tuples = _execute(plan, indexes, stats, governor, pair_enumeration,
+    tuples = _execute(plan, indexes, stats, governor, config,
                       tracer, metrics)
     if tracer is not None:
         tracer.emit("plan_finish", plan=type(plan).__name__,
@@ -122,17 +129,17 @@ def execute_plan(plan: Plan, indexes: dict[str, RTreeBase],
 def _execute(plan: Plan, indexes: dict[str, RTreeBase],
              stats: AccessStats,
              governor: ExecutionGovernor | None = None,
-             pair_enumeration: str = "nested-loop",
+             config: ExecutionConfig | None = None,
              tracer=None, metrics=None,
              ) -> list[ResultTuple]:
     if isinstance(plan, IndexScanPlan):
         return _execute_scan(plan, indexes)
     if isinstance(plan, SpatialJoinPlan):
         return _execute_sj(plan, indexes, stats, governor,
-                           pair_enumeration, tracer, metrics)
+                           config, tracer, metrics)
     if isinstance(plan, IndexNestedLoopPlan):
         return _execute_inl(plan, indexes, stats, governor,
-                            pair_enumeration, tracer, metrics)
+                            config, tracer, metrics)
     raise TypeError(f"cannot execute plan node {type(plan).__name__}")
 
 
@@ -158,7 +165,7 @@ def _execute_scan(plan: IndexScanPlan,
 def _execute_sj(plan: SpatialJoinPlan, indexes: dict[str, RTreeBase],
                 stats: AccessStats,
                 governor: ExecutionGovernor | None = None,
-                pair_enumeration: str = "nested-loop",
+                config: ExecutionConfig | None = None,
                 tracer=None, metrics=None,
                 ) -> list[ResultTuple]:
     from ..join import SpatialJoin   # local import: avoids a cycle
@@ -166,9 +173,8 @@ def _execute_sj(plan: SpatialJoinPlan, indexes: dict[str, RTreeBase],
     tree1 = _tree_for(plan.data, indexes)
     tree2 = _tree_for(plan.query, indexes)
     join = SpatialJoin(tree1, tree2, buffer=PathBuffer(),
-                       pair_enumeration=pair_enumeration,
                        governor=governor, tracer=tracer,
-                       metrics=metrics)
+                       metrics=metrics, config=config)
     result = join.run(collect_pairs=True)
     stats.merge(result.stats)
 
@@ -187,11 +193,11 @@ def _execute_inl(plan: IndexNestedLoopPlan,
                  indexes: dict[str, RTreeBase],
                  stats: AccessStats,
                  governor: ExecutionGovernor | None = None,
-                 pair_enumeration: str = "nested-loop",
+                 config: ExecutionConfig | None = None,
                  tracer=None, metrics=None,
                  ) -> list[ResultTuple]:
     stream = _execute(plan.stream, indexes, stats, governor,
-                      pair_enumeration, tracer, metrics)
+                      config, tracer, metrics)
     tree = _tree_for(plan.indexed, indexes)
     name = plan.indexed.entry.name
     reader = MeteredReader(tree.pager, name, stats, PathBuffer(),

@@ -1,6 +1,7 @@
 """R-tree family: Guttman R-tree, R*-tree, packed trees, validation."""
 
 from .analysis import LevelQuality, quality_report, total_overlap
+from .arena_view import ArenaTreeHandle, ArenaTreeView, share_tree
 from .bulk import hilbert_pack, str_pack
 from .entry import Entry
 from .guttman import GuttmanRTree
@@ -12,6 +13,8 @@ from .tree import LevelStats, RTreeBase
 from .validate import InvalidTreeError, check, validate
 
 __all__ = [
+    "ArenaTreeHandle",
+    "ArenaTreeView",
     "Entry",
     "GuttmanRTree",
     "InvalidTreeError",
@@ -28,6 +31,7 @@ __all__ = [
     "hilbert_pack",
     "nearest_neighbors",
     "quality_report",
+    "share_tree",
     "str_pack",
     "total_overlap",
     "validate",

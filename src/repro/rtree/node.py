@@ -143,6 +143,21 @@ class Node:
             self._columns_version = entries.version
         return cols
 
+    def install_columns(self, cols: ColumnarMBRs) -> None:
+        """Adopt an externally built columnar view (an arena slice).
+
+        Validated against the current entry-list length and stamped
+        with the current mutation version, so :meth:`columns` serves it
+        until the entries change — after which the node transparently
+        falls back to a private rebuild, exactly as for its own cache.
+        """
+        if len(cols) != len(self._entries):
+            raise ValueError(
+                f"columnar view holds {len(cols)} entries, node "
+                f"{self.page_id} holds {len(self._entries)}")
+        self._columns = cols
+        self._columns_version = self._entries.version
+
     def entry_for_child(self, child_id: int) -> int:
         """Index of the entry referencing a given child page id."""
         for i, entry in enumerate(self._entries):

@@ -19,7 +19,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Iterator, Sequence
 
-from ..geometry import Rect
+from ..geometry import Rect, TreeArena
 from ..storage import MeteredReader, Pager
 from .entry import Entry
 from .node import LEAF_LEVEL, Node
@@ -84,6 +84,10 @@ class RTreeBase:
         self.root_id = root.page_id
         self.height = 1
         self.size = 0
+        self._mutations = 0
+        self._arena: TreeArena | None = None
+        self._arena_snapshot: dict | None = None
+        self._arena_mutations = -1
 
     # -- node access ---------------------------------------------------------
 
@@ -123,6 +127,7 @@ class RTreeBase:
         self._begin_insert()
         self._insert_entry(Entry(rect, oid), LEAF_LEVEL)
         self.size += 1
+        self._mutations += 1
 
     def extend(self, items: Sequence[tuple[Rect, int]]) -> None:
         """Insert many ``(rect, oid)`` pairs."""
@@ -217,6 +222,7 @@ class RTreeBase:
         leaf = path[-1]
         del leaf.entries[entry_index]
         self.size -= 1
+        self._mutations += 1
 
         orphans: list[tuple[Entry, int]] = []
         self._condense(path, indices, orphans)
@@ -298,6 +304,86 @@ class RTreeBase:
     def count_range(self, window: Rect) -> int:
         """Number of data rectangles overlapping ``window``."""
         return len(self.range_query(window))
+
+    # -- columnar arena -------------------------------------------------------------
+
+    def arena(self, rebuild: bool = False) -> TreeArena:
+        """The tree-wide columnar arena, built once and cached.
+
+        Building snapshots every node's entry MBRs into one contiguous
+        block (see :class:`~repro.geometry.TreeArena`) and installs the
+        per-node slices as the nodes' columnar views, so the vectorized
+        kernels read the arena directly.  The cache is invalidated by
+        the tree's own mutation counter *and* by the mutation-counting
+        entry lists: any ``insert``/``delete``, and any direct entry
+        mutation a test may perform, forces a rebuild on next call.
+        A node mutated *after* a build stays correct regardless —
+        :meth:`~repro.rtree.Node.columns` detects the stale version and
+        rebuilds its own private view.
+        """
+        if not rebuild and self._arena is not None \
+                and self._arena_current():
+            return self._arena
+        arena = TreeArena.build(self.nodes(), self.ndim)
+        snapshot: dict[int, tuple] = {}
+        for node in self.nodes():
+            snapshot[node.page_id] = (node.entries,
+                                      node.entries.version)
+            if node.entries:
+                node.install_columns(arena.slice(node.page_id))
+        self._arena = arena
+        self._arena_snapshot = snapshot
+        self._arena_mutations = self._mutations
+        return arena
+
+    def drop_arena(self) -> None:
+        """Forget the cached arena (the next :meth:`arena` rebuilds)."""
+        self._arena = None
+        self._arena_snapshot = None
+
+    def _arena_current(self) -> bool:
+        """Is the cached arena still a faithful snapshot of the tree?
+
+        Cheap check first (the tree-level mutation counter), then the
+        authoritative one: every node still holds the *same* entry-list
+        object at the *same* mutation version as at build time, and no
+        node appeared or vanished.  Rebinding ``node.entries`` swaps
+        the list object, in-place mutation bumps its version — both are
+        caught, so even direct node surgery invalidates the arena.
+        """
+        if getattr(self, "_arena_mutations", -1) != self._mutations:
+            return False
+        snapshot = self._arena_snapshot
+        if snapshot is None:
+            return False
+        seen = 0
+        for node in self.nodes():
+            rec = snapshot.get(node.page_id)
+            if rec is None:
+                return False
+            entries, version = rec
+            if node.entries is not entries \
+                    or node.entries.version != version:
+                return False
+            seen += 1
+        return seen == len(snapshot)
+
+    # Pickled trees travel without their arena: the snapshot holds
+    # references into live nodes (and, attached, shared-memory views
+    # that cannot cross process boundaries); receivers rebuild on
+    # demand.
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        state["_arena"] = None
+        state["_arena_snapshot"] = None
+        state.pop("_arena_mutations", None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self.__dict__.setdefault("_mutations", 0)
+        self.__dict__.setdefault("_arena", None)
+        self.__dict__.setdefault("_arena_snapshot", None)
 
     # -- introspection --------------------------------------------------------------
 

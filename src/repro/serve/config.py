@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..exec.config import ExecutionConfig
+
 __all__ = ["ServeConfig", "DEFAULT_SERIAL_THRESHOLD"]
 
 #: Below this tree size, process-parallel execution is known to lose to
@@ -90,6 +92,12 @@ class ServeConfig:
         Seconds the daemon waits for a complete request (header + body)
         before answering 408 and closing — the slow-loris guard.
         ``None`` disables the timeout.
+    execution:
+        Default :class:`~repro.exec.ExecutionConfig` for join
+        execution.  A request's explicit ``mode``/``workers``/
+        ``pair_enumeration`` fields override the corresponding knobs
+        per request; everything else (assignment strategy, watchdog
+        timeout, the shared-memory switch) comes from here.
     """
 
     host: str = "127.0.0.1"
@@ -111,8 +119,15 @@ class ServeConfig:
     spill_na_interval: int = 50_000
     idempotency_cache_size: int = 1024
     read_timeout: float | None = 30.0
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
 
     def __post_init__(self) -> None:
+        if isinstance(self.execution, dict):
+            # as_dict() emits the execution knobs as plain data so the
+            # whole config round-trips through JSON; accept that form
+            # back.
+            object.__setattr__(self, "execution",
+                               ExecutionConfig.from_dict(self.execution))
         if self.max_concurrency < 1:
             raise ValueError("max_concurrency must be >= 1")
         if self.queue_limit < 0:
@@ -167,4 +182,5 @@ class ServeConfig:
             "spill_na_interval": self.spill_na_interval,
             "idempotency_cache_size": self.idempotency_cache_size,
             "read_timeout": self.read_timeout,
+            "execution": self.execution.as_dict(),
         }

@@ -46,8 +46,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
-from ..exec import (Budget, CancellationToken, ExecutionGovernor,
-                    JoinCheckpoint, tree_params)
+from ..exec import (Budget, CancellationToken, EXECUTION_MODES,
+                    ExecutionGovernor, JoinCheckpoint, tree_params)
 from ..io import load_tree
 from ..join import (ON_WORKER_CRASH, PAIR_ENUMERATIONS, PartialJoinResult,
                     SpatialJoin, parallel_spatial_join)
@@ -202,7 +202,8 @@ class _ParsedRequest:
                     f"'lru:' needs an integer page count") from None
             if self._lru_pages < 1:
                 raise ValueError("lru buffer needs at least one page")
-        self.pair_enumeration = doc.get("pair_enumeration", "nested-loop")
+        self.pair_enumeration = doc.get(
+            "pair_enumeration", config.execution.pair_enumeration)
         if self.pair_enumeration not in PAIR_ENUMERATIONS:
             raise ValueError(
                 f"pair_enumeration must be one of {PAIR_ENUMERATIONS}")
@@ -210,7 +211,9 @@ class _ParsedRequest:
         if self.workers is not None and (
                 not isinstance(self.workers, int) or self.workers < 1):
             raise ValueError("workers must be a positive integer")
-        self.mode = doc.get("mode", "serial")
+        self.mode = doc.get("mode", config.execution.mode)
+        if self.mode not in EXECUTION_MODES:
+            raise ValueError(f"mode must be one of {EXECUTION_MODES}")
         self.collect_pairs = bool(doc.get("collect_pairs", False))
         self.resume_token = doc.get("resume_token")
         self.admission = doc.get("admission", "reject")
@@ -299,6 +302,12 @@ class JoinService:
             params = tree_params(tree)
         except ValueError:
             params = None            # empty tree: unpriceable, servable
+        arena_builder = getattr(tree, "arena", None)
+        if callable(arena_builder):
+            # Build the whole-tree columnar arena once, at registration:
+            # every later parallel join exports it straight to shared
+            # memory instead of paying the build on the request path.
+            arena_builder()
         path = None
         if self.durable is not None:
             if source_path is not None:
@@ -643,12 +652,18 @@ class JoinService:
             workers = None
         if workers is not None and workers > 1:
             governor = ExecutionGovernor(req.budget, token, partial=False)
-            result = parallel_spatial_join(
-                reg1.tree, reg2.tree, workers, mode=mode,
-                collect_pairs=req.collect_pairs, governor=governor,
+            # Request fields override the service-wide execution
+            # defaults; a crashed worker always degrades to serial
+            # (the daemon must answer, not raise).
+            exec_cfg = self.config.execution.with_options(
+                mode=mode, workers=workers,
                 pair_enumeration=req.pair_enumeration,
-                tracer=self.tracer, metrics=self.metrics,
                 on_worker_crash="serial")
+            result = parallel_spatial_join(
+                reg1.tree, reg2.tree,
+                collect_pairs=req.collect_pairs, governor=governor,
+                tracer=self.tracer, metrics=self.metrics,
+                config=exec_cfg)
             return result, degraded
         rid = None
         if self.durable is not None:
@@ -660,9 +675,11 @@ class JoinService:
                                       token, rid), degraded)
         governor = ExecutionGovernor(req.budget, token, partial=True)
         join = SpatialJoin(reg1.tree, reg2.tree, req.make_buffer(),
-                           pair_enumeration=req.pair_enumeration,
                            governor=governor, tracer=self.tracer,
-                           metrics=self.metrics)
+                           metrics=self.metrics,
+                           config=self.config.execution.with_options(
+                               mode="serial", workers=1,
+                               pair_enumeration=req.pair_enumeration))
         if checkpoint is not None:
             self.metrics.counter("serve.resumed").inc()
             return join.resume(checkpoint), degraded
@@ -710,9 +727,11 @@ class JoinService:
                                   max_results=budget.max_results)
             governor = ExecutionGovernor(slice_budget, token, partial=True)
             join = SpatialJoin(reg1.tree, reg2.tree, req.make_buffer(),
-                               pair_enumeration=req.pair_enumeration,
                                governor=governor, tracer=self.tracer,
-                               metrics=self.metrics)
+                               metrics=self.metrics,
+                               config=self.config.execution.with_options(
+                                   mode="serial", workers=1,
+                                   pair_enumeration=req.pair_enumeration))
             if checkpoint is not None:
                 result = join.resume(checkpoint)
             else:

@@ -1,0 +1,170 @@
+"""The unified ExecutionConfig API and its legacy-keyword shims.
+
+One frozen :class:`repro.exec.ExecutionConfig` now carries every
+execution knob; each entrypoint that used to take the knobs as loose
+keywords (``spatial_join``, :class:`SpatialJoin`,
+``parallel_spatial_join``, ``execute_plan``, the serve config) accepts
+``config=`` and keeps the old keywords working behind a
+``DeprecationWarning``.  These tests pin that contract: same results
+either way, loud ``TypeError`` on mixing, no warnings on the new path,
+and validation messages identical to the historical per-function ones.
+"""
+
+import warnings
+
+import pytest
+
+from repro.datasets import uniform_rectangles
+from repro.exec import (ASSIGNMENT_STRATEGIES, DEFAULT_WORKER_TIMEOUT,
+                        EXECUTION_MODES, ON_WORKER_CRASH,
+                        PAIR_ENUMERATIONS, ExecutionConfig)
+from repro.join import SpatialJoin, parallel_spatial_join, spatial_join
+from repro.optimizer import (Catalog, IndexScanPlan, execute_plan,
+                             make_spatial_join)
+from repro.serve.config import ServeConfig
+
+from .conftest import build_rstar
+
+
+@pytest.fixture(scope="module")
+def trees():
+    ds1 = uniform_rectangles(300, 0.5, 2, seed=71)
+    ds2 = uniform_rectangles(300, 0.5, 2, seed=72)
+    return build_rstar(ds1.items, max_entries=8), \
+        build_rstar(ds2.items, max_entries=8)
+
+
+class TestExecutionConfig:
+    def test_defaults(self):
+        config = ExecutionConfig()
+        assert config.mode == "serial"
+        assert config.workers == 1
+        assert config.pair_enumeration == "nested-loop"
+        assert config.assignment == "greedy"
+        assert config.on_worker_crash == "raise"
+        assert config.worker_timeout == DEFAULT_WORKER_TIMEOUT
+        assert config.shared_memory is True
+
+    @pytest.mark.parametrize("kw, message", [
+        ({"mode": "fibers"}, "mode must be one of"),
+        ({"workers": 0}, "workers must be >= 1"),
+        ({"pair_enumeration": "quantum"},
+         "pair_enumeration must be one of"),
+        ({"assignment": "random"}, "assignment must be one of"),
+        ({"on_worker_crash": "retry"},
+         "on_worker_crash must be one of"),
+        ({"worker_timeout": 0.0},
+         "worker_timeout must be positive (or None)"),
+        ({"worker_timeout": -3.0},
+         "worker_timeout must be positive (or None)"),
+    ])
+    def test_validation_messages(self, kw, message):
+        with pytest.raises(ValueError) as err:
+            ExecutionConfig(**kw)
+        assert message in str(err.value)
+
+    def test_constant_tuples(self):
+        assert "nested-loop" in PAIR_ENUMERATIONS
+        assert "processes" in EXECUTION_MODES
+        assert "greedy" in ASSIGNMENT_STRATEGIES
+        assert "serial" in ON_WORKER_CRASH
+
+    def test_with_options_and_round_trip(self):
+        config = ExecutionConfig(mode="threads", workers=3)
+        bumped = config.with_options(workers=5)
+        assert bumped.workers == 5 and bumped.mode == "threads"
+        assert config.workers == 3               # frozen original
+        doc = bumped.as_dict()
+        assert ExecutionConfig.from_dict(doc) == bumped
+        # from_dict tolerates extra keys being absent
+        assert ExecutionConfig.from_dict(
+            {"mode": "threads"}).mode == "threads"
+
+
+class TestLegacyKeywordShims:
+    def test_spatial_join_legacy_warns_and_matches(self, trees):
+        t1, t2 = trees
+        new = spatial_join(t1, t2, config=ExecutionConfig(
+            pair_enumeration="vectorized"))
+        with pytest.warns(DeprecationWarning,
+                          match="pair_enumeration.*deprecated"):
+            old = spatial_join(t1, t2, pair_enumeration="vectorized")
+        assert sorted(old.pairs) == sorted(new.pairs)
+        assert old.na_total == new.na_total
+        assert old.da_total == new.da_total
+
+    def test_spatial_join_config_path_is_warning_free(self, trees):
+        t1, t2 = trees
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            spatial_join(t1, t2, config=ExecutionConfig(
+                pair_enumeration="vectorized"))
+
+    def test_sjoin_class_legacy_positional(self, trees):
+        t1, t2 = trees
+        with pytest.warns(DeprecationWarning):
+            join = SpatialJoin(t1, t2, None, None, "plane-sweep")
+        assert join.pair_enumeration == "plane-sweep"
+        assert join.config.pair_enumeration == "plane-sweep"
+
+    def test_mixing_config_and_legacy_is_an_error(self, trees):
+        t1, t2 = trees
+        with pytest.raises(TypeError, match="both 'config' and"):
+            spatial_join(t1, t2, pair_enumeration="vectorized",
+                         config=ExecutionConfig())
+        with pytest.raises(TypeError, match="both 'config' and"):
+            parallel_spatial_join(t1, t2, 2,
+                                  config=ExecutionConfig(workers=2))
+
+    def test_parallel_join_legacy_workers_positional(self, trees):
+        t1, t2 = trees
+        new = parallel_spatial_join(t1, t2, config=ExecutionConfig(
+            workers=3, assignment="round-robin"))
+        with pytest.warns(DeprecationWarning, match="workers"):
+            old = parallel_spatial_join(t1, t2, 3,
+                                        assignment="round-robin")
+        assert sorted(old.pairs) == sorted(new.pairs)
+        assert [s.as_dict() for s in old.worker_stats] == \
+            [s.as_dict() for s in new.worker_stats]
+
+    def test_parallel_join_invalid_config_message(self, trees):
+        t1, t2 = trees
+        with pytest.raises(ValueError, match="workers must be >= 1"):
+            parallel_spatial_join(t1, t2, 0)
+
+    def test_execute_plan_legacy_matches_config(self):
+        ds1 = uniform_rectangles(200, 0.5, 2, seed=73)
+        ds2 = uniform_rectangles(200, 0.5, 2, seed=74)
+        trees = {"a": build_rstar(ds1.items, max_entries=8),
+                 "b": build_rstar(ds2.items, max_entries=8)}
+        catalog = Catalog(max_entries=8)
+        catalog.register_dataset("a", ds1)
+        catalog.register_dataset("b", ds2)
+        plan = make_spatial_join(IndexScanPlan(catalog.get("a")),
+                                 IndexScanPlan(catalog.get("b")))
+        new = execute_plan(plan, trees, config=ExecutionConfig(
+            pair_enumeration="vectorized"))
+        with pytest.warns(DeprecationWarning):
+            old = execute_plan(plan, trees,
+                               pair_enumeration="vectorized")
+        assert old.key_set() == new.key_set()
+        assert old.da_total == new.da_total
+
+
+class TestServeConfigExecution:
+    def test_default_execution_config(self):
+        config = ServeConfig()
+        assert config.execution == ExecutionConfig()
+
+    def test_as_dict_embeds_execution_and_round_trips(self):
+        config = ServeConfig(execution=ExecutionConfig(
+            workers=4, shared_memory=False))
+        doc = config.as_dict()
+        assert doc["execution"]["workers"] == 4
+        assert doc["execution"]["shared_memory"] is False
+        rebuilt = ServeConfig(**doc)
+        assert rebuilt == config
+
+    def test_invalid_execution_rejected(self):
+        with pytest.raises(ValueError, match="mode must be one of"):
+            ServeConfig(execution={"mode": "bogus"})

@@ -56,6 +56,33 @@ def test_star_import_honours_all():
                         if not n.startswith("__")}
 
 
+#: The arena / execution-config API introduced by the shared-memory
+#: parallel-join work: pinned here explicitly so the exports cannot be
+#: dropped without this file noticing, independent of docs/api.md.
+ARENA_API = {
+    "repro": ["ArenaHandle", "ArenaTreeView", "ExecutionConfig",
+              "TreeArena", "arena_from_shared_memory",
+              "arena_to_shared_memory", "share_tree"],
+    "repro.exec": ["ASSIGNMENT_STRATEGIES", "DEFAULT_WORKER_TIMEOUT",
+                   "EXECUTION_MODES", "ExecutionConfig",
+                   "ON_WORKER_CRASH", "PAIR_ENUMERATIONS"],
+    "repro.geometry": ["ArenaHandle", "SharedArena", "TreeArena",
+                       "arena_from_shared_memory",
+                       "arena_to_shared_memory"],
+    "repro.rtree": ["ArenaTreeHandle", "ArenaTreeView", "share_tree"],
+}
+
+
+@pytest.mark.parametrize("modname, names",
+                         sorted(ARENA_API.items()))
+def test_arena_api_is_exported(modname, names):
+    mod = importlib.import_module(modname)
+    for name in names:
+        assert name in mod.__all__, (
+            f"{modname}.__all__ lost {name!r}")
+        assert getattr(mod, name, None) is not None
+
+
 def test_docs_list_every_top_level_export():
     text = Path(__file__).resolve().parent.parent.joinpath(
         "docs", "api.md").read_text()
