@@ -18,8 +18,18 @@ usable CPU the ratio is physically capped at ~1.0 no matter how cheap
 the transport is, so there — as with the NumPy-less kernel bench — the
 numbers are recorded and the assertion is skipped.
 
-Both benches write their numbers into ``BENCH_join.json`` in the
-repository root (read-modify-write, so either can run alone).
+A third bench times the level-batched traversal engine
+(``ExecutionConfig(traversal="level-batch")``) against the per-pair
+stack machine on the same trees, asserts the counters stay identical,
+and — with NumPy — fails below :data:`MIN_BATCH_SPEEDUP` over the
+nested-loop stack machine.
+
+Every bench writes its numbers into ``BENCH_join.json`` in the
+repository root (read-modify-write, so any can run alone).  Each entry
+carries an explicit ``assert_skipped`` flag: ``true`` means the numbers
+were recorded on a machine that could not enforce the speedup
+assertion (single usable CPU, missing NumPy), so trend tooling must
+not read them as regressions.
 """
 
 from __future__ import annotations
@@ -35,7 +45,8 @@ import pytest
 from repro.estimator import have_numpy
 from repro.exec import ExecutionConfig
 from repro.geometry import Rect
-from repro.join import OVERLAP, parallel_spatial_join, vectorized_pairs
+from repro.join import (OVERLAP, parallel_spatial_join, spatial_join,
+                        vectorized_pairs)
 from repro.rtree import Entry, Node, RStarTree
 
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_join.json"
@@ -51,6 +62,10 @@ THRESHOLD_SIZE = 2_000
 BENCH_SIZE = 6_000
 #: Required wall-clock ratio serial/processes at BENCH_SIZE.
 MIN_PROCESS_SPEEDUP = 1.5
+#: Required ratio stack-machine/level-batch at BENCH_SIZE (NumPy leg).
+MIN_BATCH_SPEEDUP = 2.0
+#: Timed repetitions of the traversal benches.
+BATCH_REPS = 3
 
 
 def _usable_cpus() -> int:
@@ -132,6 +147,7 @@ def test_pair_matching_kernel_speedup(emit):
         "scalar_seconds": scalar_seconds,
         "vectorized_seconds": vector_seconds,
         "speedup": speedup,
+        "assert_skipped": not have_numpy(),
     })
     emit(f"pair matching: {NODE_PAIRS * REPS} node pairs at capacity "
          f"{NODE_CAPACITY}, backend={backend}, "
@@ -194,6 +210,7 @@ def test_process_mode_counters_and_timing(emit):
         "speedup": speedup,
         "total_da": procs.total_da,
         "makespan_da": procs.makespan_da,
+        "assert_skipped": cpus < 2,
     })
     emit(f"process join: N={len(t1)} x {len(t2)}, 4 workers on "
          f"{cpus} cpu(s), serial={serial_seconds:.3f}s, "
@@ -212,3 +229,68 @@ def test_process_mode_counters_and_timing(emit):
         f"(serial {serial_seconds:.3f}s vs "
         f"processes {process_seconds:.3f}s) — the zero-copy "
         f"shared-memory path has regressed")
+
+
+def test_batch_traversal_speedup(emit):
+    t1 = _bench_tree(BENCH_SIZE, seed=43)
+    t2 = _bench_tree(BENCH_SIZE, seed=44)
+    t1.arena()                   # build outside the timed region, as the
+    t2.arena()                   # serve layer does at registration
+
+    stack_cfg = ExecutionConfig(pair_enumeration="nested-loop")
+    vect_cfg = stack_cfg.with_options(pair_enumeration="vectorized")
+    batch_cfg = stack_cfg.with_options(traversal="level-batch")
+
+    # The acceptance bar before any timing: the frontier engine must be
+    # observationally identical to the stack machine.
+    stack = spatial_join(t1, t2, config=stack_cfg)
+    batch = spatial_join(t1, t2, config=batch_cfg)
+    assert batch.pairs == stack.pairs
+    assert batch.stats.as_dict() == stack.stats.as_dict()
+    assert batch.comparisons == stack.comparisons
+
+    def timed(cfg) -> float:
+        t0 = time.perf_counter()
+        for _ in range(BATCH_REPS):
+            spatial_join(t1, t2, collect_pairs=False, config=cfg)
+        return time.perf_counter() - t0
+
+    stack_seconds = timed(stack_cfg)
+    vect_seconds = timed(vect_cfg)
+    batch_seconds = timed(batch_cfg)
+
+    speedup = stack_seconds / batch_seconds if batch_seconds else 0.0
+    speedup_vs_vect = (vect_seconds / batch_seconds if batch_seconds
+                       else 0.0)
+    backend = "numpy" if have_numpy() else "python"
+    _update_bench("batch_traversal", {
+        "tree_size": len(t1),
+        "reps": BATCH_REPS,
+        "backend": backend,
+        "pair_enumeration": "nested-loop",
+        "stack_seconds": stack_seconds,
+        "vectorized_stack_seconds": vect_seconds,
+        "batch_seconds": batch_seconds,
+        "speedup": speedup,
+        "speedup_vs_vectorized_stack": speedup_vs_vect,
+        "pairs": stack.pair_count,
+        "na": stack.stats.na(),
+        "da": stack.stats.da(),
+        "assert_skipped": not have_numpy(),
+    })
+    emit(f"batch traversal: N={len(t1)} x {len(t2)} x {BATCH_REPS} reps, "
+         f"backend={backend}, stack={stack_seconds:.3f}s, "
+         f"vectorized stack={vect_seconds:.3f}s, "
+         f"level-batch={batch_seconds:.3f}s, "
+         f"speedup={speedup:.2f}x (vs vectorized "
+         f"{speedup_vs_vect:.2f}x) -> {OUTPUT.name}")
+
+    assert len(t1) >= 5_000
+    if not have_numpy():
+        pytest.skip("NumPy unavailable; level-batch falls back to the "
+                    "stack machine (equivalence above still verified)")
+    assert speedup >= MIN_BATCH_SPEEDUP, (
+        f"level-batch traversal must beat the per-pair stack machine "
+        f"by {MIN_BATCH_SPEEDUP}x at N={len(t1)}: got {speedup:.2f}x "
+        f"(stack {stack_seconds:.3f}s vs batch {batch_seconds:.3f}s) — "
+        f"the frontier kernels have regressed")

@@ -61,8 +61,9 @@ from .exec import (ADMISSION_MODES, AdmissionRejected, Budget,
 from .io import load_dataset, load_tree, save_dataset, save_tree, \
     verify_tree_file
 from .join import (ASSIGNMENT_STRATEGIES, EXECUTION_MODES,
-                   ON_WORKER_CRASH, PAIR_ENUMERATIONS, PartialJoinResult,
-                   SpatialJoin, WorkerCrashed, parallel_spatial_join)
+                   ON_WORKER_CRASH, PAIR_ENUMERATIONS, TRAVERSALS,
+                   PartialJoinResult, SpatialJoin, WorkerCrashed,
+                   parallel_spatial_join)
 from .reliability import (CorruptPageError, FaultInjector, FaultyPager,
                           ReproError, RetryPolicy, TransientPageError)
 from .serve import Overloaded, ServiceDraining
@@ -192,6 +193,14 @@ def _build_parser() -> argparse.ArgumentParser:
                            "nested loops (default), the batched "
                            "'vectorized' kernel (identical NA/DA), or "
                            "the plane sweeps")
+    join.add_argument("--traversal", choices=TRAVERSALS,
+                      default="stack",
+                      help="traversal engine: the per-node-pair 'stack' "
+                           "machine (default), or 'level-batch' — whole "
+                           "frontiers advanced per NumPy kernel call "
+                           "over the tree arenas with identical "
+                           "NA/DA/pairs/checkpoints (falls back to the "
+                           "stack machine without NumPy)")
     join.add_argument("--workers", type=int, default=None, metavar="W",
                       help="split the join into subtree-pair tasks over "
                            "W parallel workers (incompatible with "
@@ -544,7 +553,8 @@ def _run_join(args, t1, t2, buffer, retry_policy, governor,
             pair_enumeration=args.pair_enum,
             assignment=args.assignment, worker_timeout=timeout,
             on_worker_crash=args.on_worker_crash,
-            shared_memory=args.shared_memory)
+            shared_memory=args.shared_memory,
+            traversal=args.traversal)
         result = parallel_spatial_join(
             t1, t2, collect_pairs=False, governor=governor,
             tracer=tracer, metrics=metrics, config=exec_cfg)
@@ -566,7 +576,8 @@ def _run_join(args, t1, t2, buffer, retry_policy, governor,
                      governor=governor, tracer=tracer, metrics=metrics,
                      ledger=ledger,
                      config=ExecutionConfig(
-                         pair_enumeration=args.pair_enum))
+                         pair_enumeration=args.pair_enum,
+                         traversal=args.traversal))
     if args.resume is not None:
         result = sj.resume(JoinCheckpoint.load(args.resume))
     else:
@@ -629,7 +640,18 @@ def _print_obs(args: argparse.Namespace, metrics, ledger) -> None:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    from .obs import load_trace, render_report
+    from .obs import load_trace, render_bench_report, render_report
+    # A BENCH_*.json snapshot is one JSON object over many lines (not
+    # JSONL) — render it as a benchmark table instead of a trace.
+    try:
+        with open(args.trace, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError):
+        doc = None
+    if isinstance(doc, dict) and "event" not in doc \
+            and all(isinstance(v, dict) for v in doc.values()):
+        print(render_bench_report(doc))
+        return 0
     print(render_report(load_trace(args.trace)))
     return 0
 

@@ -29,12 +29,23 @@ __all__ = [
     "ExecutionConfig",
     "ON_WORKER_CRASH",
     "PAIR_ENUMERATIONS",
+    "TRAVERSALS",
 ]
 
 #: Node-pair matching kernels of the synchronized traversal (see
 #: :mod:`repro.join.plane_sweep` and :mod:`repro.join.vectorized`).
 PAIR_ENUMERATIONS = ("nested-loop", "plane-sweep", "vectorized",
                      "vectorized-sweep")
+
+#: Traversal engines of the synchronized join: ``"stack"`` is the
+#: per-node-pair stack machine of :mod:`repro.join.sync`;
+#: ``"level-batch"`` is the breadth-first frontier engine of
+#: :mod:`repro.join.batch` that advances a whole tree level per NumPy
+#: kernel call over the :class:`~repro.geometry.TreeArena` and then
+#: replays page charging in stack-machine order (NA/DA, pairs and
+#: checkpoints stay bit-identical; configurations the batch engine
+#: cannot express fall back to the stack machine).
+TRAVERSALS = ("stack", "level-batch")
 
 #: How worker buckets are driven: sequentially in the calling thread,
 #: concurrently on a thread pool with cooperative cancellation, or on a
@@ -91,6 +102,15 @@ class ExecutionConfig:
         Whether ``mode="processes"`` ships trees as shared-memory
         columnar arenas (workers attach zero-copy) instead of pickling
         a private tree copy into every worker.
+    traversal:
+        Traversal engine, one of :data:`TRAVERSALS`.  ``"stack"`` (the
+        default) walks node pairs one at a time; ``"level-batch"``
+        materializes whole frontiers as arena index arrays and advances
+        each level with a handful of NumPy kernel calls, with NA/DA,
+        pairs and checkpoint bytes bit-identical to the stack machine.
+        Where the batch engine does not apply (pure-Python backend,
+        plane-sweep enumerations, custom predicates, resume) the stack
+        machine runs instead.
     """
 
     mode: str = "serial"
@@ -100,6 +120,7 @@ class ExecutionConfig:
     on_worker_crash: str = "raise"
     worker_timeout: float | None = DEFAULT_WORKER_TIMEOUT
     shared_memory: bool = True
+    traversal: str = "stack"
 
     def __post_init__(self) -> None:
         if self.mode not in EXECUTION_MODES:
@@ -117,6 +138,9 @@ class ExecutionConfig:
                 f"on_worker_crash must be one of {ON_WORKER_CRASH}")
         if self.worker_timeout is not None and self.worker_timeout <= 0.0:
             raise ValueError("worker_timeout must be positive (or None)")
+        if self.traversal not in TRAVERSALS:
+            raise ValueError(
+                f"traversal must be one of {TRAVERSALS}")
 
     def with_options(self, **changes) -> "ExecutionConfig":
         """A copy with some fields replaced (validated on construction)."""
@@ -131,6 +155,7 @@ class ExecutionConfig:
             "on_worker_crash": self.on_worker_crash,
             "worker_timeout": self.worker_timeout,
             "shared_memory": self.shared_memory,
+            "traversal": self.traversal,
         }
 
     @classmethod

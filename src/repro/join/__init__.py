@@ -1,5 +1,7 @@
 """Spatial join algorithms: SJ synchronized traversal and baselines."""
 
+from ..exec.config import TRAVERSALS
+from .batch import LevelBatchState, supports_level_batch, tree_arena
 from .naive import naive_join
 from .parallel import (ASSIGNMENT_STRATEGIES, EXECUTION_MODES,
                        ON_WORKER_CRASH, ParallelJoinResult, WorkerCrashed,
@@ -16,6 +18,7 @@ __all__ = [
     "EXECUTION_MODES",
     "JoinPredicate",
     "JoinResult",
+    "LevelBatchState",
     "ON_WORKER_CRASH",
     "OVERLAP",
     "Overlap",
@@ -25,6 +28,7 @@ __all__ = [
     "R1",
     "R2",
     "SpatialJoin",
+    "TRAVERSALS",
     "WithinDistance",
     "WorkerCrashed",
     "index_nested_loop_join",
@@ -32,7 +36,9 @@ __all__ = [
     "nested_loop_pairs",
     "parallel_spatial_join",
     "spatial_join",
+    "supports_level_batch",
     "sweep_pairs",
     "sweep_pairs_batch",
+    "tree_arena",
     "vectorized_pairs",
 ]

@@ -1,0 +1,709 @@
+"""Level-batched synchronized traversal: one kernel call per frontier.
+
+The stack machine of :mod:`repro.join.sync` walks the SJ recursion one
+node pair at a time, paying interpreter overhead per visited pair even
+when the pair's entry tests are vectorized.  This module advances the
+traversal a *whole tree level* at a time instead (the SIMD-ified R-tree
+formulation, PAPERS.md arXiv 2309.16913): each frontier of candidate
+node pairs is materialized as index arrays into the two trees'
+:class:`~repro.geometry.TreeArena` blocks, and a handful of NumPy
+kernel calls over the gathered coordinate slices produce every
+qualifying child pair — and, at leaf depth, every result pair — of the
+entire level at once.
+
+Bit-identity contract
+---------------------
+
+The engine must be observationally indistinguishable from the stack
+machine: same pairs in the same order, same NA/DA per tree and level,
+same comparison counts per enumeration, same checkpoint bytes when a
+governor trips.  DA under a :class:`~repro.storage.PathBuffer` depends
+on the exact *order* of ``ReadPage`` calls, which is depth-first — not
+level order.  The engine therefore runs in two phases:
+
+1. **plan** — breadth-first, level-synchronous kernels over the arenas
+   compute, per visited node pair, the qualifying entry items (and the
+   child page ids they fetch).  No page is read and nothing is charged;
+   the governor is consulted once per level boundary, plus a per-level
+   NA sub-budget slicer stops planning levels the replay can provably
+   never reach before its budget trips.
+2. **replay** — the precomputed visit tree is walked depth-first,
+   issuing ``reader.fetch`` calls in exactly the stack machine's order
+   (including the mixed-height re-fetch of the shorter tree's leaf and
+   the pinned-root exemption) and emitting pairs/comparisons with the
+   stack machine's per-enumeration accounting.  Ungoverned, untraced
+   runs use a bulk replay that does O(NA) work; a governor (or node-pair
+   trace sampling) switches to a per-item replay that mirrors
+   ``_TraversalState.drain`` exactly, so budget trips land on the same
+   item and checkpoint to the same bytes.
+
+Configurations the batch engine cannot express — pure-Python backend,
+plane-sweep enumerations (different read order by design), custom
+predicates, checkpoint resume (cursors restore stack-machine
+iterators) — fall back to the stack machine; see
+:meth:`repro.join.SpatialJoin._state`.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..exec import ExecutionGovernor
+from ..geometry.columnar import _get_numpy
+from ..reliability import ReproError
+from ..storage import AccessStats, MeteredReader
+from .predicates import JoinPredicate, Overlap, WithinDistance
+
+__all__ = ["BATCH_PAIR_ENUMERATIONS", "LevelBatchState", "MAX_CHUNK_ITEMS",
+           "supports_level_batch", "tree_arena"]
+
+#: Pair enumerations the batch engine reproduces bit-identically.  The
+#: plane sweeps visit children in a deliberately different order (their
+#: DA differs from nested-loop by contract), so they keep the stack
+#: machine.
+BATCH_PAIR_ENUMERATIONS = ("nested-loop", "vectorized")
+
+#: Upper bound on ``sum(|n1| * |n2|)`` items evaluated per kernel call.
+#: Levels wider than this are processed in visit chunks, bounding the
+#: planning phase's memory high-water mark (docs/performance.md).
+MAX_CHUNK_ITEMS = 1 << 20
+
+
+def supports_level_batch(predicate: JoinPredicate,
+                         pair_enumeration: str) -> bool:
+    """Whether the batch engine can reproduce this configuration.
+
+    ``True`` requires the NumPy backend, a nested-loop or vectorized
+    enumeration, and one of the built-in predicates (a subclass could
+    override the tests the kernels mirror, so exact types only).
+    """
+    if _get_numpy() is None:
+        return False
+    if pair_enumeration not in BATCH_PAIR_ENUMERATIONS:
+        return False
+    return type(predicate) in (Overlap, WithinDistance)
+
+
+def tree_arena(tree):
+    """The tree's NumPy :class:`~repro.geometry.TreeArena`, or ``None``.
+
+    Handles both arena owners: :class:`~repro.rtree.RTreeBase` exposes
+    a builder *method* ``arena()`` (cached, staleness-checked) while the
+    worker-side :class:`~repro.rtree.ArenaTreeView` carries the attached
+    arena as an *attribute*.  Returns ``None`` — meaning "use the stack
+    machine" — for trees without an arena, pure-Python arenas, or when
+    building the arena fails under fault injection (the stack machine
+    would not have issued those reads at all).
+    """
+    attr = getattr(tree, "arena", None)
+    if attr is None:
+        return None
+    try:
+        arena = attr() if callable(attr) else attr
+    except ReproError:
+        return None
+    if arena is None or getattr(arena, "np", None) is None:
+        return None
+    return arena
+
+
+class _PageRef:
+    """Page identity of one side of a replay frame (checkpoint shape)."""
+
+    __slots__ = ("page_id", "level")
+
+    def __init__(self, page_id: int, level: int):
+        self.page_id = page_id
+        self.level = level
+
+
+class _ReplayFrame:
+    """One stack frame of the charging replay.
+
+    Mirrors ``sync._Frame`` closely enough for
+    :meth:`repro.join.SpatialJoin._partial` to serialize it: ``n1``/
+    ``n2`` carry ``page_id``/``level`` and ``cursor`` counts consumed
+    items with the stack machine's per-enumeration semantics.  ``total``
+    is ``None`` for a frame past the sub-budget slicer's horizon — the
+    governor is guaranteed to trip before such a frame is consumed.
+    """
+
+    __slots__ = ("depth", "visit", "n1", "n2", "cursor", "total",
+                 "qual_base", "qual_end", "qual_ptr", "ab")
+
+    def __init__(self, depth: int, visit: int, n1: _PageRef, n2: _PageRef):
+        self.depth = depth
+        self.visit = visit
+        self.n1 = n1
+        self.n2 = n2
+        self.cursor = 0
+        self.total = None
+        self.qual_base = 0
+        self.qual_end = 0
+        self.qual_ptr = 0
+        self.ab = 0
+
+
+class _LevelPlan:
+    """Everything the replay needs about one planned frontier depth.
+
+    Visits at depth ``d+1`` are exactly the qualifying items of depth
+    ``d`` in order, so a qualifying item's global index *is* its child
+    visit index and ``qual_start`` doubles as the per-visit child
+    ranges.  All lists hold plain Python ints (checkpoints and pair
+    lists must serialize; ``np.int64`` would not).
+    """
+
+    __slots__ = ("kind", "l1", "l2", "fetch2_first", "n_items",
+                 "qual_pos", "qual_start", "child1", "child2",
+                 "child1_arr", "child2_arr", "frontier", "items_total",
+                 "qual_total", "kernel_calls", "comparisons_all",
+                 "comparisons_hit")
+
+
+def _kind(l1: int, l2: int) -> str:
+    if l1 > 1 and l2 > 1:
+        return "int"
+    if l1 == 1 and l2 == 1:
+        return "leaf"
+    return "r1leaf" if l1 == 1 else "r2leaf"
+
+
+class LevelBatchState:
+    """Drop-in replacement for ``sync._TraversalState`` (see module doc).
+
+    Exposes the same surface the join driver and the parallel workers
+    use — ``push``/``drain``/``join``, ``stack``, ``stats``, ``pairs``,
+    ``pair_count``, ``comparisons``, ``collect_pairs`` — so
+    :class:`repro.join.SpatialJoin` runs either engine through one code
+    path.
+    """
+
+    def __init__(self, reader1: MeteredReader, reader2: MeteredReader,
+                 predicate: JoinPredicate, collect_pairs: bool,
+                 pinned1: int, pinned2: int, arena1, arena2,
+                 pair_enumeration: str = "nested-loop",
+                 stats: AccessStats | None = None,
+                 governor: ExecutionGovernor | None = None,
+                 tracer=None, join_id: str | None = None, metrics=None):
+        if pair_enumeration not in BATCH_PAIR_ENUMERATIONS:
+            raise ValueError(
+                f"level-batch traversal supports pair_enumeration in "
+                f"{BATCH_PAIR_ENUMERATIONS}, not {pair_enumeration!r}")
+        if arena1.np is None or arena2.np is None:
+            raise ValueError(
+                "level-batch traversal requires NumPy-backed arenas")
+        self.np = arena1.np
+        self.pair_enumeration = pair_enumeration
+        self.vectorized = pair_enumeration == "vectorized"
+        self.reader1 = reader1
+        self.reader2 = reader2
+        self.predicate = predicate
+        self._distance = (predicate.distance
+                          if isinstance(predicate, WithinDistance) else None)
+        self.collect_pairs = collect_pairs
+        self.pinned1 = pinned1
+        self.pinned2 = pinned2
+        self.arena1 = arena1
+        self.arena2 = arena2
+        self.stats = stats if stats is not None else reader1.stats
+        self.governor = governor
+        self.tracer = tracer
+        self.join_id = join_id
+        self.metrics = metrics
+        self.visits = 0
+        self.stack: list[_ReplayFrame] = []
+        self.pairs: list[tuple[int, int]] = []
+        self.pair_count = 0
+        self.comparisons = 0
+        self._pending: list[tuple] = []
+        self._off1, self._cnt1 = self._page_table(arena1)
+        self._off2, self._cnt2 = self._page_table(arena2)
+
+    def _page_table(self, arena):
+        """Dense page-id -> (offset, count) lookup for vectorized gathers."""
+        np = self.np
+        top = max(arena.index, default=0)
+        off = np.zeros(top + 1, dtype=np.int64)
+        cnt = np.zeros(top + 1, dtype=np.int64)
+        for pid, (o, c, _level) in arena.index.items():
+            off[pid] = o
+            cnt[pid] = c
+        return off, cnt
+
+    def _fetch1(self, page_id: int, level: int):
+        if page_id == self.pinned1:
+            return self.reader1.read_pinned(page_id, level)
+        return self.reader1.fetch(page_id, level)
+
+    def _fetch2(self, page_id: int, level: int):
+        if page_id == self.pinned2:
+            return self.reader2.read_pinned(page_id, level)
+        return self.reader2.fetch(page_id, level)
+
+    # -- driver surface (mirrors _TraversalState) ---------------------------
+
+    def push(self, n1, n2) -> _ReplayFrame:
+        """Open the SJ of a pair of resident nodes (planned on drain)."""
+        frame = _ReplayFrame(0, 0, _PageRef(n1.page_id, n1.level),
+                             _PageRef(n2.page_id, n2.level))
+        self.stack.append(frame)
+        self._pending.append(frame)
+        return frame
+
+    def drain(self) -> None:
+        """Plan and replay every pending root pair (LIFO, like the stack)."""
+        while self._pending:
+            frame = self._pending.pop()
+            plans = self._plan(frame)
+            self._replay(frame, plans)
+
+    def join(self, n1, n2) -> None:
+        """SJ over a pair of resident nodes, drained to completion."""
+        self.push(n1, n2)
+        self.drain()
+
+    # -- phase 1: breadth-first frontier planning ---------------------------
+
+    def _plan(self, root: _ReplayFrame) -> list[_LevelPlan]:
+        np = self.np
+        governor = self.governor
+        max_na = (governor.budget.max_na if governor is not None else None)
+        na0 = self.stats.na()
+        pages1 = np.array([root.n1.page_id], dtype=np.int64)
+        pages2 = np.array([root.n2.page_id], dtype=np.int64)
+        l1, l2 = root.n1.level, root.n2.level
+        plans: list[_LevelPlan] = []
+        depth = 0
+        while True:
+            kind = _kind(l1, l2)
+            if kind in ("int", "leaf"):
+                plan = self._cross_level(kind, l1, l2, pages1, pages2)
+            else:
+                plan = self._mixed_level(kind, l1, l2, pages1, pages2)
+            plans.append(plan)
+            self._observe_level(depth, plan)
+            if kind == "leaf" or plan.qual_total == 0:
+                break
+            if governor is not None:
+                # Level boundary: deadlines and cancellation can stop the
+                # planning phase (nothing has been charged, so the stack
+                # still checkpoints as "no progress on this pair").
+                governor.check(self.stats, self.pair_count)
+                if max_na is not None and na0 + depth + 1 >= max_na:
+                    # Sub-budget slicer: consuming any item at depth
+                    # depth+1 first charges >= 1 fetch per level along
+                    # its path, so the replay's NA check is guaranteed
+                    # to trip before deeper plans are ever read.
+                    break
+            pages1 = plan.child1_arr
+            pages2 = plan.child2_arr
+            l1 = l1 - 1 if l1 > 1 else 1
+            l2 = l2 - 1 if l2 > 1 else 1
+            depth += 1
+        return plans
+
+    def _observe_level(self, depth: int, plan: _LevelPlan) -> None:
+        if self.metrics is not None:
+            self.metrics.counter("join.batch.levels").inc()
+            self.metrics.counter("join.batch.frontier_pairs").inc(
+                plan.frontier)
+            self.metrics.counter("join.batch.kernel_calls").inc(
+                plan.kernel_calls)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "level_batch", join=self.join_id, depth=depth,
+                kind=plan.kind, frontier=plan.frontier,
+                items=plan.items_total, qualifying=plan.qual_total,
+                kernel_calls=plan.kernel_calls)
+
+    def _cross_level(self, kind: str, l1: int, l2: int,
+                     pages1, pages2) -> _LevelPlan:
+        """Plan one ``int``/``leaf`` depth: full a*b blocks, j-major."""
+        np = self.np
+        frontier = len(pages1)
+        off1 = self._off1[pages1]
+        cnt1 = self._cnt1[pages1]
+        off2 = self._off2[pages2]
+        cnt2 = self._cnt2[pages2]
+        ab = cnt1 * cnt2
+        csum = np.concatenate((np.zeros(1, dtype=np.int64),
+                               np.cumsum(ab)))
+        kernel_calls = 6
+        coords1 = self.arena1._coords
+        coords2 = self.arena2._coords
+        refs1 = self.arena1._refs
+        refs2 = self.arena2._refs
+        ndim = self.arena1.ndim
+        distance = self._distance
+        qual_counts = np.zeros(frontier, dtype=np.int64)
+        pos_parts, c1_parts, c2_parts = [], [], []
+        start = 0
+        while start < frontier:
+            end = start + 1
+            while end < frontier \
+                    and csum[end + 1] - csum[start] <= MAX_CHUNK_ITEMS:
+                end += 1
+            abc = ab[start:end]
+            tot = int(csum[end] - csum[start])
+            if tot == 0:
+                start = end
+                continue
+            # Item t of visit v is entry pair (i, j) = (t % a, t // a):
+            # j-major, the paper's outer-R2/inner-R1 enumeration order.
+            a_rep = np.repeat(cnt1[start:end], abc)
+            within = (np.arange(tot, dtype=np.int64)
+                      - np.repeat(csum[start:end] - csum[start], abc))
+            i_loc = within % a_rep
+            j_loc = within // a_rep
+            gi = np.repeat(off1[start:end], abc) + i_loc
+            gj = np.repeat(off2[start:end], abc) + j_loc
+            kernel_calls += 8
+            mask = None
+            for k in range(ndim):
+                if distance is None:
+                    mk = ((coords1[0, k].take(gi)
+                           <= coords2[1, k].take(gj))
+                          & (coords2[0, k].take(gj)
+                             <= coords1[1, k].take(gi)))
+                else:
+                    mk = (((coords1[0, k].take(gi)
+                            - coords2[1, k].take(gj)) <= distance)
+                          & ((coords2[0, k].take(gj)
+                              - coords1[1, k].take(gi)) <= distance))
+                mask = mk if mask is None else mask & mk
+                kernel_calls += 6
+            q = np.nonzero(mask)[0]
+            kernel_calls += 1
+            if distance is not None and len(q):
+                q = self._confirm_distance(q, gi, gj)
+            if len(q):
+                seg = np.repeat(np.arange(end - start, dtype=np.int64),
+                                abc)
+                qual_counts[start:end] += np.bincount(
+                    seg[q], minlength=end - start)
+                pos_parts.append(within[q])
+                c1_parts.append(refs1.take(gi[q]))
+                c2_parts.append(refs2.take(gj[q]))
+                kernel_calls += 5
+            start = end
+        empty = np.zeros(0, dtype=np.int64)
+        child1 = np.concatenate(c1_parts) if c1_parts else empty
+        child2 = np.concatenate(c2_parts) if c2_parts else empty
+        qual_pos = np.concatenate(pos_parts) if pos_parts else empty
+        qual_start = np.concatenate((np.zeros(1, dtype=np.int64),
+                                     np.cumsum(qual_counts)))
+        plan = _LevelPlan()
+        plan.kind = kind
+        plan.l1, plan.l2 = l1, l2
+        plan.fetch2_first = False
+        plan.frontier = frontier
+        plan.items_total = int(csum[-1])
+        plan.qual_total = len(child1)
+        plan.kernel_calls = kernel_calls
+        plan.n_items = ab.tolist()
+        plan.qual_pos = qual_pos.tolist()
+        plan.qual_start = qual_start.tolist()
+        plan.child1 = child1.tolist()
+        plan.child2 = child2.tolist()
+        plan.child1_arr = child1
+        plan.child2_arr = child2
+        # Comparison accounting (sync.py semantics): nested-loop charges
+        # every enumerated item; vectorized charges a*b per block on the
+        # first qualifying yield (zero for blocks with no match).
+        plan.comparisons_all = plan.items_total
+        plan.comparisons_hit = int(ab[qual_counts > 0].sum())
+        return plan
+
+    def _confirm_distance(self, cand, gi, gj):
+        """Exact scalar confirm of within-distance candidates.
+
+        The per-axis gap prefilter is a superset (it tests the L-inf
+        box); qualification is ``math.hypot`` over the gaps, computed on
+        the exact float64 coordinates so the verdicts are bit-identical
+        to :meth:`repro.geometry.Rect.min_distance`.
+        """
+        np = self.np
+        ndim = self.arena1.ndim
+        coords1, coords2 = self.arena1._coords, self.arena2._coords
+        gic, gjc = gi[cand], gj[cand]
+        lo1 = [coords1[0, k].take(gic).tolist() for k in range(ndim)]
+        hi1 = [coords1[1, k].take(gic).tolist() for k in range(ndim)]
+        lo2 = [coords2[0, k].take(gjc).tolist() for k in range(ndim)]
+        hi2 = [coords2[1, k].take(gjc).tolist() for k in range(ndim)]
+        distance = self._distance
+        hypot = math.hypot
+        keep = [t for t in range(len(gic))
+                if hypot(*[max(lo1[k][t] - hi2[k][t],
+                               lo2[k][t] - hi1[k][t], 0.0)
+                           for k in range(ndim)]) <= distance]
+        if len(keep) == len(gic):
+            return cand
+        return cand[np.array(keep, dtype=np.int64)] if keep \
+            else cand[:0]
+
+    def _mixed_level(self, kind: str, l1: int, l2: int,
+                     pages1, pages2) -> _LevelPlan:
+        """Plan one mixed-height depth (one tree already at its leaves).
+
+        Items are the *internal* node's entries tested against the leaf
+        node's MBR (``sync._step_r1_leaf``/``_step_r2_leaf``); each
+        qualifying item re-fetches the same leaf page alongside the
+        child page, ``fetch2`` first in the r1leaf regime.  Frontiers
+        here are charged per visited pair by the model (Section 3.2),
+        so a per-visit loop with vectorized inner tests is enough.
+        """
+        np = self.np
+        frontier = len(pages1)
+        ndim = self.arena1.ndim
+        distance = self._distance
+        r1_leaf = kind == "r1leaf"
+        if r1_leaf:
+            mbr_arena, item_arena = self.arena1, self.arena2
+        else:
+            mbr_arena, item_arena = self.arena2, self.arena1
+        mbr_coords = mbr_arena._coords
+        item_coords = item_arena._coords
+        item_refs = item_arena._refs
+        mbr_pages = (pages1 if r1_leaf else pages2).tolist()
+        item_pages = (pages2 if r1_leaf else pages1).tolist()
+        n_items = []
+        qual_start = [0]
+        qual_pos: list[int] = []
+        child1: list[int] = []
+        child2: list[int] = []
+        kernel_calls = 0
+        for v in range(frontier):
+            om, cm, _ = mbr_arena.index[mbr_pages[v]]
+            oi, ci, _ = item_arena.index[item_pages[v]]
+            n_items.append(ci)
+            if cm == 0 or ci == 0:
+                qual_start.append(len(qual_pos))
+                continue
+            sl = slice(oi, oi + ci)
+            mask = None
+            for k in range(ndim):
+                mbr_lo = float(mbr_coords[0, k, om:om + cm].min())
+                mbr_hi = float(mbr_coords[1, k, om:om + cm].max())
+                if distance is None:
+                    mk = ((mbr_lo <= item_coords[1, k, sl])
+                          & (item_coords[0, k, sl] <= mbr_hi))
+                else:
+                    mk = (((mbr_lo - item_coords[1, k, sl]) <= distance)
+                          & ((item_coords[0, k, sl] - mbr_hi) <= distance))
+                mask = mk if mask is None else mask & mk
+                kernel_calls += 8
+            q = np.nonzero(mask)[0]
+            kernel_calls += 1
+            if distance is not None and len(q):
+                q = self._confirm_mixed(q, mbr_arena, om, cm,
+                                        item_arena, oi)
+            q_list = q.tolist()
+            qual_pos.extend(q_list)
+            refs = item_refs[oi + q].tolist()
+            if r1_leaf:
+                child1.extend([mbr_pages[v]] * len(q_list))
+                child2.extend(refs)
+            else:
+                child1.extend(refs)
+                child2.extend([mbr_pages[v]] * len(q_list))
+            qual_start.append(len(qual_pos))
+        plan = _LevelPlan()
+        plan.kind = kind
+        plan.l1, plan.l2 = l1, l2
+        plan.fetch2_first = r1_leaf
+        plan.frontier = frontier
+        plan.items_total = sum(n_items)
+        plan.qual_total = len(child1)
+        plan.kernel_calls = kernel_calls
+        plan.n_items = n_items
+        plan.qual_pos = qual_pos
+        plan.qual_start = qual_start
+        plan.child1 = child1
+        plan.child2 = child2
+        plan.child1_arr = np.array(child1, dtype=np.int64)
+        plan.child2_arr = np.array(child2, dtype=np.int64)
+        # Mixed frames iterate raw entries whatever the enumeration, so
+        # both accountings charge one comparison per item.
+        plan.comparisons_all = plan.items_total
+        plan.comparisons_hit = plan.items_total
+        return plan
+
+    def _confirm_mixed(self, cand, mbr_arena, om, cm, item_arena, oi):
+        np = self.np
+        ndim = mbr_arena.ndim
+        distance = self._distance
+        mbr_lo = [float(mbr_arena._coords[0, k, om:om + cm].min())
+                  for k in range(ndim)]
+        mbr_hi = [float(mbr_arena._coords[1, k, om:om + cm].max())
+                  for k in range(ndim)]
+        pos = oi + cand
+        ilo = [item_arena._coords[0, k].take(pos).tolist()
+               for k in range(ndim)]
+        ihi = [item_arena._coords[1, k].take(pos).tolist()
+               for k in range(ndim)]
+        hypot = math.hypot
+        keep = [t for t in range(len(cand))
+                if hypot(*[max(mbr_lo[k] - ihi[k][t],
+                               ilo[k][t] - mbr_hi[k], 0.0)
+                           for k in range(ndim)]) <= distance]
+        if len(keep) == len(cand):
+            return cand
+        return cand[np.array(keep, dtype=np.int64)] if keep \
+            else cand[:0]
+
+    # -- phase 2: depth-first charging replay -------------------------------
+
+    def _replay(self, root: _ReplayFrame, plans: list[_LevelPlan]) -> None:
+        trace_pairs = (self.tracer is not None
+                       and self.tracer.sample_pairs > 0)
+        if self.governor is None and not trace_pairs:
+            self._replay_fast(root, plans)
+        else:
+            self._replay_exact(root, plans)
+
+    def _replay_fast(self, root: _ReplayFrame,
+                     plans: list[_LevelPlan]) -> None:
+        """Bulk replay: O(NA) fetches + O(pairs) emission, no checks.
+
+        Only reachable ungoverned, so no trip can expose intermediate
+        state — comparisons are added per level in bulk and the shared
+        ``self.stack`` frame for this root is popped once at the end.
+        """
+        vectorized = self.vectorized
+        for plan in plans:
+            self.comparisons += (plan.comparisons_hit if vectorized
+                                 else plan.comparisons_all)
+        collect = self.collect_pairs
+        pairs = self.pairs
+        plan0 = plans[0]
+        if plan0.kind == "leaf":
+            qe = plan0.qual_start[1]
+            self.pair_count += qe
+            if collect and qe:
+                pairs.extend(zip(plan0.child1[:qe], plan0.child2[:qe]))
+            self.stack.pop()
+            return
+        fetch1, fetch2 = self._fetch1, self._fetch2
+        # Work frames: [depth, next qualifying index, end index].  A
+        # qualifying item's global index doubles as its child visit id.
+        work = [[0, plan0.qual_start[0], plan0.qual_start[1]]]
+        while work:
+            frame = work[-1]
+            idx = frame[1]
+            if idx >= frame[2]:
+                work.pop()
+                continue
+            frame[1] = idx + 1
+            depth = frame[0]
+            plan = plans[depth]
+            cplan = plans[depth + 1]
+            p1 = plan.child1[idx]
+            p2 = plan.child2[idx]
+            if plan.fetch2_first:
+                fetch2(p2, cplan.l2)
+                fetch1(p1, cplan.l1)
+            else:
+                fetch1(p1, cplan.l1)
+                fetch2(p2, cplan.l2)
+            cs = cplan.qual_start[idx]
+            ce = cplan.qual_start[idx + 1]
+            if cplan.kind == "leaf":
+                self.pair_count += ce - cs
+                if collect and ce > cs:
+                    pairs.extend(zip(cplan.child1[cs:ce],
+                                     cplan.child2[cs:ce]))
+            elif ce > cs:
+                work.append([depth + 1, cs, ce])
+        self.stack.pop()
+
+    def _init_frame(self, frame: _ReplayFrame,
+                    plans: list[_LevelPlan]) -> None:
+        plan = plans[frame.depth]
+        v = frame.visit
+        frame.qual_base = plan.qual_start[v]
+        frame.qual_end = plan.qual_start[v + 1]
+        frame.ab = plan.n_items[v]
+        if self.vectorized and plan.kind in ("int", "leaf"):
+            frame.total = frame.qual_end - frame.qual_base
+        else:
+            frame.total = frame.ab
+
+    def _replay_exact(self, root: _ReplayFrame,
+                      plans: list[_LevelPlan]) -> None:
+        """Per-item replay mirroring ``_TraversalState.drain`` exactly.
+
+        One governor check per iteration — including the iterations
+        that merely pop an exhausted frame — so a budget trip lands on
+        the same stack shape, cursors and counters as the stack
+        machine's, and the resulting checkpoint serializes to the same
+        bytes.
+        """
+        stack = self.stack
+        governor = self.governor
+        tracer = self.tracer
+        trace_pairs = tracer is not None and tracer.sample_pairs > 0
+        vectorized = self.vectorized
+        self._init_frame(root, plans)
+        base = len(stack) - 1
+        while len(stack) > base:
+            if governor is not None:
+                governor.check(self.stats, self.pair_count)
+            frame = stack[-1]
+            if frame.total is None:
+                # Past the slicer horizon: the NA budget math guarantees
+                # the check above trips before this is ever reached.
+                raise RuntimeError(
+                    "level-batch sub-budget slicer reached an unplanned "
+                    "depth without a budget trip")
+            if frame.cursor >= frame.total:
+                stack.pop()
+                continue
+            plan = plans[frame.depth]
+            if trace_pairs:
+                self.visits += 1
+                if tracer.want_pair(self.visits):
+                    tracer.node_pair(self.join_id, self.visits,
+                                     frame.n1.page_id, frame.n1.level,
+                                     frame.n2.page_id, frame.n2.level)
+            if vectorized and plan.kind in ("int", "leaf"):
+                if frame.cursor == 0:
+                    self.comparisons += frame.ab
+                self._consume(plans, plan, frame.qual_base + frame.cursor)
+            else:
+                self.comparisons += 1
+                nxt = frame.qual_base + frame.qual_ptr
+                if nxt < frame.qual_end \
+                        and plan.qual_pos[nxt] == frame.cursor:
+                    frame.qual_ptr += 1
+                    self._consume(plans, plan, nxt)
+            frame.cursor += 1
+
+    def _consume(self, plans: list[_LevelPlan], plan: _LevelPlan,
+                 idx: int) -> None:
+        """Process one qualifying item (emit a pair or descend)."""
+        if plan.kind == "leaf":
+            self.pair_count += 1
+            if self.collect_pairs:
+                self.pairs.append((plan.child1[idx], plan.child2[idx]))
+            return
+        p1 = plan.child1[idx]
+        p2 = plan.child2[idx]
+        l1c = plan.l1 - 1 if plan.l1 > 1 else 1
+        l2c = plan.l2 - 1 if plan.l2 > 1 else 1
+        if plan.fetch2_first:
+            self._fetch2(p2, l2c)
+            self._fetch1(p1, l1c)
+        else:
+            self._fetch1(p1, l1c)
+            self._fetch2(p2, l2c)
+        depth = None
+        for d, candidate in enumerate(plans):
+            if candidate is plan:
+                depth = d
+                break
+        child = _ReplayFrame(depth + 1, idx, _PageRef(p1, l1c),
+                             _PageRef(p2, l2c))
+        if depth + 1 < len(plans):
+            self._init_frame(child, plans)
+        self.stack.append(child)

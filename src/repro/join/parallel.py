@@ -55,6 +55,7 @@ from ..reliability import ReproError
 from ..rtree import RTreeBase
 from ..rtree.arena_view import ArenaTreeHandle, share_tree
 from ..storage import AccessStats, MeteredReader, PathBuffer
+from .batch import LevelBatchState, supports_level_batch, tree_arena
 from .predicates import OVERLAP, JoinPredicate
 from .result import R1, R2
 from .sync import PAIR_ENUMERATIONS, _TraversalState
@@ -155,7 +156,7 @@ def _run_bucket(bucket: list[tuple], tree1: RTreeBase, tree2: RTreeBase,
                 collect_pairs: bool,
                 governor: ExecutionGovernor | None,
                 pair_enumeration: str = "nested-loop",
-                metrics=None,
+                metrics=None, traversal: str = "stack",
                 ) -> tuple[AccessStats, list[tuple[int, int]], int,
                            object]:
     """Execute one worker's task bucket against a private buffer.
@@ -169,16 +170,37 @@ def _run_bucket(bucket: list[tuple], tree1: RTreeBase, tree2: RTreeBase,
     records its own delta, and ships the registry back as the fourth
     element of the result tuple for the coordinator to merge — no
     shared mutable state between workers.
+
+    With ``traversal="level-batch"`` the worker drives its subtree
+    pairs through :class:`~repro.join.batch.LevelBatchState` — one
+    frontier plan per task over the arenas (in ``"processes"`` mode the
+    zero-copy shared-memory arenas of the attached
+    :class:`~repro.rtree.ArenaTreeView`) — with NA/DA/pairs identical
+    to the stack machine; unsupported configurations keep the stack
+    machine, exactly as in the serial join.
     """
     stats = AccessStats()
     buffer = PathBuffer()                # each worker owns its disk/buffer
     reader1 = MeteredReader(tree1.pager, R1, stats, buffer)
     reader2 = MeteredReader(tree2.pager, R2, stats, buffer)
-    state = _TraversalState(
-        reader1, reader2, predicate, collect_pairs,
-        pinned1=tree1.root_id, pinned2=tree2.root_id,
-        pair_enumeration=pair_enumeration,
-        stats=stats, governor=governor)
+    state = None
+    if traversal == "level-batch" \
+            and supports_level_batch(predicate, pair_enumeration):
+        arena1 = tree_arena(tree1)
+        arena2 = tree_arena(tree2)
+        if arena1 is not None and arena2 is not None:
+            state = LevelBatchState(
+                reader1, reader2, predicate, collect_pairs,
+                pinned1=tree1.root_id, pinned2=tree2.root_id,
+                arena1=arena1, arena2=arena2,
+                pair_enumeration=pair_enumeration,
+                stats=stats, governor=governor, metrics=metrics)
+    if state is None:
+        state = _TraversalState(
+            reader1, reader2, predicate, collect_pairs,
+            pinned1=tree1.root_id, pinned2=tree2.root_id,
+            pair_enumeration=pair_enumeration,
+            stats=stats, governor=governor)
     for _cost, e1, e2 in bucket:
         if governor is not None:
             governor.check(stats, state.pair_count)
@@ -203,6 +225,7 @@ def _process_bucket(bucket: list[tuple], tree1: RTreeBase,
                     collect_pairs: bool, pair_enumeration: str,
                     budget: Budget | None,
                     collect_metrics: bool = False,
+                    traversal: str = "stack",
                     ) -> tuple[dict, list[tuple[int, int]], int,
                                dict | None]:
     """Worker-*process* body: plain picklable data in, plain data out.
@@ -240,7 +263,7 @@ def _process_bucket(bucket: list[tuple], tree1: RTreeBase,
     root2 = tree2.root()
     stats, pairs, count, metrics = _run_bucket(
         bucket, tree1, tree2, root1, root2, predicate, collect_pairs,
-        governor, pair_enumeration, metrics)
+        governor, pair_enumeration, metrics, traversal)
     return (stats.as_dict(), pairs, count,
             metrics.as_dict() if metrics is not None else None)
 
@@ -261,9 +284,14 @@ def parallel_spatial_join(tree1: RTreeBase, tree2: RTreeBase,
     """Run the SJ join split into subtree-pair tasks over workers.
 
     The execution knobs — worker count, driving ``mode``, bucket
-    ``assignment``, ``pair_enumeration`` kernel, crash policy, watchdog
-    timeout and the shared-memory switch — live on one
-    :class:`~repro.exec.ExecutionConfig` passed as ``config``.  The
+    ``assignment``, ``pair_enumeration`` kernel, ``traversal`` engine,
+    crash policy, watchdog timeout and the shared-memory switch — live
+    on one :class:`~repro.exec.ExecutionConfig` passed as ``config``.
+    With ``traversal="level-batch"`` each worker advances its subtree
+    pairs frontier-at-a-time through :mod:`repro.join.batch` (process
+    workers batch directly over the zero-copy shared-memory arenas of
+    their :class:`~repro.rtree.ArenaTreeView`); all counters stay
+    identical to the stack machine's.  The
     historical per-knob keywords (including the ``workers``
     positional) keep working but emit a :class:`DeprecationWarning`.
 
@@ -329,6 +357,7 @@ def parallel_spatial_join(tree1: RTreeBase, tree2: RTreeBase,
     pair_enumeration = config.pair_enumeration
     worker_timeout = config.worker_timeout
     on_worker_crash = config.on_worker_crash
+    traversal = config.traversal
     if governor is not None and governor.partial:
         raise ValueError(
             "parallel_spatial_join cannot produce partial results; "
@@ -383,6 +412,14 @@ def parallel_spatial_join(tree1: RTreeBase, tree2: RTreeBase,
             buckets[w].append(task)
             loads[w] += task[0]
 
+    if traversal == "level-batch" and mode in ("serial", "threads") \
+            and supports_level_batch(predicate, pair_enumeration):
+        # Warm the cached whole-tree arenas in the coordinator so
+        # thread workers never race on the lazy build (process workers
+        # get theirs from share_tree / their private tree copy).
+        tree_arena(tree1)
+        tree_arena(tree2)
+
     if governor is not None:
         governor.start()                 # deadline shared by all workers
 
@@ -400,7 +437,8 @@ def parallel_spatial_join(tree1: RTreeBase, tree2: RTreeBase,
             results = _drive_threads(buckets, tree1, tree2, root1, root2,
                                      predicate, collect_pairs, governor,
                                      pair_enumeration,
-                                     with_metrics=metrics is not None)
+                                     with_metrics=metrics is not None,
+                                     traversal=traversal)
         elif mode == "processes":
             results = _drive_processes(buckets, tree1, tree2, predicate,
                                        collect_pairs, governor,
@@ -410,7 +448,8 @@ def parallel_spatial_join(tree1: RTreeBase, tree2: RTreeBase,
                                        on_worker_crash=on_worker_crash,
                                        tracer=tracer, join_id=join_id,
                                        metrics=metrics,
-                                       shared_memory=config.shared_memory)
+                                       shared_memory=config.shared_memory,
+                                       traversal=traversal)
         else:
             results = []
             for bucket in buckets:
@@ -419,7 +458,7 @@ def parallel_spatial_join(tree1: RTreeBase, tree2: RTreeBase,
                 results.append(_run_bucket(
                     bucket, tree1, tree2, root1, root2, predicate,
                     collect_pairs, worker_gov, pair_enumeration,
-                    _fresh_metrics(metrics is not None)))
+                    _fresh_metrics(metrics is not None), traversal))
     except (BudgetExceeded, Cancelled) as exc:
         if tracer is not None:
             tracer.budget_trip(join_id, exc.as_dict())
@@ -472,7 +511,7 @@ def _fresh_metrics(enabled: bool):
 
 def _drive_threads(buckets, tree1, tree2, root1, root2, predicate,
                    collect_pairs, governor, pair_enumeration,
-                   with_metrics=False):
+                   with_metrics=False, traversal="stack"):
     """Run the buckets on a thread pool, propagating the first failure.
 
     Workers observe an internal abort token (linked into each worker's
@@ -506,7 +545,7 @@ def _drive_threads(buckets, tree1, tree2, root1, root2, predicate,
             fut = pool.submit(_run_bucket, bucket, tree1, tree2,
                               root1, root2, predicate, collect_pairs,
                               worker_governor(), pair_enumeration,
-                              _fresh_metrics(with_metrics))
+                              _fresh_metrics(with_metrics), traversal)
             fut.add_done_callback(on_done)
             futures.append(fut)
         for fut in futures:
@@ -551,7 +590,7 @@ def _drive_processes(buckets, tree1, tree2, predicate, collect_pairs,
                      worker_timeout: float | None = DEFAULT_WORKER_TIMEOUT,
                      on_worker_crash: str = "raise",
                      tracer=None, join_id=None, metrics=None,
-                     shared_memory: bool = True):
+                     shared_memory: bool = True, traversal: str = "stack"):
     """Run the buckets on a process pool with coordinator-side polling.
 
     With ``shared_memory`` (the default) each tree is exported once via
@@ -606,7 +645,7 @@ def _drive_processes(buckets, tree1, tree2, predicate, collect_pairs,
         futures = [
             pool.submit(_process_bucket, bucket, ship1, ship2, predicate,
                         collect_pairs, pair_enumeration, worker_budget,
-                        with_metrics)
+                        with_metrics, traversal)
             for bucket in buckets
         ]
         pending = set(futures)
@@ -648,7 +687,8 @@ def _drive_processes(buckets, tree1, tree2, predicate, collect_pairs,
             return _handle_worker_crash(
                 crash_cause, pool, futures, buckets, tree1, tree2,
                 predicate, collect_pairs, governor, pair_enumeration,
-                with_metrics, on_worker_crash, tracer, join_id, metrics)
+                with_metrics, on_worker_crash, tracer, join_id, metrics,
+                traversal)
         if failure is not None:
             raise failure
         ordered = []
@@ -673,7 +713,7 @@ def _drive_processes(buckets, tree1, tree2, predicate, collect_pairs,
 def _handle_worker_crash(cause, pool, futures, buckets, tree1, tree2,
                          predicate, collect_pairs, governor,
                          pair_enumeration, with_metrics, on_worker_crash,
-                         tracer, join_id, metrics):
+                         tracer, join_id, metrics, traversal="stack"):
     """React to a dead or hung worker pool: raise typed, or go serial.
 
     First puts the pool beyond doubt — surviving children are killed
@@ -720,5 +760,5 @@ def _handle_worker_crash(cause, pool, futures, buckets, tree1, tree2,
             results.append(_run_bucket(
                 bucket, tree1, tree2, root1, root2, predicate,
                 collect_pairs, worker_gov, pair_enumeration,
-                _fresh_metrics(with_metrics)))
+                _fresh_metrics(with_metrics), traversal))
     return results

@@ -45,6 +45,7 @@ from ..geometry.columnar import _get_numpy
 from ..reliability import ResilientReader, RetryPolicy
 from ..rtree import Node, RTreeBase
 from ..storage import AccessStats, BufferManager, MeteredReader, PathBuffer
+from .batch import LevelBatchState, supports_level_batch, tree_arena
 from .plane_sweep import nested_loop_pairs, sweep_pairs, sweep_pairs_batch
 from .predicates import OVERLAP, JoinPredicate, Overlap, WithinDistance
 from .result import R1, R2, JoinResult, PartialJoinResult
@@ -129,8 +130,11 @@ def spatial_join(tree1: RTreeBase, tree2: RTreeBase,
         run are bit-identical to an unobserved one.
     config:
         An :class:`~repro.exec.ExecutionConfig`; the synchronized
-        traversal consumes its ``pair_enumeration`` (the parallel
-        knobs belong to :func:`~repro.join.parallel_spatial_join`).
+        traversal consumes its ``pair_enumeration`` and ``traversal``
+        (``traversal="level-batch"`` advances whole frontiers through
+        the NumPy engine of :mod:`repro.join.batch` with bit-identical
+        NA/DA/pairs/checkpoints; the parallel knobs belong to
+        :func:`~repro.join.parallel_spatial_join`).
     """
     config = merge_legacy_kwargs("spatial_join", config,
                                  pair_enumeration=pair_enumeration)
@@ -181,9 +185,24 @@ class SpatialJoin:
                              tracer=self.tracer)
 
     def _state(self, stats: AccessStats, collect_pairs: bool,
-               ) -> "_TraversalState":
+               allow_batch: bool = True):
         reader1 = self._reader(self.tree1.pager, R1, stats)
         reader2 = self._reader(self.tree2.pager, R2, stats)
+        if allow_batch and self.config.traversal == "level-batch" \
+                and supports_level_batch(self.predicate,
+                                         self.pair_enumeration):
+            arena1 = tree_arena(self.tree1)
+            arena2 = tree_arena(self.tree2)
+            if arena1 is not None and arena2 is not None:
+                return LevelBatchState(
+                    reader1, reader2, self.predicate, collect_pairs,
+                    pinned1=self.tree1.root_id,
+                    pinned2=self.tree2.root_id,
+                    arena1=arena1, arena2=arena2,
+                    pair_enumeration=self.pair_enumeration,
+                    stats=stats, governor=self.governor,
+                    tracer=self.tracer, join_id=self._join_id,
+                    metrics=self.metrics)
         return _TraversalState(
             reader1, reader2, self.predicate, collect_pairs,
             pinned1=self.tree1.root_id, pinned2=self.tree2.root_id,
@@ -275,8 +294,11 @@ class SpatialJoin:
                 self._join_id, frames=len(cp.stack),
                 pair_count=cp.pair_count,
                 pair_enumeration=cp.pair_enumeration)
+        # Resume always drains on the stack machine: checkpoint cursors
+        # restore its deterministic iterators directly, and the result
+        # is bit-identical whichever engine took the cut.
         state = self._state(AccessStats.from_dict(cp.stats),
-                            cp.collect_pairs)
+                            cp.collect_pairs, allow_batch=False)
         state.pair_count = cp.pair_count
         state.comparisons = cp.comparisons
         if cp.collect_pairs and cp.pairs:

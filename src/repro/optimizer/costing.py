@@ -20,6 +20,7 @@ from typing import Iterable
 
 from ..costmodel import range_query_na
 from ..estimator import EstimateRequest, Estimator, estimate_batch
+from ..exec.config import TRAVERSALS
 from .catalog import CatalogEntry
 from .plans import IndexNestedLoopPlan, IndexScanPlan, Plan, SpatialJoinPlan
 
@@ -30,12 +31,23 @@ METRICS = ("na", "da")
 
 
 def make_spatial_join(data: IndexScanPlan, query: IndexScanPlan,
-                      metric: str = "da") -> SpatialJoinPlan:
-    """Price an SJ plan with an explicit role assignment."""
+                      metric: str = "da",
+                      traversal: str = "stack") -> SpatialJoinPlan:
+    """Price an SJ plan with an explicit role assignment.
+
+    ``traversal`` (one of :data:`~repro.exec.TRAVERSALS`) is carried on
+    the plan for the executor; it does not change the priced I/O — the
+    level-batch engine issues the identical ``ReadPage`` sequence, so
+    Eq. 7/10 apply to both engines unchanged.
+    """
     _check_metric(metric)
+    if traversal not in TRAVERSALS:
+        raise ValueError(
+            f"traversal must be one of {TRAVERSALS}, got {traversal!r}")
     est = Estimator(data.entry.params, query.entry.params)
     cost = est.da() if metric == "da" else est.na()
-    return SpatialJoinPlan(data, query, cost, est.selectivity())
+    return SpatialJoinPlan(data, query, cost, est.selectivity(),
+                           traversal=traversal)
 
 
 def make_spatial_joins_batch(pairs: Iterable[tuple[IndexScanPlan,

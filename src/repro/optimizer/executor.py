@@ -172,6 +172,13 @@ def _execute_sj(plan: SpatialJoinPlan, indexes: dict[str, RTreeBase],
 
     tree1 = _tree_for(plan.data, indexes)
     tree2 = _tree_for(plan.query, indexes)
+    if config is None:
+        config = ExecutionConfig()
+    if plan.traversal != "stack" and config.traversal == "stack":
+        # A plan-level engine choice (make_spatial_join(traversal=...))
+        # rides into the operator unless the caller's config already
+        # picked one explicitly.
+        config = config.with_options(traversal=plan.traversal)
     join = SpatialJoin(tree1, tree2, buffer=PathBuffer(),
                        governor=governor, tracer=tracer,
                        metrics=metrics, config=config)

@@ -49,8 +49,8 @@ from typing import Any
 from ..exec import (Budget, CancellationToken, EXECUTION_MODES,
                     ExecutionGovernor, JoinCheckpoint, tree_params)
 from ..io import load_tree
-from ..join import (ON_WORKER_CRASH, PAIR_ENUMERATIONS, PartialJoinResult,
-                    SpatialJoin, parallel_spatial_join)
+from ..join import (ON_WORKER_CRASH, PAIR_ENUMERATIONS, TRAVERSALS,
+                    PartialJoinResult, SpatialJoin, parallel_spatial_join)
 from ..obs import MetricsRegistry
 from ..reliability import ReproError
 from ..storage import AccessStats, LRUBuffer, NoBuffer, PathBuffer
@@ -64,8 +64,9 @@ __all__ = ["JoinService", "Overloaded", "ServiceDraining", "UnknownTree"]
 
 _REQUEST_FIELDS = frozenset({
     "tree1", "tree2", "tenant", "deadline", "max_na", "max_da",
-    "max_results", "buffer", "pair_enumeration", "workers", "mode",
-    "collect_pairs", "resume_token", "admission", "idempotency_key",
+    "max_results", "buffer", "pair_enumeration", "traversal",
+    "workers", "mode", "collect_pairs", "resume_token", "admission",
+    "idempotency_key",
 })
 
 
@@ -207,6 +208,11 @@ class _ParsedRequest:
         if self.pair_enumeration not in PAIR_ENUMERATIONS:
             raise ValueError(
                 f"pair_enumeration must be one of {PAIR_ENUMERATIONS}")
+        self.traversal = doc.get(
+            "traversal", config.execution.traversal)
+        if self.traversal not in TRAVERSALS:
+            raise ValueError(
+                f"traversal must be one of {TRAVERSALS}")
         self.workers = doc.get("workers")
         if self.workers is not None and (
                 not isinstance(self.workers, int) or self.workers < 1):
@@ -658,6 +664,7 @@ class JoinService:
             exec_cfg = self.config.execution.with_options(
                 mode=mode, workers=workers,
                 pair_enumeration=req.pair_enumeration,
+                traversal=req.traversal,
                 on_worker_crash="serial")
             result = parallel_spatial_join(
                 reg1.tree, reg2.tree,
@@ -679,7 +686,8 @@ class JoinService:
                            metrics=self.metrics,
                            config=self.config.execution.with_options(
                                mode="serial", workers=1,
-                               pair_enumeration=req.pair_enumeration))
+                               pair_enumeration=req.pair_enumeration,
+                               traversal=req.traversal))
         if checkpoint is not None:
             self.metrics.counter("serve.resumed").inc()
             return join.resume(checkpoint), degraded
@@ -731,7 +739,8 @@ class JoinService:
                                metrics=self.metrics,
                                config=self.config.execution.with_options(
                                    mode="serial", workers=1,
-                                   pair_enumeration=req.pair_enumeration))
+                                   pair_enumeration=req.pair_enumeration,
+                                   traversal=req.traversal))
             if checkpoint is not None:
                 result = join.resume(checkpoint)
             else:

@@ -89,11 +89,46 @@ class TestBuildJoinEstimate:
                                    str(two_trees[1]), "--buffer", spec)
             assert code == 0
 
+    def test_join_traversal_level_batch_matches_stack(self, two_trees,
+                                                      capsys):
+        def counters(text):
+            return [line for line in text.splitlines()
+                    if line.startswith(("result pairs:",
+                                        "node accesses NA:",
+                                        "disk accesses DA:"))]
+        code, out, _err = run(capsys, "join", str(two_trees[0]),
+                              str(two_trees[1]))
+        assert code == 0
+        code, batch_out, _err = run(capsys, "join", "--traversal",
+                                    "level-batch", str(two_trees[0]),
+                                    str(two_trees[1]))
+        assert code == 0
+        assert counters(batch_out) == counters(out)
+
+    def test_join_bad_traversal(self, two_trees, capsys):
+        with pytest.raises(SystemExit):     # argparse choices
+            run(capsys, "join", str(two_trees[0]), str(two_trees[1]),
+                "--traversal", "magic")
+
     def test_join_bad_buffer(self, two_trees, capsys):
         code, _out, err = run(capsys, "join", str(two_trees[0]),
                               str(two_trees[1]), "--buffer", "magic")
         assert code == 2
         assert "buffer" in err
+
+    def test_report_renders_bench_snapshot(self, tmp_path, capsys):
+        import json
+        bench = tmp_path / "BENCH_join.json"
+        bench.write_text(json.dumps({
+            "batch_traversal": {"speedup": 3.5,
+                                "assert_skipped": False},
+            "process_join": {"speedup": 0.9, "assert_skipped": True},
+        }))
+        code, out, _err = run(capsys, "report", str(bench))
+        assert code == 0
+        assert "benchmarks: 2 entries" in out
+        assert "batch_traversal: speedup 3.50x" in out
+        assert "assert skipped" in out   # process_join's flag rendered
 
     def test_join_trace_metrics_report(self, two_trees, tmp_path,
                                        capsys):

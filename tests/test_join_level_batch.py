@@ -1,0 +1,190 @@
+"""Level-batch engine selection, fallback, and plan pass-through.
+
+The equivalence guarantees live in ``test_property_level_batch.py``;
+this file pins the *plumbing*: which configurations actually dispatch
+to :class:`~repro.join.LevelBatchState`, which silently fall back to
+the stack machine (the flag must never make a join illegal), how the
+observability hooks surface the batch engine, and how the optimizer
+carries the traversal choice from a priced plan into execution.
+"""
+
+import pytest
+
+from repro.datasets import uniform_rectangles
+from repro.estimator import have_numpy
+from repro.exec import (TRAVERSALS, Budget, ExecutionConfig,
+                        ExecutionGovernor)
+from repro.join import (LevelBatchState, PartialJoinResult, SpatialJoin,
+                        WithinDistance, parallel_spatial_join,
+                        spatial_join, supports_level_batch, tree_arena)
+from repro.join.predicates import Overlap
+from repro.join.sync import _TraversalState
+from repro.obs import MemorySink, MetricsRegistry, Tracer
+from repro.optimizer import (Catalog, IndexScanPlan, execute_plan,
+                             make_spatial_join)
+from repro.rtree import share_tree
+from repro.storage import AccessStats
+
+from .conftest import build_rstar, make_items
+from .test_property_vectorized import force_backend
+
+needs_numpy = pytest.mark.skipif(not have_numpy(),
+                                 reason="requires the NumPy backend")
+
+BATCH = ExecutionConfig(traversal="level-batch")
+
+
+@pytest.fixture(scope="module")
+def trees():
+    t1 = build_rstar(make_items(300, seed=71), max_entries=8)
+    t2 = build_rstar(make_items(260, seed=72), max_entries=8)
+    return t1, t2
+
+
+def _state(t1, t2, config=BATCH, predicate=Overlap(), **kw):
+    join = SpatialJoin(t1, t2, predicate=predicate, config=config, **kw)
+    return join._state(AccessStats(), collect_pairs=True)
+
+
+class TestSelection:
+    def test_traversals_vocabulary(self):
+        assert TRAVERSALS == ("stack", "level-batch")
+        with pytest.raises(ValueError, match="traversal"):
+            ExecutionConfig(traversal="magic")
+
+    @needs_numpy
+    def test_level_batch_config_selects_batch_engine(self, trees):
+        assert isinstance(_state(*trees), LevelBatchState)
+
+    def test_default_config_selects_stack(self, trees):
+        assert isinstance(_state(*trees, config=ExecutionConfig()),
+                          _TraversalState)
+
+    @needs_numpy
+    def test_arena_view_selects_batch_engine(self, trees):
+        t1, _t2 = trees
+        h, lease = share_tree(t1)
+        try:
+            view = h.attach()
+            assert tree_arena(view) is not None
+            assert isinstance(_state(view, view), LevelBatchState)
+        finally:
+            lease.close()
+
+
+class TestFallback:
+    def test_pure_python_falls_back(self, trees):
+        with force_backend("python"):
+            assert not supports_level_batch(Overlap(), "nested-loop")
+            assert isinstance(_state(*trees), _TraversalState)
+
+    @needs_numpy
+    @pytest.mark.parametrize("enum", ["plane-sweep", "vectorized-sweep"])
+    def test_plane_sweeps_fall_back(self, trees, enum):
+        assert not supports_level_batch(Overlap(), enum)
+        cfg = BATCH.with_options(pair_enumeration=enum)
+        assert isinstance(_state(*trees, config=cfg), _TraversalState)
+
+    @needs_numpy
+    def test_predicate_subclass_falls_back(self, trees):
+        class Narrower(Overlap):          # could override leaf_test
+            pass
+        assert not supports_level_batch(Narrower(), "nested-loop")
+        assert isinstance(_state(*trees, predicate=Narrower()),
+                          _TraversalState)
+        assert supports_level_batch(WithinDistance(0.1), "vectorized")
+
+    @needs_numpy
+    def test_resume_always_uses_stack_machine(self, trees):
+        t1, t2 = trees
+        gov = ExecutionGovernor(Budget(max_na=10), partial=True)
+        first = SpatialJoin(t1, t2, governor=gov, config=BATCH).run()
+        assert isinstance(first, PartialJoinResult)
+        join = SpatialJoin(t1, t2, config=BATCH)
+        # The dispatch honours allow_batch=False, which resume() passes.
+        state = join._state(AccessStats(), True, allow_batch=False)
+        assert isinstance(state, _TraversalState)
+        final = join.resume(first.checkpoint)
+        assert final.complete
+
+
+@needs_numpy
+class TestObservability:
+    def test_metrics_and_trace_events(self, trees):
+        t1, t2 = trees
+        metrics = MetricsRegistry()
+        sink = MemorySink()
+        spatial_join(t1, t2, config=BATCH, metrics=metrics,
+                     tracer=Tracer(sink))
+        counters = metrics.as_dict()["counters"]
+        assert counters["join.batch.levels"] > 0
+        assert counters["join.batch.frontier_pairs"] > 0
+        assert counters["join.batch.kernel_calls"] > 0
+        levels = [r for r in sink.records
+                  if r["event"] == "level_batch"]
+        assert len(levels) == counters["join.batch.levels"]
+        assert {"depth", "kind", "frontier", "items", "qualifying",
+                "kernel_calls"} <= set(levels[0])
+
+    def test_parallel_modes_merge_batch_counters(self, trees):
+        t1, t2 = trees
+        for mode in ("serial", "threads"):
+            metrics = MetricsRegistry()
+            cfg = BATCH.with_options(mode=mode, workers=2)
+            parallel_spatial_join(t1, t2, config=cfg, metrics=metrics)
+            counters = metrics.as_dict()["counters"]
+            assert counters["join.batch.levels"] > 0, mode
+
+
+class TestOptimizerPassThrough:
+    @pytest.fixture(scope="class")
+    def world(self):
+        datasets = {"a": uniform_rectangles(300, 0.5, 2, seed=73),
+                    "b": uniform_rectangles(280, 0.4, 2, seed=74)}
+        trees = {n: build_rstar(ds.items, max_entries=16)
+                 for n, ds in datasets.items()}
+        catalog = Catalog(max_entries=16)
+        for n, ds in datasets.items():
+            catalog.register_dataset(n, ds)
+        return trees, catalog
+
+    def test_plan_carries_and_describes_traversal(self, world):
+        _trees, catalog = world
+        scans = (IndexScanPlan(catalog.get("a")),
+                 IndexScanPlan(catalog.get("b")))
+        stack = make_spatial_join(*scans)
+        batch = make_spatial_join(*scans, traversal="level-batch")
+        assert stack.traversal == "stack"
+        assert batch.traversal == "level-batch"
+        assert "traversal=level-batch" in batch.describe()
+        assert "traversal=" not in stack.describe()
+        # The knob never changes the priced I/O.
+        assert batch.cost == stack.cost
+
+    def test_make_spatial_join_rejects_bad_traversal(self, world):
+        _trees, catalog = world
+        with pytest.raises(ValueError, match="traversal"):
+            make_spatial_join(IndexScanPlan(catalog.get("a")),
+                              IndexScanPlan(catalog.get("b")),
+                              traversal="magic")
+
+    def test_executed_plan_counters_identical(self, world):
+        trees, catalog = world
+        scans = (IndexScanPlan(catalog.get("a")),
+                 IndexScanPlan(catalog.get("b")))
+        stack = execute_plan(make_spatial_join(*scans), trees)
+        batch = execute_plan(
+            make_spatial_join(*scans, traversal="level-batch"), trees)
+        assert batch.key_set() == stack.key_set()
+        assert batch.na_total == stack.na_total
+        assert batch.da_total == stack.da_total
+
+    def test_explicit_config_wins_over_plan(self, world):
+        trees, catalog = world
+        plan = make_spatial_join(IndexScanPlan(catalog.get("a")),
+                                 IndexScanPlan(catalog.get("b")),
+                                 traversal="level-batch")
+        want = execute_plan(plan, trees)
+        got = execute_plan(plan, trees, config=ExecutionConfig())
+        assert got.na_total == want.na_total
+        assert got.key_set() == want.key_set()

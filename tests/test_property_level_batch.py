@@ -1,0 +1,180 @@
+"""Property-based equivalence: level-batched traversal ≡ stack machine.
+
+The ISSUE-level guarantee for :mod:`repro.join.batch`: for *any* tree
+pair — degenerate rectangles, duplicate geometry, empty trees, unequal
+heights — a join run with ``traversal="level-batch"`` is bit-identical
+to the stack machine in every observable: the pair list *in emission
+order*, NA, DA, comparison counts, governed checkpoint bytes, and the
+result of resuming a batch-interrupted run.  On the pure-Python
+backend the batch engine must fall back to the stack machine and still
+match, which these properties cover by drawing the backend too.
+
+Deliberately *not* asserted: ``governor.checks`` — how often the two
+engines poll the governor is telemetry, not an observable of the join.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exec import Budget, ExecutionConfig, ExecutionGovernor
+from repro.exec.checkpoint import _canonical
+from repro.geometry import Rect
+from repro.join import (PartialJoinResult, SpatialJoin, WithinDistance,
+                        spatial_join)
+from repro.join.predicates import Overlap
+from repro.rtree import RStarTree
+from repro.storage.buffers import LRUBuffer, NoBuffer, PathBuffer
+
+from .test_property_vectorized import force_backend
+
+SLOW = settings(max_examples=15,
+                suppress_health_check=[HealthCheck.too_slow],
+                deadline=None)
+
+#: Coarse grid (see test_property_vectorized): ties, touching edges
+#: and zero-extent rectangles are routine, not measure-zero.
+grid_coord = st.integers(0, 20).map(lambda k: k / 20.0)
+
+
+def rect_strategy():
+    def build(args):
+        x1, y1, x2, y2 = args
+        return Rect((min(x1, x2), min(y1, y2)),
+                    (max(x1, x2), max(y1, y2)))
+    return st.tuples(grid_coord, grid_coord,
+                     grid_coord, grid_coord).map(build)
+
+
+def items_strategy(max_size=50):
+    return st.lists(rect_strategy(), min_size=0, max_size=max_size).map(
+        lambda rs: [(r, i) for i, r in enumerate(rs)])
+
+
+backend_strategy = st.sampled_from(["numpy", "python"])
+enum_strategy = st.sampled_from(["nested-loop", "vectorized"])
+predicate_strategy = st.one_of(
+    st.just(Overlap()),
+    st.floats(min_value=0.0, max_value=0.3).map(WithinDistance))
+
+
+def build(items, max_entries=6):
+    tree = RStarTree(2, max_entries)
+    for rect, oid in items:
+        tree.insert(rect, oid)
+    return tree
+
+
+def _signature(result):
+    return {
+        "pairs": result.pairs,           # emission ORDER matters too
+        "pair_count": result.pair_count,
+        "comparisons": result.comparisons,
+        "na": dict(result.stats.node_accesses),
+        "da": dict(result.stats.disk_accesses),
+    }
+
+
+def _configs(enum):
+    return (ExecutionConfig(pair_enumeration=enum),
+            ExecutionConfig(pair_enumeration=enum,
+                            traversal="level-batch"))
+
+
+@SLOW
+@given(items_strategy(), items_strategy(), enum_strategy,
+       predicate_strategy, backend_strategy)
+def test_batch_join_bit_identical(items1, items2, enum, predicate,
+                                  backend):
+    with force_backend(backend):
+        t1, t2 = build(items1), build(items2)
+        stack_cfg, batch_cfg = _configs(enum)
+        stack = spatial_join(t1, t2, predicate=predicate,
+                             config=stack_cfg)
+        batch = spatial_join(t1, t2, predicate=predicate,
+                             config=batch_cfg)
+        assert _signature(batch) == _signature(stack)
+
+
+@SLOW
+@given(items_strategy(max_size=10), items_strategy(max_size=60),
+       enum_strategy, backend_strategy)
+def test_batch_join_unequal_heights(items1, items2, enum, backend):
+    """Small-vs-large capacity skews the heights, so the r1leaf /
+    r2leaf mixed frontiers (one tree already at its leaves) run."""
+    with force_backend(backend):
+        t1 = build(items1, max_entries=8)
+        t2 = build(items2, max_entries=3)
+        stack_cfg, batch_cfg = _configs(enum)
+        for a, b in ((t1, t2), (t2, t1)):
+            stack = spatial_join(a, b, config=stack_cfg)
+            batch = spatial_join(a, b, config=batch_cfg)
+            assert _signature(batch) == _signature(stack)
+
+
+@SLOW
+@given(items_strategy(), items_strategy(),
+       st.sampled_from(["path", "none", "lru"]), enum_strategy)
+def test_batch_join_any_buffer_manager(items1, items2, kind, enum):
+    """DA depends on the buffer; the batch replay preserves the exact
+    ReadPage sequence, so DA matches under every buffer policy."""
+    factory = {"path": PathBuffer, "none": NoBuffer,
+               "lru": lambda: LRUBuffer(8)}[kind]
+    t1, t2 = build(items1), build(items2)
+    stack_cfg, batch_cfg = _configs(enum)
+    stack = spatial_join(t1, t2, buffer=factory(), config=stack_cfg)
+    batch = spatial_join(t1, t2, buffer=factory(), config=batch_cfg)
+    assert _signature(batch) == _signature(stack)
+
+
+@SLOW
+@given(items_strategy(), items_strategy(), enum_strategy,
+       st.floats(min_value=0.0, max_value=1.0))
+def test_governed_checkpoint_bytes_identical(items1, items2, enum,
+                                             frac):
+    t1, t2 = build(items1), build(items2)
+    stack_cfg, batch_cfg = _configs(enum)
+    total_na = spatial_join(t1, t2, config=stack_cfg).na_total
+    if total_na < 2:
+        return                           # nothing to interrupt
+    cut = 1 + int(frac * (total_na - 2))
+
+    def governed(config):
+        gov = ExecutionGovernor(Budget(max_na=cut), partial=True)
+        return SpatialJoin(t1, t2, governor=gov, config=config).run()
+
+    stack = governed(stack_cfg)
+    batch = governed(batch_cfg)
+    assert batch.complete == stack.complete
+    if stack.complete:
+        assert _signature(batch) == _signature(stack)
+        return
+    assert isinstance(stack, PartialJoinResult)
+    assert isinstance(batch, PartialJoinResult)
+    assert _canonical(batch.checkpoint.to_dict()) \
+        == _canonical(stack.checkpoint.to_dict())
+
+
+@SLOW
+@given(items_strategy(), items_strategy(), enum_strategy,
+       st.floats(min_value=0.0, max_value=1.0), backend_strategy)
+def test_resume_after_batch_cut(items1, items2, enum, frac, backend):
+    """A batch run cut mid-flight resumes (on the stack machine, by
+    design) to the exact uninterrupted result."""
+    with force_backend(backend):
+        t1, t2 = build(items1), build(items2)
+        stack_cfg, batch_cfg = _configs(enum)
+        baseline = _signature(spatial_join(t1, t2, config=stack_cfg))
+        total_na = sum(baseline["na"].values())
+        if total_na < 2:
+            return
+        cut = 1 + int(frac * (total_na - 2))
+        gov = ExecutionGovernor(Budget(max_na=cut), partial=True)
+        first = SpatialJoin(t1, t2, governor=gov, config=batch_cfg).run()
+        if first.complete:
+            assert _signature(first) == baseline
+            return
+        assert isinstance(first, PartialJoinResult)
+        final = SpatialJoin(t1, t2, config=batch_cfg).resume(
+            first.checkpoint)
+        assert final.complete
+        assert _signature(final) == baseline

@@ -65,7 +65,10 @@ ARENA_API = {
               "arena_to_shared_memory", "share_tree"],
     "repro.exec": ["ASSIGNMENT_STRATEGIES", "DEFAULT_WORKER_TIMEOUT",
                    "EXECUTION_MODES", "ExecutionConfig",
-                   "ON_WORKER_CRASH", "PAIR_ENUMERATIONS"],
+                   "ON_WORKER_CRASH", "PAIR_ENUMERATIONS",
+                   "TRAVERSALS"],
+    "repro.join": ["LevelBatchState", "TRAVERSALS",
+                   "supports_level_batch", "tree_arena"],
     "repro.geometry": ["ArenaHandle", "SharedArena", "TreeArena",
                        "arena_from_shared_memory",
                        "arena_to_shared_memory"],

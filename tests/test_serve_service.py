@@ -84,6 +84,17 @@ class TestBitIdentical:
         assert resp["na"] == expect.na_total
         assert resp["da"] == expect.da_total
 
+    def test_level_batch_traversal_matches_direct(self, trees, direct):
+        svc = make_service(trees)
+        resp = svc.execute({"tree1": "a", "tree2": "b",
+                            "collect_pairs": True,
+                            "traversal": "level-batch"})
+        assert resp["status"] == "complete"
+        assert resp["na"] == direct.na_total
+        assert resp["da"] == direct.da_total
+        assert resp["pair_count"] == direct.pair_count
+        assert sorted(map(tuple, resp["pairs"])) == sorted(direct.pairs)
+
     def test_response_carries_cost_estimate(self, trees):
         svc = make_service(trees)
         resp = svc.execute({"tree1": "a", "tree2": "b"})
@@ -138,6 +149,7 @@ class TestAdmission:
         {"tree2": "b"},
         {"tree1": "a", "tree2": "b", "bogus": 1},
         {"tree1": "a", "tree2": "b", "pair_enumeration": "wat"},
+        {"tree1": "a", "tree2": "b", "traversal": "wat"},
         {"tree1": "a", "tree2": "b", "workers": 0},
         {"tree1": "a", "tree2": "b", "buffer": "hash:9"},
         {"tree1": "a", "tree2": "b", "buffer": "garbage"},
