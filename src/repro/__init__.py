@@ -56,8 +56,8 @@ from .io import load_dataset, load_tree, save_dataset, save_tree
 from .join import (OVERLAP, JoinResult, Overlap, ParallelJoinResult,
                    PartialJoinResult, SpatialJoin, WithinDistance,
                    index_nested_loop_join, naive_join,
-                   parallel_spatial_join, spatial_join,
-                   sweep_pairs_batch, vectorized_pairs)
+                   parallel_spatial_join, partition_spatial_join,
+                   spatial_join, sweep_pairs_batch, vectorized_pairs)
 from .obs import (AccuracyLedger, AccuracyRecord, JsonlSink, MemorySink,
                   MetricsRegistry, NullSink, TraceSink, Tracer)
 from .optimizer import Catalog, best_plan, role_advice
@@ -152,6 +152,7 @@ __all__ = [
     "nearest_neighbors",
     "node_capacity",
     "parallel_spatial_join",
+    "partition_spatial_join",
     "range_na_batch",
     "range_query_na",
     "range_query_selectivity",

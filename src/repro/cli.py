@@ -61,9 +61,9 @@ from .exec import (ADMISSION_MODES, AdmissionRejected, Budget,
 from .io import load_dataset, load_tree, save_dataset, save_tree, \
     verify_tree_file
 from .join import (ASSIGNMENT_STRATEGIES, EXECUTION_MODES,
-                   ON_WORKER_CRASH, PAIR_ENUMERATIONS, TRAVERSALS,
-                   PartialJoinResult, SpatialJoin, WorkerCrashed,
-                   parallel_spatial_join)
+                   ON_WORKER_CRASH, PAIR_ENUMERATIONS, STRATEGIES,
+                   TRAVERSALS, PartialJoinResult, SpatialJoin,
+                   WorkerCrashed, parallel_spatial_join)
 from .reliability import (CorruptPageError, FaultInjector, FaultyPager,
                           ReproError, RetryPolicy, TransientPageError)
 from .serve import Overloaded, ServiceDraining
@@ -201,6 +201,13 @@ def _build_parser() -> argparse.ArgumentParser:
                            "over the tree arenas with identical "
                            "NA/DA/pairs/checkpoints (falls back to the "
                            "stack machine without NumPy)")
+    join.add_argument("--strategy", choices=STRATEGIES, default="sync",
+                      help="join engine: the paper's synchronized tree "
+                           "traversal (default), or 'pbsm' — uniform "
+                           "grid partitioning with per-tile plane "
+                           "sweeps and reference-point duplicate "
+                           "avoidance (same pair set, different I/O "
+                           "profile; partials are not resumable)")
     join.add_argument("--workers", type=int, default=None, metavar="W",
                       help="split the join into subtree-pair tasks over "
                            "W parallel workers (incompatible with "
@@ -389,6 +396,8 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="'none', 'path', or 'lru:<pages>'")
     sjoin.add_argument("--workers", type=int, default=None, metavar="W")
     sjoin.add_argument("--mode", choices=EXECUTION_MODES, default=None)
+    sjoin.add_argument("--strategy", choices=STRATEGIES, default=None,
+                       help="join engine: 'sync' (default) or 'pbsm'")
     sjoin.add_argument("--admission", choices=("off", "reject"),
                        default=None,
                        help="check the request's own budget "
@@ -519,6 +528,11 @@ def _cmd_join(args: argparse.Namespace) -> int:
               "--checkpoint and --resume (checkpoints describe the "
               "single synchronized traversal)", file=sys.stderr)
         return 2
+    if args.strategy == "pbsm" and (args.checkpoint or args.resume):
+        print("--strategy pbsm is incompatible with --checkpoint and "
+              "--resume (PBSM partials are not resumable; checkpoints "
+              "describe the synchronized traversal)", file=sys.stderr)
+        return 2
 
     # Observability hooks (repro.obs): write-only, so a traced/metered
     # run counts exactly what an unobserved one does.
@@ -554,7 +568,7 @@ def _run_join(args, t1, t2, buffer, retry_policy, governor,
             assignment=args.assignment, worker_timeout=timeout,
             on_worker_crash=args.on_worker_crash,
             shared_memory=args.shared_memory,
-            traversal=args.traversal)
+            traversal=args.traversal, strategy=args.strategy)
         result = parallel_spatial_join(
             t1, t2, collect_pairs=False, governor=governor,
             tracer=tracer, metrics=metrics, config=exec_cfg)
@@ -577,7 +591,8 @@ def _run_join(args, t1, t2, buffer, retry_policy, governor,
                      ledger=ledger,
                      config=ExecutionConfig(
                          pair_enumeration=args.pair_enum,
-                         traversal=args.traversal))
+                         traversal=args.traversal,
+                         strategy=args.strategy))
     if args.resume is not None:
         result = sj.resume(JoinCheckpoint.load(args.resume))
     else:
@@ -603,7 +618,12 @@ def _run_join(args, t1, t2, buffer, retry_policy, governor,
             print(f"estimated remaining (Eq. 7/10): "
                   f"NA {result.remaining_na_estimate:.0f}, "
                   f"DA {result.remaining_da_estimate:.0f}")
-        if args.checkpoint is not None:
+        if result.checkpoint is None:
+            # PBSM partials carry no checkpoint (tile progress is not
+            # serialized) — the counters and pairs are still valid.
+            print("partial result is not resumable "
+                  "(strategy produces no checkpoint)", file=sys.stderr)
+        elif args.checkpoint is not None:
             result.checkpoint.save(args.checkpoint)
             print(f"checkpoint saved to {args.checkpoint} "
                   f"(resume with --resume {args.checkpoint})")
@@ -648,8 +668,11 @@ def _cmd_report(args: argparse.Namespace) -> int:
             doc = json.load(fh)
     except (OSError, ValueError):
         doc = None
-    if isinstance(doc, dict) and "event" not in doc \
-            and all(isinstance(v, dict) for v in doc.values()):
+    # Any JSON object without an "event" key is a snapshot, not a trace
+    # record — older snapshots carry flat (non-dict) entries and must
+    # not fall through to the JSONL parser, which would refuse them as
+    # malformed trace lines.
+    if isinstance(doc, dict) and "event" not in doc:
         print(render_bench_report(doc))
         return 0
     print(render_report(load_trace(args.trace)))
@@ -870,6 +893,7 @@ def _cmd_serve_join(args: argparse.Namespace) -> int:
                "max_na": args.max_na, "max_da": args.max_da,
                "max_results": args.max_results, "buffer": args.buffer,
                "workers": args.workers, "mode": args.mode,
+               "strategy": args.strategy,
                "admission": args.admission,
                "resume_token": args.resume_token}
     client = ServeClient(args.server, timeout=args.timeout)

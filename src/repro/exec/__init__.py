@@ -25,7 +25,7 @@ from .budget import (UNLIMITED, AdmissionRejected, Budget, BudgetExceeded,
 from .cancellation import CancellationToken
 from .config import (ASSIGNMENT_STRATEGIES, DEFAULT_WORKER_TIMEOUT,
                      EXECUTION_MODES, ON_WORKER_CRASH, PAIR_ENUMERATIONS,
-                     TRAVERSALS, ExecutionConfig)
+                     STRATEGIES, TRAVERSALS, ExecutionConfig)
 from .checkpoint import (CHECKPOINT_FORMAT_VERSION, CheckpointMismatch,
                          JoinCheckpoint, tree_fingerprint)
 from .governor import (ADMISSION_MODES, AdmissionDecision,
@@ -50,6 +50,7 @@ __all__ = [
     "JoinCheckpoint",
     "ON_WORKER_CRASH",
     "PAIR_ENUMERATIONS",
+    "STRATEGIES",
     "TRAVERSALS",
     "UNLIMITED",
     "evaluate_admission",

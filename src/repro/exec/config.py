@@ -29,6 +29,7 @@ __all__ = [
     "ExecutionConfig",
     "ON_WORKER_CRASH",
     "PAIR_ENUMERATIONS",
+    "STRATEGIES",
     "TRAVERSALS",
 ]
 
@@ -46,6 +47,14 @@ PAIR_ENUMERATIONS = ("nested-loop", "plane-sweep", "vectorized",
 #: checkpoints stay bit-identical; configurations the batch engine
 #: cannot express fall back to the stack machine).
 TRAVERSALS = ("stack", "level-batch")
+
+#: Join execution strategies: ``"sync"`` is the paper's synchronized
+#: R-tree traversal (:mod:`repro.join.sync`); ``"pbsm"`` is the
+#: partition-based engine of :mod:`repro.join.partition` — uniform grid
+#: tiling plus per-tile plane sweep with reference-point duplicate
+#: avoidance.  Both produce the same pair set; their I/O profiles (and
+#: therefore their Eq. 7/10-style costs) differ.
+STRATEGIES = ("sync", "pbsm")
 
 #: How worker buckets are driven: sequentially in the calling thread,
 #: concurrently on a thread pool with cooperative cancellation, or on a
@@ -111,6 +120,14 @@ class ExecutionConfig:
         Where the batch engine does not apply (pure-Python backend,
         plane-sweep enumerations, custom predicates, resume) the stack
         machine runs instead.
+    strategy:
+        Join engine, one of :data:`STRATEGIES`.  ``"sync"`` (the
+        default) is the paper's synchronized tree traversal;
+        ``"pbsm"`` switches to the grid-partitioned plane-sweep engine
+        of :mod:`repro.join.partition` (same pair set, different I/O
+        profile; partials are non-resumable — see that module).  With
+        ``"pbsm"``, ``pair_enumeration`` and ``traversal`` are ignored
+        (the engine always sweeps its tiles).
     """
 
     mode: str = "serial"
@@ -121,6 +138,7 @@ class ExecutionConfig:
     worker_timeout: float | None = DEFAULT_WORKER_TIMEOUT
     shared_memory: bool = True
     traversal: str = "stack"
+    strategy: str = "sync"
 
     def __post_init__(self) -> None:
         if self.mode not in EXECUTION_MODES:
@@ -141,6 +159,9 @@ class ExecutionConfig:
         if self.traversal not in TRAVERSALS:
             raise ValueError(
                 f"traversal must be one of {TRAVERSALS}")
+        if self.strategy not in STRATEGIES:
+            raise ValueError(
+                f"strategy must be one of {STRATEGIES}")
 
     def with_options(self, **changes) -> "ExecutionConfig":
         """A copy with some fields replaced (validated on construction)."""
@@ -156,12 +177,25 @@ class ExecutionConfig:
             "worker_timeout": self.worker_timeout,
             "shared_memory": self.shared_memory,
             "traversal": self.traversal,
+            "strategy": self.strategy,
         }
 
     @classmethod
     def from_dict(cls, doc: dict) -> "ExecutionConfig":
-        return cls(**{k: doc[k] for k in cls.__dataclass_fields__
-                      if k in doc})
+        """Build a config from a JSON document, rejecting unknown keys.
+
+        A typoed knob (``"stratgy"``) must fail loudly — silently
+        running the default engine instead of the requested one is
+        exactly the class of bug a serve request cannot detect from its
+        response.
+        """
+        known = set(cls.__dataclass_fields__)
+        unknown = set(doc) - known
+        if unknown:
+            raise ValueError(
+                f"unknown ExecutionConfig keys {sorted(unknown)!r} "
+                f"(expected a subset of {sorted(known)!r})")
+        return cls(**doc)
 
 
 def merge_legacy_kwargs(fn_name: str,

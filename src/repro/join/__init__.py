@@ -1,11 +1,12 @@
 """Spatial join algorithms: SJ synchronized traversal and baselines."""
 
-from ..exec.config import TRAVERSALS
+from ..exec.config import STRATEGIES, TRAVERSALS
 from .batch import LevelBatchState, supports_level_batch, tree_arena
 from .naive import naive_join
 from .parallel import (ASSIGNMENT_STRATEGIES, EXECUTION_MODES,
                        ON_WORKER_CRASH, ParallelJoinResult, WorkerCrashed,
                        parallel_spatial_join)
+from .partition import partition_spatial_join
 from .plane_sweep import nested_loop_pairs, sweep_pairs, sweep_pairs_batch
 from .nested_loop import index_nested_loop_join
 from .predicates import OVERLAP, JoinPredicate, Overlap, WithinDistance
@@ -27,6 +28,7 @@ __all__ = [
     "PartialJoinResult",
     "R1",
     "R2",
+    "STRATEGIES",
     "SpatialJoin",
     "TRAVERSALS",
     "WithinDistance",
@@ -35,6 +37,7 @@ __all__ = [
     "naive_join",
     "nested_loop_pairs",
     "parallel_spatial_join",
+    "partition_spatial_join",
     "spatial_join",
     "supports_level_batch",
     "sweep_pairs",

@@ -366,6 +366,18 @@ def parallel_spatial_join(tree1: RTreeBase, tree2: RTreeBase,
     if tree1.ndim != tree2.ndim:
         raise ValueError(
             f"dimensionality mismatch: {tree1.ndim} vs {tree2.ndim}")
+    if config.strategy == "pbsm":
+        # The partition engine parallelizes over its own tiles, not
+        # over subtree-pair buckets: delegate wholesale and wrap the
+        # result.  All build I/O happens on the coordinator's "disk",
+        # so the single AccessStats is both the total and the makespan.
+        from .partition import partition_spatial_join
+        result = partition_spatial_join(
+            tree1, tree2, predicate=predicate,
+            collect_pairs=collect_pairs, governor=governor,
+            tracer=tracer, metrics=metrics, config=config)
+        return ParallelJoinResult(result.pairs, [result.stats],
+                                  result.pair_count)
 
     root1 = tree1.root()
     root2 = tree2.root()

@@ -1,0 +1,689 @@
+"""PBSM-style partition-based spatial join (grid + per-tile sweep).
+
+The synchronized traversal of :mod:`repro.join.sync` is the paper's
+engine; this module is its first real competitor, after Patel &
+DeWitt's Partition Based Spatial-Merge join: read the *leaf entries* of
+both trees once, scatter them over a uniform grid of tiles, and solve
+each tile independently with the plane sweep of
+:mod:`repro.join.plane_sweep`.  Tiles share nothing, so they
+parallelize embarrassingly (``mode="threads"``/``"processes"`` of the
+:class:`~repro.exec.ExecutionConfig`), and the optimizer can weigh the
+engine's one-scan I/O profile against the traversal's revisit-heavy
+one (:func:`repro.optimizer.make_pbsm_join`).
+
+**NA/DA semantics for a non-tree engine.**  The cost currencies stay
+:class:`~repro.storage.AccessStats` charges through a
+:class:`~repro.storage.MeteredReader`, so PBSM numbers are directly
+comparable with the traversal's: the *partition build* walks each tree
+once, charging every non-root page exactly one ``ReadPage`` (roots are
+pinned and uncharged, as in Section 3.1) — since no page is ever
+re-fetched, ``DA == NA`` for this engine regardless of buffer.  The
+*probe* phase runs over the in-memory tiles and charges nothing.  Thus
+``NA = DA = (pages(R1) - 1) + (pages(R2) - 1)``, the "one full scan of
+each input" floor the optimizer's partitioning cost formula prices.
+
+**Duplicate avoidance (reference-point rule).**  An entry is replicated
+into every tile its rectangle touches (the R2 side inflated by the
+predicate's :meth:`~repro.join.JoinPredicate.sweep_slack`, so distance
+joins stay correct), which would report a pair once per shared tile.
+Each candidate pair therefore designates one *reference point* —
+per axis ``ref_k = max(lo1_k, lo2_k - slack)``, a point contained in
+both (inflated) rectangles whenever the pair can qualify — and is
+emitted only by the tile that contains that point.  Tile membership is
+the **monotone floor map** ``tile(x) = clamp(floor((x - origin) /
+width))``: every coordinate, including degenerate (zero-width)
+rectangles and rectangles ending exactly on a tile boundary, maps to
+exactly one tile, so the reference point has exactly one owner — no
+pair is emitted twice, and because the owner tile lies inside both
+rectangles' replication ranges, none is dropped.
+
+**Governance.**  The shared :class:`~repro.exec.ExecutionGovernor` is
+checked at every build-phase page read and at every probe-phase
+candidate, so deadlines, NA/DA budgets (tripping during the build
+scan), result budgets and cancellation stop the engine cleanly.  With
+``governor.partial`` a stop yields a
+:class:`~repro.join.PartialJoinResult` whose pairs are the union of the
+*completed* tiles — PBSM partials carry ``checkpoint=None`` and are
+**not resumable** (tile progress is not serialized; re-run the join).
+In the parallel modes the budget is enforced per tile worker, exactly
+as :func:`~repro.join.parallel_spatial_join` enforces it per bucket
+worker; process workers re-enforce a deadline rebased to dispatch time
+and their own result counts (NA/DA were already charged in the
+coordinator's build phase).
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import (BrokenExecutor, ProcessPoolExecutor,
+                                ThreadPoolExecutor, wait)
+
+from ..exec import CancellationToken, ExecutionGovernor
+from ..exec.budget import Budget, BudgetExceeded, Cancelled
+from ..exec.config import ExecutionConfig
+from ..reliability import ResilientReader, RetryPolicy
+from ..rtree import Entry, RTreeBase
+from ..storage import AccessStats, BufferManager, MeteredReader, PathBuffer
+from .plane_sweep import sweep_pairs_batch
+from .predicates import OVERLAP, JoinPredicate
+from .result import R1, R2, JoinResult, PartialJoinResult
+
+__all__ = ["partition_spatial_join", "DEFAULT_TILE_TARGET",
+           "MAX_TILES_PER_AXIS"]
+
+#: Grid-sizing target: tiles per axis are chosen so an *average* tile
+#: holds about this many entries of the larger input (see
+#: ``docs/performance.md``).
+DEFAULT_TILE_TARGET = 512
+
+#: Upper bound on tiles per axis — past this, replication overhead and
+#: per-tile bookkeeping outweigh the smaller sweeps.
+MAX_TILES_PER_AXIS = 64
+
+#: Seconds between coordinator governor polls in ``"processes"`` mode.
+_PROCESS_POLL_INTERVAL = 0.05
+
+
+class _Grid:
+    """The uniform tile grid over the first ``axes`` dimensions.
+
+    ``tile_of`` is the monotone floor-and-clamp map that gives every
+    coordinate exactly one tile — the explicit tiebreak for degenerate
+    rectangles and tile-boundary coordinates the reference-point rule
+    relies on (module docstring).
+    """
+
+    __slots__ = ("origin", "width", "tiles", "axes", "slack")
+
+    def __init__(self, origin: tuple[float, ...],
+                 width: tuple[float, ...], tiles: tuple[int, ...],
+                 slack: float):
+        self.origin = origin
+        self.width = width
+        self.tiles = tiles
+        self.axes = len(tiles)
+        self.slack = slack
+
+    def tile_of(self, k: int, x: float) -> int:
+        t = int((x - self.origin[k]) / self.width[k])
+        if t < 0:
+            return 0
+        if t >= self.tiles[k]:
+            return self.tiles[k] - 1
+        return t
+
+    def owner(self, rect1, rect2) -> tuple[int, ...]:
+        """The unique tile owning this candidate pair's reference point."""
+        slack = self.slack
+        return tuple(
+            self.tile_of(k, max(rect1.lo[k], rect2.lo[k] - slack))
+            for k in range(self.axes))
+
+    def ranges(self, rect, inflate: float) -> list[tuple[int, int]]:
+        """Closed per-axis tile range the (inflated) rectangle touches."""
+        return [(self.tile_of(k, rect.lo[k] - inflate),
+                 self.tile_of(k, rect.hi[k] + inflate))
+                for k in range(self.axes)]
+
+
+def _tiles_per_axis(n_entries: int, axes: int,
+                    tiles: int | None) -> int:
+    """The grid resolution: explicit override, or the density heuristic."""
+    if tiles is not None:
+        if tiles < 1:
+            raise ValueError("tiles must be >= 1")
+        return tiles
+    per_axis = math.ceil(
+        (max(1, n_entries) / DEFAULT_TILE_TARGET) ** (1.0 / axes))
+    return max(1, min(int(per_axis), MAX_TILES_PER_AXIS))
+
+
+def _reader(pager, label, stats: AccessStats, buffer,
+            retry_policy: RetryPolicy | None, tracer):
+    if retry_policy is not None:
+        return ResilientReader(pager, label, stats, buffer,
+                               retry_policy, tracer=tracer)
+    return MeteredReader(pager, label, stats, buffer, tracer=tracer)
+
+
+def _scan_leaf_entries(tree: RTreeBase, reader,
+                       governor: ExecutionGovernor | None,
+                       stats: AccessStats) -> list[Entry]:
+    """The partition build for one tree: one charged read per non-root
+    page, in deterministic depth-first order, governor-checked per page.
+    """
+    root = reader.read_pinned(tree.root_id, tree.height)
+    if root.is_leaf:
+        return list(root.entries)
+    out: list[Entry] = []
+    stack = [(e.ref, root.level - 1) for e in reversed(root.entries)]
+    while stack:
+        if governor is not None:
+            governor.check(stats)
+        page_id, level = stack.pop()
+        node = reader.fetch(page_id, level)
+        if node.is_leaf:
+            out.extend(node.entries)
+        else:
+            stack.extend((e.ref, node.level - 1)
+                         for e in reversed(node.entries))
+    return out
+
+
+def _build_grid(entries1: list[Entry], entries2: list[Entry],
+                axes: int, per_axis: int, slack: float) -> _Grid:
+    lo = [math.inf] * axes
+    hi = [-math.inf] * axes
+    for entries, inflate in ((entries1, 0.0), (entries2, slack)):
+        for e in entries:
+            rect = e.rect
+            for k in range(axes):
+                if rect.lo[k] - inflate < lo[k]:
+                    lo[k] = rect.lo[k] - inflate
+                if rect.hi[k] + inflate > hi[k]:
+                    hi[k] = rect.hi[k] + inflate
+    width = []
+    for k in range(axes):
+        extent = hi[k] - lo[k]
+        # A degenerate axis (all coordinates equal) collapses to one
+        # tile column; any positive width keeps tile_of well-defined.
+        width.append(extent / per_axis if extent > 0.0 else 1.0)
+    return _Grid(tuple(lo), tuple(width), (per_axis,) * axes, slack)
+
+
+def _scatter(entries: list[Entry], grid: _Grid, inflate: float,
+             ) -> dict[tuple[int, ...], list[Entry]]:
+    """Replicate each entry into every tile its rectangle touches."""
+    tiles: dict[tuple[int, ...], list[Entry]] = {}
+    for e in entries:
+        ranges = grid.ranges(e.rect, inflate)
+        for tile in _tile_product(ranges):
+            tiles.setdefault(tile, []).append(e)
+    return tiles
+
+
+def _tile_product(ranges: list[tuple[int, int]]):
+    """All tiles of a closed per-axis range box, row-major."""
+    if len(ranges) == 1:
+        (a, b), = ranges
+        for i in range(a, b + 1):
+            yield (i,)
+        return
+    (a, b), (c, d) = ranges
+    for i in range(a, b + 1):
+        for j in range(c, d + 1):
+            yield (i, j)
+
+
+def _join_tile(entries1: list[Entry], entries2: list[Entry],
+               predicate: JoinPredicate, grid: _Grid,
+               tile: tuple[int, ...], collect_pairs: bool,
+               governor: ExecutionGovernor | None,
+               stats: AccessStats, base_results: int = 0,
+               ) -> tuple[list[tuple[int, int]], int, int]:
+    """Solve one tile: sweep, reference-point filter, exact predicate.
+
+    This is the worker body for every execution mode.  With NumPy and a
+    predicate that has a :meth:`~repro.join.JoinPredicate.pair_mask`
+    kernel the candidates are filtered in chunked batches (same pairs,
+    same order); otherwise the scalar loop below runs, with the
+    governor checked per candidate (the probe-phase analogue of the
+    traversal's per-node-pair check).  ``base_results`` lets the serial
+    driver enforce the result budget against the global running count.
+    """
+    from ..geometry.columnar import _get_numpy
+    np = _get_numpy()
+    if np is not None and entries1 and entries2:
+        result = _join_tile_batch(np, entries1, entries2, predicate,
+                                  grid, tile, collect_pairs, governor,
+                                  stats, base_results)
+        if result is not None:
+            return result
+    pairs: list[tuple[int, int]] = []
+    count = 0
+    comparisons = 0
+    slack = grid.slack
+    for e1, e2, cost in sweep_pairs_batch(entries1, entries2,
+                                          slack=slack):
+        comparisons += cost
+        if governor is not None:
+            governor.check(stats, base_results + count)
+        if grid.owner(e1.rect, e2.rect) != tile:
+            continue                     # another tile owns this pair
+        if predicate.leaf_test(e1.rect, e2.rect):
+            count += 1
+            if collect_pairs:
+                pairs.append((e1.ref, e2.ref))
+    return pairs, count, comparisons
+
+
+#: Candidate pairs accumulated before each batched filter pass (and
+#: governor check) in the vectorized tile probe.
+_BATCH_CHUNK = 8192
+
+
+def _join_tile_batch(np, entries1, entries2,
+                     predicate: JoinPredicate, grid: _Grid,
+                     tile: tuple[int, ...], collect_pairs: bool,
+                     governor: ExecutionGovernor | None,
+                     stats: AccessStats, base_results: int,
+                     ) -> tuple[list[tuple[int, int]], int, int] | None:
+    """The vectorized tile probe: same pairs, same order, in batches.
+
+    The sweep's two-pointer scan only *locates* each opener's partner
+    window (one bisect per opener); the per-candidate work — the
+    reference-point owner filter and the predicate — runs on whole
+    index arrays per :data:`_BATCH_CHUNK`.  The owner filter reuses the
+    exact truncate-and-clamp arithmetic of :meth:`_Grid.tile_of`, and
+    inexact predicate kernels (``exact=False``) confirm survivors with
+    the scalar ``leaf_test``, so the result is bit-identical to the
+    scalar loop.  Returns ``None`` when the predicate has no
+    ``pair_mask`` kernel (probed with empty arrays up front, before any
+    work is done).
+    """
+    from bisect import bisect_right
+
+    ndim = len(entries1[0].rect.lo)
+    empty = np.empty((ndim, 0), dtype=np.float64)
+    if predicate.pair_mask(np, empty, empty, empty, empty) is None:
+        return None
+
+    def prepare(entries):
+        lo = np.array([e.rect.lo for e in entries],
+                      dtype=np.float64).T
+        hi = np.array([e.rect.hi for e in entries],
+                      dtype=np.float64).T
+        refs = np.array([e.ref for e in entries])
+        # lexsort: last key is primary — (lo, hi, ref), the sweep key.
+        order = np.lexsort((refs, hi[0], lo[0]))
+        ordered = [entries[t] for t in order.tolist()]
+        return ordered, lo[:, order], hi[:, order], refs[order]
+
+    sorted1, lo1, hi1, refs1 = prepare(entries1)
+    sorted2, lo2, hi2, refs2 = prepare(entries2)
+    # Scalar copies of the sweep-axis keys: the two-pointer loop and
+    # its bisects run on plain lists, the filters on the arrays.
+    lo1s, hi1s, r1s = lo1[0].tolist(), hi1[0].tolist(), refs1.tolist()
+    lo2s, hi2s, r2s = lo2[0].tolist(), hi2[0].tolist(), refs2.tolist()
+
+    slack = grid.slack
+    pairs: list[tuple[int, int]] = []
+    count = 0
+    comparisons = 0
+    parts1: list = []
+    parts2: list = []
+    pending = 0
+
+    def flush():
+        nonlocal count, comparisons, pending
+        idx1 = np.concatenate(parts1)
+        idx2 = np.concatenate(parts2)
+        parts1.clear()
+        parts2.clear()
+        pending = 0
+        comparisons += len(idx1)
+        c_lo1, c_hi1 = lo1[:, idx1], hi1[:, idx1]
+        c_lo2, c_hi2 = lo2[:, idx2], hi2[:, idx2]
+        keep = None
+        for k in range(grid.axes):
+            ref = np.maximum(c_lo1[k], c_lo2[k] - slack)
+            t = ((ref - grid.origin[k]) / grid.width[k]) \
+                .astype(np.int64)            # trunc, as int() does
+            np.clip(t, 0, grid.tiles[k] - 1, out=t)
+            m = t == tile[k]
+            keep = m if keep is None else keep & m
+        idx1, idx2 = idx1[keep], idx2[keep]
+        mask, exact = predicate.pair_mask(
+            np, c_lo1[:, keep], c_hi1[:, keep],
+            c_lo2[:, keep], c_hi2[:, keep])
+        idx1, idx2 = idx1[mask], idx2[mask]
+        hits1, hits2 = idx1.tolist(), idx2.tolist()
+        if not exact:
+            confirmed = [t for t, (a, b) in enumerate(zip(hits1, hits2))
+                         if predicate.leaf_test(sorted1[a].rect,
+                                                sorted2[b].rect)]
+            hits1 = [hits1[t] for t in confirmed]
+            hits2 = [hits2[t] for t in confirmed]
+        count += len(hits1)
+        if collect_pairs and hits1:
+            pairs.extend(zip(refs1[hits1].tolist(),
+                             refs2[hits2].tolist()))
+        if governor is not None:
+            governor.check(stats, base_results + count)
+
+    n1, n2 = len(sorted1), len(sorted2)
+    i = j = 0
+    while i < n1 and j < n2:
+        if (lo1s[i], hi1s[i], r1s[i]) <= (lo2s[j], hi2s[j], r2s[j]):
+            end = bisect_right(lo2s, hi1s[i] + slack)
+            if end > j:
+                parts1.append(np.full(end - j, i, dtype=np.intp))
+                parts2.append(np.arange(j, end, dtype=np.intp))
+                pending += end - j
+            i += 1
+        else:
+            end = bisect_right(lo1s, hi2s[j] + slack)
+            if end > i:
+                parts1.append(np.arange(i, end, dtype=np.intp))
+                parts2.append(np.full(end - i, j, dtype=np.intp))
+                pending += end - i
+            j += 1
+        if pending >= _BATCH_CHUNK:
+            flush()
+    if pending:
+        flush()
+    return pairs, count, comparisons
+
+
+def _process_tile(entries1, entries2, predicate, grid, tile,
+                  collect_pairs, budget: Budget | None):
+    """Worker-process body: plain picklable data in, plain data out.
+
+    The governor cannot cross the process boundary; the worker rebuilds
+    one from the shipped budget (deadline already rebased to dispatch
+    time) and starts its clock immediately.  Its NA/DA are zero — the
+    build phase charged them in the coordinator — so only the deadline,
+    the per-worker result budget and cancellation can trip here.
+    """
+    governor = None
+    if budget is not None and not budget.unlimited:
+        governor = ExecutionGovernor(budget)
+        governor.start()
+    return _join_tile(entries1, entries2, predicate, grid, tile,
+                      collect_pairs, governor, AccessStats())
+
+
+def _tile_budget(governor: ExecutionGovernor | None) -> Budget | None:
+    """The budget a tile process should self-enforce (deadline rebased)."""
+    if governor is None:
+        return None
+    budget = governor.budget
+    if budget.deadline is not None:
+        governor.start()
+        remaining = budget.deadline - governor.elapsed()
+        if remaining <= 0.0:
+            raise BudgetExceeded("deadline", budget.deadline,
+                                 governor.elapsed())
+        return Budget(deadline=remaining, max_na=budget.max_na,
+                      max_da=budget.max_da,
+                      max_results=budget.max_results)
+    return budget
+
+
+def _run_tiles_serial(tasks, predicate, grid, collect_pairs, governor,
+                      stats, collected: dict) -> None:
+    done_count = 0
+    for index, (tile, e1s, e2s) in enumerate(tasks):
+        if governor is not None:
+            governor.check(stats, done_count)
+        result = _join_tile(e1s, e2s, predicate, grid, tile,
+                            collect_pairs, governor, stats,
+                            base_results=done_count)
+        collected[index] = result
+        done_count += result[1]
+
+
+def _run_tiles_threads(tasks, predicate, grid, collect_pairs, governor,
+                       stats, workers: int, collected: dict) -> None:
+    """Tiles on a thread pool with shared-abort drain semantics.
+
+    Mirrors the parallel join's thread driver: the first non-Cancelled
+    failure cancels the shared abort token, the sibling tiles drain at
+    their next governor check, results land in ``collected`` keyed by
+    tile index (so a budget trip still leaves the completed tiles for
+    the partial result), and the preferred re-raise is the original
+    cause, never the secondary ``Cancelled`` it induced.
+    """
+    abort = CancellationToken()
+
+    def worker_governor() -> ExecutionGovernor:
+        if governor is not None:
+            return governor.spawn(abort)
+        return ExecutionGovernor(token=abort)
+
+    def on_done(fut) -> None:
+        if not fut.cancelled():
+            exc = fut.exception()
+            if exc is not None and not isinstance(exc, Cancelled):
+                abort.cancel()           # make the sibling tiles drain
+
+    failure: BaseException | None = None
+    max_workers = max(1, min(workers, len(tasks)))
+    with ThreadPoolExecutor(max_workers=max_workers,
+                            thread_name_prefix="pbsm-tile") as pool:
+        futures = []
+        for tile, e1s, e2s in tasks:
+            fut = pool.submit(_join_tile, e1s, e2s, predicate, grid,
+                              tile, collect_pairs, worker_governor(),
+                              stats)
+            fut.add_done_callback(on_done)
+            futures.append(fut)
+        for index, fut in enumerate(futures):
+            try:
+                collected[index] = fut.result()
+            except Cancelled as exc:
+                if failure is None:
+                    failure = exc
+            except Exception as exc:
+                if failure is None or isinstance(failure, Cancelled):
+                    failure = exc        # prefer the cause over the drain
+    if failure is not None:
+        raise failure
+
+
+def _run_tiles_processes(tasks, predicate, grid, collect_pairs,
+                         governor, stats, workers: int,
+                         collected: dict) -> None:
+    """Tiles on a process pool with coordinator-side polling.
+
+    Workers self-enforce the rebased budget; the coordinator re-checks
+    its governor between completions so an expired deadline or a
+    cancelled token abandons queued tiles immediately.  Completed tiles
+    are salvaged into ``collected`` even on the failure path.  A broken
+    pool (a child was killed) raises the parallel join's typed
+    :class:`~repro.join.WorkerCrashed`.
+    """
+    if governor is not None:
+        governor.check(stats)            # pre-flight: token/deadline
+    budget = _tile_budget(governor)
+    failure: BaseException | None = None
+    crashed = False
+    pool = ProcessPoolExecutor(
+        max_workers=max(1, min(workers, len(tasks))))
+    try:
+        futures = [
+            pool.submit(_process_tile, e1s, e2s, predicate, grid, tile,
+                        collect_pairs, budget)
+            for tile, e1s, e2s in tasks
+        ]
+        pending = set(futures)
+        while pending:
+            done, pending = wait(pending,
+                                 timeout=_PROCESS_POLL_INTERVAL)
+            for fut in done:
+                if fut.cancelled():
+                    continue
+                exc = fut.exception()
+                if isinstance(exc, BrokenExecutor):
+                    crashed = True
+                elif exc is not None and not isinstance(exc, Cancelled) \
+                        and (failure is None
+                             or isinstance(failure, Cancelled)):
+                    failure = exc
+            if crashed:
+                from .parallel import WorkerCrashed
+                lost = [i for i, f in enumerate(futures)
+                        if not (f.done() and not f.cancelled()
+                                and f.exception() is None)]
+                failure = WorkerCrashed(lost, "broken-pool")
+            if pending and governor is not None and failure is None:
+                try:
+                    governor.check(stats)
+                except (BudgetExceeded, Cancelled) as exc:
+                    failure = exc
+            if failure is not None:
+                for fut in pending:
+                    fut.cancel()         # queued tiles never start
+                break
+        for index, fut in enumerate(futures):
+            if fut.done() and not fut.cancelled() \
+                    and fut.exception() is None:
+                collected[index] = fut.result()
+        if failure is not None:
+            raise failure
+    finally:
+        pool.shutdown(wait=not crashed)
+
+
+def partition_spatial_join(tree1: RTreeBase, tree2: RTreeBase,
+                           buffer: BufferManager | None = None,
+                           predicate: JoinPredicate = OVERLAP,
+                           collect_pairs: bool = True,
+                           retry_policy: RetryPolicy | None = None,
+                           governor: ExecutionGovernor | None = None,
+                           tracer=None, metrics=None,
+                           config: ExecutionConfig | None = None,
+                           tiles: int | None = None) -> JoinResult:
+    """Join two R-trees with the PBSM partition engine.
+
+    The pair set — both predicates, degenerate and tile-boundary
+    rectangles included — equals the synchronized traversal's (the
+    property tests in ``tests/test_partition_join.py`` prove it); only
+    the I/O profile differs (module docstring).  ``tree1`` is R1 (data
+    role), ``tree2`` R2, matching :func:`~repro.join.spatial_join`.
+
+    Parameters mirror the synchronized join where they apply.
+    ``config.mode``/``config.workers`` drive the per-tile execution
+    (``pair_enumeration`` and ``traversal`` are ignored: tiles always
+    sweep); ``tiles`` overrides the per-axis grid resolution (default:
+    the :data:`DEFAULT_TILE_TARGET` heuristic).  Partial results carry
+    ``checkpoint=None`` and cannot be resumed.  The accuracy ledger is
+    deliberately *not* fed: Eq. 7/10 price the traversal, and a PBSM
+    measurement would poison the estimator's calibration.
+    """
+    if tree1.ndim != tree2.ndim:
+        raise ValueError(
+            f"dimensionality mismatch: {tree1.ndim} vs {tree2.ndim}")
+    if config is None:
+        config = ExecutionConfig(strategy="pbsm")
+    buffer = buffer if buffer is not None else PathBuffer()
+    slack = predicate.sweep_slack()
+
+    join_id = None
+    if tracer is not None:
+        join_id = tracer.new_join_id()
+        tracer.join_start(
+            join_id, n1=len(tree1), n2=len(tree2),
+            height1=tree1.height, height2=tree2.height,
+            strategy="pbsm", mode=config.mode, workers=config.workers,
+            buffer=buffer.kind, governed=governor is not None)
+    if governor is not None and governor.admission != "off":
+        # Admission prices the synchronized traversal (Eq. 7/10) — a
+        # conservative ceiling for PBSM, whose build scan never exceeds
+        # the traversal's page reads.
+        try:
+            governor.admit(tree1, tree2)
+        finally:
+            if tracer is not None and governor.last_admission is not None:
+                tracer.admission(join_id,
+                                 governor.last_admission.as_dict())
+
+    buffer.reset()
+    stats = AccessStats()
+    if governor is not None:
+        governor.start()
+    reader1 = _reader(tree1.pager, R1, stats, buffer, retry_policy,
+                      tracer)
+    reader2 = _reader(tree2.pager, R2, stats, buffer, retry_policy,
+                      tracer)
+
+    collected: dict[int, tuple[list[tuple[int, int]], int, int]] = {}
+    tasks: list[tuple[tuple[int, ...], list[Entry], list[Entry]]] = []
+    try:
+        entries1 = _scan_leaf_entries(tree1, reader1, governor, stats)
+        entries2 = _scan_leaf_entries(tree2, reader2, governor, stats)
+        if entries1 and entries2:
+            axes = min(tree1.ndim, 2)
+            per_axis = _tiles_per_axis(
+                max(len(entries1), len(entries2)), axes, tiles)
+            grid = _build_grid(entries1, entries2, axes, per_axis,
+                               slack)
+            tiles1 = _scatter(entries1, grid, 0.0)
+            tiles2 = _scatter(entries2, grid, slack)
+            # Row-major tile order keeps the pair list deterministic;
+            # one-sided tiles cannot produce pairs and are skipped.
+            tasks = [(tile, tiles1[tile], tiles2[tile])
+                     for tile in sorted(tiles1)
+                     if tile in tiles2]
+            if tracer is not None:
+                tracer.emit(
+                    "partition", join=join_id, tiles=len(tasks),
+                    grid=[per_axis] * axes,
+                    entries1=len(entries1), entries2=len(entries2),
+                    replicas1=sum(len(v) for v in tiles1.values()),
+                    replicas2=sum(len(v) for v in tiles2.values()))
+            if config.mode == "threads" and config.workers > 1:
+                _run_tiles_threads(tasks, predicate, grid,
+                                   collect_pairs, governor, stats,
+                                   config.workers, collected)
+            elif config.mode == "processes" and config.workers > 1:
+                _run_tiles_processes(tasks, predicate, grid,
+                                     collect_pairs, governor, stats,
+                                     config.workers, collected)
+            else:
+                _run_tiles_serial(tasks, predicate, grid,
+                                  collect_pairs, governor, stats,
+                                  collected)
+    except (BudgetExceeded, Cancelled) as exc:
+        pairs, count, comparisons = _merge(collected, len(tasks))
+        _observe(tracer, metrics, governor, join_id, stats, count,
+                 comparisons, len(tasks), complete=False, trip=exc)
+        if governor is not None and governor.partial:
+            return PartialJoinResult(pairs, stats, comparisons, count,
+                                     None, exc, None, None)
+        raise
+
+    pairs, count, comparisons = _merge(collected, len(tasks))
+    _observe(tracer, metrics, governor, join_id, stats, count,
+             comparisons, len(tasks), complete=True)
+    return JoinResult(pairs, stats, comparisons, pair_count=count)
+
+
+def _merge(collected: dict, n_tasks: int,
+           ) -> tuple[list[tuple[int, int]], int, int]:
+    """Concatenate per-tile outputs in tile order (ownership makes the
+    tile outputs disjoint, so concatenation is the exact pair set)."""
+    pairs: list[tuple[int, int]] = []
+    count = 0
+    comparisons = 0
+    for index in range(n_tasks):
+        result = collected.get(index)
+        if result is None:
+            continue                     # tile lost to a budget trip
+        tile_pairs, tile_count, tile_comparisons = result
+        pairs.extend(tile_pairs)
+        count += tile_count
+        comparisons += tile_comparisons
+    return pairs, count, comparisons
+
+
+def _observe(tracer, metrics, governor, join_id, stats: AccessStats,
+             count: int, comparisons: int, n_tiles: int,
+             complete: bool, trip=None) -> None:
+    if tracer is not None:
+        if trip is not None:
+            tracer.budget_trip(join_id, trip.as_dict())
+        tracer.join_finish(
+            join_id, na=stats.na(), da=stats.da(), pairs=count,
+            comparisons=comparisons, complete=complete)
+    if metrics is not None:
+        if trip is not None:
+            metrics.counter("governor.trips").inc()
+        metrics.counter("join.count").inc()
+        metrics.counter("join.pairs").inc(count)
+        metrics.counter("join.comparisons").inc(comparisons)
+        metrics.counter("pbsm.joins").inc()
+        metrics.counter("pbsm.tiles").inc(n_tiles)
+        metrics.record_access_stats(stats, prefix="join")
+        if governor is not None:
+            metrics.counter("governor.checks").inc(governor.checks)

@@ -23,11 +23,22 @@ quantifies it.
 entry with the smallest key *opens* (``entries1`` winning exact key
 ties), and is paired — in ascending key order — with every unopened
 entry of the other list whose ``lo[axis]`` does not exceed the opener's
-``hi[axis]``.  Because ``ref`` is unique within a node, the key is a
-total order: the sequence of yielded pairs is a pure function of the
-entry *sets*, independent of input order, tied lower boundaries
-included.  That determinism is what makes checkpoints cut mid-node
-resumable and the batched variant bit-compatible with the scalar one.
+``hi[axis] + slack``.  Because ``ref`` is unique within a node, the key
+is a total order: the sequence of yielded pairs is a pure function of
+the entry *sets* (and ``slack``), independent of input order, tied
+lower boundaries included.  That determinism is what makes checkpoints
+cut mid-node resumable and the batched variant bit-compatible with the
+scalar one.
+
+**Slack.**  With ``slack = 0`` the sweep yields exactly the pairs whose
+intervals overlap on the sweep axis — a necessary condition for MBR
+*intersection*, but not for predicates that can match rectangles at a
+positive distance.  ``WithinDistance(d)`` needs every pair whose
+per-axis gap is at most ``d``; passing ``slack = d`` widens each
+opener's partner window to ``lo_partner <= hi_opener + slack``, which
+is exactly that condition on the sweep axis (the caller's ``leaf_test``
+still confirms the full Euclidean distance).  Predicates declare their
+requirement via :meth:`~repro.join.JoinPredicate.sweep_slack`.
 """
 
 from __future__ import annotations
@@ -58,16 +69,18 @@ def _sweep_key(entry: Entry, axis: int) -> tuple[float, float, int]:
 
 
 def sweep_pairs(entries1: list[Entry], entries2: list[Entry],
-                axis: int = 0) -> Iterator[tuple[Entry, Entry, int]]:
+                axis: int = 0, slack: float = 0.0,
+                ) -> Iterator[tuple[Entry, Entry, int]]:
     """Entry pairs whose extents overlap on ``axis``, via plane sweep.
 
-    Only pairs overlapping on the sweep axis are yielded (a necessary
-    condition for rectangle intersection), so the caller's predicate
-    sees a superset of the qualifying pairs but far fewer than the full
-    cross product.  The ``comparisons`` element counts the sweep's own
-    interval tests so CPU accounting stays honest.  The emission order
-    is the canonical one documented in the module docstring —
-    deterministic even under tied lower boundaries.
+    Only pairs within ``slack`` of each other on the sweep axis are
+    yielded (with ``slack = 0``: pairs overlapping on the axis — a
+    necessary condition for rectangle intersection), so the caller's
+    predicate sees a superset of the qualifying pairs but far fewer
+    than the full cross product.  The ``comparisons`` element counts
+    the sweep's own interval tests so CPU accounting stays honest.  The
+    emission order is the canonical one documented in the module
+    docstring — deterministic even under tied lower boundaries.
     """
     sorted1 = sorted(entries1, key=lambda e: _sweep_key(e, axis))
     sorted2 = sorted(entries2, key=lambda e: _sweep_key(e, axis))
@@ -76,15 +89,16 @@ def sweep_pairs(entries1: list[Entry], entries2: list[Entry],
         e1 = sorted1[i]
         e2 = sorted2[j]
         if _sweep_key(e1, axis) <= _sweep_key(e2, axis):
-            # e1 opens: pair it with every e2 starting before it closes.
-            limit = e1.rect.hi[axis]
+            # e1 opens: pair it with every e2 starting before it closes
+            # (plus slack — see the module docstring).
+            limit = e1.rect.hi[axis] + slack
             k = j
             while k < len(sorted2) and sorted2[k].rect.lo[axis] <= limit:
                 yield e1, sorted2[k], 1
                 k += 1
             i += 1
         else:
-            limit = e2.rect.hi[axis]
+            limit = e2.rect.hi[axis] + slack
             k = i
             while k < len(sorted1) and sorted1[k].rect.lo[axis] <= limit:
                 yield sorted1[k], e2, 1
@@ -94,6 +108,7 @@ def sweep_pairs(entries1: list[Entry], entries2: list[Entry],
 
 def sweep_pairs_batch(entries1: list[Entry], entries2: list[Entry],
                       axis: int = 0, cols1=None, cols2=None,
+                      slack: float = 0.0,
                       ) -> Iterator[tuple[Entry, Entry, int]]:
     """The plane sweep with batched sorting and partner scans.
 
@@ -114,7 +129,7 @@ def sweep_pairs_batch(entries1: list[Entry], entries2: list[Entry],
     from ..geometry.columnar import _get_numpy
     np = _get_numpy()
     if np is None or not entries1 or not entries2:
-        yield from sweep_pairs(entries1, entries2, axis)
+        yield from sweep_pairs(entries1, entries2, axis, slack)
         return
 
     def prepare(entries, cols):
@@ -140,15 +155,15 @@ def sweep_pairs_batch(entries1: list[Entry], entries2: list[Entry],
     while i < n1 and j < n2:
         if _sweep_key(sorted1[i], axis) <= _sweep_key(sorted2[j], axis):
             e1 = sorted1[i]
-            # Partners: sorted2[j:end) with lo2 <= e1.hi — one bisect
-            # replaces the scalar sweep's per-partner comparison.
-            end = int(np.searchsorted(lo2, hi1[i], side="right"))
+            # Partners: sorted2[j:end) with lo2 <= e1.hi + slack — one
+            # bisect replaces the scalar sweep's per-partner comparison.
+            end = int(np.searchsorted(lo2, hi1[i] + slack, side="right"))
             for k in range(j, end):
                 yield e1, sorted2[k], 1
             i += 1
         else:
             e2 = sorted2[j]
-            end = int(np.searchsorted(lo1, hi2[j], side="right"))
+            end = int(np.searchsorted(lo1, hi2[j] + slack, side="right"))
             for k in range(i, end):
                 yield sorted1[k], e2, 1
             j += 1

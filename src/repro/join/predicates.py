@@ -35,6 +35,19 @@ class JoinPredicate:
         """Exact test for data rectangle pairs."""
         raise NotImplementedError
 
+    def sweep_slack(self) -> float:
+        """Axis slack the plane sweep must apply for this predicate.
+
+        The sweep enumerators only emit pairs whose sweep-axis gap is
+        at most this value; ``leaf_test`` then confirms each candidate.
+        The default ``0.0`` (axis overlap required) is correct for any
+        predicate that implies MBR intersection.  A predicate that can
+        match rectangles at a positive distance — e.g.
+        :class:`WithinDistance` — must override this, or the sweep
+        enumerations silently drop qualifying pairs.
+        """
+        return 0.0
+
     def block_pairs(self, cols1: ColumnarMBRs, cols2: ColumnarMBRs,
                     ) -> tuple[list[tuple[int, int]], bool] | None:
         """Batched candidate matching over two columnar MBR blocks.
@@ -46,6 +59,22 @@ class JoinPredicate:
         Returning ``None`` (the default) means the predicate has no
         batched kernel; :func:`~repro.join.vectorized_pairs` then tests
         the full cross product scalar-side.
+        """
+        return None
+
+    def pair_mask(self, np, lo1, hi1, lo2, hi2):
+        """Batched leaf test over *aligned* candidate coordinate arrays.
+
+        ``lo1[k]``/``hi1[k]`` (and the ``2`` side) are per-axis float64
+        arrays with one element per candidate pair — element ``t`` of
+        every array describes the same pair.  Returns ``(mask, exact)``
+        where ``mask`` is a boolean array and ``exact`` says whether it
+        *is* the leaf test (``True``) or a conservative superset the
+        caller must confirm pair-by-pair with :meth:`leaf_test`
+        (``False``) — the same contract as :meth:`block_pairs`, but for
+        an arbitrary pair list instead of a node cross product.
+        Returning ``None`` (the default) means no kernel; callers fall
+        back to the scalar test.
         """
         return None
 
@@ -63,6 +92,12 @@ class Overlap(JoinPredicate):
                     ) -> tuple[list[tuple[int, int]], bool]:
         # Closed-box intersection vectorizes exactly (comparisons only).
         return overlap_pairs(cols1, cols2), True
+
+    def pair_mask(self, np, lo1, hi1, lo2, hi2):
+        mask = (lo1[0] <= hi2[0]) & (lo2[0] <= hi1[0])
+        for k in range(1, len(lo1)):
+            mask &= (lo1[k] <= hi2[k]) & (lo2[k] <= hi1[k])
+        return mask, True
 
     def __repr__(self) -> str:
         return "Overlap()"
@@ -88,6 +123,11 @@ class WithinDistance(JoinPredicate):
     def leaf_test(self, r1: Rect, r2: Rect) -> bool:
         return r1.min_distance(r2) <= self.distance
 
+    def sweep_slack(self) -> float:
+        # A pair within Euclidean distance d has per-axis gap <= d, so
+        # slack d keeps every qualifying pair inside the sweep window.
+        return self.distance
+
     def block_pairs(self, cols1: ColumnarMBRs, cols2: ColumnarMBRs,
                     ) -> tuple[list[tuple[int, int]], bool]:
         # The per-axis gap prefilter is exact (subtraction/comparison);
@@ -95,6 +135,16 @@ class WithinDistance(JoinPredicate):
         # the scalar math.hypot test to stay bit-identical.
         return (distance_candidate_pairs(cols1, cols2, self.distance),
                 False)
+
+    def pair_mask(self, np, lo1, hi1, lo2, hi2):
+        # Per-axis gap <= d is exact arithmetic (subtract/compare); the
+        # Euclidean norm is not, so exact=False: the caller confirms
+        # survivors with the scalar min_distance test.
+        d = self.distance
+        mask = np.maximum(lo1[0] - hi2[0], lo2[0] - hi1[0]) <= d
+        for k in range(1, len(lo1)):
+            mask &= np.maximum(lo1[k] - hi2[k], lo2[k] - hi1[k]) <= d
+        return mask, False
 
     def __repr__(self) -> str:
         return f"WithinDistance({self.distance})"

@@ -219,6 +219,18 @@ class SpatialJoin:
         :class:`~repro.exec.AdmissionRejected` for a query that cannot
         fit, with all access counters still at zero.
         """
+        if self.config.strategy == "pbsm":
+            # The partition engine is a sibling implementation, not a
+            # traversal mode: delegate wholesale (same trees, hooks and
+            # governor; the ledger is deliberately not passed — Eq.
+            # 7/10 calibration points must come from the traversal).
+            from .partition import partition_spatial_join
+            return partition_spatial_join(
+                self.tree1, self.tree2, buffer=self.buffer,
+                predicate=self.predicate, collect_pairs=collect_pairs,
+                retry_policy=self.retry_policy, governor=self.governor,
+                tracer=self.tracer, metrics=self.metrics,
+                config=self.config)
         governor = self.governor
         tracer = self.tracer
         if tracer is not None:
@@ -264,6 +276,11 @@ class SpatialJoin:
         checkpoint was taken with different trees, predicate, pair
         enumeration or buffer kind.
         """
+        if self.config.strategy == "pbsm":
+            raise ValueError(
+                "strategy='pbsm' cannot resume: PBSM partials carry no "
+                "checkpoint (checkpoints describe the synchronized "
+                "traversal)")
         cp = checkpoint
         if cp.pair_enumeration != self.pair_enumeration:
             raise CheckpointMismatch(
@@ -485,17 +502,24 @@ class _TraversalState:
         enum = self.pair_enumeration
         if enum == "vectorized":
             return vectorized_pairs(n1, n2, self.predicate, leaf)
+        # The sweep enumerations widen each partner window by the
+        # predicate's slack (0 for overlap; d for WithinDistance(d)) so
+        # pairs matching at a positive distance are never skipped.
         if enum == "plane-sweep":
-            return sweep_pairs(n1.entries, n2.entries)
+            return sweep_pairs(n1.entries, n2.entries,
+                               slack=self.predicate.sweep_slack())
         if enum == "vectorized-sweep":
             if _get_numpy() is not None:
                 # Hand the batched sweep the columnar views (arena
                 # slices when installed) so it reads coordinates
                 # without re-extracting them from the Rect objects.
-                return sweep_pairs_batch(n1.entries, n2.entries,
-                                         cols1=n1.columns(),
-                                         cols2=n2.columns())
-            return sweep_pairs_batch(n1.entries, n2.entries)
+                return sweep_pairs_batch(
+                    n1.entries, n2.entries,
+                    cols1=n1.columns(), cols2=n2.columns(),
+                    slack=self.predicate.sweep_slack())
+            return sweep_pairs_batch(
+                n1.entries, n2.entries,
+                slack=self.predicate.sweep_slack())
         return nested_loop_pairs(n1.entries, n2.entries)
 
     def push(self, n1: Node, n2: Node) -> _Frame:

@@ -1,12 +1,12 @@
 """Cost-based spatial query optimizer built on the paper's formulas."""
 
 from .catalog import Catalog, CatalogEntry
-from .costing import (METRICS, make_index_nested_loop, make_spatial_join,
-                      make_spatial_joins_batch)
+from .costing import (METRICS, make_index_nested_loop, make_pbsm_join,
+                      make_spatial_join, make_spatial_joins_batch)
 from .enumerate import best_plan, role_advice
 from .executor import ExecutionResult, ResultTuple, execute_plan
-from .plans import (IndexNestedLoopPlan, IndexScanPlan, Plan,
-                    SpatialJoinPlan)
+from .plans import (IndexNestedLoopPlan, IndexScanPlan, PBSMJoinPlan,
+                    Plan, SpatialJoinPlan)
 
 __all__ = [
     "Catalog",
@@ -15,12 +15,14 @@ __all__ = [
     "IndexNestedLoopPlan",
     "IndexScanPlan",
     "METRICS",
+    "PBSMJoinPlan",
     "Plan",
     "ResultTuple",
     "SpatialJoinPlan",
     "best_plan",
     "execute_plan",
     "make_index_nested_loop",
+    "make_pbsm_join",
     "make_spatial_join",
     "make_spatial_joins_batch",
     "role_advice",

@@ -2,6 +2,13 @@
 
 * SJ between two indexed relations — Eq. 10/12 (``metric="da"``, the
   realistic path-buffered cost) or Eq. 7/11 (``metric="na"``);
+* PBSM between two indexed relations — one full non-root scan of each
+  tree (Eq. 3 summed over levels ``1 .. h-1``), the partition build's
+  page reads; the probe phase is in-memory and priced free.  Scan cost
+  is the same under both metrics (no page is read twice), so PBSM wins
+  exactly when SJ's traversal revisits outweigh a single scan — dense,
+  low-pruning workloads — and loses when the traversal prunes most of
+  the trees;
 * index-nested-loop — one Eq. 1 range query per streamed tuple, with the
   average stream-tuple MBR as the window (probes are priced bufferless:
   consecutive probe windows of an unclustered stream share little path).
@@ -22,10 +29,11 @@ from ..costmodel import range_query_na
 from ..estimator import EstimateRequest, Estimator, estimate_batch
 from ..exec.config import TRAVERSALS
 from .catalog import CatalogEntry
-from .plans import IndexNestedLoopPlan, IndexScanPlan, Plan, SpatialJoinPlan
+from .plans import (IndexNestedLoopPlan, IndexScanPlan, PBSMJoinPlan,
+                    Plan, SpatialJoinPlan)
 
 __all__ = ["make_spatial_join", "make_spatial_joins_batch",
-           "make_index_nested_loop", "METRICS"]
+           "make_pbsm_join", "make_index_nested_loop", "METRICS"]
 
 METRICS = ("na", "da")
 
@@ -79,6 +87,31 @@ def make_spatial_joins_batch(pairs: Iterable[tuple[IndexScanPlan,
     return [SpatialJoinPlan(data, query, costs[i],
                             result.selectivity[i])
             for i, (data, query) in enumerate(pairs)]
+
+
+def make_pbsm_join(data: IndexScanPlan, query: IndexScanPlan,
+                   metric: str = "da") -> PBSMJoinPlan:
+    """Price a PBSM partition-based join between two indexed relations.
+
+    The partition build walks each tree once, charging every non-root
+    page exactly one read, so the cost is the expected non-root page
+    count of both trees: ``sum_{j=1}^{h-1} N_j`` per tree (Eq. 3).  No
+    page is revisited, so NA equals DA and ``metric`` does not change
+    the number — it is validated for interface symmetry with the other
+    pricing helpers.  The engine is role-symmetric: swapping ``data``
+    and ``query`` yields the same cost.
+    """
+    _check_metric(metric)
+    e1, e2 = data.entry, query.entry
+    if e1.ndim != e2.ndim:
+        raise ValueError("dimensionality mismatch between join inputs")
+    cost = 0.0
+    for entry in (e1, e2):
+        params = entry.params
+        cost += sum(params.nodes_at(j)
+                    for j in range(1, params.height))
+    est = Estimator(e1.params, e2.params)
+    return PBSMJoinPlan(data, query, cost, est.selectivity())
 
 
 def make_index_nested_loop(stream: Plan, indexed: IndexScanPlan,

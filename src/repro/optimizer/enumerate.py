@@ -6,7 +6,9 @@ adapted to the two physical operators the cost model can price):
 * every unordered pair of relations seeds candidate
   :class:`SpatialJoinPlan` plans — *both* role assignments are priced,
   because the DA model is asymmetric (the paper's Figure 7 shows the
-  smaller tree usually, but not always, belongs in the query role);
+  smaller tree usually, but not always, belongs in the query role) —
+  plus one :class:`PBSMJoinPlan` candidate (the partition engine is
+  role-symmetric, so a single pricing covers both orders);
 * every priced subset is extended one relation at a time through
   :class:`IndexNestedLoopPlan` (intermediate results are unindexed).
 
@@ -21,16 +23,23 @@ import itertools
 
 from ..estimator import range_na_batch
 from .catalog import Catalog
-from .costing import (make_index_nested_loop, make_spatial_join,
-                      make_spatial_joins_batch)
+from .costing import (make_index_nested_loop, make_pbsm_join,
+                      make_spatial_join, make_spatial_joins_batch)
 from .plans import IndexScanPlan, Plan
 
 __all__ = ["best_plan", "role_advice"]
 
 
 def best_plan(catalog: Catalog, names: list[str],
-              metric: str = "da") -> Plan:
-    """Cheapest plan joining all ``names`` (at least two relations)."""
+              metric: str = "da", tracer=None) -> Plan:
+    """Cheapest plan joining all ``names`` (at least two relations).
+
+    ``tracer`` (a :class:`~repro.obs.Tracer`) records the costing
+    outcome: one ``plan_candidates`` event per 2-subset with the priced
+    SJ (cheaper role order) and PBSM costs plus which engine won, and a
+    final ``plan_choice`` event naming the chosen root plan — so a trace
+    shows *why* a workload ran partition-based rather than tree-based.
+    """
     if len(names) < 2:
         raise ValueError("a join needs at least two relations")
     if len(set(names)) != len(names):
@@ -46,13 +55,24 @@ def best_plan(catalog: Catalog, names: list[str],
     best: dict[frozenset[str], Plan] = {}
 
     # Seed: all 2-subsets via SJ, trying both role assignments — the
-    # whole candidate set is priced in one vectorized batch.
+    # whole candidate set is priced in one vectorized batch — plus one
+    # PBSM candidate per pair (role-symmetric, one pricing suffices).
     seed_pairs = []
     for a, b in itertools.combinations(names, 2):
         seed_pairs.append((scans[a], scans[b]))
         seed_pairs.append((scans[b], scans[a]))
-    for plan in make_spatial_joins_batch(seed_pairs, metric):
+    sj_plans = make_spatial_joins_batch(seed_pairs, metric)
+    for plan in sj_plans:
         _offer(best, plan)
+    for i, (a, b) in enumerate(itertools.combinations(names, 2)):
+        pbsm = make_pbsm_join(scans[a], scans[b], metric)
+        _offer(best, pbsm)
+        if tracer is not None:
+            sj_cost = min(sj_plans[2 * i].cost, sj_plans[2 * i + 1].cost)
+            tracer.emit("plan_candidates", relations=sorted((a, b)),
+                        metric=metric, sj_cost=sj_cost,
+                        pbsm_cost=pbsm.cost,
+                        chosen="pbsm" if pbsm.cost < sj_cost else "sj")
 
     # Grow: extend each priced subset by one relation via INL; the
     # Eq. 1 probe costs of each DP round are estimated in one batch.
@@ -74,7 +94,12 @@ def best_plan(catalog: Catalog, names: list[str],
             _offer(best, make_index_nested_loop(
                 stream, scan, metric, per_probe=per_probe))
 
-    return best[frozenset(names)]
+    winner = best[frozenset(names)]
+    if tracer is not None:
+        tracer.emit("plan_choice", relations=sorted(names),
+                    metric=metric, plan=type(winner).__name__,
+                    cost=winner.cost)
+    return winner
 
 
 def role_advice(catalog: Catalog, a: str, b: str,

@@ -8,6 +8,9 @@ loop a real SDBMS closes.  Execution semantics:
   supplied index registry (no I/O of its own; consumers drive reads);
 * :class:`~.plans.SpatialJoinPlan` — the SJ synchronized traversal with
   a path buffer, honouring the plan's data/query role assignment;
+* :class:`~.plans.PBSMJoinPlan` — the partition-based engine
+  (``strategy="pbsm"``): both trees scanned once into a uniform grid,
+  tiles plane-swept in memory;
 * :class:`~.plans.IndexNestedLoopPlan` — executes its stream sub-plan,
   then probes the indexed relation once per streamed tuple, with the
   tuple's combined MBR as the window.
@@ -26,8 +29,8 @@ from ..exec.config import UNSET, ExecutionConfig, merge_legacy_kwargs
 from ..geometry import Rect
 from ..rtree import RTreeBase
 from ..storage import AccessStats, MeteredReader, PathBuffer
-from .plans import (IndexNestedLoopPlan, IndexScanPlan, Plan,
-                    SpatialJoinPlan)
+from .plans import (IndexNestedLoopPlan, IndexScanPlan, PBSMJoinPlan,
+                    Plan, SpatialJoinPlan)
 
 __all__ = ["execute_plan", "ExecutionResult", "ResultTuple"]
 
@@ -137,6 +140,9 @@ def _execute(plan: Plan, indexes: dict[str, RTreeBase],
     if isinstance(plan, SpatialJoinPlan):
         return _execute_sj(plan, indexes, stats, governor,
                            config, tracer, metrics)
+    if isinstance(plan, PBSMJoinPlan):
+        return _execute_pbsm(plan, indexes, stats, governor,
+                             config, tracer, metrics)
     if isinstance(plan, IndexNestedLoopPlan):
         return _execute_inl(plan, indexes, stats, governor,
                             config, tracer, metrics)
@@ -184,13 +190,39 @@ def _execute_sj(plan: SpatialJoinPlan, indexes: dict[str, RTreeBase],
                        metrics=metrics, config=config)
     result = join.run(collect_pairs=True)
     stats.merge(result.stats)
+    return _pair_tuples(plan, tree1, tree2, result.pairs)
 
+
+def _execute_pbsm(plan: PBSMJoinPlan, indexes: dict[str, RTreeBase],
+                  stats: AccessStats,
+                  governor: ExecutionGovernor | None = None,
+                  config: ExecutionConfig | None = None,
+                  tracer=None, metrics=None,
+                  ) -> list[ResultTuple]:
+    from ..join import SpatialJoin   # local import: avoids a cycle
+
+    tree1 = _tree_for(plan.data, indexes)
+    tree2 = _tree_for(plan.query, indexes)
+    if config is None:
+        config = ExecutionConfig()
+    if config.strategy != "pbsm":
+        config = config.with_options(strategy="pbsm")
+    join = SpatialJoin(tree1, tree2, buffer=PathBuffer(),
+                       governor=governor, tracer=tracer,
+                       metrics=metrics, config=config)
+    result = join.run(collect_pairs=True)
+    stats.merge(result.stats)
+    return _pair_tuples(plan, tree1, tree2, result.pairs)
+
+
+def _pair_tuples(plan, tree1: RTreeBase, tree2: RTreeBase,
+                 pairs) -> list[ResultTuple]:
     name1 = plan.data.entry.name
     name2 = plan.query.entry.name
     rects1 = {e.ref: e.rect for e in tree1.leaf_entries()}
     rects2 = {e.ref: e.rect for e in tree2.leaf_entries()}
     out = []
-    for oid1, oid2 in result.pairs:
+    for oid1, oid2 in pairs:
         rect = rects1[oid1].union(rects2[oid2])
         out.append(ResultTuple(rect, ((name1, oid1), (name2, oid2))))
     return out

@@ -6,6 +6,10 @@ The plan algebra mirrors what the paper's cost model can price:
 * :class:`SpatialJoinPlan` — the SJ synchronized traversal between two
   *indexed* base relations, with an explicit data/query role assignment
   (the DA model is role-sensitive — Figure 7's point);
+* :class:`PBSMJoinPlan` — the partition-based (PBSM-style) join between
+  two indexed base relations: both trees are scanned once into a uniform
+  grid and joined tile by tile, so the priced I/O is one full non-root
+  scan of each tree regardless of selectivity (role-symmetric);
 * :class:`IndexNestedLoopPlan` — an unindexed intermediate result streamed
   as query windows over an indexed base relation (one Eq. 1 range query
   per tuple), which is how later joins of a pipeline are priced.
@@ -21,7 +25,7 @@ from ..costmodel import intsect
 from .catalog import CatalogEntry
 
 __all__ = ["Plan", "IndexScanPlan", "SpatialJoinPlan",
-           "IndexNestedLoopPlan"]
+           "PBSMJoinPlan", "IndexNestedLoopPlan"]
 
 
 class Plan:
@@ -104,6 +108,40 @@ class SpatialJoinPlan(Plan):
                 f"out~{self.out_cardinality:.0f}{engine})\n"
                 f"{inner}data  (R1): {self.data.describe().strip()}\n"
                 f"{inner}query (R2): {self.query.describe().strip()}")
+
+
+class PBSMJoinPlan(Plan):
+    """Partition-based join between two indexed relations.
+
+    The PBSM engine bulk-scans both trees' leaf entries (charging every
+    non-root page exactly once), tiles them into a uniform grid, and
+    plane-sweeps each tile in memory — so its cost is independent of
+    join selectivity and identical under the NA and DA metrics (no page
+    is ever revisited, hence no buffer effect to model).  The engine is
+    role-symmetric; ``data``/``query`` only name which tree feeds R1/R2
+    of the emitted pairs.
+    """
+
+    def __init__(self, data: IndexScanPlan, query: IndexScanPlan,
+                 cost: float, out_cardinality: float):
+        self.data = data
+        self.query = query
+        self.cost = cost
+        self.out_cardinality = out_cardinality
+        self.out_extents = tuple(
+            min(1.0, a + b)
+            for a, b in zip(data.out_extents, query.out_extents))
+
+    def relations(self) -> frozenset[str]:
+        return self.data.relations() | self.query.relations()
+
+    def describe(self, indent: int = 0) -> str:
+        pad = " " * indent
+        inner = " " * (indent + 2)
+        return (f"{pad}PBSMJoin(cost={self.cost:.0f}, "
+                f"out~{self.out_cardinality:.0f})\n"
+                f"{inner}R1: {self.data.describe().strip()}\n"
+                f"{inner}R2: {self.query.describe().strip()}")
 
 
 class IndexNestedLoopPlan(Plan):

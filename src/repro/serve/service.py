@@ -49,8 +49,9 @@ from typing import Any
 from ..exec import (Budget, CancellationToken, EXECUTION_MODES,
                     ExecutionGovernor, JoinCheckpoint, tree_params)
 from ..io import load_tree
-from ..join import (ON_WORKER_CRASH, PAIR_ENUMERATIONS, TRAVERSALS,
-                    PartialJoinResult, SpatialJoin, parallel_spatial_join)
+from ..join import (ON_WORKER_CRASH, PAIR_ENUMERATIONS, STRATEGIES,
+                    TRAVERSALS, PartialJoinResult, SpatialJoin,
+                    parallel_spatial_join)
 from ..obs import MetricsRegistry
 from ..reliability import ReproError
 from ..storage import AccessStats, LRUBuffer, NoBuffer, PathBuffer
@@ -66,7 +67,7 @@ _REQUEST_FIELDS = frozenset({
     "tree1", "tree2", "tenant", "deadline", "max_na", "max_da",
     "max_results", "buffer", "pair_enumeration", "traversal",
     "workers", "mode", "collect_pairs", "resume_token", "admission",
-    "idempotency_key",
+    "idempotency_key", "strategy",
 })
 
 
@@ -220,6 +221,9 @@ class _ParsedRequest:
         self.mode = doc.get("mode", config.execution.mode)
         if self.mode not in EXECUTION_MODES:
             raise ValueError(f"mode must be one of {EXECUTION_MODES}")
+        self.strategy = doc.get("strategy", config.execution.strategy)
+        if self.strategy not in STRATEGIES:
+            raise ValueError(f"strategy must be one of {STRATEGIES}")
         self.collect_pairs = bool(doc.get("collect_pairs", False))
         self.resume_token = doc.get("resume_token")
         self.admission = doc.get("admission", "reject")
@@ -234,6 +238,10 @@ class _ParsedRequest:
             raise ValueError(
                 "resume_token is incompatible with workers (checkpoints "
                 "describe the single synchronized traversal)")
+        if self.resume_token is not None and self.strategy == "pbsm":
+            raise ValueError(
+                "resume_token is incompatible with strategy 'pbsm' "
+                "(the partition engine has no resumable frontier)")
 
     def make_buffer(self):
         if self.buffer_spec == "none":
@@ -665,6 +673,7 @@ class JoinService:
                 mode=mode, workers=workers,
                 pair_enumeration=req.pair_enumeration,
                 traversal=req.traversal,
+                strategy=req.strategy,
                 on_worker_crash="serial")
             result = parallel_spatial_join(
                 reg1.tree, reg2.tree,
@@ -678,8 +687,17 @@ class JoinService:
                 entry = self._running.get(join_id)
             rid = entry.rid if entry is not None else None
         if rid is not None:
-            return (self._run_durable(req, reg1, reg2, checkpoint,
-                                      token, rid), degraded)
+            if req.strategy == "pbsm":
+                # The partition engine has no resumable frontier to
+                # spill, so durable slicing is skipped: the request is
+                # still journaled (recovery replays it from scratch)
+                # but loses incremental crash-resumability — surfaced
+                # as a degradation, not hidden.
+                degraded = "pbsm-no-spill"
+                self.metrics.counter("serve.degraded.pbsm_no_spill").inc()
+            else:
+                return (self._run_durable(req, reg1, reg2, checkpoint,
+                                          token, rid), degraded)
         governor = ExecutionGovernor(req.budget, token, partial=True)
         join = SpatialJoin(reg1.tree, reg2.tree, req.make_buffer(),
                            governor=governor, tracer=self.tracer,
@@ -687,7 +705,8 @@ class JoinService:
                            config=self.config.execution.with_options(
                                mode="serial", workers=1,
                                pair_enumeration=req.pair_enumeration,
-                               traversal=req.traversal))
+                               traversal=req.traversal,
+                               strategy=req.strategy))
         if checkpoint is not None:
             self.metrics.counter("serve.resumed").inc()
             return join.resume(checkpoint), degraded
@@ -707,6 +726,19 @@ class JoinService:
         to the caller unchanged, after a final spill so even the
         partial frontier survives a crash.
         """
+        if req.strategy == "pbsm":
+            # Recovery path for a journaled PBSM request: no frontier
+            # to slice or spill, so replay the join in one piece.
+            governor = ExecutionGovernor(req.budget, token, partial=True)
+            join = SpatialJoin(reg1.tree, reg2.tree, req.make_buffer(),
+                               governor=governor, tracer=self.tracer,
+                               metrics=self.metrics,
+                               config=self.config.execution.with_options(
+                                   mode="serial", workers=1,
+                                   pair_enumeration=req.pair_enumeration,
+                                   traversal=req.traversal,
+                                   strategy="pbsm"))
+            return join.run(collect_pairs=req.collect_pairs)
         interval = self.config.spill_na_interval
         budget = req.budget
         overall_start = self._clock()
@@ -911,12 +943,20 @@ class JoinService:
             doc["status"] = ("complete" if result.complete else "partial")
         if req.collect_pairs and getattr(result, "complete", True):
             doc["pairs"] = [list(p) for p in result.pairs]
+        # Degradation is part of the contract, not a hidden fallback:
+        # the field is always present (None = ran as requested) and the
+        # generic counter aggregates the per-reason ones.
+        doc["degraded"] = degraded
         if degraded is not None:
-            doc["degraded"] = degraded
+            self.metrics.counter("serve.degraded").inc()
         if isinstance(result, PartialJoinResult):
             self.metrics.counter("serve.partial").inc()
             doc["reason"] = result.reason.as_dict()
-            doc["resume_token"] = encode_resume_token(result.checkpoint)
+            # A PBSM partial has no checkpoint (completed tiles only);
+            # its resume_token is explicitly null.
+            doc["resume_token"] = (
+                encode_resume_token(result.checkpoint)
+                if result.checkpoint is not None else None)
             doc["remaining_na_estimate"] = result.remaining_na_estimate
             doc["remaining_da_estimate"] = result.remaining_da_estimate
             if result.remaining_na_estimate is not None:

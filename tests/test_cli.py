@@ -110,6 +110,27 @@ class TestBuildJoinEstimate:
             run(capsys, "join", str(two_trees[0]), str(two_trees[1]),
                 "--traversal", "magic")
 
+    def test_join_pbsm_strategy_matches_sync(self, two_trees, capsys):
+        def counters(text):
+            return [line for line in text.splitlines()
+                    if line.startswith("result pairs")]
+        code, out, _err = run(capsys, "join", str(two_trees[0]),
+                              str(two_trees[1]))
+        assert code == 0
+        code, pbsm_out, _err = run(capsys, "join", "--strategy", "pbsm",
+                                   str(two_trees[0]), str(two_trees[1]))
+        assert code == 0
+        assert counters(pbsm_out) == counters(out)
+
+    def test_join_pbsm_rejects_checkpointing(self, two_trees, tmp_path,
+                                             capsys):
+        code, _out, err = run(capsys, "join", "--strategy", "pbsm",
+                              "--checkpoint",
+                              str(tmp_path / "cp.json"),
+                              str(two_trees[0]), str(two_trees[1]))
+        assert code == 2
+        assert "pbsm" in err and "resumable" in err
+
     def test_join_bad_buffer(self, two_trees, capsys):
         code, _out, err = run(capsys, "join", str(two_trees[0]),
                               str(two_trees[1]), "--buffer", "magic")
@@ -129,6 +150,37 @@ class TestBuildJoinEstimate:
         assert "benchmarks: 2 entries" in out
         assert "batch_traversal: speedup 3.50x" in out
         assert "assert skipped" in out   # process_join's flag rendered
+
+    def test_report_renders_pre_assert_skipped_snapshot(self, tmp_path,
+                                                        capsys):
+        # Snapshots written before the assert_skipped field existed
+        # crashed `repro report` by falling through to the JSONL trace
+        # parser; they must render with a sensible default (no skip
+        # label).
+        import json
+        bench = tmp_path / "BENCH_join.json"
+        bench.write_text(json.dumps({
+            "parallel_join": {"speedup": 2.1, "workers": 4},
+            "schema": 1,                  # flat, non-dict entry
+        }))
+        code, out, err = run(capsys, "report", str(bench))
+        assert code == 0, err
+        assert "benchmarks: 2 entries" in out
+        assert "parallel_join: speedup 2.10x" in out
+        assert "assert skipped" not in out
+
+    def test_report_renders_flat_snapshot(self, tmp_path, capsys):
+        # Entirely flat snapshots (e.g. old BENCH_estimator.json) are
+        # snapshots too — any JSON object without an "event" key must
+        # route to the bench renderer, never the trace parser.
+        import json
+        bench = tmp_path / "BENCH_estimator.json"
+        bench.write_text(json.dumps({"throughput": 12345.6,
+                                     "batch": 4096}))
+        code, out, err = run(capsys, "report", str(bench))
+        assert code == 0, err
+        assert "benchmarks: 2 entries" in out
+        assert "12345.6" in out
 
     def test_join_trace_metrics_report(self, two_trees, tmp_path,
                                        capsys):

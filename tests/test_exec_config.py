@@ -80,6 +80,27 @@ class TestExecutionConfig:
         assert ExecutionConfig.from_dict(
             {"mode": "threads"}).mode == "threads"
 
+    def test_strategy_knob(self):
+        assert ExecutionConfig().strategy == "sync"
+        assert ExecutionConfig(strategy="pbsm").strategy == "pbsm"
+        with pytest.raises(ValueError, match="strategy must be one of"):
+            ExecutionConfig(strategy="grid")
+        doc = ExecutionConfig(strategy="pbsm").as_dict()
+        assert doc["strategy"] == "pbsm"
+        assert ExecutionConfig.from_dict(doc).strategy == "pbsm"
+
+    def test_from_dict_rejects_unknown_keys(self):
+        # A typo used to be silently dropped, running the join with
+        # defaults; now it fails loudly in the historical message
+        # style.
+        with pytest.raises(ValueError) as err:
+            ExecutionConfig.from_dict({"stratgy": "pbsm"})
+        assert "unknown ExecutionConfig keys ['stratgy']" in \
+            str(err.value)
+        assert "expected a subset of" in str(err.value)
+        with pytest.raises(ValueError, match="unknown ExecutionConfig"):
+            ExecutionConfig.from_dict({"mode": "serial", "turbo": True})
+
 
 class TestLegacyKeywordShims:
     def test_spatial_join_legacy_warns_and_matches(self, trees):
@@ -168,3 +189,10 @@ class TestServeConfigExecution:
     def test_invalid_execution_rejected(self):
         with pytest.raises(ValueError, match="mode must be one of"):
             ServeConfig(execution={"mode": "bogus"})
+
+    def test_typoed_execution_key_rejected(self):
+        # The serve-request schema path of the strict from_dict: a
+        # config document with a misspelled knob must fail loudly, not
+        # silently run with defaults.
+        with pytest.raises(ValueError, match="unknown ExecutionConfig"):
+            ServeConfig(execution={"stratgy": "pbsm"})

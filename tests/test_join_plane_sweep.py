@@ -3,14 +3,21 @@
 import random
 
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
 from repro.geometry import Rect
-from repro.join import naive_join, spatial_join
+from repro.join import (PAIR_ENUMERATIONS, WithinDistance, naive_join,
+                        spatial_join)
 from repro.join.plane_sweep import (nested_loop_pairs, sweep_pairs,
                                     sweep_pairs_batch)
 from repro.rtree import Entry
 
 from .conftest import build_rstar, make_items
+
+SLOW = settings(max_examples=25,
+                suppress_health_check=[HealthCheck.too_slow],
+                deadline=None)
 
 
 def entries(rects):
@@ -175,3 +182,99 @@ class TestSweepInSpatialJoin:
         vs = spatial_join(t1, t2, pair_enumeration="vectorized-sweep")
         assert vs.pairs == ps.pairs
         assert vs.stats.as_dict() == ps.stats.as_dict()
+
+
+# Degenerate tie machinery for the slack regressions: coordinates from
+# a tiny discrete pool, so draws collide on exact lower bounds and
+# collapse to zero extent constantly.
+def _tied_rect():
+    coord = st.integers(0, 4).map(lambda k: k / 4.0)
+    size = st.integers(0, 1).map(lambda k: k / 4.0)
+
+    def build(args):
+        (x, y), (w, h) = args
+        return Rect((x, y), (min(x + w, 1.0), min(y + h, 1.0)))
+    return st.tuples(st.tuples(coord, coord),
+                     st.tuples(size, size)).map(build)
+
+
+_tied_entries = st.lists(_tied_rect(), min_size=0, max_size=40).map(
+    lambda rs: [Entry(r, i) for i, r in enumerate(rs)])
+
+_tied_items = st.lists(_tied_rect(), min_size=0, max_size=40).map(
+    lambda rs: [(r, i) for i, r in enumerate(rs)])
+
+_slacks = st.sampled_from([0.0, 0.125, 0.25, 0.5])
+
+
+class TestSweepSlackRegressions:
+    """Tie handling for degenerate rectangles sharing a lower bound.
+
+    The sweep used to drop qualifying ``WithinDistance`` pairs whose
+    rectangles do not overlap on the sweep axis (zero-width rectangles
+    a positive distance apart being the sharpest case); predicates now
+    declare the axis slack the sweep must apply.  These regressions pin
+    the fix and the scalar/batch agreement over duplicate/degenerate
+    inputs.
+    """
+
+    @SLOW
+    @given(_tied_entries, _tied_entries, _slacks)
+    def test_batch_matches_scalar_on_degenerate_ties(self, e1, e2,
+                                                     slack):
+        scalar = [(a.ref, b.ref, c)
+                  for a, b, c in sweep_pairs(e1, e2, slack=slack)]
+        batch = [(a.ref, b.ref, c)
+                 for a, b, c in sweep_pairs_batch(e1, e2, slack=slack)]
+        assert batch == scalar           # order and set, not just set
+
+    @SLOW
+    @given(_tied_entries, _tied_entries, _slacks)
+    def test_slack_widens_monotonically(self, e1, e2, slack):
+        base = {(a.ref, b.ref) for a, b, _c in sweep_pairs(e1, e2)}
+        widened = {(a.ref, b.ref)
+                   for a, b, _c in sweep_pairs(e1, e2, slack=slack)}
+        assert base <= widened
+
+    @SLOW
+    @given(_tied_items, _tied_items,
+           st.sampled_from([0.0, 0.2, 0.35]))
+    def test_distance_join_agrees_across_enumerations(self, items1,
+                                                      items2, d):
+        pred = WithinDistance(d)
+        t1, t2 = build_rstar(items1), build_rstar(items2)
+        expected = sorted(naive_join(items1, items2, predicate=pred))
+        for enum in PAIR_ENUMERATIONS:
+            got = spatial_join(t1, t2, predicate=pred,
+                               pair_enumeration=enum)
+            assert sorted(got.pairs) == expected, enum
+
+    def test_degenerate_gap_pair_not_dropped(self):
+        # The named failure: two zero-extent rectangles 0.25 apart on
+        # the sweep axis qualify under WithinDistance(0.25) but never
+        # overlap on any axis — without slack every sweep enumeration
+        # silently dropped the pair.
+        items1 = [(Rect((0.25, 0.25), (0.25, 0.25)), 0)]
+        items2 = [(Rect((0.5, 0.25), (0.5, 0.25)), 0)]
+        pred = WithinDistance(0.25)
+        for enum in PAIR_ENUMERATIONS:
+            result = spatial_join(build_rstar(items1),
+                                  build_rstar(items2), predicate=pred,
+                                  pair_enumeration=enum)
+            assert list(result.pairs) == [(0, 0)], enum
+
+    def test_shared_lower_bound_zero_width_ties(self):
+        # Several zero-width rectangles on one shared lower bound: the
+        # scalar and batch sweeps must agree on emission order, and the
+        # distance join must pair them all.
+        p = (0.5, 0.0)
+        e1 = [Entry(Rect(p, p), i) for i in range(3)]
+        e2 = [Entry(Rect(p, (0.5, 1.0)), i) for i in range(3)]
+        for slack in (0.0, 0.1):
+            scalar = [(a.ref, b.ref)
+                      for a, b, _c in sweep_pairs(e1, e2, slack=slack)]
+            batch = [(a.ref, b.ref)
+                     for a, b, _c in sweep_pairs_batch(e1, e2,
+                                                       slack=slack)]
+            assert batch == scalar
+            assert len(scalar) == 9

@@ -3,10 +3,11 @@
 import pytest
 
 from repro.costmodel import join_da_total, join_na_total
+from repro.obs import MemorySink, Tracer
 from repro.optimizer import (Catalog, IndexNestedLoopPlan, IndexScanPlan,
-                             SpatialJoinPlan, best_plan,
-                             make_index_nested_loop, make_spatial_join,
-                             role_advice)
+                             PBSMJoinPlan, SpatialJoinPlan, best_plan,
+                             make_index_nested_loop, make_pbsm_join,
+                             make_spatial_join, role_advice)
 from repro.datasets import uniform_rectangles
 
 
@@ -15,6 +16,18 @@ def sample_catalog():
     cat.register_stats("countries", 1000, 0.4, 2)
     cat.register_stats("rivers", 4000, 0.2, 2)
     cat.register_stats("roads", 9000, 0.1, 2)
+    return cat
+
+
+def skewed_catalog():
+    # Wildly asymmetric cardinalities: the synchronized traversal
+    # prunes the big tree through the small one and the path buffer
+    # absorbs revisits, so SJ undercuts PBSM's full scan of both
+    # trees.  The buffer-bound counterpart to sample_catalog, whose
+    # comparably-sized relations favor the partition engine.
+    cat = Catalog(max_entries=24)
+    cat.register_stats("parcels", 50000, 0.05, 2)
+    cat.register_stats("stations", 200, 0.05, 2)
     return cat
 
 
@@ -115,15 +128,101 @@ class TestRoleAdvice:
         assert cost <= alt
 
 
+class TestPBSMCosting:
+    def test_cost_is_both_trees_nonroot_pages(self):
+        cat = sample_catalog()
+        a, b = cat.get("countries"), cat.get("rivers")
+        plan = make_pbsm_join(IndexScanPlan(a), IndexScanPlan(b))
+        expected = 0.0
+        for params in (a.params, b.params):
+            expected += sum(params.nodes_at(j)
+                            for j in range(1, params.height))
+        assert plan.cost == pytest.approx(expected)
+
+    def test_role_symmetric(self):
+        cat = sample_catalog()
+        a = IndexScanPlan(cat.get("countries"))
+        b = IndexScanPlan(cat.get("rivers"))
+        assert make_pbsm_join(a, b).cost == \
+            pytest.approx(make_pbsm_join(b, a).cost)
+
+    def test_metric_indifferent(self):
+        # One sequential pass per tree: every page is read exactly
+        # once, so the buffered and unbuffered prices coincide.
+        cat = sample_catalog()
+        a = IndexScanPlan(cat.get("countries"))
+        b = IndexScanPlan(cat.get("roads"))
+        assert make_pbsm_join(a, b, "na").cost == \
+            pytest.approx(make_pbsm_join(a, b, "da").cost)
+
+    def test_bad_metric_rejected(self):
+        cat = sample_catalog()
+        with pytest.raises(ValueError):
+            make_pbsm_join(IndexScanPlan(cat.get("countries")),
+                           IndexScanPlan(cat.get("rivers")), "wallclock")
+
+    def test_rejects_mixed_dimensionality(self):
+        cat = Catalog(max_entries=24)
+        cat.register_stats("a", 100, 0.2, 1)
+        cat.register_stats("b", 100, 0.2, 2)
+        with pytest.raises(ValueError, match="dimensionality"):
+            make_pbsm_join(IndexScanPlan(cat.get("a")),
+                           IndexScanPlan(cat.get("b")))
+
+    def test_describe_renders_tree(self):
+        cat = sample_catalog()
+        plan = make_pbsm_join(IndexScanPlan(cat.get("roads")),
+                              IndexScanPlan(cat.get("rivers")))
+        text = plan.describe()
+        assert "PBSMJoin" in text and "roads" in text and "rivers" in text
+        assert plan.out_cardinality > 0
+
+
 class TestBestPlan:
     def test_two_way_chooses_cheaper_role(self):
-        cat = sample_catalog()
-        plan = best_plan(cat, ["countries", "rivers"])
+        cat = skewed_catalog()
+        plan = best_plan(cat, ["parcels", "stations"])
         assert isinstance(plan, SpatialJoinPlan)
-        data, query, cost, _alt = role_advice(cat, "countries", "rivers")
+        data, query, cost, _alt = role_advice(cat, "parcels", "stations")
         assert plan.cost == pytest.approx(cost)
         assert plan.data.entry.name == data
         assert plan.query.entry.name == query
+
+    def test_two_way_prefers_pbsm_for_comparable_inputs(self):
+        # countries/rivers are close enough in size that scanning both
+        # trees once beats the traversal's repeated descents.
+        cat = sample_catalog()
+        plan = best_plan(cat, ["countries", "rivers"])
+        assert isinstance(plan, PBSMJoinPlan)
+        sj_cost = role_advice(cat, "countries", "rivers")[2]
+        assert plan.cost < sj_cost
+
+    def test_two_way_prefers_sj_for_skewed_inputs(self):
+        cat = skewed_catalog()
+        plan = best_plan(cat, ["parcels", "stations"])
+        assert isinstance(plan, SpatialJoinPlan)
+        pbsm = make_pbsm_join(IndexScanPlan(cat.get("parcels")),
+                              IndexScanPlan(cat.get("stations")))
+        assert plan.cost < pbsm.cost
+
+    def test_plan_choice_recorded_in_trace(self):
+        for catalog, names, chosen, plan_name in [
+                (sample_catalog(), ["countries", "rivers"],
+                 "pbsm", "PBSMJoinPlan"),
+                (skewed_catalog(), ["parcels", "stations"],
+                 "sj", "SpatialJoinPlan")]:
+            sink = MemorySink()
+            best_plan(catalog, names, tracer=Tracer(sink))
+            candidates = next(e for e in sink.records
+                              if e["event"] == "plan_candidates")
+            assert candidates["relations"] == sorted(names)
+            assert candidates["chosen"] == chosen
+            assert candidates["sj_cost"] > 0
+            assert candidates["pbsm_cost"] > 0
+            choice = next(e for e in sink.records
+                          if e["event"] == "plan_choice")
+            assert choice["plan"] == plan_name
+            assert choice["cost"] > 0
 
     def test_three_way_covers_all_relations(self):
         cat = sample_catalog()

@@ -6,7 +6,7 @@ from repro.datasets import uniform_rectangles
 from repro.join import naive_join
 from repro.optimizer import (Catalog, IndexScanPlan, best_plan,
                              execute_plan, make_index_nested_loop,
-                             make_spatial_join)
+                             make_pbsm_join, make_spatial_join)
 
 from .conftest import build_rstar
 
@@ -85,6 +85,40 @@ class TestSpatialJoinExecution:
                        [(oid, r) for r, oid in datasets["a"].items])
         for t in result.tuples[:50]:
             assert t.rect.contains(rects_a[t.oid("a")])
+
+
+class TestPBSMExecution:
+    def test_output_matches_sj_plan(self, world):
+        datasets, trees, catalog = world
+        sj = make_spatial_join(IndexScanPlan(catalog.get("a")),
+                               IndexScanPlan(catalog.get("b")))
+        pbsm = make_pbsm_join(IndexScanPlan(catalog.get("a")),
+                              IndexScanPlan(catalog.get("b")))
+        expected = {tuple(sorted((("a", o1), ("b", o2))))
+                    for o1, o2 in naive_join(datasets["a"].items,
+                                             datasets["b"].items)}
+        assert execute_plan(pbsm, trees).key_set() == expected
+        assert execute_plan(sj, trees).key_set() == expected
+
+    def test_measured_cost_matches_prediction(self, world):
+        # The PBSM build reads every non-root page exactly once, so
+        # the analytical page count should be close to the measured DA
+        # and NA (which coincide for a one-pass scan).
+        _datasets, trees, catalog = world
+        plan = make_pbsm_join(IndexScanPlan(catalog.get("a")),
+                              IndexScanPlan(catalog.get("b")))
+        result = execute_plan(plan, trees)
+        assert result.na_total == result.da_total
+        assert plan.cost == pytest.approx(result.da_total, rel=0.35)
+
+    def test_governor_applies(self, world):
+        from repro.exec import Budget, BudgetExceeded, ExecutionGovernor
+        _datasets, trees, catalog = world
+        plan = make_pbsm_join(IndexScanPlan(catalog.get("a")),
+                              IndexScanPlan(catalog.get("b")))
+        gov = ExecutionGovernor(Budget(max_results=10))
+        with pytest.raises(BudgetExceeded):
+            execute_plan(plan, trees, governor=gov)
 
 
 class TestPipelineExecution:

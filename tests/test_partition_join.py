@@ -1,0 +1,258 @@
+"""The PBSM partition engine: result equality, governance, semantics.
+
+The partition-based engine is the first join whose result set must be
+*proven* equal to the tree-based reference — the property tests here
+drive both predicates, both sweep backends (NumPy batch and the pure
+Python fallback), degenerate (zero-extent) rectangles and rectangles
+sitting exactly on tile boundaries, asserting pair-for-pair equality
+with ``spatial_join`` and that no pair is duplicated or dropped by the
+reference-point rule.
+"""
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.exec import (Budget, CancellationToken, ExecutionConfig,
+                        ExecutionGovernor)
+from repro.exec.governor import BudgetExceeded
+from repro.geometry import Rect
+from repro.join import (OVERLAP, PartialJoinResult, SpatialJoin,
+                        WithinDistance, parallel_spatial_join,
+                        partition_spatial_join, spatial_join)
+from repro.obs import MemorySink, MetricsRegistry, Tracer
+
+from .conftest import build_rstar, make_items
+
+SLOW = settings(max_examples=20,
+                suppress_health_check=[HealthCheck.too_slow],
+                deadline=None)
+
+
+def rect_strategy():
+    # Coordinates snapped to a coarse 1/8 lattice: many rectangles
+    # share exact lower bounds, sit exactly on tile boundaries of a
+    # small fixed grid, and degenerate to zero extent (size 0 is a
+    # legal draw) — the inputs the reference-point tiebreak must
+    # handle without duplicating or dropping a pair.
+    coord = st.integers(0, 7).map(lambda k: k / 8.0)
+    size = st.integers(0, 2).map(lambda k: k / 8.0)
+
+    def build(args):
+        (x, y), (w, h) = args
+        return Rect((x, y), (min(x + w, 1.0), min(y + h, 1.0)))
+    return st.tuples(st.tuples(coord, coord),
+                     st.tuples(size, size)).map(build)
+
+
+items_strategy = st.lists(rect_strategy(), min_size=0, max_size=60).map(
+    lambda rs: [(r, i) for i, r in enumerate(rs)])
+
+predicates = st.sampled_from(
+    [OVERLAP, WithinDistance(0.0), WithinDistance(0.125),
+     WithinDistance(0.3)])
+
+
+def assert_matches_reference(items1, items2, predicate, **kwargs):
+    t1, t2 = build_rstar(items1), build_rstar(items2)
+    reference = spatial_join(t1, t2, predicate=predicate)
+    result = partition_spatial_join(t1, t2, predicate=predicate,
+                                    **kwargs)
+    pairs = list(result.pairs)
+    # No pair is emitted twice (the reference-point rule picks exactly
+    # one owner tile) and none is dropped.
+    assert len(pairs) == len(set(pairs))
+    assert sorted(pairs) == sorted(reference.pairs)
+    return result
+
+
+class TestPairSetEquality:
+    @SLOW
+    @given(items_strategy, items_strategy, predicates,
+           st.integers(1, 5))
+    def test_equals_tree_reference(self, items1, items2, predicate,
+                                   tiles):
+        assert_matches_reference(items1, items2, predicate,
+                                 tiles=tiles)
+
+    @SLOW
+    @given(items_strategy, items_strategy, predicates,
+           st.integers(1, 4))
+    def test_equals_tree_reference_pure_python(self, items1, items2,
+                                               predicate, tiles):
+        # Forces sweep_pairs_batch down its scalar fallback, so the
+        # per-tile sweeps run the pure Python backend (the switch is
+        # read per call, so plain env manipulation is enough and plays
+        # well with @given).
+        os.environ["REPRO_PURE_PYTHON"] = "1"
+        try:
+            assert_matches_reference(items1, items2, predicate,
+                                     tiles=tiles)
+        finally:
+            os.environ.pop("REPRO_PURE_PYTHON", None)
+
+    @SLOW
+    @given(items_strategy, items_strategy, predicates,
+           st.sampled_from(["threads", "processes"]))
+    def test_parallel_modes_match_serial(self, items1, items2,
+                                         predicate, mode):
+        workers = 2 if mode == "processes" else 3
+        assert_matches_reference(
+            items1, items2, predicate,
+            config=ExecutionConfig(strategy="pbsm", mode=mode,
+                                   workers=workers))
+
+    def test_tile_boundary_rectangles(self):
+        # With bounds [0, 1] and tiles=2 the boundary is exactly 0.5;
+        # rectangles whose edges (and whose pair reference points) sit
+        # exactly on it are owned by exactly one tile.
+        items1 = [(Rect((0.0, 0.0), (0.5, 0.5)), 0),
+                  (Rect((0.5, 0.5), (1.0, 1.0)), 1),
+                  (Rect((0.5, 0.0), (0.5, 1.0)), 2),   # degenerate, on
+                  (Rect((0.0, 0.0), (1.0, 1.0)), 3)]   # the boundary
+        items2 = [(Rect((0.5, 0.5), (0.5, 0.5)), 0),   # point at corner
+                  (Rect((0.25, 0.25), (0.75, 0.75)), 1),
+                  (Rect((0.0, 0.5), (1.0, 0.5)), 2)]
+        for predicate in (OVERLAP, WithinDistance(0.25)):
+            assert_matches_reference(items1, items2, predicate,
+                                     tiles=2)
+
+    def test_degenerate_shared_lower_bounds(self):
+        # Zero-extent rectangles stacked on the same lower bound — the
+        # tie case the plane-sweep ordering fix covers — joined across
+        # tiles.
+        p = (0.5, 0.5)
+        items1 = [(Rect(p, p), i) for i in range(4)]
+        items2 = [(Rect(p, p), i) for i in range(4)]
+        items2.append((Rect((0.0, 0.0), (1.0, 1.0)), 4))
+        result = assert_matches_reference(items1, items2, OVERLAP,
+                                          tiles=3)
+        assert result.pair_count == 4 * 5
+
+    def test_empty_inputs(self):
+        t1 = build_rstar(make_items(50, seed=1))
+        empty = build_rstar([])
+        assert partition_spatial_join(t1, empty).pair_count == 0
+        assert partition_spatial_join(empty, t1).pair_count == 0
+        assert partition_spatial_join(empty, empty).pair_count == 0
+
+
+class TestAccessSemantics:
+    def test_na_equals_da_equals_nonroot_pages(self):
+        # The build walks each tree once, charging every non-root page
+        # exactly one read and never revisiting — NA == DA == the
+        # non-root page count of both trees; the probe phase is free.
+        t1 = build_rstar(make_items(300, seed=5))
+        t2 = build_rstar(make_items(300, seed=6))
+        result = partition_spatial_join(t1, t2)
+
+        def nonroot_pages(tree):
+            count = 0
+            stack = [(tree.root_id, tree.height)]
+            while stack:
+                page_id, level = stack.pop()
+                if page_id != tree.root_id:
+                    count += 1
+                if level > 1:
+                    node = tree.pager.read(page_id)
+                    stack.extend((e.ref, level - 1)
+                                 for e in node.entries)
+            return count
+
+        expected = nonroot_pages(t1) + nonroot_pages(t2)
+        assert result.na_total == result.da_total == expected
+
+    def test_observability(self):
+        t1 = build_rstar(make_items(120, seed=7))
+        t2 = build_rstar(make_items(120, seed=8))
+        sink = MemorySink()
+        tracer = Tracer(sink)
+        metrics = MetricsRegistry()
+        partition_spatial_join(t1, t2, tracer=tracer, metrics=metrics)
+        events = {e["event"] for e in sink.records}
+        assert {"join_start", "partition", "join_finish"} <= events
+        start = next(e for e in sink.records
+                     if e["event"] == "join_start")
+        assert start["strategy"] == "pbsm"
+        counters = metrics.as_dict()["counters"]
+        assert counters["pbsm.joins"] == 1
+        assert counters["pbsm.tiles"] >= 1
+
+    def test_strategy_wiring(self):
+        # ExecutionConfig(strategy="pbsm") routes spatial_join and
+        # parallel_spatial_join through the partition engine.
+        t1 = build_rstar(make_items(150, seed=9))
+        t2 = build_rstar(make_items(150, seed=10))
+        reference = spatial_join(t1, t2)
+        cfg = ExecutionConfig(strategy="pbsm")
+        via_sync = spatial_join(t1, t2, config=cfg)
+        via_parallel = parallel_spatial_join(t1, t2, config=cfg)
+        assert sorted(via_sync.pairs) == sorted(reference.pairs)
+        assert sorted(via_parallel.pairs) == sorted(reference.pairs)
+
+    def test_resume_refused(self):
+        t1 = build_rstar(make_items(20, seed=11))
+        join = SpatialJoin(t1, t1,
+                           config=ExecutionConfig(strategy="pbsm"))
+        with pytest.raises(ValueError, match="cannot resume"):
+            join.resume(object())
+
+
+class TestGovernedPartition:
+    """Budget trips inside per-partition workers (satellite 5)."""
+
+    def _trees(self):
+        return (build_rstar(make_items(400, seed=12)),
+                build_rstar(make_items(400, seed=13)))
+
+    def test_result_budget_trip_serial_partial(self):
+        t1, t2 = self._trees()
+        full = partition_spatial_join(t1, t2)
+        governor = ExecutionGovernor(Budget(max_results=20),
+                                     partial=True)
+        result = partition_spatial_join(t1, t2, governor=governor)
+        assert isinstance(result, PartialJoinResult)
+        assert result.checkpoint is None
+        assert result.reason.resource == "results"
+        assert set(result.pairs) <= set(full.pairs)
+
+    def test_budget_trip_drains_thread_siblings(self):
+        # One tile trips the shared budget; the siblings drain as
+        # Cancelled and the completed tiles' pairs survive into a
+        # correct (non-resumable) PartialJoinResult.
+        t1, t2 = self._trees()
+        full = partition_spatial_join(t1, t2)
+        governor = ExecutionGovernor(Budget(max_results=5),
+                                     partial=True)
+        result = partition_spatial_join(
+            t1, t2, governor=governor,
+            config=ExecutionConfig(strategy="pbsm", mode="threads",
+                                   workers=4))
+        assert isinstance(result, PartialJoinResult)
+        assert result.checkpoint is None
+        assert result.reason.resource == "results"
+        pairs = list(result.pairs)
+        assert len(pairs) == len(set(pairs))
+        assert set(pairs) <= set(full.pairs)
+        assert result.pair_count < full.pair_count
+
+    def test_budget_trip_raises_without_partial(self):
+        t1, t2 = self._trees()
+        governor = ExecutionGovernor(Budget(max_results=5),
+                                     partial=False)
+        with pytest.raises(BudgetExceeded):
+            partition_spatial_join(
+                t1, t2, governor=governor,
+                config=ExecutionConfig(strategy="pbsm", mode="threads",
+                                       workers=4))
+
+    def test_cancellation_token(self):
+        t1, t2 = self._trees()
+        token = CancellationToken()
+        token.cancel()
+        governor = ExecutionGovernor(token=token, partial=True)
+        result = partition_spatial_join(t1, t2, governor=governor)
+        assert isinstance(result, PartialJoinResult)
+        assert result.checkpoint is None

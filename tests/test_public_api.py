@@ -86,6 +86,25 @@ def test_arena_api_is_exported(modname, names):
         assert getattr(mod, name, None) is not None
 
 
+#: The partition-based (PBSM) join strategy: engine entrypoint, the
+#: strategy knob's value set, and the optimizer's plan/costing pair.
+PBSM_API = {
+    "repro.exec": ["STRATEGIES"],
+    "repro.join": ["STRATEGIES", "partition_spatial_join"],
+    "repro.optimizer": ["PBSMJoinPlan", "make_pbsm_join"],
+}
+
+
+@pytest.mark.parametrize("modname, names",
+                         sorted(PBSM_API.items()))
+def test_pbsm_api_is_exported(modname, names):
+    mod = importlib.import_module(modname)
+    for name in names:
+        assert name in mod.__all__, (
+            f"{modname}.__all__ lost {name!r}")
+        assert getattr(mod, name, None) is not None
+
+
 def test_docs_list_every_top_level_export():
     text = Path(__file__).resolve().parent.parent.joinpath(
         "docs", "api.md").read_text()

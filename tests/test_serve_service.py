@@ -362,6 +362,18 @@ class TestDegradation:
         assert resp["na"] == direct.na_total     # the serial engine ran
         snap = svc.metrics_snapshot()
         assert snap["counters"]["serve.degraded.small_tree"] == 1
+        # The generic counter aggregates every degradation reason.
+        assert snap["counters"]["serve.degraded"] == 1
+
+    def test_degraded_field_always_present(self, trees):
+        # Graceful degradation must be observable, not silent: every
+        # response carries the field (None = ran as requested) and the
+        # generic serve.degraded counter only moves on real fallbacks.
+        svc = make_service(trees)
+        resp = svc.execute({"tree1": "a", "tree2": "b"})
+        assert resp["degraded"] is None
+        assert "serve.degraded" not in \
+            svc.metrics_snapshot()["counters"]
 
     def test_parallel_threads_above_threshold(self, trees, direct):
         svc = make_service(trees, serial_threshold=1)
@@ -370,7 +382,7 @@ class TestDegradation:
         assert resp["status"] == "complete"
         assert resp["workers"] == 2
         assert resp["pair_count"] == direct.pair_count
-        assert "degraded" not in resp
+        assert resp["degraded"] is None     # ran exactly as requested
 
 
 class TestDrain:
@@ -444,3 +456,57 @@ class TestIntrospection:
             svc.register_tree("", trees[0])
         with pytest.raises(ValueError):
             svc.register_tree("a/b", trees[0])
+
+
+class TestPBSMStrategy:
+    """The partition engine through the serve request schema."""
+
+    def test_pbsm_request_matches_direct_pairs(self, trees, direct):
+        svc = make_service(trees)
+        resp = svc.execute({"tree1": "a", "tree2": "b",
+                            "strategy": "pbsm", "collect_pairs": True})
+        assert resp["status"] == "complete"
+        assert resp["degraded"] is None
+        assert sorted(map(tuple, resp["pairs"])) == \
+            sorted(direct.pairs)
+        # PBSM never revisits a page: NA == DA.
+        assert resp["na"] == resp["da"]
+
+    def test_unknown_strategy_rejected(self, trees):
+        svc = make_service(trees)
+        with pytest.raises(ValueError, match="strategy must be one of"):
+            svc.execute({"tree1": "a", "tree2": "b",
+                         "strategy": "grid"})
+
+    def test_pbsm_resume_token_rejected(self, trees):
+        svc = make_service(trees)
+        with pytest.raises(ValueError,
+                           match="incompatible with strategy 'pbsm'"):
+            svc.execute({"tree1": "a", "tree2": "b",
+                         "strategy": "pbsm", "resume_token": "abc"})
+
+    def test_pbsm_partial_has_null_resume_token(self, trees):
+        # A budget-tripped PBSM join yields the completed tiles but no
+        # checkpoint — the response says so with an explicitly null
+        # token instead of crashing the encoder.
+        svc = make_service(trees)
+        resp = svc.execute({"tree1": "a", "tree2": "b",
+                            "strategy": "pbsm", "max_na": 5,
+                            "admission": "off"})
+        assert resp["status"] == "partial"
+        assert resp["resume_token"] is None
+
+    def test_durable_pbsm_degrades_without_spilling(self, trees,
+                                                    tmp_path):
+        svc = JoinService(ServeConfig(state_dir=str(tmp_path)))
+        svc.register_tree("a", trees[0])
+        svc.register_tree("b", trees[1])
+        resp = svc.execute({"tree1": "a", "tree2": "b",
+                            "strategy": "pbsm"})
+        assert resp["status"] == "complete"
+        assert resp["degraded"] == "pbsm-no-spill"
+        counters = svc.metrics_snapshot()["counters"]
+        assert counters["serve.degraded.pbsm_no_spill"] == 1
+        assert counters["serve.degraded"] == 1
+        assert "serve.journal.spills" not in counters
+        svc.drain(grace=0.1)
